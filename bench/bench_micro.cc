@@ -1,0 +1,120 @@
+// Engineering micro-benchmarks (google-benchmark): the hot paths of the partitioner --
+// TDL strategy discovery, coarsening, one DP step, full recursive search, lowering and
+// event simulation.
+#include <benchmark/benchmark.h>
+
+#include "tofu/core/experiment.h"
+#include "tofu/models/mlp.h"
+#include "tofu/partition/dp.h"
+#include "tofu/tdl/registry.h"
+
+namespace tofu {
+namespace {
+
+void BM_StrategyDiscoveryConv2d(benchmark::State& state) {
+  // Cache-defeating: vary an attribute so every iteration re-runs the analysis.
+  std::int64_t pad = 0;
+  for (auto _ : state) {
+    OpAttrs attrs;
+    attrs.Set("stride", 1).Set("pad", 1).Set("salt", pad++);
+    benchmark::DoNotOptimize(OpRegistry::Get().Semantics("conv2d", attrs, {4, 4}));
+  }
+}
+BENCHMARK(BM_StrategyDiscoveryConv2d);
+
+ModelGraph BenchMlp() {
+  MlpConfig config;
+  config.layer_sizes = {1024, 1024, 1024, 1024, 512};
+  config.batch = 128;
+  return BuildMlp(config);
+}
+
+void BM_BuildMlpTrainingGraph(benchmark::State& state) {
+  for (auto _ : state) {
+    ModelGraph model = BenchMlp();
+    benchmark::DoNotOptimize(model.graph.num_ops());
+  }
+}
+BENCHMARK(BM_BuildMlpTrainingGraph);
+
+void BM_Coarsen(benchmark::State& state) {
+  ModelGraph model = BenchMlp();
+  for (auto _ : state) {
+    CoarseGraph cg = Coarsen(model.graph);
+    benchmark::DoNotOptimize(cg.num_slots());
+  }
+}
+BENCHMARK(BM_Coarsen);
+
+void BM_DpStep(benchmark::State& state) {
+  ModelGraph model = BenchMlp();
+  CoarseGraph cg = Coarsen(model.graph);
+  for (auto _ : state) {
+    StepContext ctx(model.graph, StepContext::InitialShapes(model.graph), 2);
+    DpResult dp = RunStepDp(&ctx, cg, {});
+    benchmark::DoNotOptimize(dp.plan.comm_bytes);
+  }
+}
+BENCHMARK(BM_DpStep);
+
+void BM_RecursivePartitionMlp8(benchmark::State& state) {
+  ModelGraph model = BenchMlp();
+  for (auto _ : state) {
+    PartitionPlan plan = RecursivePartition(model.graph, 8);
+    benchmark::DoNotOptimize(plan.total_comm_bytes);
+  }
+}
+BENCHMARK(BM_RecursivePartitionMlp8);
+
+void BM_RecursivePartitionWResNet50(benchmark::State& state) {
+  WResNetConfig config;
+  config.layers = 50;
+  config.width = 4;
+  config.batch = 32;
+  ModelGraph model = BuildWResNet(config);
+  for (auto _ : state) {
+    PartitionPlan plan = RecursivePartition(model.graph, 8);
+    benchmark::DoNotOptimize(plan.total_comm_bytes);
+  }
+}
+BENCHMARK(BM_RecursivePartitionWResNet50)->Unit(benchmark::kMillisecond);
+
+void BM_LowerAndSimulate(benchmark::State& state) {
+  ModelGraph model = BenchMlp();
+  const ClusterSpec cluster = K80Cluster();
+  PartitionPlan plan = RecursivePartition(model.graph, 8);
+  for (auto _ : state) {
+    SimGraph sim = LowerPartitioned(model.graph, plan, cluster, model.batch);
+    SimResult r = RunSim(sim, cluster);
+    benchmark::DoNotOptimize(r.makespan_s);
+  }
+}
+BENCHMARK(BM_LowerAndSimulate);
+
+void BM_EventSimScaling(benchmark::State& state) {
+  // Pure simulator throughput on a synthetic butterfly of the given size.
+  const int n = static_cast<int>(state.range(0));
+  SimGraph g;
+  g.num_devices = 8;
+  g.resident_bytes.assign(8, 0.0);
+  for (int i = 0; i < n; ++i) {
+    SimNode node;
+    node.kind = SimNode::Kind::kCompute;
+    node.device = i % 8;
+    node.duration_s = 1e-5;
+    if (i >= 8) {
+      node.deps = {i - 8, i - (i % 8) - 1};
+    }
+    g.Add(std::move(node));
+  }
+  const ClusterSpec cluster = K80Cluster();
+  for (auto _ : state) {
+    SimResult r = RunSim(g, cluster);
+    benchmark::DoNotOptimize(r.makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventSimScaling)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace tofu

@@ -1,0 +1,55 @@
+// Table 2 reproduction: total weight tensor sizes (GiB) for every benchmark model --
+// weights + gradients + optimizer history, the paper's 3W accounting of §7.1.
+#include <cstdio>
+
+#include "tofu/models/rnn.h"
+#include "tofu/models/wresnet.h"
+
+namespace tofu {
+namespace {
+
+double Gib(std::int64_t bytes) { return static_cast<double>(bytes) / (1ull << 30); }
+
+}  // namespace
+}  // namespace tofu
+
+int main() {
+  using namespace tofu;
+  std::printf("=== Table 2: total weight tensor sizes (GiB), ours vs paper ===\n\n");
+
+  const double rnn_paper[3][3] = {{8.4, 11.4, 14.4}, {18.6, 28.5, 32.1}, {33.0, 45.3, 57.0}};
+  std::printf("RNN                L=6              L=8              L=10\n");
+  const std::int64_t hiddens[3] = {4096, 6144, 8192};
+  for (int h = 0; h < 3; ++h) {
+    std::printf("  H=%lldK  ", static_cast<long long>(hiddens[h] / 1024));
+    for (int li = 0; li < 3; ++li) {
+      RnnConfig config;
+      config.layers = 6 + 2 * li;
+      config.hidden = hiddens[h];
+      config.batch = 4;
+      ModelGraph model = BuildRnn(config);
+      std::printf("  %5.1f (p %5.1f)", Gib(model.ModelStateBytes()), rnn_paper[h][li]);
+    }
+    std::printf("\n");
+  }
+
+  const double wrn_paper[4][3] = {
+      {4.2, 7.8, 10.5}, {9.6, 17.1, 23.4}, {17.1, 30.6, 41.7}, {26.7, 47.7, 65.1}};
+  std::printf("\nWide ResNet        L=50             L=101            L=152\n");
+  const int widths[4] = {4, 6, 8, 10};
+  const int depths[3] = {50, 101, 152};
+  for (int w = 0; w < 4; ++w) {
+    std::printf("  W=%-2d   ", widths[w]);
+    for (int d = 0; d < 3; ++d) {
+      WResNetConfig config;
+      config.layers = depths[d];
+      config.width = widths[w];
+      config.batch = 2;
+      ModelGraph model = BuildWResNet(config);
+      std::printf("  %5.1f (p %5.1f)", Gib(model.ModelStateBytes()), wrn_paper[w][d]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(p X.X) = value reported in the paper's Table 2.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "tofu/core/experiment.h"
+
+#include "tofu/util/strings.h"
+
+namespace tofu {
+
+ModelFactory WResNetFactory(int layers, int width) {
+  return [layers, width](std::int64_t batch) {
+    WResNetConfig config;
+    config.layers = layers;
+    config.width = width;
+    config.batch = batch;
+    return BuildWResNet(config);
+  };
+}
+
+ModelFactory RnnFactory(int layers, std::int64_t hidden) {
+  return [layers, hidden](std::int64_t batch) {
+    RnnConfig config;
+    config.layers = layers;
+    config.hidden = hidden;
+    config.batch = batch;
+    return BuildRnn(config);
+  };
+}
+
+int RnnLayerOf(const OpNode& op) {
+  // Unroll keys look like "l3/gi/mmx"; anything else (projection head, loss) -> -1.
+  if (op.unroll_key.size() >= 2 && op.unroll_key[0] == 'l' &&
+      op.unroll_key[1] >= '0' && op.unroll_key[1] <= '9') {
+    return std::atoi(op.unroll_key.c_str() + 1);
+  }
+  return -1;
+}
+
+std::string FormatBaselineRow(const BaselineRow& row, double ideal_throughput) {
+  if (row.result.oom) {
+    return StrFormat("  %-14s OOM", row.system.c_str());
+  }
+  const double rel = ideal_throughput > 0
+                         ? row.result.samples_per_second / ideal_throughput
+                         : 0.0;
+  return StrFormat("  %-14s %8.1f samples/s  (%.2f of ideal, batch %lld, comm %4.1f%%)",
+                   row.system.c_str(), row.result.samples_per_second, rel,
+                   static_cast<long long>(row.result.batch),
+                   row.result.comm_fraction * 100.0);
+}
+
+}  // namespace tofu

@@ -1,0 +1,37 @@
+// Shared experiment configuration for the benchmark harness: the paper's testbed,
+// model-specific batch caps, and the layer extraction used by Op-Placement.
+#ifndef TOFU_CORE_EXPERIMENT_H_
+#define TOFU_CORE_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+
+#include "tofu/models/rnn.h"
+#include "tofu/models/wresnet.h"
+#include "tofu/sim/runtimes.h"
+
+namespace tofu {
+
+// The paper's per-experiment batch caps (§7.2): Ideal uses a saturating global batch; the
+// memory-constrained systems search downward from it.
+inline constexpr std::int64_t kWResNetIdealBatch = 128;
+inline constexpr std::int64_t kRnnIdealBatch = 512;
+
+ModelFactory WResNetFactory(int layers, int width);
+ModelFactory RnnFactory(int layers, std::int64_t hidden);
+
+// Pipeline stage of an RNN op for Op-Placement: the LSTM layer index from the unroll key
+// ("l3/..." -> 3); the projection/loss head returns -1 (placed on the last GPU).
+int RnnLayerOf(const OpNode& op);
+
+// One row of a Figure 8/9-style comparison.
+struct BaselineRow {
+  std::string system;
+  ThroughputResult result;
+};
+
+std::string FormatBaselineRow(const BaselineRow& row, double ideal_throughput);
+
+}  // namespace tofu
+
+#endif  // TOFU_CORE_EXPERIMENT_H_

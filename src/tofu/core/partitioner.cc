@@ -1,0 +1,41 @@
+#include "tofu/core/partitioner.h"
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+
+const char* AlgorithmName(PartitionAlgorithm algorithm) {
+  switch (algorithm) {
+    case PartitionAlgorithm::kTofu:
+      return "Tofu";
+    case PartitionAlgorithm::kIcml18:
+      return "ICML18";
+    case PartitionAlgorithm::kEqualChop:
+      return "EqualChop";
+    case PartitionAlgorithm::kSpartan:
+      return "Spartan";
+    case PartitionAlgorithm::kAllRowGreedy:
+      return "AllRow-Greedy";
+  }
+  return "?";
+}
+
+PartitionPlan Partitioner::Partition(const Graph& graph, int num_workers,
+                                     PartitionAlgorithm algorithm) const {
+  switch (algorithm) {
+    case PartitionAlgorithm::kTofu:
+      return RecursivePartition(graph, num_workers, options_);
+    case PartitionAlgorithm::kIcml18:
+      return Icml18Plan(graph, num_workers, options_);
+    case PartitionAlgorithm::kEqualChop:
+      return EqualChopPlan(graph, num_workers, options_);
+    case PartitionAlgorithm::kSpartan:
+      return SpartanGreedyPlan(graph, num_workers);
+    case PartitionAlgorithm::kAllRowGreedy:
+      return AllRowGreedyPlan(graph, num_workers);
+  }
+  TOFU_LOG(Fatal) << "unreachable";
+  return {};
+}
+
+}  // namespace tofu

@@ -1,0 +1,46 @@
+// Public facade: the one-stop API a downstream user calls to partition a model.
+//
+//   tofu::Partitioner partitioner;
+//   tofu::PartitionPlan plan = partitioner.Partition(model.graph, /*num_workers=*/8);
+//
+// The same program written for one device runs on many: the plan assigns every tensor a
+// tiling and every operator a partition-n-reduce strategy per recursive step, and the
+// simulator (or a real backend) lowers it to per-worker execution.
+#ifndef TOFU_CORE_PARTITIONER_H_
+#define TOFU_CORE_PARTITIONER_H_
+
+#include <string>
+
+#include "tofu/partition/baselines.h"
+#include "tofu/partition/recursive.h"
+
+namespace tofu {
+
+// Named algorithm selector (Figure 10's comparison set).
+enum class PartitionAlgorithm {
+  kTofu,          // recursive DP with output-reduction strategies
+  kIcml18,        // recursive DP without output-reduction
+  kEqualChop,     // single k-way DP step (one dimension per tensor)
+  kSpartan,       // largest-tensor-first greedy
+  kAllRowGreedy,  // everything split along dimension 0
+};
+
+const char* AlgorithmName(PartitionAlgorithm algorithm);
+
+class Partitioner {
+ public:
+  explicit Partitioner(PartitionOptions options = {}) : options_(options) {}
+
+  // Partitions across num_workers workers with the chosen algorithm.
+  PartitionPlan Partition(const Graph& graph, int num_workers,
+                          PartitionAlgorithm algorithm = PartitionAlgorithm::kTofu) const;
+
+  const PartitionOptions& options() const { return options_; }
+
+ private:
+  PartitionOptions options_;
+};
+
+}  // namespace tofu
+
+#endif  // TOFU_CORE_PARTITIONER_H_

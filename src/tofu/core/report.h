@@ -1,0 +1,20 @@
+// Plan reporting: human-readable summaries and the Figure-11-style tiling visualization.
+#ifndef TOFU_CORE_REPORT_H_
+#define TOFU_CORE_REPORT_H_
+
+#include <string>
+
+#include "tofu/partition/plan.h"
+
+namespace tofu {
+
+// One line per recursive step: factor, chosen cuts histogram, weighted cost.
+std::string PlanSummary(const Graph& graph, const PartitionPlan& plan);
+
+// Figure-11-style rendering: for every convolution (or matmul), how its weight and
+// activation tensors are tiled across workers, with repeated blocks collapsed ("xN").
+std::string TilingReport(const Graph& graph, const PartitionPlan& plan);
+
+}  // namespace tofu
+
+#endif  // TOFU_CORE_REPORT_H_

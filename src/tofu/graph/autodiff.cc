@@ -1,0 +1,358 @@
+#include "tofu/graph/autodiff.h"
+
+#include <functional>
+#include <string>
+
+#include "tofu/graph/traversal.h"
+#include "tofu/util/logging.h"
+
+namespace tofu {
+namespace {
+
+// Emits the gradient of each input of `op` given the output gradient `dy`. Entries may be
+// kNoTensor for non-differentiable inputs (e.g. labels). `need[i]` tells the rule which
+// inputs actually require a gradient, letting it skip dead computations (MXNet likewise
+// never differentiates w.r.t. the data batch).
+using GradFn = std::function<std::vector<TensorId>(Graph*, const OpNode&, TensorId dy,
+                                                   const std::vector<bool>& need)>;
+
+// Helper shortening rule bodies: adds an op and returns its output.
+TensorId Emit(Graph* g, const std::string& type, OpAttrs attrs, std::vector<TensorId> in) {
+  return g->AddOp(type, std::move(attrs), std::move(in));
+}
+
+const std::unordered_map<std::string, GradFn>& GradRules() {
+  static const auto* rules = new std::unordered_map<std::string, GradFn>{
+      // ---- element-wise arithmetic -------------------------------------------------
+      {"add",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{dy, dy};
+       }},
+      {"sub",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId d1 = need[1] ? Emit(g, "neg", {}, {dy}) : kNoTensor;
+         return std::vector<TensorId>{dy, d1};
+       }},
+      {"mul",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId d0 = need[0] ? Emit(g, "mul", {}, {dy, op.inputs[1]}) : kNoTensor;
+         TensorId d1 = need[1] ? Emit(g, "mul", {}, {dy, op.inputs[0]}) : kNoTensor;
+         return std::vector<TensorId>{d0, d1};
+       }},
+      {"div",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId d0 = need[0] ? Emit(g, "div", {}, {dy, op.inputs[1]}) : kNoTensor;
+         TensorId d1 = kNoTensor;
+         if (need[1]) {
+           // d/db (a/b) = -(a/b)/b; reuse the op's own output.
+           TensorId t = Emit(g, "mul", {}, {dy, op.output});
+           TensorId q = Emit(g, "div", {}, {t, op.inputs[1]});
+           d1 = Emit(g, "neg", {}, {q});
+         }
+         return std::vector<TensorId>{d0, d1};
+       }},
+      {"maximum",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         // relu_grad(dy, a-b) routes dy to the larger operand.
+         TensorId diff = Emit(g, "sub", {}, {op.inputs[0], op.inputs[1]});
+         TensorId d0 = Emit(g, "relu_grad", {}, {dy, diff});
+         TensorId d1 = need[1] ? Emit(g, "sub", {}, {dy, d0}) : kNoTensor;
+         return std::vector<TensorId>{need[0] ? d0 : kNoTensor, d1};
+       }},
+      {"copy",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{dy};
+       }},
+      {"neg",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{Emit(g, "neg", {}, {dy})};
+       }},
+      {"relu",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{Emit(g, "relu_grad", {}, {dy, op.inputs[0]})};
+       }},
+      {"tanh",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{Emit(g, "tanh_grad", {}, {dy, op.output})};
+       }},
+      {"sigmoid",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{Emit(g, "sigmoid_grad", {}, {dy, op.output})};
+       }},
+      {"exp",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{Emit(g, "mul", {}, {dy, op.output})};
+       }},
+      {"log",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{Emit(g, "div", {}, {dy, op.inputs[0]})};
+       }},
+      {"sqrt",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId half = Emit(g, "scale", OpAttrs().SetF("k", 0.5), {dy});
+         return std::vector<TensorId>{Emit(g, "div", {}, {half, op.output})};
+       }},
+      {"square",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId two_x = Emit(g, "scale", OpAttrs().SetF("k", 2.0), {op.inputs[0]});
+         return std::vector<TensorId>{Emit(g, "mul", {}, {dy, two_x})};
+       }},
+      {"scale",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{
+             Emit(g, "scale", OpAttrs().SetF("k", op.attrs.GetFloat("k", 1.0)), {dy})};
+       }},
+      {"add_scalar",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{dy};
+       }},
+      {"fma2",  // out = a*b + c*d
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         auto grad = [&](int self, int partner) {
+           return need[static_cast<size_t>(self)]
+                      ? Emit(g, "mul", {}, {dy, op.inputs[static_cast<size_t>(partner)]})
+                      : kNoTensor;
+         };
+         return std::vector<TensorId>{grad(0, 1), grad(1, 0), grad(2, 3), grad(3, 2)};
+       }},
+
+      // ---- matmul family -----------------------------------------------------------
+      {"matmul",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId da = need[0] ? Emit(g, "matmul_nt", {}, {dy, op.inputs[1]}) : kNoTensor;
+         TensorId db = need[1] ? Emit(g, "matmul_tn", {}, {op.inputs[0], dy}) : kNoTensor;
+         return std::vector<TensorId>{da, db};
+       }},
+      {"matmul_tn",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId da = need[0] ? Emit(g, "matmul_nt", {}, {op.inputs[1], dy}) : kNoTensor;
+         TensorId db = need[1] ? Emit(g, "matmul", {}, {op.inputs[0], dy}) : kNoTensor;
+         return std::vector<TensorId>{da, db};
+       }},
+      {"matmul_nt",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId da = need[0] ? Emit(g, "matmul", {}, {dy, op.inputs[1]}) : kNoTensor;
+         TensorId db = need[1] ? Emit(g, "matmul_tn", {}, {dy, op.inputs[0]}) : kNoTensor;
+         return std::vector<TensorId>{da, db};
+       }},
+      {"transpose2d",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{Emit(g, "transpose2d", {}, {dy})};
+       }},
+
+      // ---- reductions / broadcasts ---------------------------------------------------
+      {"reduce_rows",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         const std::int64_t rows = g->tensor(op.inputs[0]).shape[0];
+         return std::vector<TensorId>{
+             Emit(g, "broadcast_rows", OpAttrs().Set("rows", rows), {dy})};
+       }},
+      {"reduce_mean_all",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         const std::int64_t n = g->tensor(op.inputs[0]).shape[0];
+         return std::vector<TensorId>{Emit(g, "broadcast_scalar", OpAttrs().Set("n", n), {dy})};
+       }},
+      {"add_bias",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId db = kNoTensor;
+         if (need[1]) {
+           const int rank = g->tensor(op.inputs[0]).rank();
+           const std::int64_t bias_dim = op.attrs.GetInt("bias_dim", rank - 1);
+           if (rank == 2 && bias_dim == 1) {
+             db = Emit(g, "reduce_rows", {}, {dy});
+           } else if (rank == 4 && bias_dim == 1) {
+             db = Emit(g, "reduce_channel", {}, {dy});
+           } else {
+             TOFU_LOG(Fatal) << "add_bias gradient unsupported for rank " << rank
+                             << " bias_dim " << bias_dim;
+           }
+         }
+         return std::vector<TensorId>{dy, db};
+       }},
+
+      // ---- convolution / pooling / normalization ------------------------------------
+      {"conv2d",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         const TensorNode& x = g->tensor(op.inputs[0]);
+         const TensorNode& f = g->tensor(op.inputs[1]);
+         TensorId dx = kNoTensor;
+         if (need[0]) {
+           OpAttrs attrs = op.attrs;
+           attrs.Set("h", x.shape[2]).Set("w", x.shape[3]);
+           dx = Emit(g, "conv2d_bwd_data", std::move(attrs), {dy, op.inputs[1]});
+         }
+         TensorId dw = kNoTensor;
+         if (need[1]) {
+           OpAttrs attrs = op.attrs;
+           attrs.Set("kh", f.shape[2]).Set("kw", f.shape[3]);
+           dw = Emit(g, "conv2d_bwd_filter", std::move(attrs), {dy, op.inputs[0]});
+         }
+         return std::vector<TensorId>{dx, dw};
+       }},
+      {"maxpool2d",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         return std::vector<TensorId>{
+             Emit(g, "maxpool2d_grad", op.attrs, {dy, op.inputs[0], op.output})};
+       }},
+      {"global_avg_pool",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         const TensorNode& x = g->tensor(op.inputs[0]);
+         OpAttrs attrs;
+         attrs.Set("h", x.shape[2]).Set("w", x.shape[3]);
+         return std::vector<TensorId>{Emit(g, "global_avg_pool_grad", std::move(attrs), {dy})};
+       }},
+      {"bn",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId dx = need[0] ? Emit(g, "bn_grad_x", {}, {dy, op.inputs[1]}) : kNoTensor;
+         TensorId dgamma =
+             need[1] ? Emit(g, "bn_grad_gamma", {}, {dy, op.inputs[0]}) : kNoTensor;
+         TensorId dbeta = need[2] ? Emit(g, "reduce_channel", {}, {dy}) : kNoTensor;
+         return std::vector<TensorId>{dx, dgamma, dbeta};
+       }},
+      {"softmax_xent",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId raw = Emit(g, "softmax_xent_grad", {}, {op.inputs[0], op.inputs[1]});
+         TensorId dlogits = Emit(g, "scale_rows", {}, {raw, dy});
+         return std::vector<TensorId>{dlogits, kNoTensor};
+       }},
+      {"scale_rows",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId d0 = need[0] ? Emit(g, "scale_rows", {}, {dy, op.inputs[1]}) : kNoTensor;
+         TOFU_CHECK(!need[1]) << "scale_rows: gradient w.r.t. the scale vector unsupported";
+         return std::vector<TensorId>{d0, kNoTensor};
+       }},
+  };
+  return *rules;
+}
+
+}  // namespace
+
+bool HasGradRule(const std::string& op_type) { return GradRules().count(op_type) > 0; }
+
+AutodiffResult BuildBackward(Graph* graph, TensorId loss) {
+  AutodiffResult result;
+  const std::vector<bool> needs_grad = NeedsGrad(*graph, loss);
+  TOFU_CHECK(needs_grad[static_cast<size_t>(loss)])
+      << "loss does not depend on any requires_grad tensor";
+
+  // Seed: d(loss)/d(loss), provided externally like MXNet's head gradient.
+  result.loss_grad = graph->AddInput("d_" + graph->tensor(loss).name,
+                                     graph->tensor(loss).shape);
+  result.grad_map[loss] = result.loss_grad;
+
+  // Accumulates a gradient contribution for `t`, summing with `add` when one exists.
+  auto accumulate = [&](TensorId t, TensorId contribution, const OpNode& fw_op) {
+    auto it = result.grad_map.find(t);
+    if (it == result.grad_map.end()) {
+      result.grad_map[t] = contribution;
+      return;
+    }
+    TensorId sum = graph->AddOp("add", {}, {it->second, contribution});
+    OpNode& agg = graph->op(graph->tensor(sum).producer);
+    agg.is_backward = true;
+    agg.is_grad_agg = true;
+    agg.forward_op = fw_op.id;
+    // MXNet aggregates gradients in place; the TF-mode runtime flag disables this.
+    agg.inplace_input = 0;
+    agg.unroll_key = fw_op.unroll_key.empty() ? "" : fw_op.unroll_key + "/grad_agg";
+    agg.timestep = fw_op.timestep;
+    it->second = sum;
+  };
+
+  // The snapshot below iterates only over forward ops; rules append backward ops.
+  const std::vector<OpId> order = ReverseTopoOrder(*graph);
+  const int num_forward_ops = graph->num_ops();
+  for (OpId id : order) {
+    if (id >= num_forward_ops) {
+      continue;
+    }
+    // Copy: rules mutate the graph and may invalidate references.
+    const OpNode op = graph->op(id);
+    auto dy_it = result.grad_map.find(op.output);
+    if (dy_it == result.grad_map.end()) {
+      continue;  // output does not influence the loss
+    }
+    std::vector<bool> need(op.inputs.size(), false);
+    bool any = false;
+    for (size_t i = 0; i < op.inputs.size(); ++i) {
+      need[i] = needs_grad[static_cast<size_t>(op.inputs[i])];
+      any = any || need[i];
+    }
+    if (!any) {
+      continue;
+    }
+    auto rule = GradRules().find(op.type);
+    TOFU_CHECK(rule != GradRules().end()) << "no gradient rule for op type " << op.type;
+
+    const int first_new_op = graph->num_ops();
+    std::vector<TensorId> grads = rule->second(graph, op, dy_it->second, need);
+    TOFU_CHECK_EQ(grads.size(), op.inputs.size()) << op.type;
+    // Annotate every op the rule emitted as backward ops of `op`. Unrolled forward ops
+    // propagate their unroll key so the per-timestep backward ops (and their intermediate
+    // tensors) coalesce across timesteps exactly like the forward ones (§5.1). Keys are
+    // indexed per op *type* (not emission order): boundary timesteps may skip dead
+    // gradients (e.g. no dX at t=1), and positional indices would collide ops of
+    // different types -- and shapes -- into one unit.
+    std::unordered_map<std::string, int> type_counter;
+    for (OpId b = first_new_op; b < graph->num_ops(); ++b) {
+      OpNode& bw = graph->op(b);
+      bw.is_backward = true;
+      bw.forward_op = op.id;
+      if (!op.unroll_key.empty() && bw.unroll_key.empty()) {
+        const int nth = type_counter[bw.type]++;
+        bw.unroll_key = op.unroll_key + "/bwd_" + bw.type + std::to_string(nth);
+        bw.timestep = op.timestep;
+        TensorNode& out = graph->tensor(bw.output);
+        if (out.unroll_key.empty()) {
+          out.unroll_key = bw.unroll_key + "/out";
+          out.timestep = op.timestep;
+        }
+      }
+    }
+    for (size_t i = 0; i < op.inputs.size(); ++i) {
+      if (!need[i] || grads[i] == kNoTensor) {
+        continue;
+      }
+      accumulate(op.inputs[i], grads[i], op);
+    }
+  }
+
+  // Link gradient tensors to their forward tensors (used by coarsening).
+  for (const auto& [fwd, grad] : result.grad_map) {
+    TensorNode& g = graph->tensor(grad);
+    if (g.grad_of == kNoTensor) {
+      g.grad_of = fwd;
+      if (!graph->tensor(fwd).unroll_key.empty() && g.unroll_key.empty()) {
+        g.unroll_key = graph->tensor(fwd).unroll_key + "/grad";
+        g.timestep = graph->tensor(fwd).timestep;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<TensorId> BuildAdagradUpdates(Graph* graph, const AutodiffResult& grads) {
+  std::vector<TensorId> history;
+  for (TensorId w : graph->ParamIds()) {
+    auto it = grads.grad_map.find(w);
+    TOFU_CHECK(it != grads.grad_map.end())
+        << "parameter " << graph->tensor(w).name << " has no gradient";
+    const TensorId g = it->second;
+    const TensorId h = graph->AddOptState(graph->tensor(w).name + "/hist",
+                                          graph->tensor(w).shape);
+    history.push_back(h);
+
+    TensorId h2 = graph->AddOp("adagrad_hist", {}, {h, g});
+    OpNode& hist_op = graph->op(graph->tensor(h2).producer);
+    hist_op.is_update = true;
+    hist_op.inplace_input = 0;
+
+    TensorId w2 = graph->AddOp("adagrad_update", OpAttrs().SetF("lr", 0.01), {w, g, h2});
+    OpNode& update_op = graph->op(graph->tensor(w2).producer);
+    update_op.is_update = true;
+    update_op.inplace_input = 0;
+  }
+  return history;
+}
+
+}  // namespace tofu

@@ -1,0 +1,42 @@
+// Backward-pass generation (the "system-generated backward propagation phase" of §5.1).
+//
+// BuildBackward extends a forward graph in place with gradient operators, linking each
+// backward op to its forward op (OpNode::forward_op) and each gradient tensor to its
+// forward tensor (TensorNode::grad_of) -- exactly the structure the coarsening pass groups.
+// Tensors consumed by several forward ops get their gradient contributions summed with
+// `add` ops marked is_grad_agg, matching the chain-rule summation the paper folds into the
+// weight tensor's group.
+#ifndef TOFU_GRAPH_AUTODIFF_H_
+#define TOFU_GRAPH_AUTODIFF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "tofu/graph/graph.h"
+
+namespace tofu {
+
+struct AutodiffResult {
+  // Forward tensor id -> gradient tensor id (only tensors on a params->loss path).
+  std::unordered_map<TensorId, TensorId> grad_map;
+  // The seed gradient input (d loss, same shape as the loss tensor).
+  TensorId loss_grad = kNoTensor;
+};
+
+// Differentiates `loss` with respect to every tensor marked requires_grad. The loss may
+// have any rank (training losses are rank-0). Aborts if a required op type has no
+// registered gradient rule.
+AutodiffResult BuildBackward(Graph* graph, TensorId loss);
+
+// Appends Adagrad update operators for every parameter: h += g^2 (in place on the history
+// buffer), w -= lr * g / (sqrt(h) + eps) (in place on the weight). Creates one history
+// tensor per parameter, giving the paper's 3W steady-state weight memory (§7.1).
+// Returns the history tensors (index-aligned with graph->ParamIds()).
+std::vector<TensorId> BuildAdagradUpdates(Graph* graph, const AutodiffResult& grads);
+
+// True if a gradient rule is registered for the op type.
+bool HasGradRule(const std::string& op_type);
+
+}  // namespace tofu
+
+#endif  // TOFU_GRAPH_AUTODIFF_H_

@@ -1,0 +1,31 @@
+#include "tofu/graph/dot.h"
+
+#include <sstream>
+
+#include "tofu/util/strings.h"
+
+namespace tofu {
+
+std::string ToDot(const Graph& graph, const std::string& title) {
+  std::ostringstream out;
+  out << "digraph \"" << title << "\" {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  for (const TensorNode& t : graph.tensors()) {
+    const char* shape = t.is_param ? "box" : (t.is_input ? "invhouse" : "ellipse");
+    const char* color = t.grad_of != kNoTensor ? "lightsalmon" : "lightblue";
+    out << StrFormat("  t%d [label=\"%s\\n%s\", shape=%s, style=filled, fillcolor=%s];\n",
+                     t.id, t.name.c_str(), ShapeToString(t.shape).c_str(), shape, color);
+  }
+  for (const OpNode& op : graph.ops()) {
+    const char* color = op.is_update ? "palegreen" : (op.is_backward ? "gray85" : "white");
+    out << StrFormat("  o%d [label=\"%s\", shape=rect, style=filled, fillcolor=%s];\n", op.id,
+                     op.type.c_str(), color);
+    for (TensorId in : op.inputs) {
+      out << StrFormat("  t%d -> o%d;\n", in, op.id);
+    }
+    out << StrFormat("  o%d -> t%d;\n", op.id, op.output);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tofu

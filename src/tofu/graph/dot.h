@@ -1,0 +1,16 @@
+// Graphviz DOT export for debugging and the examples.
+#ifndef TOFU_GRAPH_DOT_H_
+#define TOFU_GRAPH_DOT_H_
+
+#include <string>
+
+#include "tofu/graph/graph.h"
+
+namespace tofu {
+
+// Renders the graph in DOT format. Backward ops are shaded; parameters are boxes.
+std::string ToDot(const Graph& graph, const std::string& title = "tofu");
+
+}  // namespace tofu
+
+#endif  // TOFU_GRAPH_DOT_H_

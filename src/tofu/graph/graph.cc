@@ -1,0 +1,118 @@
+#include "tofu/graph/graph.h"
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+
+TensorId Graph::NewTensor(const std::string& name, Shape shape) {
+  TensorNode node;
+  node.id = static_cast<TensorId>(tensors_.size());
+  node.name = name.empty() ? ("t" + std::to_string(node.id)) : name;
+  node.shape = std::move(shape);
+  tensors_.push_back(std::move(node));
+  return tensors_.back().id;
+}
+
+TensorId Graph::AddInput(const std::string& name, Shape shape) {
+  TensorId id = NewTensor(name, std::move(shape));
+  tensors_[static_cast<size_t>(id)].is_input = true;
+  return id;
+}
+
+TensorId Graph::AddParam(const std::string& name, Shape shape) {
+  TensorId id = NewTensor(name, std::move(shape));
+  TensorNode& t = tensors_[static_cast<size_t>(id)];
+  t.is_param = true;
+  t.requires_grad = true;
+  return id;
+}
+
+TensorId Graph::AddOptState(const std::string& name, Shape shape) {
+  TensorId id = NewTensor(name, std::move(shape));
+  tensors_[static_cast<size_t>(id)].is_opt_state = true;
+  return id;
+}
+
+TensorId Graph::AddOp(const std::string& type, OpAttrs attrs, std::vector<TensorId> inputs,
+                      const std::string& name_hint) {
+  OpRegistry& registry = OpRegistry::Get();
+  TOFU_CHECK(registry.Has(type)) << "unregistered op type: " << type;
+
+  std::vector<Shape> input_shapes;
+  input_shapes.reserve(inputs.size());
+  for (TensorId t : inputs) {
+    TOFU_CHECK_GE(t, 0);
+    TOFU_CHECK_LT(t, num_tensors());
+    input_shapes.push_back(tensor(t).shape);
+  }
+  Shape out_shape = registry.InferShape(type, input_shapes, attrs);
+
+  OpNode op;
+  op.id = static_cast<OpId>(ops_.size());
+  op.type = type;
+  op.attrs = std::move(attrs);
+  op.inputs = std::move(inputs);
+  const std::string out_name =
+      name_hint.empty() ? (type + "_" + std::to_string(op.id)) : name_hint;
+  op.output = NewTensor(out_name, std::move(out_shape));
+  tensors_[static_cast<size_t>(op.output)].producer = op.id;
+  for (TensorId t : op.inputs) {
+    tensors_[static_cast<size_t>(t)].consumers.push_back(op.id);
+  }
+  ops_.push_back(std::move(op));
+  return ops_.back().output;
+}
+
+std::vector<Shape> Graph::InputShapes(const OpNode& op) const {
+  std::vector<Shape> shapes;
+  shapes.reserve(op.inputs.size());
+  for (TensorId t : op.inputs) {
+    shapes.push_back(tensor(t).shape);
+  }
+  return shapes;
+}
+
+std::vector<int> Graph::InputRanks(const OpNode& op) const {
+  std::vector<int> ranks;
+  ranks.reserve(op.inputs.size());
+  for (TensorId t : op.inputs) {
+    ranks.push_back(tensor(t).rank());
+  }
+  return ranks;
+}
+
+const OpSemantics& Graph::SemanticsOf(const OpNode& op) const {
+  return OpRegistry::Get().Semantics(op.type, op.attrs, InputRanks(op));
+}
+
+std::int64_t Graph::TotalParamBytes() const {
+  std::int64_t total = 0;
+  for (const TensorNode& t : tensors_) {
+    if (t.is_param) {
+      total += t.bytes();
+    }
+  }
+  return total;
+}
+
+std::int64_t Graph::TotalOptStateBytes() const {
+  std::int64_t total = 0;
+  for (const TensorNode& t : tensors_) {
+    if (t.is_opt_state) {
+      total += t.bytes();
+    }
+  }
+  return total;
+}
+
+std::vector<TensorId> Graph::ParamIds() const {
+  std::vector<TensorId> ids;
+  for (const TensorNode& t : tensors_) {
+    if (t.is_param) {
+      ids.push_back(t.id);
+    }
+  }
+  return ids;
+}
+
+}  // namespace tofu

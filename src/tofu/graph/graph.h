@@ -1,0 +1,126 @@
+// Dataflow graph of fine-grained tensor operators -- the substrate Tofu partitions.
+//
+// Mirrors the MXNet/NNVM graphs the paper targets: single-output operators over dense
+// tensors, with enough annotations for the partitioner's coarsening pass (§5.1):
+// forward/backward links, gradient links, optimizer-update and gradient-aggregation
+// markers, and unroll keys identifying the repeated timesteps of an RNN.
+#ifndef TOFU_GRAPH_GRAPH_H_
+#define TOFU_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tofu/tdl/registry.h"
+
+namespace tofu {
+
+using TensorId = std::int32_t;
+using OpId = std::int32_t;
+inline constexpr TensorId kNoTensor = -1;
+inline constexpr OpId kNoOp = -1;
+
+struct TensorNode {
+  TensorId id = kNoTensor;
+  std::string name;
+  Shape shape;
+  int elem_size = 4;  // fp32 everywhere, as in the paper's experiments
+
+  OpId producer = kNoOp;
+  std::vector<OpId> consumers;
+
+  // Gradient linkage: this tensor is the gradient of `grad_of` (kNoTensor otherwise).
+  TensorId grad_of = kNoTensor;
+
+  bool is_input = false;      // externally provided (data, labels, initial states)
+  bool is_param = false;      // trainable weight
+  bool is_opt_state = false;  // optimizer history buffer
+  bool requires_grad = false;
+
+  // Coalescing hints: tensors with the same non-empty unroll key across timesteps are
+  // different instances of the same logical RNN tensor (§5.1, "merging unrolled
+  // timesteps").
+  std::string unroll_key;
+  int timestep = -1;
+
+  std::int64_t num_elements() const { return NumElements(shape); }
+  std::int64_t bytes() const { return num_elements() * elem_size; }
+  int rank() const { return static_cast<int>(shape.size()); }
+};
+
+struct OpNode {
+  OpId id = kNoOp;
+  std::string type;  // key into OpRegistry
+  OpAttrs attrs;
+  std::vector<TensorId> inputs;
+  TensorId output = kNoTensor;
+
+  // Grouping annotations (§5.1).
+  OpId forward_op = kNoOp;  // for backward ops: the forward op they differentiate
+  bool is_backward = false;
+  bool is_update = false;    // optimizer update (element-wise, joins the weight's group)
+  bool is_grad_agg = false;  // gradient-aggregation add (chain rule for multi-use tensors)
+
+  // Output buffer aliases this input (in-place update / accumulation). -1 when none.
+  int inplace_input = -1;
+
+  std::string unroll_key;
+  int timestep = -1;
+};
+
+// A mutable dataflow graph. Tensors and operators are stored densely and addressed by id;
+// ids are stable (no deletion).
+class Graph {
+ public:
+  Graph() = default;
+
+  // Non-copyable (graphs are large); movable.
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  TensorId AddInput(const std::string& name, Shape shape);
+  TensorId AddParam(const std::string& name, Shape shape);
+  TensorId AddOptState(const std::string& name, Shape shape);
+
+  // Adds an operator of registered `type`; the output tensor's shape is inferred through
+  // the registry. Returns the output tensor id.
+  TensorId AddOp(const std::string& type, OpAttrs attrs, std::vector<TensorId> inputs,
+                 const std::string& name_hint = "");
+
+  // Accessors.
+  int num_tensors() const { return static_cast<int>(tensors_.size()); }
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  const TensorNode& tensor(TensorId id) const { return tensors_[static_cast<size_t>(id)]; }
+  TensorNode& tensor(TensorId id) { return tensors_[static_cast<size_t>(id)]; }
+  const OpNode& op(OpId id) const { return ops_[static_cast<size_t>(id)]; }
+  OpNode& op(OpId id) { return ops_[static_cast<size_t>(id)]; }
+  const std::vector<TensorNode>& tensors() const { return tensors_; }
+  const std::vector<OpNode>& ops() const { return ops_; }
+
+  std::vector<Shape> InputShapes(const OpNode& op) const;
+  std::vector<int> InputRanks(const OpNode& op) const;
+
+  // Cached TDL semantics (description + discovered strategies) for an op instance.
+  const OpSemantics& SemanticsOf(const OpNode& op) const;
+
+  // Aggregate statistics.
+  std::int64_t TotalParamBytes() const;
+  std::int64_t TotalOptStateBytes() const;
+  std::vector<TensorId> ParamIds() const;
+
+ private:
+  TensorId NewTensor(const std::string& name, Shape shape);
+
+  std::vector<TensorNode> tensors_;
+  std::vector<OpNode> ops_;
+};
+
+// Structural validation: producer/consumer symmetry, shapes re-inferable through the
+// registry, gradient links well-formed. Aborts on violation (used by tests and builders).
+void ValidateGraph(const Graph& graph);
+
+}  // namespace tofu
+
+#endif  // TOFU_GRAPH_GRAPH_H_

@@ -1,0 +1,57 @@
+// Graph validation: every structural invariant a well-formed training graph satisfies.
+// Split from graph.cc so the check logic can grow without crowding the container.
+#include "tofu/graph/graph.h"
+#include "tofu/util/logging.h"
+
+namespace tofu {
+
+void ValidateGraph(const Graph& graph) {
+  OpRegistry& registry = OpRegistry::Get();
+
+  for (const OpNode& op : graph.ops()) {
+    TOFU_CHECK(registry.Has(op.type)) << op.type;
+    // Shapes must re-infer to the recorded output shape.
+    Shape inferred = registry.InferShape(op.type, graph.InputShapes(op), op.attrs);
+    const TensorNode& out = graph.tensor(op.output);
+    TOFU_CHECK(inferred == out.shape)
+        << "op " << op.id << " (" << op.type << "): recorded output shape "
+        << ShapeToString(out.shape) << " != inferred " << ShapeToString(inferred);
+    TOFU_CHECK_EQ(out.producer, op.id);
+    // Every input lists this op as a consumer.
+    for (TensorId t : op.inputs) {
+      const auto& consumers = graph.tensor(t).consumers;
+      bool found = false;
+      for (OpId c : consumers) {
+        found = found || c == op.id;
+      }
+      TOFU_CHECK(found) << "tensor " << t << " missing consumer op " << op.id;
+    }
+    if (op.inplace_input >= 0) {
+      TOFU_CHECK_LT(op.inplace_input, static_cast<int>(op.inputs.size()));
+      const TensorNode& aliased =
+          graph.tensor(op.inputs[static_cast<size_t>(op.inplace_input)]);
+      TOFU_CHECK_EQ(aliased.bytes(), out.bytes())
+          << "in-place op " << op.id << " with size-changing alias";
+    }
+    // TDL semantics must be resolvable, and the description's arity must match.
+    const OpSemantics& sem = graph.SemanticsOf(op);
+    TOFU_CHECK_EQ(sem.desc.num_inputs, static_cast<int>(op.inputs.size()));
+    TOFU_CHECK_EQ(sem.desc.num_output_dims, out.rank())
+        << "op " << op.type << ": description rank " << sem.desc.num_output_dims
+        << " vs output rank " << out.rank();
+  }
+
+  for (const TensorNode& t : graph.tensors()) {
+    if (t.producer != kNoOp) {
+      TOFU_CHECK_EQ(graph.op(t.producer).output, t.id);
+      TOFU_CHECK(!t.is_input) << "produced tensor marked as graph input: " << t.name;
+    }
+    if (t.grad_of != kNoTensor) {
+      const TensorNode& fwd = graph.tensor(t.grad_of);
+      TOFU_CHECK(fwd.shape == t.shape)
+          << "gradient shape mismatch: " << t.name << " vs " << fwd.name;
+    }
+  }
+}
+
+}  // namespace tofu

@@ -1,0 +1,108 @@
+#include "tofu/graph/traversal.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+
+std::vector<OpId> TopoOrder(const Graph& graph) {
+  const int n = graph.num_ops();
+  std::vector<int> pending(static_cast<size_t>(n), 0);
+  for (OpId id = 0; id < n; ++id) {
+    int deps = 0;
+    for (TensorId t : graph.op(id).inputs) {
+      if (graph.tensor(t).producer != kNoOp) {
+        ++deps;
+      }
+    }
+    pending[static_cast<size_t>(id)] = deps;
+  }
+  // Min-heap on op id keeps the order deterministic and program-order-like.
+  std::priority_queue<OpId, std::vector<OpId>, std::greater<>> ready;
+  for (OpId id = 0; id < n; ++id) {
+    if (pending[static_cast<size_t>(id)] == 0) {
+      ready.push(id);
+    }
+  }
+  std::vector<OpId> order;
+  order.reserve(static_cast<size_t>(n));
+  while (!ready.empty()) {
+    OpId id = ready.top();
+    ready.pop();
+    order.push_back(id);
+    const TensorNode& out = graph.tensor(graph.op(id).output);
+    for (OpId consumer : out.consumers) {
+      if (--pending[static_cast<size_t>(consumer)] == 0) {
+        ready.push(consumer);
+      }
+    }
+  }
+  TOFU_CHECK_EQ(static_cast<int>(order.size()), n) << "cycle in dataflow graph";
+  return order;
+}
+
+std::vector<OpId> ReverseTopoOrder(const Graph& graph) {
+  std::vector<OpId> order = TopoOrder(graph);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<bool> AncestorOps(const Graph& graph, TensorId target) {
+  std::vector<bool> mark(static_cast<size_t>(graph.num_ops()), false);
+  std::vector<TensorId> stack = {target};
+  std::vector<bool> seen_tensor(static_cast<size_t>(graph.num_tensors()), false);
+  while (!stack.empty()) {
+    TensorId t = stack.back();
+    stack.pop_back();
+    if (seen_tensor[static_cast<size_t>(t)]) {
+      continue;
+    }
+    seen_tensor[static_cast<size_t>(t)] = true;
+    OpId producer = graph.tensor(t).producer;
+    if (producer == kNoOp || mark[static_cast<size_t>(producer)]) {
+      continue;
+    }
+    mark[static_cast<size_t>(producer)] = true;
+    for (TensorId input : graph.op(producer).inputs) {
+      stack.push_back(input);
+    }
+  }
+  return mark;
+}
+
+std::vector<bool> NeedsGrad(const Graph& graph, TensorId loss) {
+  // Upward closure of requires_grad through producers, intersected with ancestors of loss.
+  const int nt = graph.num_tensors();
+  std::vector<bool> carries(static_cast<size_t>(nt), false);
+  for (OpId id : TopoOrder(graph)) {
+    const OpNode& op = graph.op(id);
+    bool any = false;
+    for (TensorId t : op.inputs) {
+      any = any || carries[static_cast<size_t>(t)] || graph.tensor(t).requires_grad;
+    }
+    carries[static_cast<size_t>(op.output)] = any;
+  }
+  std::vector<bool> ancestors = AncestorOps(graph, loss);
+  std::vector<bool> out(static_cast<size_t>(nt), false);
+  for (TensorId t = 0; t < nt; ++t) {
+    const TensorNode& node = graph.tensor(t);
+    const bool on_path =
+        (node.producer != kNoOp && ancestors[static_cast<size_t>(node.producer)]) ||
+        t == loss;
+    out[static_cast<size_t>(t)] =
+        on_path && (carries[static_cast<size_t>(t)] || node.requires_grad);
+    if (node.requires_grad && node.producer == kNoOp) {
+      // Parameters feeding ancestor ops.
+      for (OpId c : node.consumers) {
+        if (ancestors[static_cast<size_t>(c)]) {
+          out[static_cast<size_t>(t)] = true;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tofu

@@ -1,0 +1,27 @@
+// Graph traversal helpers: deterministic topological orders and reachability.
+#ifndef TOFU_GRAPH_TRAVERSAL_H_
+#define TOFU_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "tofu/graph/graph.h"
+
+namespace tofu {
+
+// Kahn's algorithm with an id-ordered ready queue: deterministic across runs, which keeps
+// plans, schedules and memory layouts reproducible.
+std::vector<OpId> TopoOrder(const Graph& graph);
+
+// TopoOrder reversed.
+std::vector<OpId> ReverseTopoOrder(const Graph& graph);
+
+// Ops whose output (transitively) feeds `target`. Includes target's producer.
+std::vector<bool> AncestorOps(const Graph& graph, TensorId target);
+
+// Tensors from which `loss` is reachable AND that transitively depend on a tensor with
+// requires_grad (the set autodiff must differentiate through).
+std::vector<bool> NeedsGrad(const Graph& graph, TensorId loss);
+
+}  // namespace tofu
+
+#endif  // TOFU_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,53 @@
+#include "tofu/models/mlp.h"
+
+#include "tofu/util/logging.h"
+#include "tofu/util/strings.h"
+
+namespace tofu {
+
+std::int64_t ModelGraph::ModelStateBytes() const {
+  std::int64_t bytes = 0;
+  for (const TensorNode& t : graph.tensors()) {
+    if (t.is_param || t.is_opt_state) {
+      bytes += t.bytes();
+    }
+    // Weight gradients persist across the iteration as well (the 3W accounting's middle
+    // W): count gradients of parameters.
+    if (t.grad_of != kNoTensor && graph.tensor(t.grad_of).is_param) {
+      bytes += t.bytes();
+    }
+  }
+  return bytes;
+}
+
+ModelGraph BuildMlp(const MlpConfig& config) {
+  TOFU_CHECK_GE(config.layer_sizes.size(), 2u);
+  ModelGraph model;
+  model.name = StrFormat("mlp-%zu", config.layer_sizes.size() - 1);
+  model.batch = config.batch;
+  Graph& g = model.graph;
+
+  TensorId x = g.AddInput("data", {config.batch, config.layer_sizes[0]});
+  for (size_t layer = 0; layer + 1 < config.layer_sizes.size(); ++layer) {
+    const std::int64_t in = config.layer_sizes[layer];
+    const std::int64_t out = config.layer_sizes[layer + 1];
+    TensorId w = g.AddParam(StrFormat("fc%zu/w", layer), {in, out});
+    x = g.AddOp("matmul", {}, {x, w}, StrFormat("fc%zu/out", layer));
+    if (config.with_bias) {
+      TensorId b = g.AddParam(StrFormat("fc%zu/b", layer), {out});
+      x = g.AddOp("add_bias", OpAttrs().Set("bias_dim", 1), {x, b});
+    }
+    if (layer + 2 < config.layer_sizes.size()) {
+      x = g.AddOp("relu", {}, {x});
+    }
+  }
+  TensorId labels = g.AddInput("labels", {config.batch});
+  TensorId xent = g.AddOp("softmax_xent", {}, {x, labels}, "xent");
+  model.loss = g.AddOp("reduce_mean_all", {}, {xent}, "loss");
+
+  AutodiffResult grads = BuildBackward(&g, model.loss);
+  BuildAdagradUpdates(&g, grads);
+  return model;
+}
+
+}  // namespace tofu

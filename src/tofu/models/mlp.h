@@ -1,0 +1,24 @@
+// Multi-layer perceptron builder: the small model used by unit tests, the quickstart
+// example, and DP-vs-brute-force optimality checks.
+#ifndef TOFU_MODELS_MLP_H_
+#define TOFU_MODELS_MLP_H_
+
+#include <vector>
+
+#include "tofu/models/model.h"
+
+namespace tofu {
+
+struct MlpConfig {
+  std::int64_t batch = 64;
+  // layer_sizes[0] is the input width; the last entry is the class count.
+  std::vector<std::int64_t> layer_sizes = {784, 256, 256, 10};
+  bool with_bias = true;
+};
+
+// Builds the full training graph (forward, softmax cross-entropy loss, backward, Adagrad).
+ModelGraph BuildMlp(const MlpConfig& config);
+
+}  // namespace tofu
+
+#endif  // TOFU_MODELS_MLP_H_

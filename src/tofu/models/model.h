@@ -1,0 +1,27 @@
+// Common result type for model builders: a complete training graph (forward pass, loss,
+// system-generated backward pass and Adagrad updates) plus the handles benches need.
+#ifndef TOFU_MODELS_MODEL_H_
+#define TOFU_MODELS_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tofu/graph/autodiff.h"
+#include "tofu/graph/graph.h"
+
+namespace tofu {
+
+struct ModelGraph {
+  Graph graph;
+  std::string name;
+  TensorId loss = kNoTensor;  // rank-0 training loss
+  std::int64_t batch = 0;     // samples consumed per iteration
+
+  // Steady-state model memory: weights + gradients + optimizer history (the paper's 3W
+  // accounting of §7.1, reported in GiB in Table 2).
+  std::int64_t ModelStateBytes() const;
+};
+
+}  // namespace tofu
+
+#endif  // TOFU_MODELS_MODEL_H_

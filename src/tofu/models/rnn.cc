@@ -1,0 +1,117 @@
+#include "tofu/models/rnn.h"
+
+#include "tofu/util/logging.h"
+#include "tofu/util/strings.h"
+
+namespace tofu {
+namespace {
+
+// Tags the op producing `t` (and the tensor itself) with an unroll key + timestep.
+void Tag(Graph* g, TensorId t, const std::string& key, int timestep) {
+  TensorNode& node = g->tensor(t);
+  node.unroll_key = key;
+  node.timestep = timestep;
+  if (node.producer != kNoOp) {
+    OpNode& op = g->op(node.producer);
+    op.unroll_key = key;
+    op.timestep = timestep;
+  }
+}
+
+}  // namespace
+
+ModelGraph BuildRnn(const RnnConfig& config) {
+  ModelGraph model;
+  model.name = StrFormat("rnn-%d-%lldk", config.layers,
+                         static_cast<long long>(config.hidden / 1024));
+  model.batch = config.batch;
+  Graph& g = model.graph;
+
+  static const char* kGateNames[4] = {"i", "f", "o", "c"};
+  const std::int64_t h = config.hidden;
+
+  // Per-layer parameters: 4 input matrices, 4 recurrent matrices, 4 biases
+  // (4*H*(In + H) + 4*H parameters per layer; ~8H^2 for In == H).
+  struct LayerParams {
+    TensorId wx[4];
+    TensorId wh[4];
+    TensorId b[4];
+  };
+  std::vector<LayerParams> params;
+  for (int l = 0; l < config.layers; ++l) {
+    const std::int64_t in = (l == 0) ? config.embed : h;
+    LayerParams p;
+    for (int gate = 0; gate < 4; ++gate) {
+      p.wx[gate] = g.AddParam(StrFormat("l%d/wx_%s", l, kGateNames[gate]), {in, h});
+      p.wh[gate] = g.AddParam(StrFormat("l%d/wh_%s", l, kGateNames[gate]), {h, h});
+      p.b[gate] = g.AddParam(StrFormat("l%d/b_%s", l, kGateNames[gate]), {h});
+    }
+    params.push_back(p);
+  }
+  TensorId proj_w = g.AddParam("proj/w", {h, config.embed});
+
+  // Initial states join the per-layer state slots via the shared unroll keys.
+  std::vector<TensorId> h_prev(static_cast<size_t>(config.layers));
+  std::vector<TensorId> c_prev(static_cast<size_t>(config.layers));
+  for (int l = 0; l < config.layers; ++l) {
+    h_prev[static_cast<size_t>(l)] = g.AddInput(StrFormat("l%d/h0", l), {config.batch, h});
+    Tag(&g, h_prev[static_cast<size_t>(l)], StrFormat("l%d/h", l), 0);
+    c_prev[static_cast<size_t>(l)] = g.AddInput(StrFormat("l%d/c0", l), {config.batch, h});
+    Tag(&g, c_prev[static_cast<size_t>(l)], StrFormat("l%d/c", l), 0);
+  }
+
+  TensorId total_xent = kNoTensor;
+  for (int t = 1; t <= config.timesteps; ++t) {
+    TensorId x = g.AddInput(StrFormat("x_t%d", t), {config.batch, config.embed});
+    Tag(&g, x, "in/x", t);
+    for (int l = 0; l < config.layers; ++l) {
+      const LayerParams& p = params[static_cast<size_t>(l)];
+      TensorId gates[4];
+      for (int gate = 0; gate < 4; ++gate) {
+        const std::string base = StrFormat("l%d/g%s", l, kGateNames[gate]);
+        TensorId gx = g.AddOp("matmul", {}, {x, p.wx[gate]});
+        Tag(&g, gx, base + "/mmx", t);
+        TensorId gh = g.AddOp("matmul", {}, {h_prev[static_cast<size_t>(l)], p.wh[gate]});
+        Tag(&g, gh, base + "/mmh", t);
+        TensorId sum = g.AddOp("add", {}, {gx, gh});
+        Tag(&g, sum, base + "/sum", t);
+        TensorId act_in = g.AddOp("add_bias", OpAttrs().Set("bias_dim", 1), {sum, p.b[gate]});
+        Tag(&g, act_in, base + "/bias", t);
+        const char* act = (gate == 3) ? "tanh" : "sigmoid";
+        gates[gate] = g.AddOp(act, {}, {act_in});
+        Tag(&g, gates[gate], base + "/act", t);
+      }
+      // c_t = f*c_prev + i*c~ ; h_t = o * tanh(c_t)
+      TensorId c = g.AddOp("fma2", {}, {gates[1], c_prev[static_cast<size_t>(l)], gates[0],
+                                        gates[3]});
+      Tag(&g, c, StrFormat("l%d/c", l), t);
+      TensorId c_act = g.AddOp("tanh", {}, {c});
+      Tag(&g, c_act, StrFormat("l%d/ct", l), t);
+      TensorId h_t = g.AddOp("mul", {}, {gates[2], c_act});
+      Tag(&g, h_t, StrFormat("l%d/h", l), t);
+      c_prev[static_cast<size_t>(l)] = c;
+      h_prev[static_cast<size_t>(l)] = h_t;
+      x = h_t;
+    }
+    // Shared projection head and per-timestep loss.
+    TensorId logits = g.AddOp("matmul", {}, {x, proj_w});
+    Tag(&g, logits, "proj/mm", t);
+    TensorId labels = g.AddInput(StrFormat("y_t%d", t), {config.batch});
+    Tag(&g, labels, "in/y", t);
+    TensorId xent = g.AddOp("softmax_xent", {}, {logits, labels});
+    Tag(&g, xent, "loss/xent", t);
+    if (total_xent == kNoTensor) {
+      total_xent = xent;
+    } else {
+      total_xent = g.AddOp("add", {}, {total_xent, xent});
+      Tag(&g, total_xent, "loss/acc", t);
+    }
+  }
+  model.loss = g.AddOp("reduce_mean_all", {}, {total_xent}, "loss");
+
+  AutodiffResult grads = BuildBackward(&g, model.loss);
+  BuildAdagradUpdates(&g, grads);
+  return model;
+}
+
+}  // namespace tofu

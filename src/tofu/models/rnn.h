@@ -1,0 +1,24 @@
+// Multi-layer LSTM language model (paper §7.1, after Jozefowicz et al.): L stacked LSTM
+// layers of hidden size H, unrolled for 20 timesteps, with a small shared projection head.
+// RNN-L-H denotes L layers with hidden size H. Every per-timestep operator and tensor
+// carries an unroll key so the coarsening pass can merge timesteps (§5.1).
+#ifndef TOFU_MODELS_RNN_H_
+#define TOFU_MODELS_RNN_H_
+
+#include "tofu/models/model.h"
+
+namespace tofu {
+
+struct RnnConfig {
+  int layers = 6;
+  std::int64_t hidden = 4096;
+  std::int64_t batch = 64;
+  int timesteps = 20;
+  std::int64_t embed = 512;  // input embedding width (first layer input size)
+};
+
+ModelGraph BuildRnn(const RnnConfig& config);
+
+}  // namespace tofu
+
+#endif  // TOFU_MODELS_RNN_H_

@@ -1,0 +1,111 @@
+#include "tofu/models/wresnet.h"
+
+#include "tofu/util/logging.h"
+#include "tofu/util/strings.h"
+
+namespace tofu {
+namespace {
+
+struct NetBuilder {
+  Graph* g;
+
+  TensorId Conv(const std::string& name, TensorId x, std::int64_t out_ch, std::int64_t kernel,
+                std::int64_t stride, std::int64_t pad) {
+    const Shape& in_shape = g->tensor(x).shape;
+    TensorId w = g->AddParam(name + "/w", {out_ch, in_shape[1], kernel, kernel});
+    OpAttrs attrs;
+    attrs.Set("stride", stride).Set("pad", pad);
+    return g->AddOp("conv2d", std::move(attrs), {x, w}, name + "/out");
+  }
+
+  TensorId Bn(const std::string& name, TensorId x) {
+    const std::int64_t channels = g->tensor(x).shape[1];
+    TensorId gamma = g->AddParam(name + "/gamma", {channels});
+    TensorId beta = g->AddParam(name + "/beta", {channels});
+    return g->AddOp("bn", {}, {x, gamma, beta}, name + "/out");
+  }
+
+  TensorId ConvBnRelu(const std::string& name, TensorId x, std::int64_t out_ch,
+                      std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                      bool relu = true) {
+    TensorId y = Conv(name + "/conv", x, out_ch, kernel, stride, pad);
+    y = Bn(name + "/bn", y);
+    if (relu) {
+      y = g->AddOp("relu", {}, {y});
+    }
+    return y;
+  }
+
+  // Bottleneck: 1x1 (mid) -> 3x3 (mid, stride) -> 1x1 (out), with projection shortcut
+  // when the shape changes.
+  TensorId Bottleneck(const std::string& name, TensorId x, std::int64_t mid,
+                      std::int64_t out, std::int64_t stride) {
+    TensorId shortcut = x;
+    const Shape& in_shape = g->tensor(x).shape;
+    if (in_shape[1] != out || stride != 1) {
+      shortcut = Conv(name + "/proj", x, out, 1, stride, 0);
+      shortcut = Bn(name + "/proj_bn", shortcut);
+    }
+    TensorId y = ConvBnRelu(name + "/c1", x, mid, 1, 1, 0);
+    y = ConvBnRelu(name + "/c2", y, mid, 3, stride, 1);
+    y = ConvBnRelu(name + "/c3", y, out, 1, 1, 0, /*relu=*/false);
+    y = g->AddOp("add", {}, {y, shortcut}, name + "/sum");
+    return g->AddOp("relu", {}, {y});
+  }
+};
+
+}  // namespace
+
+std::vector<int> WResNetStageBlocks(int layers) {
+  switch (layers) {
+    case 50:
+      return {3, 4, 6, 3};
+    case 101:
+      return {3, 4, 23, 3};
+    case 152:
+      return {3, 8, 36, 3};
+    default:
+      TOFU_LOG(Fatal) << "unsupported WResNet depth: " << layers;
+      return {};
+  }
+}
+
+ModelGraph BuildWResNet(const WResNetConfig& config) {
+  ModelGraph model;
+  model.name = StrFormat("wresnet-%d-%d", config.layers, config.width);
+  model.batch = config.batch;
+  Graph& g = model.graph;
+  NetBuilder nb{&g};
+
+  const std::int64_t w = config.width;
+  TensorId x = g.AddInput("data", {config.batch, 3, config.image, config.image});
+  // Stem: 7x7/2 then 3x3/2 max-pool.
+  x = nb.ConvBnRelu("stem", x, 64 * w, 7, 2, 3);
+  x = g.AddOp("maxpool2d", OpAttrs().Set("kernel", 3).Set("stride", 2), {x}, "stem/pool");
+
+  const std::vector<int> blocks = WResNetStageBlocks(config.layers);
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t mid = (64LL << stage) * w;
+    const std::int64_t out = (256LL << stage) * w;
+    for (int block = 0; block < blocks[static_cast<size_t>(stage)]; ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      x = nb.Bottleneck(StrFormat("s%d/b%d", stage, block), x, mid, out, stride);
+    }
+  }
+
+  x = g.AddOp("global_avg_pool", {}, {x}, "gap");
+  TensorId fc_w = g.AddParam("fc/w", {g.tensor(x).shape[1], config.classes});
+  x = g.AddOp("matmul", {}, {x, fc_w}, "fc/out");
+  TensorId fc_b = g.AddParam("fc/b", {config.classes});
+  x = g.AddOp("add_bias", OpAttrs().Set("bias_dim", 1), {x, fc_b});
+
+  TensorId labels = g.AddInput("labels", {config.batch});
+  TensorId xent = g.AddOp("softmax_xent", {}, {x, labels}, "xent");
+  model.loss = g.AddOp("reduce_mean_all", {}, {xent}, "loss");
+
+  AutodiffResult grads = BuildBackward(&g, model.loss);
+  BuildAdagradUpdates(&g, grads);
+  return model;
+}
+
+}  // namespace tofu

@@ -1,0 +1,26 @@
+// Wide ResNet builder (paper §7.1): bottleneck residual networks for 224x224 ImageNet
+// inputs with a widening scalar multiplying every convolution's channel count, so the
+// model size grows quadratically with width. WResNet-L-W denotes L layers widened W times.
+#ifndef TOFU_MODELS_WRESNET_H_
+#define TOFU_MODELS_WRESNET_H_
+
+#include "tofu/models/model.h"
+
+namespace tofu {
+
+struct WResNetConfig {
+  int layers = 50;  // 50, 101 or 152
+  int width = 4;    // widening scalar, 4..10 in the paper
+  std::int64_t batch = 32;
+  std::int64_t image = 224;
+  std::int64_t classes = 1000;
+};
+
+ModelGraph BuildWResNet(const WResNetConfig& config);
+
+// Residual block counts per stage for a given depth (e.g. 152 -> {3,8,36,3}).
+std::vector<int> WResNetStageBlocks(int layers);
+
+}  // namespace tofu
+
+#endif  // TOFU_MODELS_WRESNET_H_

@@ -1,0 +1,30 @@
+// Baseline partition algorithms compared against Tofu in Figure 10:
+//   * AllRow-Greedy -- every tensor split along its first dimension (the "one weird
+//     trick"-like default for CNNs), operators greedily adapted;
+//   * Spartan -- largest-tensor-first greedy tiling (Huang et al., ATC'15);
+//   * EqualChop -- Tofu's DP restricted to chopping each tensor along a single dimension
+//     (one non-recursive k-way step);
+//   * ICML18 -- the recursive algorithm without output-reduction (case-2) strategies
+//     (Jia et al., ICML'18).
+// Tofu itself is RecursivePartition (recursive.h).
+#ifndef TOFU_PARTITION_BASELINES_H_
+#define TOFU_PARTITION_BASELINES_H_
+
+#include "tofu/partition/plan.h"
+#include "tofu/partition/recursive.h"
+
+namespace tofu {
+
+PartitionPlan AllRowGreedyPlan(const Graph& graph, int num_workers);
+
+PartitionPlan SpartanGreedyPlan(const Graph& graph, int num_workers);
+
+PartitionPlan EqualChopPlan(const Graph& graph, int num_workers,
+                            const PartitionOptions& options = {});
+
+PartitionPlan Icml18Plan(const Graph& graph, int num_workers,
+                         const PartitionOptions& options = {});
+
+}  // namespace tofu
+
+#endif  // TOFU_PARTITION_BASELINES_H_

@@ -1,0 +1,245 @@
+#include "tofu/partition/coarsen.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+namespace {
+
+// Plain union-find over tensor ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] = parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) {
+      parent_[static_cast<size_t>(std::max(a, b))] = std::min(a, b);
+    }
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+bool IsElementwise(const Graph& graph, const OpNode& op) {
+  return graph.SemanticsOf(op).desc.elementwise;
+}
+
+// The forward op an operator belongs with: backward ops follow their forward_op link;
+// optimizer updates anchor at the first forward consumer of the weight they update.
+OpId GroupRootOp(const Graph& graph, const OpNode& op) {
+  if (op.forward_op != kNoOp) {
+    return op.forward_op;
+  }
+  if (op.is_update) {
+    TensorId weight = kNoTensor;
+    for (TensorId t : op.inputs) {
+      const TensorNode& node = graph.tensor(t);
+      if (node.is_param) {
+        weight = t;
+        break;
+      }
+      if (node.grad_of != kNoTensor && graph.tensor(node.grad_of).is_param) {
+        weight = node.grad_of;
+        break;
+      }
+    }
+    if (weight != kNoTensor) {
+      for (OpId c : graph.tensor(weight).consumers) {
+        const OpNode& consumer = graph.op(c);
+        if (!consumer.is_update && !consumer.is_backward) {
+          return c;
+        }
+      }
+    }
+  }
+  return op.id;
+}
+
+}  // namespace
+
+CoarseGraph Coarsen(const Graph& graph, const CoarsenOptions& options) {
+  CoarseGraph out;
+  const int num_tensors = graph.num_tensors();
+  const int num_ops = graph.num_ops();
+
+  // ---- 1. Tensor slots via union-find. -------------------------------------------------
+  UnionFind uf(num_tensors);
+  if (options.merge_unrolled_steps) {
+    std::unordered_map<std::string, TensorId> first_by_key;
+    for (const TensorNode& t : graph.tensors()) {
+      if (t.unroll_key.empty()) {
+        continue;
+      }
+      auto [it, inserted] = first_by_key.emplace(t.unroll_key, t.id);
+      if (!inserted) {
+        uf.Union(it->second, t.id);
+      }
+    }
+  }
+  if (options.coalesce_elementwise) {
+    for (const OpNode& op : graph.ops()) {
+      if (!IsElementwise(graph, op)) {
+        continue;
+      }
+      for (TensorId in : op.inputs) {
+        TOFU_CHECK(graph.tensor(in).shape == graph.tensor(op.output).shape)
+            << "element-wise op " << op.type << " with mismatched shapes";
+        uf.Union(in, op.output);
+      }
+    }
+  }
+  if (options.tie_fw_bw_tensors) {
+    for (const TensorNode& t : graph.tensors()) {
+      if (t.grad_of != kNoTensor) {
+        uf.Union(t.id, t.grad_of);
+      }
+    }
+  }
+
+  out.tensor_slot.assign(static_cast<size_t>(num_tensors), -1);
+  std::unordered_map<int, int> root_to_slot;
+  for (TensorId t = 0; t < num_tensors; ++t) {
+    const int root = uf.Find(t);
+    auto [it, inserted] = root_to_slot.emplace(root, out.num_slots());
+    if (inserted) {
+      out.slots.push_back({});
+    }
+    out.tensor_slot[static_cast<size_t>(t)] = it->second;
+    out.slots[static_cast<size_t>(it->second)].members.push_back(t);
+  }
+  // Slot members must agree on shape (required for a shared cut to be meaningful).
+  for (const TensorSlot& slot : out.slots) {
+    const Shape& shape0 = graph.tensor(slot.members[0]).shape;
+    for (TensorId t : slot.members) {
+      TOFU_CHECK(graph.tensor(t).shape == shape0)
+          << "slot with mixed shapes: " << graph.tensor(slot.members[0]).name << " vs "
+          << graph.tensor(t).name;
+    }
+  }
+
+  // ---- 2. Units (decision ops sharing a strategy). --------------------------------------
+  std::vector<int> op_unit(static_cast<size_t>(num_ops), -1);
+  std::unordered_map<std::string, int> unit_by_key;
+  for (const OpNode& op : graph.ops()) {
+    const bool rider = options.coalesce_elementwise && IsElementwise(graph, op);
+    if (rider) {
+      continue;
+    }
+    // Unit keys are qualified by type and attributes: ops sharing an unroll key must be
+    // instances of the same logical computation (boundary timesteps can emit a different
+    // backward op set, e.g. no dX at t=1; those split into their own units).
+    std::string key = (options.merge_unrolled_steps && !op.unroll_key.empty())
+                          ? "u:" + op.unroll_key + "|" + op.type + "|" + op.attrs.Signature()
+                          : "op:" + std::to_string(op.id);
+    auto [it, inserted] = unit_by_key.emplace(std::move(key), static_cast<int>(out.units.size()));
+    if (inserted) {
+      out.units.push_back({});
+    }
+    op_unit[static_cast<size_t>(op.id)] = it->second;
+    out.units[static_cast<size_t>(it->second)].ops.push_back(op.id);
+  }
+
+  // ---- 3. Macro groups. ------------------------------------------------------------------
+  // Group key: the unit of the root forward op. Element-wise riders have no unit; they
+  // attach to the group of the nearest decision op upstream (climbing producer chains
+  // recursively keeps whole pointwise regions -- e.g. an LSTM cell's gate arithmetic --
+  // inside one group instead of scattering per-instance groups across the timeline).
+  std::map<std::pair<int, int>, int> group_by_key;  // (unit, fallback op) -> group
+  std::vector<std::pair<int, int>> resolve_memo(static_cast<size_t>(num_ops), {-2, -2});
+  std::function<std::pair<int, int>(OpId)> resolve = [&](OpId id) -> std::pair<int, int> {
+    auto& memo = resolve_memo[static_cast<size_t>(id)];
+    if (memo.first != -2) {
+      return memo;
+    }
+    memo = {-1, id};  // provisional (breaks accidental cycles defensively)
+    const OpNode& op = graph.op(id);
+    OpId root = options.group_forward_backward ? GroupRootOp(graph, op) : id;
+    const int root_unit = op_unit[static_cast<size_t>(root)];
+    if (root_unit >= 0) {
+      memo = {root_unit, -1};
+      return memo;
+    }
+    const OpNode& root_op = graph.op(root);
+    for (TensorId in : root_op.inputs) {
+      OpId producer = graph.tensor(in).producer;
+      if (producer != kNoOp && producer != root && producer != id) {
+        std::pair<int, int> r = resolve(producer);
+        if (r.first >= 0) {
+          memo = r;
+          return memo;
+        }
+      }
+    }
+    memo = {-1, root};
+    return memo;
+  };
+  auto group_key_of = [&](const OpNode& op) { return resolve(op.id); };
+
+  std::vector<int> op_group(static_cast<size_t>(num_ops), -1);
+  std::vector<std::pair<int, OpId>> group_order;  // (group index, min op id)
+  for (const OpNode& op : graph.ops()) {
+    auto key = group_key_of(op);
+    auto [it, inserted] = group_by_key.emplace(key, static_cast<int>(out.groups.size()));
+    if (inserted) {
+      out.groups.push_back({});
+      group_order.push_back({it->second, op.id});
+    }
+    op_group[static_cast<size_t>(op.id)] = it->second;
+  }
+
+  for (const OpNode& op : graph.ops()) {
+    MacroGroup& group = out.groups[static_cast<size_t>(op_group[static_cast<size_t>(op.id)])];
+    const int unit = op_unit[static_cast<size_t>(op.id)];
+    if (unit >= 0) {
+      if (std::find(group.units.begin(), group.units.end(), unit) == group.units.end()) {
+        group.units.push_back(unit);
+      }
+    } else {
+      group.ew_ops.push_back(op.id);
+    }
+    auto touch = [&](TensorId t) {
+      group.touched_slots.push_back(out.tensor_slot[static_cast<size_t>(t)]);
+    };
+    for (TensorId in : op.inputs) {
+      touch(in);
+    }
+    touch(op.output);
+  }
+  for (MacroGroup& group : out.groups) {
+    std::sort(group.touched_slots.begin(), group.touched_slots.end());
+    group.touched_slots.erase(
+        std::unique(group.touched_slots.begin(), group.touched_slots.end()),
+        group.touched_slots.end());
+  }
+
+  // Order groups by their smallest member op id (program order, near-topological).
+  std::sort(group_order.begin(), group_order.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::vector<MacroGroup> ordered;
+  ordered.reserve(out.groups.size());
+  for (const auto& [index, min_op] : group_order) {
+    ordered.push_back(std::move(out.groups[static_cast<size_t>(index)]));
+  }
+  out.groups = std::move(ordered);
+  return out;
+}
+
+}  // namespace tofu

@@ -1,0 +1,64 @@
+// Graph coarsening (paper §5.1): shrinks the partition search space by
+//   1. grouping each forward operator with its auto-generated backward operators (and the
+//      optimizer updates of the weights it consumes),
+//   2. coalescing element-wise operators -- their inputs and output must share one
+//      partition, so the tensors they touch merge into a single "slot" and the operators
+//      themselves need no strategy enumeration at all,
+//   3. merging unrolled RNN timesteps -- operators with the same unroll key across
+//      timesteps share computation and weights and are forced to share one strategy.
+//
+// The result is a sequence of macro groups over "slots" (sets of tensors sharing one cut)
+// and "units" (sets of decision operators sharing one strategy), consumed by the DP.
+#ifndef TOFU_PARTITION_COARSEN_H_
+#define TOFU_PARTITION_COARSEN_H_
+
+#include <string>
+#include <vector>
+
+#include "tofu/graph/graph.h"
+
+namespace tofu {
+
+struct CoarsenOptions {
+  bool group_forward_backward = true;
+  bool coalesce_elementwise = true;
+  bool merge_unrolled_steps = true;
+  // ICML'18-style restriction: forward tensors and their gradients share one partition
+  // configuration (Tofu lifts this; see §5.1 "allows tensors involved in the forward and
+  // backward operators to be partitioned differently").
+  bool tie_fw_bw_tensors = false;
+};
+
+// Tensors constrained to share one storage cut. All members have identical shapes.
+struct TensorSlot {
+  std::vector<TensorId> members;
+};
+
+// Decision operators constrained to share one strategy (unrolled timesteps of one logical
+// op; a singleton otherwise).
+struct Unit {
+  std::vector<OpId> ops;
+};
+
+// One coarsened node: a forward op, its backward ops, attached optimizer updates and
+// coalesced element-wise riders.
+struct MacroGroup {
+  std::vector<int> units;        // indices into CoarseGraph::units
+  std::vector<OpId> ew_ops;      // element-wise ops whose strategy is forced by their slot
+  std::vector<int> touched_slots;  // sorted, unique
+};
+
+struct CoarseGraph {
+  std::vector<int> tensor_slot;  // TensorId -> slot index
+  std::vector<TensorSlot> slots;
+  std::vector<Unit> units;
+  std::vector<MacroGroup> groups;  // in DP processing order (program order)
+
+  int num_slots() const { return static_cast<int>(slots.size()); }
+};
+
+CoarseGraph Coarsen(const Graph& graph, const CoarsenOptions& options = {});
+
+}  // namespace tofu
+
+#endif  // TOFU_PARTITION_COARSEN_H_

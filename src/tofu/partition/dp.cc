@@ -1,0 +1,294 @@
+#include "tofu/partition/dp.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Backpointer record: fixes one slot's cut; chained per state.
+struct Rec {
+  int parent = -1;
+  int slot = -1;
+  int cut = kReplicated;
+};
+
+struct State {
+  double cost = 0.0;
+  int rec = -1;
+};
+
+// Minimal cost of one unit given fixed cuts: min over applicable strategies of the summed
+// member-op communication. Replicated execution (every worker runs the whole op) is a
+// genuine candidate, not just a fallback -- for operators whose tensors are all stored
+// replicated it is the zero-communication choice.
+double UnitCost(StepContext* ctx, const Unit& unit, const std::vector<int>& cuts,
+                bool allow_reduction, int* best_sidx) {
+  const int num_strategies = static_cast<int>(ctx->Strategies(unit.ops[0]).size());
+  double best = 0.0;
+  int best_idx = kReplicatedExec;
+  for (OpId op : unit.ops) {
+    best += ctx->OpCommBytes(op, kReplicatedExec, cuts);
+  }
+  for (int sidx = 0; sidx < num_strategies; ++sidx) {
+    if (!allow_reduction && ctx->Strategies(unit.ops[0])[static_cast<size_t>(sidx)].is_reduction) {
+      continue;
+    }
+    bool ok = true;
+    double total = 0.0;
+    for (OpId op : unit.ops) {
+      if (!ctx->Applicable(op, sidx)) {
+        ok = false;
+        break;
+      }
+      total += ctx->OpCommBytes(op, sidx, cuts);
+    }
+    if (ok && total < best) {
+      best = total;
+      best_idx = sidx;
+    }
+  }
+  if (best_sidx != nullptr) {
+    *best_sidx = best_idx;
+  }
+  return best;
+}
+
+}  // namespace
+
+DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions& options) {
+  const Graph& graph = ctx->graph();
+  const int num_slots = coarse.num_slots();
+  const int num_groups = static_cast<int>(coarse.groups.size());
+
+  // Cut options per slot (identical across members; validated by Coarsen).
+  std::vector<std::vector<int>> slot_options(static_cast<size_t>(num_slots));
+  for (int s = 0; s < num_slots; ++s) {
+    slot_options[static_cast<size_t>(s)] =
+        ctx->CutOptions(coarse.slots[static_cast<size_t>(s)].members[0]);
+  }
+
+  // First/last group touching each slot (in processing order). Slots touched by no group
+  // (isolated tensors) keep {-1,-1} and default to their first cut option.
+  std::vector<int> first(static_cast<size_t>(num_slots), -1);
+  std::vector<int> last(static_cast<size_t>(num_slots), -1);
+  for (int g = 0; g < num_groups; ++g) {
+    for (int s : coarse.groups[static_cast<size_t>(g)].touched_slots) {
+      if (first[static_cast<size_t>(s)] < 0) {
+        first[static_cast<size_t>(s)] = g;
+      }
+      last[static_cast<size_t>(s)] = g;
+    }
+  }
+
+  // Scratch per-tensor cut array consulted by the cost evaluator.
+  std::vector<int> cuts(static_cast<size_t>(graph.num_tensors()), kReplicated);
+  auto apply_slot_cut = [&](int slot, int cut) {
+    for (TensorId t : coarse.slots[static_cast<size_t>(slot)].members) {
+      cuts[static_cast<size_t>(t)] = cut;
+    }
+  };
+
+  // DP over groups.
+  std::vector<Rec> recs;
+  std::unordered_map<std::string, State> states;
+  states.emplace(std::string(), State{0.0, -1});
+  std::vector<int> frontier;  // live slots, in insertion order (defines the state key)
+
+  DpResult result;
+
+  auto encode = [&](const std::vector<int>& frontier_cuts) {
+    std::string key(frontier_cuts.size(), '\0');
+    for (size_t i = 0; i < frontier_cuts.size(); ++i) {
+      key[i] = static_cast<char>(frontier_cuts[i] + 2);  // kReplicated==-1 -> 1
+    }
+    return key;
+  };
+
+  for (int g = 0; g < num_groups; ++g) {
+    const MacroGroup& group = coarse.groups[static_cast<size_t>(g)];
+
+    // 1. Slots entering the frontier at this group: branch every state on their options.
+    std::vector<int> entering;
+    for (int s : group.touched_slots) {
+      if (first[static_cast<size_t>(s)] == g) {
+        entering.push_back(s);
+      }
+    }
+    for (int s : entering) {
+      std::unordered_map<std::string, State> branched;
+      branched.reserve(states.size() * slot_options[static_cast<size_t>(s)].size());
+      for (const auto& [key, state] : states) {
+        for (int cut : slot_options[static_cast<size_t>(s)]) {
+          recs.push_back({state.rec, s, cut});
+          std::string new_key = key;
+          new_key.push_back(static_cast<char>(cut + 2));
+          branched.emplace(std::move(new_key),
+                           State{state.cost, static_cast<int>(recs.size()) - 1});
+        }
+      }
+      states = std::move(branched);
+      frontier.push_back(s);
+      if (static_cast<std::int64_t>(states.size()) > options.max_states) {
+        // Beam fallback: keep the cheapest quarter of the cap (deterministic tie-break
+        // on the state key). Exactness is lost; see DpResult::exact.
+        std::vector<std::pair<double, std::string>> ranked;
+        ranked.reserve(states.size());
+        for (const auto& [key, state] : states) {
+          ranked.push_back({state.cost, key});
+        }
+        const size_t keep = static_cast<size_t>(options.max_states / 4);
+        std::nth_element(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(keep),
+                         ranked.end());
+        std::unordered_map<std::string, State> pruned;
+        pruned.reserve(keep);
+        for (size_t i = 0; i < keep; ++i) {
+          pruned.emplace(ranked[i].second, states[ranked[i].second]);
+        }
+        states = std::move(pruned);
+        if (result.exact) {
+          TOFU_LOG(Warning) << "DP frontier exceeded " << options.max_states
+                            << " states; degrading to a beam search (plan approximate)";
+        }
+        result.exact = false;
+      }
+    }
+
+    // 2. Charge the group's cost per state. The cost depends only on the cuts of the
+    // group's touched slots, so it is memoized on that projection of the state key --
+    // states only pay a substring extraction, not a re-evaluation.
+    std::vector<size_t> relevant_positions;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      for (int s : group.touched_slots) {
+        if (frontier[i] == s) {
+          relevant_positions.push_back(i);
+          break;
+        }
+      }
+    }
+    std::unordered_map<std::string, double> group_cost_memo;
+    for (auto& [key, state] : states) {
+      std::string sub;
+      sub.reserve(relevant_positions.size());
+      for (size_t pos : relevant_positions) {
+        sub.push_back(key[pos]);
+      }
+      auto memo_it = group_cost_memo.find(sub);
+      double group_cost;
+      if (memo_it != group_cost_memo.end()) {
+        group_cost = memo_it->second;
+      } else {
+        for (size_t pos : relevant_positions) {
+          apply_slot_cut(frontier[pos], static_cast<int>(key[pos]) - 2);
+        }
+        group_cost = 0.0;
+        for (int u : group.units) {
+          group_cost += UnitCost(ctx, coarse.units[static_cast<size_t>(u)], cuts,
+                                 options.allow_reduction_strategies, nullptr);
+        }
+        // Element-wise riders contribute nothing: their tensors share one slot, hence one
+        // cut, hence zero re-partition traffic by construction.
+        group_cost_memo.emplace(std::move(sub), group_cost);
+        ++result.states_explored;
+      }
+      state.cost += group_cost;
+    }
+    result.max_frontier_states =
+        std::max(result.max_frontier_states, static_cast<std::int64_t>(states.size()));
+
+    // 3. Project out slots leaving the frontier, keeping the cheapest state per residue.
+    std::vector<size_t> leaving_positions;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      if (last[static_cast<size_t>(frontier[i])] == g) {
+        leaving_positions.push_back(i);
+      }
+    }
+    if (!leaving_positions.empty()) {
+      std::unordered_map<std::string, State> projected;
+      projected.reserve(states.size());
+      for (const auto& [key, state] : states) {
+        std::string new_key;
+        new_key.reserve(key.size() - leaving_positions.size());
+        size_t next_leave = 0;
+        for (size_t i = 0; i < key.size(); ++i) {
+          if (next_leave < leaving_positions.size() && leaving_positions[next_leave] == i) {
+            ++next_leave;
+            continue;
+          }
+          new_key.push_back(key[i]);
+        }
+        auto [it, inserted] = projected.emplace(new_key, state);
+        if (!inserted && state.cost < it->second.cost) {
+          it->second = state;
+        }
+      }
+      states = std::move(projected);
+      std::vector<int> new_frontier;
+      size_t next_leave = 0;
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        if (next_leave < leaving_positions.size() && leaving_positions[next_leave] == i) {
+          ++next_leave;
+          continue;
+        }
+        new_frontier.push_back(frontier[i]);
+      }
+      frontier = std::move(new_frontier);
+    }
+  }
+
+  // 4. Best terminal state and plan reconstruction.
+  TOFU_CHECK(!states.empty());
+  const State* best = nullptr;
+  for (const auto& [key, state] : states) {
+    if (best == nullptr || state.cost < best->cost) {
+      best = &state;
+    }
+  }
+
+  std::vector<int> slot_cut(static_cast<size_t>(num_slots), kReplicated);
+  std::vector<bool> slot_fixed(static_cast<size_t>(num_slots), false);
+  for (int r = best->rec; r >= 0; r = recs[static_cast<size_t>(r)].parent) {
+    slot_cut[static_cast<size_t>(recs[static_cast<size_t>(r)].slot)] =
+        recs[static_cast<size_t>(r)].cut;
+    slot_fixed[static_cast<size_t>(recs[static_cast<size_t>(r)].slot)] = true;
+  }
+  for (int s = 0; s < num_slots; ++s) {
+    if (!slot_fixed[static_cast<size_t>(s)]) {
+      // Untouched slot (no op consumes or produces it): take the first option.
+      slot_cut[static_cast<size_t>(s)] = slot_options[static_cast<size_t>(s)][0];
+    }
+  }
+
+  BasicPlan plan;
+  plan.ways = ctx->ways();
+  plan.comm_bytes = best->cost;
+  plan.tensor_cut.assign(static_cast<size_t>(graph.num_tensors()), kReplicated);
+  for (TensorId t = 0; t < graph.num_tensors(); ++t) {
+    plan.tensor_cut[static_cast<size_t>(t)] =
+        slot_cut[static_cast<size_t>(coarse.tensor_slot[static_cast<size_t>(t)])];
+  }
+  plan.op_strategy.assign(static_cast<size_t>(graph.num_ops()), kReplicatedExec);
+  for (const Unit& unit : coarse.units) {
+    int sidx = kReplicatedExec;
+    UnitCost(ctx, unit, plan.tensor_cut, options.allow_reduction_strategies, &sidx);
+    for (OpId op : unit.ops) {
+      plan.op_strategy[static_cast<size_t>(op)] = sidx;
+    }
+  }
+  for (const MacroGroup& group : coarse.groups) {
+    for (OpId op : group.ew_ops) {
+      plan.op_strategy[static_cast<size_t>(op)] =
+          ctx->ForcedElementwiseStrategy(op, plan.tensor_cut);
+    }
+  }
+  result.plan = std::move(plan);
+  return result;
+}
+
+}  // namespace tofu

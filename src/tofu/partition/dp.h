@@ -1,0 +1,45 @@
+// Dynamic-programming search for one basic partition step (paper §5.1, after Jia et al.
+// ICML'18, adapted to fine-grained coarsened graphs).
+//
+// The DP processes macro groups in program order, maintaining a frontier of "live" slots
+// (slots touched by both processed and unprocessed groups). A DP state assigns a storage
+// cut to every frontier slot; adding a group charges, for each of its units, the cheapest
+// applicable strategy given those cuts -- strategies are conditionally independent given
+// the cuts, which is what keeps the in-group search cheap ("only a few operators in each
+// group"). On a linear coarsened graph this is exactly the chain DP of the paper; residual
+// fork-joins simply widen the frontier by one slot.
+#ifndef TOFU_PARTITION_DP_H_
+#define TOFU_PARTITION_DP_H_
+
+#include <cstdint>
+
+#include "tofu/partition/coarsen.h"
+#include "tofu/partition/plan.h"
+#include "tofu/partition/strategy.h"
+
+namespace tofu {
+
+struct DpOptions {
+  // Drop case-2 (output-reduction) strategies; models the ICML'18 baseline of §7.3.
+  bool allow_reduction_strategies = true;
+  // Safety cap on simultaneous DP states (frontier blow-up on non-chain graphs).
+  std::int64_t max_states = 1 << 22;
+};
+
+struct DpResult {
+  BasicPlan plan;
+  std::int64_t states_explored = 0;
+  std::int64_t max_frontier_states = 0;
+  // False when the frontier exceeded max_states and the search degraded to a beam
+  // (keeping the cheapest states); the plan is then an approximation. With the
+  // coarsening of §5.1 enabled this never triggers on the paper's models -- it exists so
+  // ablations that disable coarsening degrade instead of failing.
+  bool exact = true;
+};
+
+// Finds the minimum-communication basic plan for ctx->ways() worker groups.
+DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions& options);
+
+}  // namespace tofu
+
+#endif  // TOFU_PARTITION_DP_H_

@@ -1,0 +1,443 @@
+#include "tofu/partition/flat_dp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "tofu/partition/strategy.h"
+#include "tofu/util/logging.h"
+
+namespace tofu {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using Clock = std::chrono::steady_clock;
+
+// A tiling is the per-micro-step cut sequence of one slot (length m). Sequences are
+// enumerated fully ordered: although Theorem 1 makes a *joint* swap of two whole steps
+// cost-neutral, canonicalizing each slot independently would lose cross-slot pairings
+// (slot A on (d0,d1) with slot B on (d1,d0) has no jointly-canonical representative), so
+// the flat search must keep the order. This slightly over-counts the paper's per-tensor
+// multiset figure (e.g. 4^3 ordered vs 20 multiset tilings of a 4-D tensor over 8
+// workers) -- bench_table1 reports both.
+using Tiling = std::vector<int>;
+
+void EnumerateTilings(const Shape& shape, std::int64_t bytes,
+                      const std::vector<int>& factors, size_t step, Shape current,
+                      Tiling prefix, std::vector<Tiling>* out) {
+  if (step == factors.size()) {
+    out->push_back(prefix);
+    return;
+  }
+  const int f = factors[step];
+  std::vector<int> options;
+  for (int d = 0; d < static_cast<int>(current.size()); ++d) {
+    if (current[static_cast<size_t>(d)] >= f) {
+      options.push_back(d);
+    }
+  }
+  if (options.empty() || bytes <= kReplicateThresholdBytes) {
+    options.push_back(kReplicated);
+  }
+  for (int cut : options) {
+    Shape next = current;
+    if (cut != kReplicated) {
+      std::int64_t& e = next[static_cast<size_t>(cut)];
+      e = (e + f - 1) / f;
+    }
+    Tiling seq = prefix;
+    seq.push_back(cut);
+    EnumerateTilings(shape, bytes, factors, step + 1, std::move(next), std::move(seq), out);
+  }
+}
+
+// Strategy sequences of one unit (one choice per micro-step; kReplicatedExec always
+// allowed), fully ordered for the same pairing reason.
+void EnumerateStrategySeqs(int num_strategies, const std::vector<int>& factors, size_t step,
+                           std::vector<int> prefix, std::vector<std::vector<int>>* out) {
+  if (step == factors.size()) {
+    out->push_back(prefix);
+    return;
+  }
+  for (int choice = kReplicatedExec; choice < num_strategies; ++choice) {
+    std::vector<int> seq = prefix;
+    seq.push_back(choice);
+    EnumerateStrategySeqs(num_strategies, factors, step + 1, std::move(seq), out);
+  }
+}
+
+// Mirror of StepContext's cost conventions over locally-tracked shapes (see strategy.h for
+// the table). `size` and extents reflect the tensor after `step` micro-steps of its tiling.
+struct LocalCost {
+  const Graph* graph;
+  const std::vector<int>* factors;
+
+  double TensorBytesAt(TensorId t, const Tiling& tiling, size_t step) const {
+    double size = static_cast<double>(graph->tensor(t).bytes());
+    for (size_t i = 0; i < step; ++i) {
+      if (tiling[i] != kReplicated) {
+        size /= static_cast<double>((*factors)[i]);
+      }
+    }
+    return size;
+  }
+
+  double InputCost(TensorId t, const ConcreteInputReq& req, const Tiling& tiling,
+                   size_t step) const {
+    const double f = static_cast<double>((*factors)[step]);
+    const int stored = tiling[step];
+    const double size = TensorBytesAt(t, tiling, step);
+    if (stored == kReplicated) {
+      return 0.0;
+    }
+    if (req.kind == InputReq::Kind::kReplicated) {
+      return size * (f - 1.0);
+    }
+    double halo = 0.0;
+    const std::int64_t extent = graph->tensor(t).shape[static_cast<size_t>(req.dim)];
+    if (req.halo_elems > 0 && extent > 0) {
+      halo = 2.0 * (f - 1.0) * size * static_cast<double>(req.halo_elems) /
+             static_cast<double>(extent);
+    }
+    if (stored == req.dim) {
+      return halo;
+    }
+    return size * (f - 1.0) / f + halo;
+  }
+
+  double OutputCost(TensorId t, const ConcreteStrategy& s, const Tiling& tiling,
+                    size_t step) const {
+    const double f = static_cast<double>((*factors)[step]);
+    const int stored = tiling[step];
+    const double size = TensorBytesAt(t, tiling, step);
+    if (s.is_reduction) {
+      return stored == kReplicated ? 2.0 * size * (f - 1.0) : size * (f - 1.0);
+    }
+    if (stored == s.output_dim) {
+      return 0.0;
+    }
+    if (stored == kReplicated) {
+      return size * (f - 1.0);
+    }
+    return size * (f - 1.0) / f;
+  }
+};
+
+}  // namespace
+
+FlatDpResult RunFlatDp(const Graph& graph, const CoarseGraph& coarse,
+                       const FlatDpOptions& options) {
+  FlatDpResult result;
+  const std::vector<int> factors = FactorizeWorkers(options.num_workers);
+  const size_t m = factors.size();
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(options.time_budget_seconds));
+
+  // Per-slot tilings.
+  const int num_slots = coarse.num_slots();
+  std::vector<std::vector<Tiling>> slot_tilings(static_cast<size_t>(num_slots));
+  for (int s = 0; s < num_slots; ++s) {
+    const TensorNode& rep = graph.tensor(coarse.slots[static_cast<size_t>(s)].members[0]);
+    EnumerateTilings(rep.shape, rep.bytes(), factors, 0, rep.shape, {},
+                     &slot_tilings[static_cast<size_t>(s)]);
+  }
+
+  // Per-unit strategy sequences; strategies concretized once at the original shapes.
+  StepContext base_ctx(graph, StepContext::InitialShapes(graph), std::max(2, factors[0]));
+  std::vector<std::vector<std::vector<int>>> unit_seqs(coarse.units.size());
+  for (size_t u = 0; u < coarse.units.size(); ++u) {
+    int n = static_cast<int>(base_ctx.Strategies(coarse.units[u].ops[0]).size());
+    if (!options.allow_reduction_strategies) {
+      // Reduction strategies are filtered during evaluation; shrink the space here too.
+      int kept = 0;
+      for (int i = 0; i < n; ++i) {
+        if (!base_ctx.Strategies(coarse.units[u].ops[0])[static_cast<size_t>(i)]
+                 .is_reduction) {
+          ++kept;
+        }
+      }
+      n = kept;
+    }
+    EnumerateStrategySeqs(n, factors, 0, {}, &unit_seqs[u]);
+  }
+
+  // Full configuration count (the paper's 20^6-per-group figure).
+  for (const MacroGroup& group : coarse.groups) {
+    double per_group = 1.0;
+    for (int s : group.touched_slots) {
+      per_group *= static_cast<double>(slot_tilings[static_cast<size_t>(s)].size());
+    }
+    for (int u : group.units) {
+      per_group *= static_cast<double>(unit_seqs[static_cast<size_t>(u)].size());
+    }
+    result.configs_total += per_group;
+  }
+
+  LocalCost cost{&graph, &factors};
+
+  // Joint cost of one group configuration: all micro-steps, weighted by group counts.
+  auto group_config_cost = [&](const MacroGroup& group,
+                               const std::vector<const Tiling*>& tiling_of_slot,
+                               const std::vector<const std::vector<int>*>& seq_of_unit)
+      -> double {
+    double total = 0.0;
+    double groups_at_step = 1.0;
+    for (size_t step = 0; step < m; ++step) {
+      const double f = static_cast<double>(factors[step]);
+      for (size_t ui = 0; ui < group.units.size(); ++ui) {
+        const Unit& unit = coarse.units[static_cast<size_t>(group.units[ui])];
+        const int choice = (*seq_of_unit[ui])[step];
+        for (OpId op_id : unit.ops) {
+          const OpNode& op = graph.op(op_id);
+          const ConcreteStrategy* strat = nullptr;
+          if (choice != kReplicatedExec) {
+            strat = &base_ctx.Strategies(op_id)[static_cast<size_t>(choice)];
+            if (!options.allow_reduction_strategies && strat->is_reduction) {
+              return kInf;
+            }
+          }
+          for (size_t i = 0; i < op.inputs.size(); ++i) {
+            const TensorId t = op.inputs[i];
+            const Tiling& tiling =
+                *tiling_of_slot[static_cast<size_t>(coarse.tensor_slot[static_cast<size_t>(t)])];
+            if (strat == nullptr) {
+              if (tiling[step] != kReplicated) {
+                total += groups_at_step * cost.TensorBytesAt(t, tiling, step) * (f - 1.0);
+              }
+            } else {
+              total += groups_at_step * cost.InputCost(t, strat->inputs[i], tiling, step);
+            }
+          }
+          if (strat != nullptr) {
+            const TensorId t = op.output;
+            const Tiling& tiling =
+                *tiling_of_slot[static_cast<size_t>(coarse.tensor_slot[static_cast<size_t>(t)])];
+            total += groups_at_step * cost.OutputCost(t, *strat, tiling, step);
+          }
+        }
+      }
+      groups_at_step *= f;
+    }
+    return total;
+  };
+
+  // Frontier DP over groups; state = tiling index per live slot.
+  struct Rec {
+    int parent;
+    int slot;
+    int tiling;
+  };
+  struct State {
+    double cost;
+    int rec;
+  };
+  std::vector<Rec> recs;
+  std::unordered_map<std::string, State> states;
+  states.emplace(std::string(), State{0.0, -1});
+  std::vector<int> frontier;
+
+  std::vector<int> first(static_cast<size_t>(num_slots), -1);
+  std::vector<int> last(static_cast<size_t>(num_slots), -1);
+  const int num_groups = static_cast<int>(coarse.groups.size());
+  for (int g = 0; g < num_groups; ++g) {
+    for (int s : coarse.groups[static_cast<size_t>(g)].touched_slots) {
+      if (first[static_cast<size_t>(s)] < 0) {
+        first[static_cast<size_t>(s)] = g;
+      }
+      last[static_cast<size_t>(s)] = g;
+    }
+  }
+
+  std::vector<const Tiling*> tiling_of_slot(static_cast<size_t>(num_slots), nullptr);
+  bool aborted = false;
+
+  for (int g = 0; g < num_groups && !aborted; ++g) {
+    const MacroGroup& group = coarse.groups[static_cast<size_t>(g)];
+    // Branch on entering slots.
+    for (int s : group.touched_slots) {
+      if (first[static_cast<size_t>(s)] != g) {
+        continue;
+      }
+      std::unordered_map<std::string, State> branched;
+      for (const auto& [key, state] : states) {
+        const auto& tilings = slot_tilings[static_cast<size_t>(s)];
+        for (size_t ti = 0; ti < tilings.size(); ++ti) {
+          recs.push_back({state.rec, s, static_cast<int>(ti)});
+          std::string new_key = key;
+          new_key.push_back(static_cast<char>(ti + 1));
+          branched.emplace(std::move(new_key), State{state.cost, static_cast<int>(recs.size()) - 1});
+        }
+      }
+      states = std::move(branched);
+      frontier.push_back(s);
+    }
+
+    // Joint enumeration of unit strategy sequences per state (no independence shortcut:
+    // this is the faithful reproduction of the blown-up search).
+    std::int64_t since_deadline_check = 0;
+    for (auto& [key, state] : states) {
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        const int slot = frontier[i];
+        tiling_of_slot[static_cast<size_t>(slot)] =
+            &slot_tilings[static_cast<size_t>(slot)][static_cast<size_t>(key[i]) - 1];
+      }
+      const size_t num_units = group.units.size();
+      std::vector<size_t> odo(num_units, 0);
+      std::vector<const std::vector<int>*> seqs(num_units, nullptr);
+      double best = num_units == 0 ? 0.0 : kInf;
+      bool done = num_units == 0;
+      while (!done) {
+        for (size_t ui = 0; ui < num_units; ++ui) {
+          seqs[ui] = &unit_seqs[static_cast<size_t>(group.units[ui])][odo[ui]];
+        }
+        best = std::min(best, group_config_cost(group, tiling_of_slot, seqs));
+        result.configs_evaluated += 1.0;
+        if (++since_deadline_check >= 4096) {
+          since_deadline_check = 0;
+          if (Clock::now() > deadline) {
+            aborted = true;
+            break;
+          }
+        }
+        // Advance odometer.
+        size_t pos = 0;
+        while (pos < num_units) {
+          if (++odo[pos] < unit_seqs[static_cast<size_t>(group.units[pos])].size()) {
+            break;
+          }
+          odo[pos] = 0;
+          ++pos;
+        }
+        done = pos == num_units;
+      }
+      if (aborted) {
+        break;
+      }
+      state.cost += best;
+    }
+    if (aborted) {
+      break;
+    }
+
+    // Project out leaving slots.
+    std::vector<size_t> leaving;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      if (last[static_cast<size_t>(frontier[i])] == g) {
+        leaving.push_back(i);
+      }
+    }
+    if (!leaving.empty()) {
+      std::unordered_map<std::string, State> projected;
+      for (const auto& [key, state] : states) {
+        std::string new_key;
+        size_t next = 0;
+        for (size_t i = 0; i < key.size(); ++i) {
+          if (next < leaving.size() && leaving[next] == i) {
+            ++next;
+            continue;
+          }
+          new_key.push_back(key[i]);
+        }
+        auto [it, inserted] = projected.emplace(new_key, state);
+        if (!inserted && state.cost < it->second.cost) {
+          it->second = state;
+        }
+      }
+      states = std::move(projected);
+      std::vector<int> new_frontier;
+      size_t next = 0;
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        if (next < leaving.size() && leaving[next] == i) {
+          ++next;
+          continue;
+        }
+        new_frontier.push_back(frontier[i]);
+      }
+      frontier = std::move(new_frontier);
+    }
+  }
+
+  result.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (aborted) {
+    result.completed = false;
+    result.projected_seconds = result.configs_evaluated > 0
+                                   ? result.elapsed_seconds * result.configs_total /
+                                         result.configs_evaluated
+                                   : kInf;
+    return result;
+  }
+  result.completed = true;
+
+  // Reconstruct slot tilings from the best terminal state.
+  const State* best = nullptr;
+  for (const auto& [key, state] : states) {
+    if (best == nullptr || state.cost < best->cost) {
+      best = &state;
+    }
+  }
+  TOFU_CHECK(best != nullptr);
+  std::vector<int> slot_choice(static_cast<size_t>(num_slots), 0);
+  for (int r = best->rec; r >= 0; r = recs[static_cast<size_t>(r)].parent) {
+    slot_choice[static_cast<size_t>(recs[static_cast<size_t>(r)].slot)] =
+        recs[static_cast<size_t>(r)].tiling;
+  }
+
+  // Assemble the plan and recost it exactly with the shared StepContext machinery, so
+  // totals are directly comparable with RecursivePartition's.
+  PartitionPlan plan;
+  plan.num_workers = options.num_workers;
+  plan.step_factors = factors;
+  std::vector<Shape> shapes = StepContext::InitialShapes(graph);
+  double groups_at_step = 1.0;
+  for (size_t step = 0; step < m; ++step) {
+    BasicPlan bp;
+    bp.ways = factors[step];
+    bp.tensor_cut.assign(static_cast<size_t>(graph.num_tensors()), kReplicated);
+    for (TensorId t = 0; t < graph.num_tensors(); ++t) {
+      const int slot = coarse.tensor_slot[static_cast<size_t>(t)];
+      bp.tensor_cut[static_cast<size_t>(t)] =
+          slot_tilings[static_cast<size_t>(slot)][static_cast<size_t>(
+              slot_choice[static_cast<size_t>(slot)])][step];
+    }
+    StepContext ctx(graph, shapes, factors[step]);
+    bp.op_strategy.assign(static_cast<size_t>(graph.num_ops()), kReplicatedExec);
+    bp.comm_bytes = 0.0;
+    for (OpId op_id = 0; op_id < graph.num_ops(); ++op_id) {
+      // Replicated execution competes on cost, matching the DP's UnitCost semantics.
+      double op_best = ctx.OpCommBytes(op_id, kReplicatedExec, bp.tensor_cut);
+      int op_choice = kReplicatedExec;
+      const int n = static_cast<int>(ctx.Strategies(op_id).size());
+      for (int sidx = 0; sidx < n; ++sidx) {
+        if (!options.allow_reduction_strategies &&
+            ctx.Strategies(op_id)[static_cast<size_t>(sidx)].is_reduction) {
+          continue;
+        }
+        if (!ctx.Applicable(op_id, sidx)) {
+          continue;
+        }
+        const double c = ctx.OpCommBytes(op_id, sidx, bp.tensor_cut);
+        if (c < op_best) {
+          op_best = c;
+          op_choice = sidx;
+        }
+      }
+      bp.op_strategy[static_cast<size_t>(op_id)] = op_choice;
+      bp.comm_bytes += op_best;
+    }
+    const double weighted = groups_at_step * bp.comm_bytes;
+    plan.weighted_step_costs.push_back(weighted);
+    plan.total_comm_bytes += weighted;
+    shapes = StepContext::ApplyBasicPlan(graph, shapes, bp);
+    plan.steps.push_back(std::move(bp));
+    groups_at_step *= static_cast<double>(factors[step]);
+  }
+  result.plan = std::move(plan);
+  return result;
+}
+
+}  // namespace tofu

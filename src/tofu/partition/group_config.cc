@@ -1,0 +1,39 @@
+#include "tofu/partition/group_config.h"
+
+#include <limits>
+
+namespace tofu {
+
+double AssignGreedyOpStrategies(StepContext* ctx, BasicPlan* plan,
+                                bool allow_reduction_strategies) {
+  const Graph& graph = ctx->graph();
+  plan->op_strategy.assign(static_cast<size_t>(graph.num_ops()), kReplicatedExec);
+  double total = 0.0;
+  for (OpId op = 0; op < graph.num_ops(); ++op) {
+    // Replicated execution competes on cost (zero communication when every operand is
+    // stored replicated), matching the DP's UnitCost semantics.
+    double best = ctx->OpCommBytes(op, kReplicatedExec, plan->tensor_cut);
+    int choice = kReplicatedExec;
+    const int n = static_cast<int>(ctx->Strategies(op).size());
+    for (int sidx = 0; sidx < n; ++sidx) {
+      if (!allow_reduction_strategies &&
+          ctx->Strategies(op)[static_cast<size_t>(sidx)].is_reduction) {
+        continue;
+      }
+      if (!ctx->Applicable(op, sidx)) {
+        continue;
+      }
+      const double cost = ctx->OpCommBytes(op, sidx, plan->tensor_cut);
+      if (cost < best) {
+        best = cost;
+        choice = sidx;
+      }
+    }
+    plan->op_strategy[static_cast<size_t>(op)] = choice;
+    total += best;
+  }
+  plan->comm_bytes = total;
+  return total;
+}
+
+}  // namespace tofu

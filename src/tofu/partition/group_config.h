@@ -1,0 +1,20 @@
+// Shared helper for plan construction: given fixed tensor cuts for one step, choose each
+// operator's cheapest applicable strategy and total the step's communication. Used by the
+// greedy baselines and by plan re-costing; the DP proper does this per-unit inside its
+// state loop.
+#ifndef TOFU_PARTITION_GROUP_CONFIG_H_
+#define TOFU_PARTITION_GROUP_CONFIG_H_
+
+#include "tofu/partition/plan.h"
+#include "tofu/partition/strategy.h"
+
+namespace tofu {
+
+// Fills plan->op_strategy (argmin per op; kReplicatedExec fallback) and plan->comm_bytes
+// from plan->tensor_cut. Returns the step's total communication bytes.
+double AssignGreedyOpStrategies(StepContext* ctx, BasicPlan* plan,
+                                bool allow_reduction_strategies = true);
+
+}  // namespace tofu
+
+#endif  // TOFU_PARTITION_GROUP_CONFIG_H_

@@ -1,0 +1,38 @@
+#include "tofu/partition/partitioned_graph.h"
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+
+PlanCostBreakdown ComputePlanCosts(const Graph& graph, const PartitionPlan& plan) {
+  PlanCostBreakdown out;
+  out.per_op.assign(static_cast<size_t>(graph.num_ops()), OpPlanCost{});
+
+  std::vector<Shape> shapes = StepContext::InitialShapes(graph);
+  double groups = 1.0;
+  for (const BasicPlan& step : plan.steps) {
+    StepContext ctx(graph, shapes, step.ways);
+    for (OpId op = 0; op < graph.num_ops(); ++op) {
+      OpPlanCost& cost = out.per_op[static_cast<size_t>(op)];
+      const int sidx = step.op_strategy[static_cast<size_t>(op)];
+      const double fetch = groups * ctx.OpInputCommBytes(op, sidx, step.tensor_cut);
+      const double reduce = groups * ctx.OpOutputCommBytes(op, sidx, step.tensor_cut);
+      cost.fetch_bytes_total += fetch;
+      cost.reduce_bytes_total += reduce;
+      out.total_comm_bytes += fetch + reduce;
+      if (sidx == kReplicatedExec) {
+        // Work is not divided at this step.
+      } else {
+        cost.work_fraction /= static_cast<double>(step.ways);
+        if (ctx.Strategies(op)[static_cast<size_t>(sidx)].is_reduction) {
+          cost.output_alloc_factor *= static_cast<double>(step.ways);
+        }
+      }
+    }
+    shapes = StepContext::ApplyBasicPlan(graph, shapes, step);
+    groups *= static_cast<double>(step.ways);
+  }
+  return out;
+}
+
+}  // namespace tofu

@@ -1,0 +1,38 @@
+// Analytic per-operator breakdown of a partition plan, consumed by the simulator's
+// lowering pass (§6: generating the partitioned graph).
+//
+// For each operator the breakdown separates:
+//   * fetch_bytes_total   -- pre-compute gather traffic (MultiFetch volume) across all
+//                            recursive steps, weighted by the group count per step;
+//   * reduce_bytes_total  -- post-compute shuffle/reduction traffic (spread as all-reduce);
+//   * work_fraction       -- each worker's share of the op's FLOPs (1/k unless some step
+//                            fell back to replicated execution);
+//   * output_alloc_factor -- partial-output buffer inflation from case-2 steps (each
+//                            reduction step materializes a `ways`-times-larger partial).
+#ifndef TOFU_PARTITION_PARTITIONED_GRAPH_H_
+#define TOFU_PARTITION_PARTITIONED_GRAPH_H_
+
+#include <vector>
+
+#include "tofu/partition/plan.h"
+#include "tofu/partition/strategy.h"
+
+namespace tofu {
+
+struct OpPlanCost {
+  double fetch_bytes_total = 0.0;
+  double reduce_bytes_total = 0.0;
+  double work_fraction = 1.0;
+  double output_alloc_factor = 1.0;
+};
+
+struct PlanCostBreakdown {
+  std::vector<OpPlanCost> per_op;  // indexed by OpId
+  double total_comm_bytes = 0.0;   // fetch + reduce over all ops (== plan total)
+};
+
+PlanCostBreakdown ComputePlanCosts(const Graph& graph, const PartitionPlan& plan);
+
+}  // namespace tofu
+
+#endif  // TOFU_PARTITION_PARTITIONED_GRAPH_H_

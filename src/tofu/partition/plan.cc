@@ -1,0 +1,71 @@
+#include "tofu/partition/plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tofu/util/logging.h"
+#include "tofu/util/strings.h"
+
+namespace tofu {
+
+std::vector<int> PartitionPlan::TensorSplits(const Graph& graph, TensorId t) const {
+  std::vector<int> splits(graph.tensor(t).shape.size(), 1);
+  for (const BasicPlan& step : steps) {
+    const int cut = step.tensor_cut[static_cast<size_t>(t)];
+    if (cut != kReplicated) {
+      splits[static_cast<size_t>(cut)] *= step.ways;
+    }
+  }
+  return splits;
+}
+
+Shape PartitionPlan::ShardShape(const Graph& graph, TensorId t) const {
+  const Shape& full = graph.tensor(t).shape;
+  std::vector<int> splits = TensorSplits(graph, t);
+  Shape shard = full;
+  for (size_t d = 0; d < shard.size(); ++d) {
+    shard[d] = (full[d] + splits[d] - 1) / splits[d];
+  }
+  return shard;
+}
+
+std::int64_t PartitionPlan::ShardBytes(const Graph& graph, TensorId t) const {
+  return NumElements(ShardShape(graph, t)) * graph.tensor(t).elem_size;
+}
+
+std::string PartitionPlan::DescribeTiling(const Graph& graph, TensorId t) const {
+  std::vector<int> splits = TensorSplits(graph, t);
+  std::ostringstream out;
+  bool any = false;
+  for (size_t d = 0; d < splits.size(); ++d) {
+    if (splits[d] > 1) {
+      if (any) {
+        out << " ";
+      }
+      out << "d" << d << ":" << splits[d];
+      any = true;
+    }
+  }
+  return any ? out.str() : "replicated";
+}
+
+std::vector<int> FactorizeWorkers(int num_workers) {
+  TOFU_CHECK_GE(num_workers, 1);
+  std::vector<int> factors;
+  int n = num_workers;
+  for (int p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) {
+    factors.push_back(n);
+  }
+  // Non-increasing order: the recursion handles the coarsest split first, matching the
+  // hierarchical-interconnect affinity discussed in §5.2.
+  std::sort(factors.rbegin(), factors.rend());
+  return factors;
+}
+
+}  // namespace tofu

@@ -1,0 +1,62 @@
+// Partition plan types.
+//
+// A plan is a sequence of *basic* steps (paper §5.2 / appendix A.1): step i splits every
+// tensor along at most one dimension into `ways` parts across `ways` worker groups. The
+// composition of all steps gives each tensor's final tiling (e.g. batch:2 x channel:4 over
+// 8 workers) and each operator's per-step partition-n-reduce strategy.
+#ifndef TOFU_PARTITION_PLAN_H_
+#define TOFU_PARTITION_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "tofu/graph/graph.h"
+
+namespace tofu {
+
+// Cut value for a tensor that is stored replicated at a step (small tensors and rank-0
+// scalars only; every substantial tensor is partitioned, as in the paper).
+inline constexpr int kReplicated = -1;
+
+// Strategy index meaning "replicated execution": every worker in the group runs the whole
+// operator (used when no partition-n-reduce strategy applies, e.g. scalar ops).
+inline constexpr int kReplicatedExec = -1;
+
+// One recursive step: for `ways` worker groups, each tensor's storage cut (dimension index
+// or kReplicated) and each operator's strategy (index into the op's discovered strategy
+// list, or kReplicatedExec).
+struct BasicPlan {
+  int ways = 2;
+  std::vector<int> tensor_cut;   // indexed by TensorId
+  std::vector<int> op_strategy;  // indexed by OpId
+  // Communication bytes this step incurs *within one worker group* of the previous level.
+  double comm_bytes = 0.0;
+};
+
+struct PartitionPlan {
+  int num_workers = 1;
+  std::vector<int> step_factors;  // k = k1 * k2 * ... * km, ki non-increasing
+  std::vector<BasicPlan> steps;
+
+  // Total plan cost: sum_i (#groups at step i) * steps[i].comm_bytes (appendix Eq. 3).
+  double total_comm_bytes = 0.0;
+  // Per-step weighted costs (#groups * step cost), for Theorem-2 monotonicity checks.
+  std::vector<double> weighted_step_costs;
+
+  // Per-dimension split factors of a tensor after all steps (product over steps).
+  std::vector<int> TensorSplits(const Graph& graph, TensorId t) const;
+  // The shard shape one worker stores (ceil division).
+  Shape ShardShape(const Graph& graph, TensorId t) const;
+  // Shard bytes for one worker.
+  std::int64_t ShardBytes(const Graph& graph, TensorId t) const;
+  // Human-readable tiling, e.g. "d0:2 d2:4" or "replicated".
+  std::string DescribeTiling(const Graph& graph, TensorId t) const;
+};
+
+// Factorizes the worker count into non-increasing factors (prime factorization, largest
+// first), per §5.2's handling of non-power-of-two device counts.
+std::vector<int> FactorizeWorkers(int num_workers);
+
+}  // namespace tofu
+
+#endif  // TOFU_PARTITION_PLAN_H_

@@ -1,0 +1,34 @@
+#include "tofu/partition/recursive.h"
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+
+PartitionPlan RecursivePartition(const Graph& graph, int num_workers,
+                                 const PartitionOptions& options) {
+  PartitionPlan plan;
+  plan.num_workers = num_workers;
+  if (num_workers <= 1) {
+    return plan;
+  }
+  plan.step_factors = FactorizeWorkers(num_workers);
+
+  // Coarsening is structural and shared by all steps; shapes change per step.
+  const CoarseGraph coarse = Coarsen(graph, options.coarsen);
+  std::vector<Shape> shapes = StepContext::InitialShapes(graph);
+
+  double groups = 1.0;
+  for (int factor : plan.step_factors) {
+    StepContext ctx(graph, shapes, factor);
+    DpResult dp = RunStepDp(&ctx, coarse, options.dp);
+    const double weighted = groups * dp.plan.comm_bytes;
+    plan.weighted_step_costs.push_back(weighted);
+    plan.total_comm_bytes += weighted;
+    shapes = StepContext::ApplyBasicPlan(graph, shapes, dp.plan);
+    plan.steps.push_back(std::move(dp.plan));
+    groups *= static_cast<double>(factor);
+  }
+  return plan;
+}
+
+}  // namespace tofu

@@ -1,0 +1,29 @@
+// The recursive partition algorithm (paper §5.2, appendix A): apply the basic DP to the
+// coarsened graph to split among k1 worker groups, shrink every tensor along its chosen
+// cut, and recurse inside a group with factor k2, and so on (k = k1*k2*...*km,
+// non-increasing). Each step's cost is weighted by the number of groups at that level
+// (appendix Eq. 3); Theorem 2's monotonicity (delta_i <= delta_{i+1}) is exposed through
+// PartitionPlan::weighted_step_costs for verification.
+#ifndef TOFU_PARTITION_RECURSIVE_H_
+#define TOFU_PARTITION_RECURSIVE_H_
+
+#include "tofu/partition/coarsen.h"
+#include "tofu/partition/dp.h"
+#include "tofu/partition/plan.h"
+
+namespace tofu {
+
+struct PartitionOptions {
+  CoarsenOptions coarsen;
+  DpOptions dp;
+};
+
+// Partitions `graph` across `num_workers` workers; num_workers == 1 returns the trivial
+// plan. The same entry point with dp.allow_reduction_strategies=false reproduces the
+// ICML'18 baseline of §7.3.
+PartitionPlan RecursivePartition(const Graph& graph, int num_workers,
+                                 const PartitionOptions& options = {});
+
+}  // namespace tofu
+
+#endif  // TOFU_PARTITION_RECURSIVE_H_

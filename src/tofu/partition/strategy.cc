@@ -1,0 +1,203 @@
+#include "tofu/partition/strategy.h"
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+
+StepContext::StepContext(const Graph& graph, std::vector<Shape> shapes, int ways)
+    : graph_(&graph), shapes_(std::move(shapes)), ways_(ways) {
+  TOFU_CHECK_GE(ways_, 2);
+  TOFU_CHECK_EQ(static_cast<int>(shapes_.size()), graph.num_tensors());
+}
+
+std::int64_t StepContext::bytes(TensorId t) const {
+  return NumElements(shape(t)) * graph_->tensor(t).elem_size;
+}
+
+const std::vector<ConcreteStrategy>& StepContext::Strategies(OpId op_id) {
+  auto it = strategy_cache_.find(op_id);
+  if (it != strategy_cache_.end()) {
+    return it->second;
+  }
+  const OpNode& op = graph_->op(op_id);
+  const OpSemantics& sem = graph_->SemanticsOf(op);
+  std::vector<Shape> input_shapes;
+  input_shapes.reserve(op.inputs.size());
+  for (TensorId t : op.inputs) {
+    input_shapes.push_back(shape(t));
+  }
+  const std::vector<std::int64_t> extents =
+      BindVarExtents(sem.desc, input_shapes, shape(op.output));
+  std::vector<ConcreteStrategy> concrete;
+  concrete.reserve(sem.strategies.size());
+  for (const BasicStrategy& s : sem.strategies) {
+    concrete.push_back(Concretize(s, extents));
+  }
+  return strategy_cache_.emplace(op_id, std::move(concrete)).first->second;
+}
+
+bool StepContext::Applicable(OpId op_id, int sidx) {
+  if (sidx == kReplicatedExec) {
+    return true;
+  }
+  const OpNode& op = graph_->op(op_id);
+  const std::vector<ConcreteStrategy>& strategies = Strategies(op_id);
+  const ConcreteStrategy& s = strategies[static_cast<size_t>(sidx)];
+  if (s.var_extent < ways_) {
+    return false;  // cannot split the partition variable `ways` ways
+  }
+  if (!s.is_reduction) {
+    if (shape(op.output)[static_cast<size_t>(s.output_dim)] < ways_) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < s.inputs.size(); ++i) {
+    const ConcreteInputReq& req = s.inputs[i];
+    if (req.kind == InputReq::Kind::kSplit &&
+        shape(op.inputs[i])[static_cast<size_t>(req.dim)] < ways_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> StepContext::CutOptions(TensorId t) const {
+  const Shape& s = shape(t);
+  std::vector<int> options;
+  for (size_t d = 0; d < s.size(); ++d) {
+    if (s[d] >= ways_) {
+      options.push_back(static_cast<int>(d));
+    }
+  }
+  // Replication is gated on the tensor's ORIGINAL size: substantial tensors stay
+  // partitioned at every step (the 1/k-memory property), no matter how small their
+  // shards have become; intrinsically small tensors (biases, scales) may replicate.
+  if (options.empty() || graph_->tensor(t).bytes() <= kReplicateThresholdBytes) {
+    options.push_back(kReplicated);
+  }
+  return options;
+}
+
+double StepContext::InputCommBytes(TensorId t, const ConcreteInputReq& req, int stored_cut) {
+  const double size = static_cast<double>(bytes(t));
+  const double f = static_cast<double>(ways_);
+  if (stored_cut == kReplicated) {
+    return 0.0;  // every worker already holds the whole tensor
+  }
+  if (req.kind == InputReq::Kind::kReplicated) {
+    return size * (f - 1.0);  // every worker all-gathers the other shards
+  }
+  // Split requirement. Halo slab: halo_elems rows along req.dim, exchanged at every
+  // internal boundary (both directions).
+  double halo_bytes = 0.0;
+  const Shape& shp = shape(t);
+  const std::int64_t extent = shp[static_cast<size_t>(req.dim)];
+  if (req.halo_elems > 0 && extent > 0) {
+    const double slab = size * static_cast<double>(req.halo_elems) / static_cast<double>(extent);
+    halo_bytes = 2.0 * (f - 1.0) * slab;
+  }
+  if (stored_cut == req.dim) {
+    return halo_bytes;  // aligned: only the halo moves
+  }
+  // Mismatched dimensions: each worker already holds 1/f of what it needs.
+  return size * (f - 1.0) / f + halo_bytes;
+}
+
+double StepContext::OutputCommBytes(TensorId t, const ConcreteStrategy& strat,
+                                    int stored_cut) {
+  const double size = static_cast<double>(bytes(t));
+  const double f = static_cast<double>(ways_);
+  if (strat.is_reduction) {
+    // Partial outputs of full size on every worker, combined with a spread-out reduction
+    // (reduce-scatter; §6's all-reduce spreading). Replicated storage needs the follow-up
+    // all-gather as well.
+    return stored_cut == kReplicated ? 2.0 * size * (f - 1.0) : size * (f - 1.0);
+  }
+  if (stored_cut == strat.output_dim) {
+    return 0.0;
+  }
+  if (stored_cut == kReplicated) {
+    return size * (f - 1.0);  // all-gather the concatenated output
+  }
+  return size * (f - 1.0) / f;  // shuffle between the two cuts
+}
+
+double StepContext::OpInputCommBytes(OpId op_id, int sidx,
+                                     const std::vector<int>& tensor_cut) {
+  const OpNode& op = graph_->op(op_id);
+  if (sidx == kReplicatedExec) {
+    // Every worker runs the whole op: whole-tensor requirement on each input.
+    double total = 0.0;
+    for (TensorId t : op.inputs) {
+      if (tensor_cut[static_cast<size_t>(t)] != kReplicated) {
+        total += static_cast<double>(bytes(t)) * (static_cast<double>(ways_) - 1.0);
+      }
+    }
+    return total;
+  }
+  const ConcreteStrategy& s = Strategies(op_id)[static_cast<size_t>(sidx)];
+  double total = 0.0;
+  for (size_t i = 0; i < op.inputs.size(); ++i) {
+    total += InputCommBytes(op.inputs[i], s.inputs[i],
+                            tensor_cut[static_cast<size_t>(op.inputs[i])]);
+  }
+  return total;
+}
+
+double StepContext::OpOutputCommBytes(OpId op_id, int sidx,
+                                      const std::vector<int>& tensor_cut) {
+  if (sidx == kReplicatedExec) {
+    // Each worker materializes the full output and keeps its stored share: free.
+    return 0.0;
+  }
+  const OpNode& op = graph_->op(op_id);
+  const ConcreteStrategy& s = Strategies(op_id)[static_cast<size_t>(sidx)];
+  return OutputCommBytes(op.output, s, tensor_cut[static_cast<size_t>(op.output)]);
+}
+
+double StepContext::OpCommBytes(OpId op_id, int sidx, const std::vector<int>& tensor_cut) {
+  return OpInputCommBytes(op_id, sidx, tensor_cut) +
+         OpOutputCommBytes(op_id, sidx, tensor_cut);
+}
+
+int StepContext::ForcedElementwiseStrategy(OpId op_id, const std::vector<int>& tensor_cut) {
+  const OpNode& op = graph_->op(op_id);
+  const int cut = tensor_cut[static_cast<size_t>(op.output)];
+  if (cut == kReplicated) {
+    return kReplicatedExec;
+  }
+  // Case-1 strategy along output variable `cut`; element-wise descriptions discover one
+  // strategy per output dimension, in order.
+  const std::vector<ConcreteStrategy>& strategies = Strategies(op_id);
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    if (!strategies[i].is_reduction && strategies[i].output_dim == cut) {
+      return static_cast<int>(i);
+    }
+  }
+  return kReplicatedExec;
+}
+
+std::vector<Shape> StepContext::ApplyBasicPlan(const Graph& graph,
+                                               const std::vector<Shape>& shapes,
+                                               const BasicPlan& plan) {
+  std::vector<Shape> out = shapes;
+  for (TensorId t = 0; t < graph.num_tensors(); ++t) {
+    const int cut = plan.tensor_cut[static_cast<size_t>(t)];
+    if (cut != kReplicated) {
+      std::int64_t& extent = out[static_cast<size_t>(t)][static_cast<size_t>(cut)];
+      extent = (extent + plan.ways - 1) / plan.ways;
+    }
+  }
+  return out;
+}
+
+std::vector<Shape> StepContext::InitialShapes(const Graph& graph) {
+  std::vector<Shape> shapes;
+  shapes.reserve(static_cast<size_t>(graph.num_tensors()));
+  for (const TensorNode& t : graph.tensors()) {
+    shapes.push_back(t.shape);
+  }
+  return shapes;
+}
+
+}  // namespace tofu

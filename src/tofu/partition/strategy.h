@@ -1,0 +1,89 @@
+// Per-step strategy evaluation: concretizing TDL strategies against the current
+// (recursively shrunken) tensor shapes, checking applicability at a split factor, and
+// charging communication bytes.
+//
+// The cost convention follows Lemma 1 (appendix A.3): every term is a constant multiple
+// of a tensor's (current) size. For a tensor of bytes S split f ways:
+//
+//   input required split along dim d, stored cut d:          2*(f-1) * halo_slab
+//   input required split along d, stored cut d' != d:        S*(f-1)/f  (+ halo)
+//   input required split, stored replicated:                 0
+//   input required whole (replicated req), stored cut:       S*(f-1)
+//   output produced split along d, stored cut d:             0
+//   output produced split along d, stored cut d' != d:       S*(f-1)/f
+//   output produced split along d, stored replicated:        S*(f-1)   (all-gather)
+//   case-2 partial outputs, stored cut:                      S*(f-1)   (reduce-scatter)
+//   case-2 partial outputs, stored replicated:               2*S*(f-1) (all-reduce)
+//
+// All figures are total bytes moved among the f parts of one group during one execution
+// of the operator.
+#ifndef TOFU_PARTITION_STRATEGY_H_
+#define TOFU_PARTITION_STRATEGY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tofu/graph/graph.h"
+#include "tofu/partition/plan.h"
+
+namespace tofu {
+
+// Tensors at or below this size may be stored replicated (biases, normalization scales,
+// scalars). Substantial tensors must be partitioned, preserving the 1/k-memory property.
+inline constexpr std::int64_t kReplicateThresholdBytes = 64 << 10;
+
+class StepContext {
+ public:
+  // `shapes` are the current per-tensor shapes (already shrunken by earlier recursive
+  // steps); `ways` is this step's split factor.
+  StepContext(const Graph& graph, std::vector<Shape> shapes, int ways);
+
+  const Graph& graph() const { return *graph_; }
+  int ways() const { return ways_; }
+  const Shape& shape(TensorId t) const { return shapes_[static_cast<size_t>(t)]; }
+  std::int64_t bytes(TensorId t) const;
+
+  // The op's strategies concretized against current shapes (cached).
+  const std::vector<ConcreteStrategy>& Strategies(OpId op);
+
+  // True when strategy `sidx` of `op` can split `ways` ways at current shapes.
+  bool Applicable(OpId op, int sidx);
+
+  // Valid storage cuts for a tensor at this step: every dimension with extent >= ways,
+  // plus kReplicated for small tensors (or when nothing else qualifies).
+  std::vector<int> CutOptions(TensorId t) const;
+
+  // Communication bytes of executing `op` with strategy `sidx` (kReplicatedExec allowed),
+  // given the storage cuts in `tensor_cut` (indexed by TensorId; only the op's own tensors
+  // are read). Split into the pre-compute input gather and the post-compute output
+  // shuffle/reduction; OpCommBytes is their sum.
+  double OpInputCommBytes(OpId op, int sidx, const std::vector<int>& tensor_cut);
+  double OpOutputCommBytes(OpId op, int sidx, const std::vector<int>& tensor_cut);
+  double OpCommBytes(OpId op, int sidx, const std::vector<int>& tensor_cut);
+
+  // Derives the forced strategy of an element-wise op from its output's cut: the case-1
+  // strategy along that dimension (or kReplicatedExec for replicated storage).
+  int ForcedElementwiseStrategy(OpId op, const std::vector<int>& tensor_cut);
+
+  // Shapes after applying a basic plan at this step (partitioned dims ceil-divided).
+  static std::vector<Shape> ApplyBasicPlan(const Graph& graph,
+                                           const std::vector<Shape>& shapes,
+                                           const BasicPlan& plan);
+
+  // Initial shapes (the unpartitioned graph).
+  static std::vector<Shape> InitialShapes(const Graph& graph);
+
+ private:
+  double InputCommBytes(TensorId t, const ConcreteInputReq& req, int stored_cut);
+  double OutputCommBytes(TensorId t, const ConcreteStrategy& strat, int stored_cut);
+
+  const Graph* graph_;
+  std::vector<Shape> shapes_;
+  int ways_;
+  std::unordered_map<OpId, std::vector<ConcreteStrategy>> strategy_cache_;
+};
+
+}  // namespace tofu
+
+#endif  // TOFU_PARTITION_STRATEGY_H_

@@ -1,0 +1,35 @@
+#include "tofu/sim/cost_model.h"
+
+#include <algorithm>
+
+namespace tofu {
+
+ClusterSpec K80Cluster() { return ClusterSpec{}; }
+
+double KernelSeconds(const GpuSpec& gpu, OpClass op_class, double flops, double bytes,
+                     double rows) {
+  double seconds = gpu.kernel_overhead_s;
+  switch (op_class) {
+    case OpClass::kMatmul: {
+      const double eff = gpu.matmul_peak_eff * rows / (rows + gpu.matmul_half_rows);
+      seconds += flops / (gpu.peak_flops * std::max(eff, 1e-3));
+      break;
+    }
+    case OpClass::kConv: {
+      const double eff = gpu.conv_peak_eff * rows / (rows + gpu.conv_half_batch);
+      seconds += flops / (gpu.peak_flops * std::max(eff, 1e-3));
+      break;
+    }
+    case OpClass::kBandwidth: {
+      seconds += bytes / gpu.mem_bandwidth;
+      break;
+    }
+  }
+  return seconds;
+}
+
+double TransferSeconds(const ClusterSpec& cluster, double bytes, double bandwidth) {
+  return cluster.link_latency_s + bytes / bandwidth;
+}
+
+}  // namespace tofu

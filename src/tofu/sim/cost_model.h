@@ -1,0 +1,55 @@
+// Hardware cost model for the simulated 8-GPU machine (paper §7.1: EC2 p2.8xlarge,
+// 8 x K80 with 12 GB each, 21 GB/s PCIe peer-to-peer, 10 GB/s shared CPU link).
+//
+// Kernel times follow a roofline-with-efficiency model:
+//   * compute-bound ops (matmul, conv): flops / (peak * eff(class, rows)), where the
+//     efficiency saturates with the per-worker batch/row extent -- GEMMs starve at small
+//     batch while convolutions stay efficient (the §7.2 explanation of why SmallBatch
+//     beats Tofu on WResNet-50-4 but loses on every RNN);
+//   * bandwidth-bound ops: bytes / effective memory bandwidth;
+// plus a fixed kernel launch overhead.
+#ifndef TOFU_SIM_COST_MODEL_H_
+#define TOFU_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "tofu/tdl/registry.h"
+
+namespace tofu {
+
+// Calibrated against the paper's absolute single-GPU throughputs (§7.2): the RNN Ideal
+// baseline reaches ~233 samples/s on RNN-6-4K at batch 512 and WResNet-50-4 reaches ~47
+// samples/s at batch 128; these constants land the simulator within ~15% of both.
+struct GpuSpec {
+  double peak_flops = 4.4e12;          // GK210 die with boost clocks
+  double mem_bandwidth = 160e9;        // effective GDDR5 bandwidth
+  double mem_capacity = 12.0 * (1ull << 30);
+  double kernel_overhead_s = 8e-6;
+
+  double matmul_peak_eff = 0.75;
+  double matmul_half_rows = 50.0;  // rows at which GEMM reaches half its peak efficiency
+  double conv_peak_eff = 0.55;     // wide cuDNN convolutions on K80
+  double conv_half_batch = 2.0;    // convolutions saturate almost immediately
+};
+
+struct ClusterSpec {
+  int num_gpus = 8;
+  GpuSpec gpu;
+  double p2p_bandwidth = 21e9;  // per-device PCIe port, peer-to-peer
+  double cpu_bandwidth = 10e9;  // host link shared by every GPU
+  double link_latency_s = 15e-6;
+};
+
+// The paper's testbed.
+ClusterSpec K80Cluster();
+
+// Kernel execution time. `rows` is the efficiency-driving extent (per-worker batch/rows).
+double KernelSeconds(const GpuSpec& gpu, OpClass op_class, double flops, double bytes,
+                     double rows);
+
+// Transfer time over a link of the given bandwidth.
+double TransferSeconds(const ClusterSpec& cluster, double bytes, double bandwidth);
+
+}  // namespace tofu
+
+#endif  // TOFU_SIM_COST_MODEL_H_

@@ -1,0 +1,150 @@
+#include "tofu/sim/event_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+
+std::int32_t SimGraph::Add(SimNode node) {
+  nodes.push_back(std::move(node));
+  return static_cast<std::int32_t>(nodes.size() - 1);
+}
+
+namespace {
+
+struct Event {
+  double time;
+  std::int32_t node;
+  bool operator>(const Event& other) const {
+    return time > other.time || (time == other.time && node > other.node);
+  }
+};
+
+}  // namespace
+
+SimResult RunSim(const SimGraph& graph, const ClusterSpec& cluster,
+                 const SimOptions& options) {
+  const std::int32_t n = static_cast<std::int32_t>(graph.nodes.size());
+  SimResult result;
+  result.peak_bytes.assign(static_cast<size_t>(graph.num_devices), 0.0);
+
+  // Dependency bookkeeping: successor adjacency, pending-dep counts, and per-node
+  // remaining-consumer counts (output buffers free when the last consumer finishes).
+  std::vector<int> pending(static_cast<size_t>(n), 0);
+  std::vector<int> consumers_left(static_cast<size_t>(n), 0);
+  std::vector<std::vector<std::int32_t>> successors(static_cast<size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    const SimNode& node = graph.nodes[static_cast<size_t>(i)];
+    pending[static_cast<size_t>(i)] = static_cast<int>(node.deps.size());
+    for (std::int32_t d : node.deps) {
+      TOFU_CHECK_GE(d, 0);
+      TOFU_CHECK_LT(d, i);  // lowering emits nodes in dependency order
+      successors[static_cast<size_t>(d)].push_back(i);
+      ++consumers_left[static_cast<size_t>(d)];
+    }
+  }
+
+  // Resource availability: compute stream + PCIe port per device, one shared host link.
+  std::vector<double> compute_free(static_cast<size_t>(graph.num_devices), 0.0);
+  std::vector<double> port_free(static_cast<size_t>(graph.num_devices), 0.0);
+  double host_free = 0.0;
+
+  // Memory accounting (buffers charged when the node starts executing).
+  std::vector<double> mem(graph.resident_bytes.begin(), graph.resident_bytes.end());
+  mem.resize(static_cast<size_t>(graph.num_devices), 0.0);
+  for (int d = 0; d < graph.num_devices; ++d) {
+    result.peak_bytes[static_cast<size_t>(d)] = mem[static_cast<size_t>(d)];
+  }
+
+  std::vector<double> ready_time(static_cast<size_t>(n), 0.0);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> ready;
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (pending[static_cast<size_t>(i)] == 0) {
+      ready.push({0.0, i});
+    }
+  }
+
+  auto charge = [&](int device, double bytes) {
+    mem[static_cast<size_t>(device)] += bytes;
+    double& peak = result.peak_bytes[static_cast<size_t>(device)];
+    peak = std::max(peak, mem[static_cast<size_t>(device)]);
+  };
+
+  std::int32_t executed = 0;
+  while (!ready.empty()) {
+    const Event ev = ready.top();
+    ready.pop();
+    const std::int32_t id = ev.node;
+    const SimNode& node = graph.nodes[static_cast<size_t>(id)];
+
+    double start = ev.time;
+    double duration = 0.0;
+    switch (node.kind) {
+      case SimNode::Kind::kCompute:
+        start = std::max(start, compute_free[static_cast<size_t>(node.device)]);
+        duration = node.duration_s;
+        compute_free[static_cast<size_t>(node.device)] = start + duration;
+        result.compute_busy_s += duration;
+        break;
+      case SimNode::Kind::kP2P:
+        start = std::max(start, port_free[static_cast<size_t>(node.device)]);
+        duration = options.zero_comm
+                       ? 0.0
+                       : TransferSeconds(cluster, node.comm_bytes, cluster.p2p_bandwidth);
+        port_free[static_cast<size_t>(node.device)] = start + duration;
+        result.comm_busy_s += duration;
+        break;
+      case SimNode::Kind::kHost:
+        start = std::max(start, host_free);
+        duration = options.zero_comm
+                       ? 0.0
+                       : TransferSeconds(cluster, node.comm_bytes, cluster.cpu_bandwidth);
+        host_free = start + duration;
+        result.comm_busy_s += duration;
+        break;
+    }
+    const double end = start + duration;
+    result.makespan_s = std::max(result.makespan_s, end);
+    ++executed;
+
+    // Transient buffers live only for the node's execution; outputs live until the last
+    // consumer completes (freed immediately when nothing consumes them).
+    charge(node.device, static_cast<double>(node.transient_bytes + node.output_bytes));
+    mem[static_cast<size_t>(node.device)] -= static_cast<double>(node.transient_bytes);
+    if (consumers_left[static_cast<size_t>(id)] == 0) {
+      mem[static_cast<size_t>(node.device)] -= static_cast<double>(node.output_bytes);
+    }
+
+    for (std::int32_t s : successors[static_cast<size_t>(id)]) {
+      ready_time[static_cast<size_t>(s)] = std::max(ready_time[static_cast<size_t>(s)], end);
+      if (--pending[static_cast<size_t>(s)] == 0) {
+        ready.push({ready_time[static_cast<size_t>(s)], s});
+      }
+    }
+    for (std::int32_t d : node.deps) {
+      if (--consumers_left[static_cast<size_t>(d)] == 0) {
+        const SimNode& dep = graph.nodes[static_cast<size_t>(d)];
+        mem[static_cast<size_t>(dep.device)] -= static_cast<double>(dep.output_bytes);
+      }
+    }
+  }
+  TOFU_CHECK_EQ(executed, n) << "cycle in simulation graph";
+
+  for (int d = 0; d < graph.num_devices; ++d) {
+    const double peak = result.peak_bytes[static_cast<size_t>(d)];
+    result.max_peak_bytes = std::max(result.max_peak_bytes, peak);
+    if (!options.unlimited_memory && peak > cluster.gpu.mem_capacity && result.oom_device < 0) {
+      result.oom = true;
+      result.oom_device = d;
+    }
+  }
+  if (graph.samples_per_iteration > 0 && result.makespan_s > 0) {
+    result.samples_per_second = graph.samples_per_iteration / result.makespan_s;
+  }
+  return result;
+}
+
+}  // namespace tofu

@@ -1,0 +1,75 @@
+// Deterministic event-driven executor for lowered simulation graphs.
+//
+// Resources: one compute stream per GPU, one PCIe port per GPU (peer transfers serialize
+// on the port, modelling the paper's 21 GB/s p2p links), and a single shared CPU link
+// (10 GB/s, the Swapping baseline's bottleneck). Communication overlaps computation, as
+// in MXNet's engine.
+//
+// Memory: each node may allocate a transient buffer (live while the node runs) and an
+// output buffer (freed when the node's last consumer finishes; in-place nodes allocate
+// nothing). Per-device peaks on top of the resident model state are compared against the
+// capacity to detect OOM, emulating the MXNet memory planner the partitioned graph is
+// generated to cooperate with (§6).
+#ifndef TOFU_SIM_EVENT_SIM_H_
+#define TOFU_SIM_EVENT_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tofu/sim/cost_model.h"
+
+namespace tofu {
+
+struct SimNode {
+  enum class Kind {
+    kCompute,  // runs on the device's compute stream for duration_s
+    kP2P,      // occupies the device's PCIe port: comm_bytes at p2p bandwidth
+    kHost,     // occupies the shared CPU link: comm_bytes at (shared) host bandwidth
+  };
+  Kind kind = Kind::kCompute;
+  int device = 0;
+  double duration_s = 0.0;   // kCompute only (precomputed kernel time)
+  double comm_bytes = 0.0;   // kP2P / kHost
+  std::int64_t transient_bytes = 0;  // live only while the node executes
+  std::int64_t output_bytes = 0;     // live until the last consumer completes
+  std::vector<std::int32_t> deps;
+  std::string tag;  // provenance, for debugging/reports
+};
+
+struct SimGraph {
+  int num_devices = 1;
+  std::vector<SimNode> nodes;
+  // Persistent model state per device (weight/gradient/optimizer shards): charged against
+  // capacity but never freed.
+  std::vector<double> resident_bytes;
+  double samples_per_iteration = 0.0;
+
+  std::int32_t Add(SimNode node);
+};
+
+struct SimOptions {
+  // Drop all communication (the Figure 10 "skip memory copy" measurement separating
+  // computation from communication overhead).
+  bool zero_comm = false;
+  // Ignore device memory capacity (the Ideal baseline's infinite-memory allocator).
+  bool unlimited_memory = false;
+};
+
+struct SimResult {
+  double makespan_s = 0.0;
+  bool oom = false;
+  int oom_device = -1;
+  std::vector<double> peak_bytes;     // per device, including resident state
+  double max_peak_bytes = 0.0;
+  double compute_busy_s = 0.0;        // summed across devices
+  double comm_busy_s = 0.0;
+  double samples_per_second = 0.0;
+};
+
+SimResult RunSim(const SimGraph& graph, const ClusterSpec& cluster,
+                 const SimOptions& options = {});
+
+}  // namespace tofu
+
+#endif  // TOFU_SIM_EVENT_SIM_H_

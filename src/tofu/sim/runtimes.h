@@ -1,0 +1,72 @@
+// Throughput experiment drivers, one per baseline in §7.2:
+//   * Ideal        -- single GPU with an infinite-memory allocator, scaled by the GPU
+//                     count (no communication): the hypothetical upper bound;
+//   * SmallBatch   -- largest per-GPU batch that fits in 12 GB, scaled by the GPU count;
+//   * Swapping     -- vDNN-style LRU swap to host memory with prefetch overlap; all
+//                     replicas share the 10 GB/s CPU link;
+//   * Op-Placement -- layers assigned round-robin to GPUs, pipelined execution;
+//   * Tofu         -- the partitioned graph produced by RecursivePartition (or any
+//                     explicit plan, for the Figure 10 algorithm comparison).
+#ifndef TOFU_SIM_RUNTIMES_H_
+#define TOFU_SIM_RUNTIMES_H_
+
+#include <functional>
+
+#include "tofu/models/model.h"
+#include "tofu/partition/recursive.h"
+#include "tofu/sim/lowering.h"
+
+namespace tofu {
+
+using ModelFactory = std::function<ModelGraph(std::int64_t batch)>;
+
+struct ThroughputResult {
+  bool oom = false;
+  std::int64_t batch = 0;           // global batch achieving the result
+  double samples_per_second = 0.0;
+  double iter_seconds = 0.0;
+  double peak_bytes = 0.0;          // max per-device peak
+  double compute_seconds = 0.0;     // zero-communication makespan (Figure 10 breakdown)
+  double comm_fraction = 0.0;       // 1 - compute_seconds / iter_seconds
+};
+
+// Runs one lowered graph through the simulator (with and without communication).
+ThroughputResult MeasureSim(const SimGraph& sim, const ClusterSpec& cluster,
+                            bool unlimited_memory = false);
+
+ThroughputResult IdealThroughput(const ModelFactory& factory, std::int64_t batch,
+                                 const ClusterSpec& cluster);
+
+// Tries batches {max, max/2, ..., 1}; returns the first that fits on one GPU.
+ThroughputResult SmallBatchThroughput(const ModelFactory& factory, std::int64_t max_batch,
+                                      const ClusterSpec& cluster);
+
+ThroughputResult SwapThroughput(const ModelFactory& factory, std::int64_t batch,
+                                const ClusterSpec& cluster);
+
+// `layer_of` maps forward ops to pipeline stages (backward/update ops follow their
+// forward op). Stages are assigned round-robin over the GPUs.
+ThroughputResult PlacementThroughput(const ModelFactory& factory, std::int64_t max_batch,
+                                     const ClusterSpec& cluster,
+                                     const std::function<int(const OpNode&)>& layer_of,
+                                     const LowerOptions& lower = {});
+
+// Partitions with Tofu's recursive algorithm at each candidate batch; returns the largest
+// batch that fits.
+ThroughputResult TofuThroughput(const ModelFactory& factory, std::int64_t max_batch,
+                                const ClusterSpec& cluster,
+                                const PartitionOptions& options = {},
+                                const LowerOptions& lower = {});
+
+// Runs an explicit plan at a fixed batch (Figure 10's algorithm comparison).
+ThroughputResult RunPlanThroughput(const ModelGraph& model, const PartitionPlan& plan,
+                                   const ClusterSpec& cluster, const LowerOptions& lower = {});
+
+// Round-robin layer device assignment used by the Op-Placement baseline: forward ops take
+// layer_of(op) % num_gpus; backward and update ops run where their forward op ran.
+std::function<int(const OpNode&)> RoundRobinPlacement(
+    const Graph& graph, int num_devices, const std::function<int(const OpNode&)>& layer_of);
+
+}  // namespace tofu
+
+#endif  // TOFU_SIM_RUNTIMES_H_

@@ -1,0 +1,309 @@
+#include "tofu/tdl/analysis.h"
+
+#include <cmath>
+
+#include "tofu/util/strings.h"
+
+namespace tofu {
+namespace {
+
+// Evaluates an affine index expression under a variable environment.
+SymInterval EvalIndex(const IndexExpr& idx, const VarEnv& env, int num_symbols) {
+  SymInterval out = SymInterval::Point(num_symbols, static_cast<double>(idx.constant));
+  for (const IndexExpr::Term& t : idx.terms) {
+    out += env[static_cast<size_t>(t.var)] * static_cast<double>(t.coeff);
+  }
+  return out;
+}
+
+// Recursively collects input access regions. Value intervals are irrelevant to region
+// analysis; only index expressions matter, so arithmetic nodes just recurse.
+void CollectRegions(const Expr& e, const VarEnv& env, int num_symbols,
+                    std::vector<InputRegion>* regions) {
+  switch (e.kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kVarRef:
+      return;
+    case Expr::Kind::kInput: {
+      InputRegion& region = (*regions)[static_cast<size_t>(e.input_id())];
+      const auto& indices = e.indices();
+      if (!region.accessed) {
+        region.accessed = true;
+        region.dims.resize(indices.size());
+      }
+      for (size_t d = 0; d < indices.size(); ++d) {
+        DimRegion& dim = region.dims[d];
+        if (dim.whole) {
+          continue;
+        }
+        SymInterval iv = EvalIndex(indices[d], env, num_symbols);
+        dim.interval = dim.initialized ? SymInterval::Union(dim.interval, iv) : iv;
+        dim.initialized = true;
+      }
+      return;
+    }
+    case Expr::Kind::kOpaque: {
+      InputRegion& region = (*regions)[static_cast<size_t>(e.input_id())];
+      const auto& slice = e.opaque_slice();
+      if (!region.accessed) {
+        region.accessed = true;
+        region.dims.resize(slice.size());
+      }
+      for (size_t d = 0; d < slice.size(); ++d) {
+        DimRegion& dim = region.dims[d];
+        if (!slice[d].has_value()) {
+          dim.whole = true;
+        } else if (!dim.whole) {
+          SymInterval iv = EvalIndex(*slice[d], env, num_symbols);
+          dim.interval = dim.initialized ? SymInterval::Union(dim.interval, iv) : iv;
+          dim.initialized = true;
+        }
+      }
+      return;
+    }
+    case Expr::Kind::kUnary:
+    case Expr::Kind::kBinary:
+    case Expr::Kind::kReduce:
+      for (const ExprPtr& child : e.children()) {
+        CollectRegions(*child, env, num_symbols, regions);
+      }
+      return;
+  }
+}
+
+// Combinability context for a candidate reduction variable: can the per-worker partials
+// produced by splitting the variable's range be merged element-wise at the root?
+//   kRoot       -- only reducer-commuting operations seen so far; any reducer works.
+//   kWithin     -- already inside reductions of kind `within`; the variable's own reducer
+//                  must match (Sum-of-Sum and Max-of-Max combine, Sum-under-Max does not).
+//   kOpaquePath -- a non-commuting operation intervenes; not combinable.
+struct CombineCtx {
+  enum class Kind { kRoot, kWithin, kOpaquePath } kind = Kind::kRoot;
+  ReduceKind within = ReduceKind::kSum;
+};
+
+// Finds the reducer binding `var` and decides combinability. Constant scaling commutes
+// with Sum and (for positive constants) is monotone for Max/Min; any other arithmetic on
+// the path — including adding a partition-invariant term, which would be applied once per
+// worker — breaks combinability.
+bool FindCombinableReducer(const Expr& e, VarId var, CombineCtx ctx, ReduceKind* reducer) {
+  switch (e.kind()) {
+    case Expr::Kind::kReduce: {
+      for (VarId v : e.reduce_vars()) {
+        if (v == var) {
+          *reducer = e.reducer();
+          if (ctx.kind == CombineCtx::Kind::kRoot) {
+            return true;
+          }
+          return ctx.kind == CombineCtx::Kind::kWithin && ctx.within == e.reducer();
+        }
+      }
+      CombineCtx child = ctx;
+      if (ctx.kind == CombineCtx::Kind::kRoot) {
+        child.kind = CombineCtx::Kind::kWithin;
+        child.within = e.reducer();
+      } else if (ctx.kind == CombineCtx::Kind::kWithin && ctx.within != e.reducer()) {
+        child.kind = CombineCtx::Kind::kOpaquePath;
+      }
+      return FindCombinableReducer(*e.children()[0], var, child, reducer);
+    }
+    case Expr::Kind::kBinary: {
+      const Expr& lhs = *e.children()[0];
+      const Expr& rhs = *e.children()[1];
+      const Expr* const_side = nullptr;
+      if (lhs.kind() == Expr::Kind::kConst) {
+        const_side = &lhs;
+      } else if (rhs.kind() == Expr::Kind::kConst) {
+        const_side = &rhs;
+      }
+      const bool is_scale =
+          (e.binary_op() == BinaryOp::kMul || e.binary_op() == BinaryOp::kDiv) &&
+          const_side != nullptr;
+      CombineCtx child = ctx;
+      bool scale_ok = is_scale;
+      if (is_scale && ctx.kind == CombineCtx::Kind::kWithin &&
+          (ctx.within == ReduceKind::kMax || ctx.within == ReduceKind::kMin)) {
+        scale_ok = const_side->const_value() > 0.0;  // monotone scaling only
+      }
+      if (!scale_ok) {
+        child.kind = CombineCtx::Kind::kOpaquePath;
+      }
+      return FindCombinableReducer(lhs, var, child, reducer) ||
+             FindCombinableReducer(rhs, var, child, reducer);
+    }
+    case Expr::Kind::kUnary: {
+      CombineCtx child = ctx;
+      child.kind = CombineCtx::Kind::kOpaquePath;
+      return FindCombinableReducer(*e.children()[0], var, child, reducer);
+    }
+    default:
+      return false;
+  }
+}
+
+bool ReducerIfCombinable(const Expr& root, VarId var, ReduceKind* reducer) {
+  return FindCombinableReducer(root, var, CombineCtx{}, reducer);
+}
+
+}  // namespace
+
+VarEnv FullEnv(const OpDesc& desc) {
+  const int n = desc.num_vars();
+  VarEnv env;
+  env.reserve(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    env.push_back(SymInterval::FullRange(n, v));
+  }
+  return env;
+}
+
+std::vector<InputRegion> ComputeInputRegions(const OpDesc& desc, const VarEnv& env) {
+  std::vector<InputRegion> regions(static_cast<size_t>(desc.num_inputs));
+  CollectRegions(*desc.body, env, desc.num_vars(), &regions);
+  return regions;
+}
+
+std::string BasicStrategy::ToString(const OpDesc& desc) const {
+  std::string out = StrFormat("%s[%s%s]", desc.name.c_str(), is_reduction ? "reduce " : "",
+                              var_name.c_str());
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const InputReq& req = inputs[i];
+    if (req.kind == InputReq::Kind::kReplicated) {
+      parts.push_back(StrFormat("in%zu:rep", i));
+    } else {
+      parts.push_back(StrFormat("in%zu:split(d%d%s)", i, req.dim, req.has_halo ? "+halo" : ""));
+    }
+  }
+  return out + " {" + Join(parts, ", ") + "}";
+}
+
+std::vector<BasicStrategy> DiscoverStrategies(const OpDesc& desc) {
+  std::vector<BasicStrategy> strategies;
+  const int n = desc.num_vars();
+  const VarEnv full_env = FullEnv(desc);
+  const std::vector<InputRegion> full_regions = ComputeInputRegions(desc, full_env);
+
+  for (VarId v = 0; v < n; ++v) {
+    if (desc.var_in_opaque_result[static_cast<size_t>(v)]) {
+      continue;  // splitting would duplicate the opaque computation
+    }
+    BasicStrategy strat;
+    strat.var = v;
+    strat.var_name = desc.VarName(v);
+    strat.is_reduction = desc.IsReduceVar(v);
+    if (strat.is_reduction) {
+      if (!ReducerIfCombinable(*desc.body, v, &strat.reducer)) {
+        continue;  // partial results could not be merged element-wise
+      }
+    } else {
+      strat.output_dim = v;  // output variables are declared in dimension order
+    }
+
+    // Analyze with the candidate variable's range halved ("first half" run; the second
+    // half is symmetric for affine indexing).
+    VarEnv half_env = full_env;
+    half_env[static_cast<size_t>(v)] = SymInterval::Slice(n, v, 0.0, 0.5);
+    const std::vector<InputRegion> half_regions = ComputeInputRegions(desc, half_env);
+
+    bool viable = true;
+    strat.inputs.clear();
+    for (int i = 0; i < desc.num_inputs && viable; ++i) {
+      const InputRegion& full = full_regions[static_cast<size_t>(i)];
+      const InputRegion& half = half_regions[static_cast<size_t>(i)];
+      InputReq req;
+      int affected_dims = 0;
+      for (size_t d = 0; d < full.dims.size(); ++d) {
+        if (full.dims[d].whole || half.dims[d].whole) {
+          continue;  // opaque ":" slice: unaffected by any variable
+        }
+        const AffineForm w_full = full.dims[d].interval.Width();
+        const AffineForm w_half = half.dims[d].interval.Width();
+        if (w_half.ApproxEquals(w_full)) {
+          continue;  // this dimension does not depend on v
+        }
+        ++affected_dims;
+        req.kind = InputReq::Kind::kSplit;
+        req.dim = static_cast<int>(d);
+        // halo = w_half - w_full/2; clean splits have zero halo. A negative halo cannot
+        // arise from affine indexing over [0, X/2].
+        AffineForm halo = w_half - w_full * 0.5;
+        if (halo.IsZero()) {
+          req.has_halo = false;
+          req.halo_width = AffineForm(n, 0.0);
+        } else if (halo.IsNonNegative()) {
+          req.has_halo = true;
+          req.halo_width = halo;
+        } else {
+          viable = false;  // non-monotone width change: outside the supported fragment
+        }
+      }
+      if (affected_dims > 1) {
+        // Paper appendix assumption #1: one output index addresses at most one dimension
+        // of each input. Descriptions violating it (e.g. A[i, i]) are not partitionable
+        // along that variable.
+        viable = false;
+      }
+      strat.inputs.push_back(req);
+    }
+    if (viable) {
+      strategies.push_back(std::move(strat));
+    }
+  }
+  return strategies;
+}
+
+std::vector<std::int64_t> BindVarExtents(const OpDesc& desc,
+                                         const std::vector<std::vector<std::int64_t>>& inputs,
+                                         const std::vector<std::int64_t>& output) {
+  TOFU_CHECK_EQ(static_cast<int>(inputs.size()), desc.num_inputs);
+  std::vector<std::int64_t> extents(static_cast<size_t>(desc.num_vars()), 0);
+  for (int v = 0; v < desc.num_vars(); ++v) {
+    const ExtentSource& src = desc.vars[static_cast<size_t>(v)].extent;
+    switch (src.kind) {
+      case ExtentSource::Kind::kOutputDim:
+        TOFU_CHECK_LT(src.dim, static_cast<int>(output.size()))
+            << "op " << desc.name << ": output rank mismatch";
+        extents[static_cast<size_t>(v)] = output[static_cast<size_t>(src.dim)];
+        break;
+      case ExtentSource::Kind::kInputDim: {
+        const auto& shape = inputs[static_cast<size_t>(src.input)];
+        TOFU_CHECK_LT(src.dim, static_cast<int>(shape.size()))
+            << "op " << desc.name << ": input rank mismatch";
+        extents[static_cast<size_t>(v)] = static_cast<std::int64_t>(std::llround(
+            static_cast<double>(shape[static_cast<size_t>(src.dim)]) / src.divisor));
+        break;
+      }
+      case ExtentSource::Kind::kConstant:
+        extents[static_cast<size_t>(v)] = src.constant;
+        break;
+      case ExtentSource::Kind::kUnknown:
+        TOFU_LOG(Fatal) << "unbound variable extent in op " << desc.name;
+        break;
+    }
+  }
+  return extents;
+}
+
+ConcreteStrategy Concretize(const BasicStrategy& strategy,
+                            const std::vector<std::int64_t>& var_extents) {
+  ConcreteStrategy out;
+  out.var = strategy.var;
+  out.is_reduction = strategy.is_reduction;
+  out.reducer = strategy.reducer;
+  out.output_dim = strategy.output_dim;
+  out.var_extent = var_extents[static_cast<size_t>(strategy.var)];
+  out.inputs.reserve(strategy.inputs.size());
+  for (const InputReq& req : strategy.inputs) {
+    ConcreteInputReq creq;
+    creq.kind = req.kind;
+    creq.dim = req.dim;
+    if (req.has_halo) {
+      creq.halo_elems = static_cast<std::int64_t>(std::llround(req.halo_width.Eval(var_extents)));
+    }
+    out.inputs.push_back(creq);
+  }
+  return out;
+}
+
+}  // namespace tofu

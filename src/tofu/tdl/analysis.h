@@ -1,0 +1,113 @@
+// TDL region analysis and partition-strategy discovery (paper §4.2).
+//
+// The analyzer symbolically executes an operator's TDL body with each index variable bound
+// to a symbolic interval, yielding the input regions each worker must read. Running the
+// analysis once with full ranges and once with the candidate partition variable's range
+// halved classifies, per input dimension, whether splitting that variable splits the input
+// (possibly with a halo) or forces full replication:
+//
+//   * case-1 strategies partition an output variable: the final output is the
+//     concatenation of the workers' outputs along that dimension;
+//   * case-2 strategies partition a reduction variable: each worker produces a
+//     partial result and the final output is their element-wise reduction.
+#ifndef TOFU_TDL_ANALYSIS_H_
+#define TOFU_TDL_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tofu/tdl/expr.h"
+#include "tofu/tdl/interval.h"
+
+namespace tofu {
+
+// Access region of one input dimension. `whole` marks an opaque ":" slice whose extent is
+// unrelated to any index variable.
+struct DimRegion {
+  bool whole = false;
+  bool initialized = false;
+  SymInterval interval;
+};
+
+// Union of all accesses to one input across the body. `accessed` is false only for inputs
+// never touched (Build() rejects those, but partial analyses may produce them).
+struct InputRegion {
+  bool accessed = false;
+  std::vector<DimRegion> dims;
+};
+
+// Environment binding every index variable of the description to a symbolic interval.
+using VarEnv = std::vector<SymInterval>;
+
+// Returns the environment where every variable spans its full range [0, X_v].
+VarEnv FullEnv(const OpDesc& desc);
+
+// Symbolically executes `desc.body` under `env` and returns the per-input access regions.
+std::vector<InputRegion> ComputeInputRegions(const OpDesc& desc, const VarEnv& env);
+
+// What one worker needs of an input under a basic partition strategy.
+struct InputReq {
+  enum class Kind {
+    kSplit,       // the input splits along `dim` (plus `halo_width` extra elements)
+    kReplicated,  // each worker reads the whole input
+  };
+  Kind kind = Kind::kReplicated;
+  int dim = -1;
+  bool has_halo = false;
+  // Extra elements along `dim` beyond the even share, as an affine form over the
+  // description's variable bounds (e.g. the filter-window extent for convolution).
+  AffineForm halo_width;
+};
+
+// A basic (two-worker, single-dimension) partition strategy discovered from the TDL
+// description. Strategies are shape-independent; Concretize() resolves them for an op
+// instance with known shapes.
+struct BasicStrategy {
+  VarId var = -1;
+  std::string var_name;
+  bool is_reduction = false;      // case-2
+  ReduceKind reducer = ReduceKind::kSum;
+  int output_dim = -1;            // case-1: which output dimension is split
+  std::vector<InputReq> inputs;   // one per input
+
+  std::string ToString(const OpDesc& desc) const;
+};
+
+// Discovers every basic partition strategy of `desc`. Variables that index opaque results
+// are skipped (partitioning them would duplicate the opaque computation); reduction
+// variables are skipped when the reduction is not combinable at the root (partial results
+// could not be merged element-wise).
+std::vector<BasicStrategy> DiscoverStrategies(const OpDesc& desc);
+
+// ---------------------------------------------------------------------------------------
+// Concretization for op instances with known shapes.
+
+struct ConcreteInputReq {
+  InputReq::Kind kind = InputReq::Kind::kReplicated;
+  int dim = -1;
+  std::int64_t halo_elems = 0;  // extra elements along `dim` per worker
+};
+
+struct ConcreteStrategy {
+  VarId var = -1;
+  bool is_reduction = false;
+  ReduceKind reducer = ReduceKind::kSum;
+  int output_dim = -1;
+  std::int64_t var_extent = 0;  // concrete extent of the partitioned variable
+  std::vector<ConcreteInputReq> inputs;
+};
+
+// Binds each variable's symbolic bound X_v to its concrete extent given the instance's
+// input and output shapes (output vars from the output shape; reduce vars via their
+// ExtentSource).
+std::vector<std::int64_t> BindVarExtents(const OpDesc& desc,
+                                         const std::vector<std::vector<std::int64_t>>& inputs,
+                                         const std::vector<std::int64_t>& output);
+
+ConcreteStrategy Concretize(const BasicStrategy& strategy,
+                            const std::vector<std::int64_t>& var_extents);
+
+}  // namespace tofu
+
+#endif  // TOFU_TDL_ANALYSIS_H_

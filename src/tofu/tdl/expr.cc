@@ -1,0 +1,490 @@
+#include "tofu/tdl/expr.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "tofu/util/strings.h"
+
+namespace tofu {
+
+double IndexExpr::CoeffOf(VarId var) const {
+  for (const Term& t : terms) {
+    if (t.var == var) {
+      return t.coeff;
+    }
+  }
+  return 0;
+}
+
+bool IndexExpr::IsIdentityOf(VarId var) const {
+  return constant == 0.0 && terms.size() == 1 && terms[0].var == var && terms[0].coeff == 1.0;
+}
+
+void IndexExpr::Canonicalize() {
+  std::map<VarId, double> merged;
+  for (const Term& t : terms) {
+    merged[t.var] += t.coeff;
+  }
+  terms.clear();
+  for (const auto& [var, coeff] : merged) {
+    if (coeff != 0.0) {
+      terms.push_back({var, coeff});
+    }
+  }
+}
+
+std::string IndexExpr::ToString(const std::vector<std::string>& var_names) const {
+  std::ostringstream out;
+  bool first = true;
+  for (const Term& t : terms) {
+    if (!first) {
+      out << "+";
+    }
+    if (t.coeff != 1.0) {
+      out << t.coeff << "*";
+    }
+    out << var_names[static_cast<size_t>(t.var)];
+    first = false;
+  }
+  if (constant != 0.0 || first) {
+    if (!first && constant > 0) {
+      out << "+";
+    }
+    out << constant;
+  }
+  return out.str();
+}
+
+IndexExpr operator+(const IndexExpr& a, const IndexExpr& b) {
+  IndexExpr out = a;
+  out.terms.insert(out.terms.end(), b.terms.begin(), b.terms.end());
+  out.constant += b.constant;
+  out.Canonicalize();
+  return out;
+}
+
+IndexExpr operator-(const IndexExpr& a, const IndexExpr& b) {
+  IndexExpr neg = b;
+  for (auto& t : neg.terms) {
+    t.coeff = -t.coeff;
+  }
+  neg.constant = -neg.constant;
+  return a + neg;
+}
+
+IndexExpr operator+(const IndexExpr& a, double c) {
+  IndexExpr out = a;
+  out.constant += c;
+  return out;
+}
+
+IndexExpr operator-(const IndexExpr& a, double c) { return a + (-c); }
+
+IndexExpr operator*(const IndexExpr& a, double c) {
+  IndexExpr out = a;
+  for (auto& t : out.terms) {
+    t.coeff *= c;
+  }
+  out.constant *= c;
+  out.Canonicalize();
+  return out;
+}
+
+IndexExpr operator*(double c, const IndexExpr& a) { return a * c; }
+
+IndexExpr operator/(const IndexExpr& a, double c) {
+  TOFU_CHECK_NE(c, 0.0);
+  return a * (1.0 / c);
+}
+
+IndexExpr operator+(const IndexVar& a, const IndexVar& b) {
+  return IndexExpr(a) + IndexExpr(b);
+}
+IndexExpr operator-(const IndexVar& a, const IndexVar& b) {
+  return IndexExpr(a) - IndexExpr(b);
+}
+IndexExpr operator+(const IndexVar& a, double c) { return IndexExpr(a) + c; }
+IndexExpr operator*(const IndexVar& a, double c) { return IndexExpr(a) * c; }
+IndexExpr operator*(double c, const IndexVar& a) { return IndexExpr(a) * c; }
+IndexExpr operator-(const IndexVar& a, double c) { return IndexExpr(a) - c; }
+IndexExpr operator/(const IndexVar& a, double c) { return IndexExpr(a) / c; }
+
+const char* ReduceKindName(ReduceKind kind) {
+  switch (kind) {
+    case ReduceKind::kSum:
+      return "Sum";
+    case ReduceKind::kMax:
+      return "Max";
+    case ReduceKind::kMin:
+      return "Min";
+    case ReduceKind::kProd:
+      return "Prod";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeConst(double value) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kConst;
+  e->const_value_ = value;
+  return e;
+}
+
+ExprPtr Expr::MakeVarRef(VarId var) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kVarRef;
+  e->var_ = var;
+  return e;
+}
+
+ExprPtr Expr::MakeInput(int input_id, std::vector<IndexExpr> indices) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kInput;
+  e->input_id_ = input_id;
+  for (auto& idx : indices) {
+    idx.Canonicalize();
+  }
+  e->indices_ = std::move(indices);
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnaryOp op, ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kUnary;
+  e->unary_op_ = op;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kBinary;
+  e->binary_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::MakeReduce(ReduceKind reducer, std::vector<VarId> vars, ExprPtr body) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kReduce;
+  e->reducer_ = reducer;
+  e->reduce_vars_ = std::move(vars);
+  e->children_ = {std::move(body)};
+  return e;
+}
+
+ExprPtr Expr::MakeOpaque(std::string name, int input_id,
+                         std::vector<std::optional<IndexExpr>> slice,
+                         std::vector<IndexExpr> result_indices) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kOpaque;
+  e->opaque_name_ = std::move(name);
+  e->input_id_ = input_id;
+  for (auto& s : slice) {
+    if (s.has_value()) {
+      s->Canonicalize();
+    }
+  }
+  e->opaque_slice_ = std::move(slice);
+  for (auto& idx : result_indices) {
+    idx.Canonicalize();
+  }
+  e->indices_ = std::move(result_indices);
+  return e;
+}
+
+ExprPtr operator+(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(BinaryOp::kAdd, std::move(a), std::move(b));
+}
+ExprPtr operator-(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(BinaryOp::kSub, std::move(a), std::move(b));
+}
+ExprPtr operator*(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(BinaryOp::kMul, std::move(a), std::move(b));
+}
+ExprPtr operator/(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(BinaryOp::kDiv, std::move(a), std::move(b));
+}
+ExprPtr operator*(ExprPtr a, double k) {
+  return Expr::MakeBinary(BinaryOp::kMul, std::move(a), Expr::MakeConst(k));
+}
+ExprPtr operator+(ExprPtr a, double k) {
+  return Expr::MakeBinary(BinaryOp::kAdd, std::move(a), Expr::MakeConst(k));
+}
+
+OpDescBuilder::OpDescBuilder(std::string name, int num_inputs)
+    : name_(std::move(name)), num_inputs_(num_inputs) {
+  TOFU_CHECK_GE(num_inputs_, 0);
+}
+
+IndexVar OpDescBuilder::Out(const std::string& name) {
+  TOFU_CHECK(!saw_reduce_var_) << "output variables must be declared before reduce variables";
+  VarInfo info;
+  info.name = name;
+  info.is_reduce = false;
+  info.extent.kind = ExtentSource::Kind::kOutputDim;
+  info.extent.dim = num_output_dims_;
+  vars_.push_back(info);
+  ++num_output_dims_;
+  return IndexVar(static_cast<VarId>(vars_.size() - 1));
+}
+
+IndexVar OpDescBuilder::Red(const std::string& name, std::int64_t pinned_extent) {
+  saw_reduce_var_ = true;
+  VarInfo info;
+  info.name = name;
+  info.is_reduce = true;
+  if (pinned_extent >= 0) {
+    info.extent.kind = ExtentSource::Kind::kConstant;
+    info.extent.constant = pinned_extent;
+  }
+  vars_.push_back(info);
+  return IndexVar(static_cast<VarId>(vars_.size() - 1));
+}
+
+InputRef OpDescBuilder::In(int input_id) const {
+  TOFU_CHECK_GE(input_id, 0);
+  TOFU_CHECK_LT(input_id, num_inputs_);
+  return InputRef(input_id);
+}
+
+namespace {
+
+std::vector<VarId> VarIds(const std::vector<IndexVar>& vars) {
+  std::vector<VarId> ids;
+  ids.reserve(vars.size());
+  for (const IndexVar& v : vars) {
+    ids.push_back(v.id());
+  }
+  return ids;
+}
+
+}  // namespace
+
+ExprPtr OpDescBuilder::Sum(const std::vector<IndexVar>& vars, ExprPtr body) const {
+  return Expr::MakeReduce(ReduceKind::kSum, VarIds(vars), std::move(body));
+}
+ExprPtr OpDescBuilder::Max(const std::vector<IndexVar>& vars, ExprPtr body) const {
+  return Expr::MakeReduce(ReduceKind::kMax, VarIds(vars), std::move(body));
+}
+ExprPtr OpDescBuilder::Min(const std::vector<IndexVar>& vars, ExprPtr body) const {
+  return Expr::MakeReduce(ReduceKind::kMin, VarIds(vars), std::move(body));
+}
+ExprPtr OpDescBuilder::Prod(const std::vector<IndexVar>& vars, ExprPtr body) const {
+  return Expr::MakeReduce(ReduceKind::kProd, VarIds(vars), std::move(body));
+}
+
+ExprPtr OpDescBuilder::Opaque(const std::string& fn, int input_id,
+                              std::vector<std::optional<IndexExpr>> slice,
+                              std::vector<IndexExpr> result_indices) const {
+  TOFU_CHECK_GE(input_id, 0);
+  TOFU_CHECK_LT(input_id, num_inputs_);
+  return Expr::MakeOpaque(fn, input_id, std::move(slice), std::move(result_indices));
+}
+
+namespace {
+
+// Walks the body collecting validation facts: input ranks, per-variable usage, extent
+// inference for reduce variables, and opaque-result variable flags.
+struct BuildVisitor {
+  OpDesc* desc;
+
+  void Visit(const Expr& e) {
+    switch (e.kind()) {
+      case Expr::Kind::kConst:
+      case Expr::Kind::kVarRef:
+        return;
+      case Expr::Kind::kInput: {
+        NoteAccess(e.input_id(), e.indices());
+        return;
+      }
+      case Expr::Kind::kOpaque: {
+        // The slice behaves as an access whose affine-indexed dimensions may infer
+        // extents; whole (":") dimensions are opaque.
+        int rank = static_cast<int>(e.opaque_slice().size());
+        NoteRank(e.input_id(), rank);
+        for (int d = 0; d < rank; ++d) {
+          const auto& s = e.opaque_slice()[static_cast<size_t>(d)];
+          if (s.has_value()) {
+            NoteIndex(e.input_id(), d, *s);
+          }
+        }
+        for (const IndexExpr& idx : e.result_indices()) {
+          for (const IndexExpr::Term& t : idx.terms) {
+            desc->var_in_opaque_result[static_cast<size_t>(t.var)] = true;
+          }
+        }
+        return;
+      }
+      case Expr::Kind::kUnary:
+      case Expr::Kind::kBinary:
+      case Expr::Kind::kReduce: {
+        for (const ExprPtr& child : e.children()) {
+          Visit(*child);
+        }
+        return;
+      }
+    }
+  }
+
+  void NoteRank(int input, int rank) {
+    int& known = desc->input_ranks[static_cast<size_t>(input)];
+    if (known < 0) {
+      known = rank;
+    } else {
+      TOFU_CHECK_EQ(known, rank) << "inconsistent rank for input " << input << " of op "
+                                 << desc->name;
+    }
+  }
+
+  void NoteAccess(int input, const std::vector<IndexExpr>& indices) {
+    NoteRank(input, static_cast<int>(indices.size()));
+    for (int d = 0; d < static_cast<int>(indices.size()); ++d) {
+      NoteIndex(input, d, indices[static_cast<size_t>(d)]);
+    }
+  }
+
+  void NoteIndex(int input, int dim, const IndexExpr& idx) {
+    // Reduce-variable extent inference: an isolated access `c * v (+ k)` binds
+    // extent(v) = input_extent / c.
+    if (idx.terms.size() == 1) {
+      const auto& t = idx.terms[0];
+      VarInfo& info = desc->vars[static_cast<size_t>(t.var)];
+      if (info.is_reduce && info.extent.kind == ExtentSource::Kind::kUnknown && t.coeff > 0.0) {
+        info.extent.kind = ExtentSource::Kind::kInputDim;
+        info.extent.input = input;
+        info.extent.dim = dim;
+        info.extent.divisor = t.coeff;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+OpDesc OpDescBuilder::Build(ExprPtr body) && {
+  OpDesc desc;
+  desc.name = std::move(name_);
+  desc.num_inputs = num_inputs_;
+  desc.num_output_dims = num_output_dims_;
+  desc.vars = std::move(vars_);
+  desc.body = std::move(body);
+  desc.input_ranks.assign(static_cast<size_t>(num_inputs_), -1);
+  desc.var_in_opaque_result.assign(desc.vars.size(), false);
+
+  BuildVisitor visitor{&desc};
+  visitor.Visit(*desc.body);
+
+  for (int i = 0; i < desc.num_inputs; ++i) {
+    TOFU_CHECK_GE(desc.input_ranks[static_cast<size_t>(i)], 0)
+        << "input " << i << " of op " << desc.name << " is never accessed";
+  }
+  for (const VarInfo& info : desc.vars) {
+    TOFU_CHECK(info.extent.kind != ExtentSource::Kind::kUnknown)
+        << "extent of reduce var '" << info.name << "' in op " << desc.name
+        << " cannot be inferred; pin it with Red(name, extent)";
+  }
+
+  // Element-wise check: a single-level body whose accesses are all identity maps over the
+  // full set of output variables, with no reductions or opaque calls.
+  desc.elementwise = desc.num_inputs > 0 && desc.num_output_dims > 0;
+  std::vector<const Expr*> stack = {desc.body.get()};
+  while (!stack.empty() && desc.elementwise) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    switch (e->kind()) {
+      case Expr::Kind::kReduce:
+      case Expr::Kind::kOpaque:
+      case Expr::Kind::kVarRef:
+        desc.elementwise = false;
+        break;
+      case Expr::Kind::kInput: {
+        if (static_cast<int>(e->indices().size()) != desc.num_output_dims) {
+          desc.elementwise = false;
+          break;
+        }
+        for (int d = 0; d < desc.num_output_dims; ++d) {
+          if (!e->indices()[static_cast<size_t>(d)].IsIdentityOf(d)) {
+            desc.elementwise = false;
+            break;
+          }
+        }
+        break;
+      }
+      default:
+        for (const ExprPtr& child : e->children()) {
+          stack.push_back(child.get());
+        }
+        break;
+    }
+  }
+  return desc;
+}
+
+std::string ExprToString(const Expr& expr, const std::vector<std::string>& var_names) {
+  switch (expr.kind()) {
+    case Expr::Kind::kConst:
+      return StrFormat("%g", expr.const_value());
+    case Expr::Kind::kVarRef:
+      return var_names[static_cast<size_t>(expr.var())];
+    case Expr::Kind::kInput: {
+      std::vector<std::string> idx;
+      idx.reserve(expr.indices().size());
+      for (const IndexExpr& e : expr.indices()) {
+        idx.push_back(e.ToString(var_names));
+      }
+      return StrFormat("in%d[%s]", expr.input_id(), Join(idx, ", ").c_str());
+    }
+    case Expr::Kind::kUnary:
+      return StrFormat("u(%s)", ExprToString(*expr.children()[0], var_names).c_str());
+    case Expr::Kind::kBinary: {
+      const char* op = "?";
+      switch (expr.binary_op()) {
+        case BinaryOp::kAdd:
+          op = "+";
+          break;
+        case BinaryOp::kSub:
+          op = "-";
+          break;
+        case BinaryOp::kMul:
+          op = "*";
+          break;
+        case BinaryOp::kDiv:
+          op = "/";
+          break;
+        case BinaryOp::kMax:
+          op = "max";
+          break;
+        case BinaryOp::kMin:
+          op = "min";
+          break;
+      }
+      return StrFormat("(%s %s %s)", ExprToString(*expr.children()[0], var_names).c_str(), op,
+                       ExprToString(*expr.children()[1], var_names).c_str());
+    }
+    case Expr::Kind::kReduce: {
+      std::vector<std::string> names;
+      for (VarId v : expr.reduce_vars()) {
+        names.push_back(var_names[static_cast<size_t>(v)]);
+      }
+      return StrFormat("%s{%s}(%s)", ReduceKindName(expr.reducer()), Join(names, ",").c_str(),
+                       ExprToString(*expr.children()[0], var_names).c_str());
+    }
+    case Expr::Kind::kOpaque: {
+      std::vector<std::string> slice;
+      for (const auto& s : expr.opaque_slice()) {
+        slice.push_back(s.has_value() ? s->ToString(var_names) : ":");
+      }
+      std::vector<std::string> res;
+      for (const IndexExpr& e : expr.result_indices()) {
+        res.push_back(e.ToString(var_names));
+      }
+      return StrFormat("%s(in%d[%s])[%s]", expr.opaque_name().c_str(), expr.input_id(),
+                       Join(slice, ", ").c_str(), Join(res, ", ").c_str());
+    }
+  }
+  return "?";
+}
+
+}  // namespace tofu

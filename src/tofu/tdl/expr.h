@@ -1,0 +1,276 @@
+// TDL (Tensor Description Language) abstract syntax and builder.
+//
+// TDL follows the paper's "tensor-as-a-lambda" design (§4.1): an operator's output tensor
+// is a lambda over index variables whose body is a side-effect-free expression built from
+//   * index variables (the lambda arguments and reduction variables),
+//   * input tensor elements indexed by affine expressions of index variables,
+//   * arithmetic on sub-expressions and constants,
+//   * reductions (Sum / Max / Min / Prod) over reduction variables,
+//   * opaque function applications over input slices (e.g. batched Cholesky).
+//
+// The C++ embedding mirrors the paper's Python DSL:
+//
+//   OpDescBuilder b("conv1d", /*num_inputs=*/2);
+//   IndexVar bb = b.Out("b"), co = b.Out("co"), x = b.Out("x");
+//   IndexVar ci = b.Red("ci"), dx = b.Red("dx");
+//   OpDesc desc = std::move(b).Build(
+//       Sum({ci, dx}, b.In(0)({bb, ci, x + dx}) * b.In(1)({ci, co, dx})));
+//
+// Descriptions are intentionally not Turing-complete: no control flow, no data-dependent
+// indexing. Index expressions are affine in the index variables, which is exactly what the
+// symbolic interval analysis (analysis.h) requires.
+#ifndef TOFU_TDL_EXPR_H_
+#define TOFU_TDL_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+
+// Identifies an index variable within one OpDesc. Output variables come first (their id is
+// the output dimension they index), reduction variables follow.
+using VarId = int;
+
+// An affine combination of index variables plus a constant: sum_i coeff_i * var_i + c.
+// This is the only index form TDL admits (paper assumption: affine indexing).
+struct IndexExpr {
+  struct Term {
+    VarId var;
+    double coeff;  // rational coefficients arise from strided-convolution adjoints
+  };
+  std::vector<Term> terms;
+  double constant = 0;
+
+  static IndexExpr Variable(VarId var) { return IndexExpr{{{var, 1.0}}, 0.0}; }
+  static IndexExpr Constant(double c) { return IndexExpr{{}, c}; }
+
+  // Returns the coefficient of `var` (0 when absent).
+  double CoeffOf(VarId var) const;
+  // True if the expression is exactly 1 * var + 0.
+  bool IsIdentityOf(VarId var) const;
+  // Canonicalizes: merges duplicate terms, drops zero coefficients, sorts by var id.
+  void Canonicalize();
+
+  std::string ToString(const std::vector<std::string>& var_names) const;
+};
+
+IndexExpr operator+(const IndexExpr& a, const IndexExpr& b);
+IndexExpr operator-(const IndexExpr& a, const IndexExpr& b);
+IndexExpr operator+(const IndexExpr& a, double c);
+IndexExpr operator-(const IndexExpr& a, double c);
+IndexExpr operator*(const IndexExpr& a, double c);
+IndexExpr operator*(double c, const IndexExpr& a);
+IndexExpr operator/(const IndexExpr& a, double c);
+
+enum class BinaryOp { kAdd, kSub, kMul, kDiv, kMax, kMin };
+enum class UnaryOp { kNeg, kExp, kLog, kSqrt, kTanh, kSigmoid, kRelu, kSquare, kRecip };
+enum class ReduceKind { kSum, kMax, kMin, kProd };
+
+const char* ReduceKindName(ReduceKind kind);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// One node of the TDL expression tree. Immutable after construction; shared via ExprPtr.
+class Expr {
+ public:
+  enum class Kind {
+    kConst,    // floating-point literal
+    kVarRef,   // an index variable used as a value (e.g. iota-style operators)
+    kInput,    // input tensor element access: inputs[input_id][indices...]
+    kUnary,    // unary arithmetic
+    kBinary,   // binary arithmetic
+    kReduce,   // reduction over reduce_vars of child expression
+    kOpaque,   // opaque function over an input slice, indexed by result_indices
+  };
+
+  Kind kind() const { return kind_; }
+
+  // kConst
+  double const_value() const { return const_value_; }
+  // kVarRef
+  VarId var() const { return var_; }
+  // kInput / kOpaque
+  int input_id() const { return input_id_; }
+  const std::vector<IndexExpr>& indices() const { return indices_; }
+  // kUnary / kBinary
+  UnaryOp unary_op() const { return unary_op_; }
+  BinaryOp binary_op() const { return binary_op_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  // kReduce
+  ReduceKind reducer() const { return reducer_; }
+  const std::vector<VarId>& reduce_vars() const { return reduce_vars_; }
+  // kOpaque: one entry per input dimension; nullopt means the whole dimension (":").
+  const std::vector<std::optional<IndexExpr>>& opaque_slice() const { return opaque_slice_; }
+  const std::string& opaque_name() const { return opaque_name_; }
+  // kOpaque: indices into the opaque result; their variables are non-partitionable.
+  const std::vector<IndexExpr>& result_indices() const { return indices_; }
+
+  static ExprPtr MakeConst(double value);
+  static ExprPtr MakeVarRef(VarId var);
+  static ExprPtr MakeInput(int input_id, std::vector<IndexExpr> indices);
+  static ExprPtr MakeUnary(UnaryOp op, ExprPtr child);
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeReduce(ReduceKind reducer, std::vector<VarId> vars, ExprPtr body);
+  static ExprPtr MakeOpaque(std::string name, int input_id,
+                            std::vector<std::optional<IndexExpr>> slice,
+                            std::vector<IndexExpr> result_indices);
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kConst;
+  double const_value_ = 0.0;
+  VarId var_ = -1;
+  int input_id_ = -1;
+  std::vector<IndexExpr> indices_;
+  UnaryOp unary_op_ = UnaryOp::kNeg;
+  BinaryOp binary_op_ = BinaryOp::kAdd;
+  std::vector<ExprPtr> children_;
+  ReduceKind reducer_ = ReduceKind::kSum;
+  std::vector<VarId> reduce_vars_;
+  std::vector<std::optional<IndexExpr>> opaque_slice_;
+  std::string opaque_name_;
+};
+
+// How the concrete extent of a reduction variable is recovered at graph level, where input
+// and output shapes are known. Output variables are always bound from the output shape.
+struct ExtentSource {
+  enum class Kind {
+    kOutputDim,  // extent = output_shape[dim] (output variables)
+    kInputDim,   // extent = input_shape[input][dim] / divisor (isolated access)
+    kConstant,   // extent pinned by the description builder (e.g. pooling window)
+    kUnknown,    // never isolated and not pinned; description is rejected
+  };
+  Kind kind = Kind::kUnknown;
+  int input = -1;
+  int dim = -1;
+  double divisor = 1.0;
+  std::int64_t constant = 0;
+};
+
+struct VarInfo {
+  std::string name;
+  bool is_reduce = false;
+  ExtentSource extent;
+};
+
+// A complete TDL description of one operator: `num_output_dims` output variables, the body
+// expression, and bookkeeping derived at Build() time.
+struct OpDesc {
+  std::string name;
+  int num_inputs = 0;
+  int num_output_dims = 0;
+  std::vector<VarInfo> vars;  // [0, num_output_dims) are output vars, rest are reduce vars
+  ExprPtr body;
+  std::vector<int> input_ranks;  // rank of each input, derived from accesses
+
+  // True when every input is accessed element-wise with the identity index map (the
+  // coalescing rule of §5.1 applies to these operators).
+  bool elementwise = false;
+  // Variables that index into an opaque result; partitioning them would duplicate the
+  // whole opaque computation, so they are not viable partition dimensions.
+  std::vector<bool> var_in_opaque_result;
+
+  int num_vars() const { return static_cast<int>(vars.size()); }
+  bool IsReduceVar(VarId v) const { return vars[static_cast<size_t>(v)].is_reduce; }
+  std::string VarName(VarId v) const { return vars[static_cast<size_t>(v)].name; }
+};
+
+// ---------------------------------------------------------------------------------------
+// Builder DSL.
+
+class OpDescBuilder;
+
+// Handle to a declared index variable; composes into IndexExpr via the overloaded
+// operators above (an IndexVar converts implicitly to the identity IndexExpr).
+class IndexVar {
+ public:
+  IndexVar() = default;
+  operator IndexExpr() const { return IndexExpr::Variable(id_); }  // NOLINT
+  VarId id() const { return id_; }
+
+ private:
+  friend class OpDescBuilder;
+  explicit IndexVar(VarId id) : id_(id) {}
+  VarId id_ = -1;
+};
+
+IndexExpr operator+(const IndexVar& a, const IndexVar& b);
+IndexExpr operator-(const IndexVar& a, const IndexVar& b);
+IndexExpr operator+(const IndexVar& a, double c);
+IndexExpr operator*(const IndexVar& a, double c);
+IndexExpr operator*(double c, const IndexVar& a);
+IndexExpr operator-(const IndexVar& a, double c);
+IndexExpr operator/(const IndexVar& a, double c);
+
+// Accessor for one input tensor inside a description body.
+class InputRef {
+ public:
+  ExprPtr operator()(std::vector<IndexExpr> indices) const {
+    return Expr::MakeInput(input_id_, std::move(indices));
+  }
+
+ private:
+  friend class OpDescBuilder;
+  explicit InputRef(int input_id) : input_id_(input_id) {}
+  int input_id_;
+};
+
+// Arithmetic sugar on ExprPtr.
+ExprPtr operator+(ExprPtr a, ExprPtr b);
+ExprPtr operator-(ExprPtr a, ExprPtr b);
+ExprPtr operator*(ExprPtr a, ExprPtr b);
+ExprPtr operator/(ExprPtr a, ExprPtr b);
+ExprPtr operator*(ExprPtr a, double k);
+ExprPtr operator+(ExprPtr a, double k);
+
+class OpDescBuilder {
+ public:
+  OpDescBuilder(std::string name, int num_inputs);
+
+  // Declares the next output variable; declaration order defines the output dimensions.
+  IndexVar Out(const std::string& name);
+  // Declares a reduction variable. The optional extent pins the variable's range when it
+  // cannot be inferred from an isolated input access (e.g. a pooling window size).
+  IndexVar Red(const std::string& name, std::int64_t pinned_extent = -1);
+
+  InputRef In(int input_id) const;
+
+  // Reduction helpers (the reduce variables must have been declared with Red()).
+  ExprPtr Sum(const std::vector<IndexVar>& vars, ExprPtr body) const;
+  ExprPtr Max(const std::vector<IndexVar>& vars, ExprPtr body) const;
+  ExprPtr Min(const std::vector<IndexVar>& vars, ExprPtr body) const;
+  ExprPtr Prod(const std::vector<IndexVar>& vars, ExprPtr body) const;
+
+  // Opaque application: `fn(inputs[input_id][slice...])[result_indices...]`. Slice entries
+  // are either an affine index (partitionable, e.g. the batch dimension) or std::nullopt
+  // for a whole dimension.
+  ExprPtr Opaque(const std::string& fn, int input_id,
+                 std::vector<std::optional<IndexExpr>> slice,
+                 std::vector<IndexExpr> result_indices) const;
+
+  // Finalizes the description: validates affine/arity constraints, derives input ranks,
+  // element-wise-ness, opaque-result flags, and reduce-variable extent sources.
+  // Aborts (TOFU_CHECK) on malformed descriptions -- these are programming errors.
+  OpDesc Build(ExprPtr body) &&;
+
+ private:
+  std::string name_;
+  int num_inputs_;
+  std::vector<VarInfo> vars_;
+  int num_output_dims_ = 0;
+  bool saw_reduce_var_ = false;
+};
+
+// Renders a description body for debugging / documentation.
+std::string ExprToString(const Expr& expr, const std::vector<std::string>& var_names);
+
+}  // namespace tofu
+
+#endif  // TOFU_TDL_EXPR_H_

@@ -1,0 +1,195 @@
+#include "tofu/tdl/interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tofu/util/logging.h"
+#include "tofu/util/strings.h"
+
+namespace tofu {
+
+AffineForm::AffineForm(int num_symbols, double constant)
+    : coeffs_(static_cast<size_t>(num_symbols), 0.0), constant_(constant) {}
+
+AffineForm AffineForm::Symbol(int num_symbols, int symbol, double coeff) {
+  AffineForm f(num_symbols, 0.0);
+  TOFU_CHECK_GE(symbol, 0);
+  TOFU_CHECK_LT(symbol, num_symbols);
+  f.coeffs_[static_cast<size_t>(symbol)] = coeff;
+  return f;
+}
+
+AffineForm AffineForm::Constant(int num_symbols, double value) {
+  return AffineForm(num_symbols, value);
+}
+
+AffineForm& AffineForm::operator+=(const AffineForm& other) {
+  TOFU_CHECK_EQ(num_symbols(), other.num_symbols());
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    coeffs_[i] += other.coeffs_[i];
+  }
+  constant_ += other.constant_;
+  return *this;
+}
+
+AffineForm& AffineForm::operator-=(const AffineForm& other) {
+  TOFU_CHECK_EQ(num_symbols(), other.num_symbols());
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    coeffs_[i] -= other.coeffs_[i];
+  }
+  constant_ -= other.constant_;
+  return *this;
+}
+
+AffineForm& AffineForm::operator*=(double k) {
+  for (double& c : coeffs_) {
+    c *= k;
+  }
+  constant_ *= k;
+  return *this;
+}
+
+AffineForm& AffineForm::operator+=(double k) {
+  constant_ += k;
+  return *this;
+}
+
+bool AffineForm::ApproxEquals(const AffineForm& other, double tol) const {
+  if (num_symbols() != other.num_symbols()) {
+    return false;
+  }
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    if (std::abs(coeffs_[i] - other.coeffs_[i]) > tol) {
+      return false;
+    }
+  }
+  return std::abs(constant_ - other.constant_) <= tol;
+}
+
+bool AffineForm::IsZero(double tol) const {
+  for (double c : coeffs_) {
+    if (std::abs(c) > tol) {
+      return false;
+    }
+  }
+  return std::abs(constant_) <= tol;
+}
+
+bool AffineForm::IsNonNegative(double tol) const {
+  for (double c : coeffs_) {
+    if (c < -tol) {
+      return false;
+    }
+  }
+  return constant_ >= -tol;
+}
+
+double AffineForm::Eval(const std::vector<std::int64_t>& symbol_values) const {
+  TOFU_CHECK_EQ(symbol_values.size(), coeffs_.size());
+  double out = constant_;
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    out += coeffs_[i] * static_cast<double>(symbol_values[i]);
+  }
+  return out;
+}
+
+std::string AffineForm::ToString(const std::vector<std::string>& symbol_names) const {
+  std::ostringstream out;
+  bool first = true;
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    if (std::abs(coeffs_[i]) < 1e-12) {
+      continue;
+    }
+    if (!first && coeffs_[i] >= 0) {
+      out << "+";
+    }
+    if (std::abs(coeffs_[i] - 1.0) < 1e-12) {
+      out << symbol_names[i];
+    } else {
+      out << StrFormat("%g*%s", coeffs_[i], symbol_names[i].c_str());
+    }
+    first = false;
+  }
+  if (std::abs(constant_) > 1e-12 || first) {
+    if (!first && constant_ >= 0) {
+      out << "+";
+    }
+    out << StrFormat("%g", constant_);
+  }
+  return out.str();
+}
+
+SymInterval SymInterval::FullRange(int num_symbols, int symbol) {
+  return SymInterval{AffineForm::Constant(num_symbols, 0.0),
+                     AffineForm::Symbol(num_symbols, symbol)};
+}
+
+SymInterval SymInterval::Slice(int num_symbols, int symbol, double lo_frac, double hi_frac) {
+  return SymInterval{AffineForm::Symbol(num_symbols, symbol, lo_frac),
+                     AffineForm::Symbol(num_symbols, symbol, hi_frac)};
+}
+
+SymInterval SymInterval::Point(int num_symbols, double value) {
+  return SymInterval{AffineForm::Constant(num_symbols, value),
+                     AffineForm::Constant(num_symbols, value)};
+}
+
+SymInterval& SymInterval::operator+=(const SymInterval& other) {
+  lo += other.lo;
+  hi += other.hi;
+  return *this;
+}
+
+SymInterval& SymInterval::operator-=(const SymInterval& other) {
+  // [a,b] - [c,d] = [a-d, b-c]
+  AffineForm new_lo = lo - other.hi;
+  AffineForm new_hi = hi - other.lo;
+  lo = std::move(new_lo);
+  hi = std::move(new_hi);
+  return *this;
+}
+
+SymInterval& SymInterval::operator*=(double k) {
+  lo *= k;
+  hi *= k;
+  if (k < 0) {
+    std::swap(lo, hi);
+  }
+  return *this;
+}
+
+SymInterval& SymInterval::operator+=(double k) {
+  lo += k;
+  hi += k;
+  return *this;
+}
+
+SymInterval SymInterval::Union(const SymInterval& a, const SymInterval& b) {
+  TOFU_CHECK_EQ(a.lo.num_symbols(), b.lo.num_symbols());
+  const int n = a.lo.num_symbols();
+  AffineForm lo(n, std::min(a.lo.constant(), b.lo.constant()));
+  AffineForm hi(n, std::max(a.hi.constant(), b.hi.constant()));
+  AffineForm lo_min(n, 0.0);
+  AffineForm hi_max(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    lo_min += AffineForm::Symbol(n, i, std::min(a.lo.coeff(i), b.lo.coeff(i)));
+    hi_max += AffineForm::Symbol(n, i, std::max(a.hi.coeff(i), b.hi.coeff(i)));
+  }
+  return SymInterval{lo + lo_min, hi + hi_max};
+}
+
+bool SymInterval::ApproxEquals(const SymInterval& other, double tol) const {
+  return lo.ApproxEquals(other.lo, tol) && hi.ApproxEquals(other.hi, tol);
+}
+
+std::string SymInterval::ToString(const std::vector<std::string>& symbol_names) const {
+  return "[" + lo.ToString(symbol_names) + ", " + hi.ToString(symbol_names) + "]";
+}
+
+SymInterval operator+(SymInterval a, const SymInterval& b) { return a += b; }
+SymInterval operator-(SymInterval a, const SymInterval& b) { return a -= b; }
+SymInterval operator*(SymInterval a, double k) { return a *= k; }
+SymInterval operator+(SymInterval a, double k) { return a += k; }
+
+}  // namespace tofu

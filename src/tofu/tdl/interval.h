@@ -1,0 +1,97 @@
+// Symbolic interval domain used by the TDL analysis (paper §4.2, Figure 4).
+//
+// Intervals are affine transformations of the symbolic upper bounds X_1..X_n of the
+// operator's index variables:
+//
+//     I = [ sum_i l_i * X_i + c_lo ,  sum_i u_i * X_i + c_hi ]
+//
+// Figure 4's arithmetic is supported exactly: I +- k, I * k, I / k (k scalar) and
+// I +- I'. Products/comparisons of two intervals are not representable and abort -- the
+// paper reports never encountering such indexing in MXNet operators, and Build() only
+// admits affine index expressions anyway.
+#ifndef TOFU_TDL_INTERVAL_H_
+#define TOFU_TDL_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tofu {
+
+// An affine form over the symbolic bounds X_0..X_{n-1}: sum_i coeffs[i]*X_i + constant.
+class AffineForm {
+ public:
+  AffineForm() = default;
+  AffineForm(int num_symbols, double constant);
+
+  // The form equal to coeff * X_symbol.
+  static AffineForm Symbol(int num_symbols, int symbol, double coeff = 1.0);
+  static AffineForm Constant(int num_symbols, double value);
+
+  int num_symbols() const { return static_cast<int>(coeffs_.size()); }
+  double coeff(int symbol) const { return coeffs_[static_cast<size_t>(symbol)]; }
+  double constant() const { return constant_; }
+
+  AffineForm& operator+=(const AffineForm& other);
+  AffineForm& operator-=(const AffineForm& other);
+  AffineForm& operator*=(double k);
+  AffineForm& operator+=(double k);
+
+  friend AffineForm operator+(AffineForm a, const AffineForm& b) { return a += b; }
+  friend AffineForm operator-(AffineForm a, const AffineForm& b) { return a -= b; }
+  friend AffineForm operator*(AffineForm a, double k) { return a *= k; }
+  friend AffineForm operator+(AffineForm a, double k) { return a += k; }
+
+  bool ApproxEquals(const AffineForm& other, double tol = 1e-9) const;
+  // True when every coefficient and the constant are (approximately) zero.
+  bool IsZero(double tol = 1e-9) const;
+  // True when all coefficients and the constant are >= -tol (non-negative for any
+  // non-negative assignment of the symbols).
+  bool IsNonNegative(double tol = 1e-9) const;
+
+  // Evaluates the form with concrete symbol values.
+  double Eval(const std::vector<std::int64_t>& symbol_values) const;
+
+  std::string ToString(const std::vector<std::string>& symbol_names) const;
+
+ private:
+  std::vector<double> coeffs_;
+  double constant_ = 0.0;
+};
+
+// [lo, hi] with affine endpoints. Widths below are hi - lo.
+struct SymInterval {
+  AffineForm lo;
+  AffineForm hi;
+
+  // [0, X_symbol]: the default range of index variable `symbol`.
+  static SymInterval FullRange(int num_symbols, int symbol);
+  // [lo_frac * X_symbol, hi_frac * X_symbol]: a fractional slice of the range, used to
+  // model one worker's share when partitioning along `symbol`.
+  static SymInterval Slice(int num_symbols, int symbol, double lo_frac, double hi_frac);
+  static SymInterval Point(int num_symbols, double value);
+
+  AffineForm Width() const { return hi - lo; }
+
+  SymInterval& operator+=(const SymInterval& other);
+  SymInterval& operator-=(const SymInterval& other);
+  // Scaling by a (possibly negative) scalar swaps the endpoints when negative.
+  SymInterval& operator*=(double k);
+  SymInterval& operator+=(double k);
+
+  // Smallest interval containing both (coefficient-wise min/max; exact when the forms are
+  // comparable for all non-negative symbol values, conservative otherwise).
+  static SymInterval Union(const SymInterval& a, const SymInterval& b);
+
+  bool ApproxEquals(const SymInterval& other, double tol = 1e-9) const;
+  std::string ToString(const std::vector<std::string>& symbol_names) const;
+};
+
+SymInterval operator+(SymInterval a, const SymInterval& b);
+SymInterval operator-(SymInterval a, const SymInterval& b);
+SymInterval operator*(SymInterval a, double k);
+SymInterval operator+(SymInterval a, double k);
+
+}  // namespace tofu
+
+#endif  // TOFU_TDL_INTERVAL_H_

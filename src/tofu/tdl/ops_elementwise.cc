@@ -1,0 +1,93 @@
+// TDL descriptions, shape functions and cost metadata for element-wise operators.
+//
+// These correspond to the paper's "77 of 139 MXNet operators are simple element-wise
+// operators": every input is accessed with the identity index map, so all of them share
+// one rank-generic description factory and coalesce under the §5.1 grouping rule.
+#include "tofu/tdl/registry.h"
+#include "tofu/util/logging.h"
+
+namespace tofu {
+namespace {
+
+std::vector<IndexExpr> IdentityAccess(const std::vector<IndexVar>& vars) {
+  return std::vector<IndexExpr>(vars.begin(), vars.end());
+}
+
+// Builds the description of an n-ary element-wise operator of the given rank. The actual
+// arithmetic combining the operands is irrelevant to partition analysis (only the access
+// pattern matters), so operands are folded with addition.
+OpDesc ElementwiseDesc(const std::string& name, int num_inputs, int rank) {
+  OpDescBuilder b(name, num_inputs);
+  std::vector<IndexVar> vars;
+  vars.reserve(static_cast<size_t>(rank));
+  for (int d = 0; d < rank; ++d) {
+    vars.push_back(b.Out("x" + std::to_string(d)));
+  }
+  TOFU_CHECK_GE(num_inputs, 1);
+  ExprPtr body = b.In(0)(IdentityAccess(vars));
+  for (int i = 1; i < num_inputs; ++i) {
+    body = body + b.In(i)(IdentityAccess(vars));
+  }
+  return std::move(b).Build(std::move(body));
+}
+
+Shape SameAsInput0(const std::vector<Shape>& inputs, const OpAttrs&) {
+  TOFU_CHECK(!inputs.empty());
+  return inputs[0];
+}
+
+void RegisterElementwise(OpRegistry* registry, const std::string& name, int num_inputs) {
+  OpRegistry::OpTypeInfo info;
+  info.name = name;
+  info.desc_fn = [name, num_inputs](const OpAttrs&, const std::vector<int>& ranks) {
+    TOFU_CHECK_EQ(static_cast<int>(ranks.size()), num_inputs) << "op " << name;
+    for (int r : ranks) {
+      TOFU_CHECK_EQ(r, ranks[0]) << "element-wise op " << name << " with mixed ranks";
+    }
+    return ElementwiseDesc(name, num_inputs, ranks[0]);
+  };
+  info.shape_fn = SameAsInput0;
+  info.flops_fn = nullptr;  // bandwidth-bound
+  info.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(info));
+}
+
+}  // namespace
+
+void RegisterElementwiseOps(OpRegistry* registry) {
+  // Binary arithmetic.
+  RegisterElementwise(registry, "add", 2);
+  RegisterElementwise(registry, "sub", 2);
+  RegisterElementwise(registry, "mul", 2);
+  RegisterElementwise(registry, "div", 2);
+  RegisterElementwise(registry, "maximum", 2);
+
+  // Unary activations and math.
+  RegisterElementwise(registry, "copy", 1);
+  RegisterElementwise(registry, "neg", 1);
+  RegisterElementwise(registry, "relu", 1);
+  RegisterElementwise(registry, "tanh", 1);
+  RegisterElementwise(registry, "sigmoid", 1);
+  RegisterElementwise(registry, "exp", 1);
+  RegisterElementwise(registry, "log", 1);
+  RegisterElementwise(registry, "sqrt", 1);
+  RegisterElementwise(registry, "square", 1);
+  RegisterElementwise(registry, "scale", 1);       // x * attr("k")
+  RegisterElementwise(registry, "add_scalar", 1);  // x + attr("k")
+
+  // Activation gradients: (upstream gradient, saved forward value).
+  RegisterElementwise(registry, "relu_grad", 2);
+  RegisterElementwise(registry, "tanh_grad", 2);
+  RegisterElementwise(registry, "sigmoid_grad", 2);
+
+  // Fused multiply-add used by LSTM cells: out = a*b + c*d.
+  RegisterElementwise(registry, "fma2", 4);
+
+  // Optimizer updates (all element-wise; see §7.1: weight + gradient + one history buffer
+  // gives the paper's 3W memory accounting for Adagrad-style optimizers).
+  RegisterElementwise(registry, "sgd_update", 2);       // w' = w - lr*g
+  RegisterElementwise(registry, "adagrad_hist", 2);     // h' = h + g*g
+  RegisterElementwise(registry, "adagrad_update", 3);   // w' = w - lr*g/(sqrt(h)+eps)
+}
+
+}  // namespace tofu

@@ -1,0 +1,225 @@
+// TDL descriptions for linear-algebra operators: the matmul family (including the
+// transposed variants used by autodiff), reductions, transpose, the paper's running
+// examples (conv1d, shift_two) and the opaque batched Cholesky of Figure 3.
+#include "tofu/tdl/registry.h"
+#include "tofu/util/logging.h"
+
+namespace tofu {
+namespace {
+
+double MatmulFlops(std::int64_t m, std::int64_t k, std::int64_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) * static_cast<double>(n);
+}
+
+void RegisterMatmul(OpRegistry* registry) {
+  // matmul: [M,K] x [K,N] -> [M,N]
+  OpRegistry::OpTypeInfo info;
+  info.name = "matmul";
+  info.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("matmul", 2);
+    IndexVar m = b.Out("m"), n = b.Out("n");
+    IndexVar k = b.Red("k");
+    return std::move(b).Build(b.Sum({k}, b.In(0)({m, k}) * b.In(1)({k, n})));
+  };
+  info.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    TOFU_CHECK_EQ(in[0][1], in[1][0]) << "matmul inner-dimension mismatch";
+    return Shape{in[0][0], in[1][1]};
+  };
+  info.flops_fn = [](const std::vector<Shape>& in, const Shape&, const OpAttrs&) {
+    return MatmulFlops(in[0][0], in[0][1], in[1][1]);
+  };
+  info.op_class = OpClass::kMatmul;
+  registry->Register(std::move(info));
+
+  // matmul_tn: A^T B with A:[K,M], B:[K,N] -> [M,N] (weight gradients: dW = X^T dY).
+  OpRegistry::OpTypeInfo tn;
+  tn.name = "matmul_tn";
+  tn.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("matmul_tn", 2);
+    IndexVar m = b.Out("m"), n = b.Out("n");
+    IndexVar k = b.Red("k");
+    return std::move(b).Build(b.Sum({k}, b.In(0)({k, m}) * b.In(1)({k, n})));
+  };
+  tn.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    TOFU_CHECK_EQ(in[0][0], in[1][0]) << "matmul_tn inner-dimension mismatch";
+    return Shape{in[0][1], in[1][1]};
+  };
+  tn.flops_fn = [](const std::vector<Shape>& in, const Shape&, const OpAttrs&) {
+    return MatmulFlops(in[0][1], in[0][0], in[1][1]);
+  };
+  tn.op_class = OpClass::kMatmul;
+  registry->Register(std::move(tn));
+
+  // matmul_nt: A B^T with A:[M,K], B:[N,K] -> [M,N] (data gradients: dX = dY W^T).
+  OpRegistry::OpTypeInfo nt;
+  nt.name = "matmul_nt";
+  nt.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("matmul_nt", 2);
+    IndexVar m = b.Out("m"), n = b.Out("n");
+    IndexVar k = b.Red("k");
+    return std::move(b).Build(b.Sum({k}, b.In(0)({m, k}) * b.In(1)({n, k})));
+  };
+  nt.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    TOFU_CHECK_EQ(in[0][1], in[1][1]) << "matmul_nt inner-dimension mismatch";
+    return Shape{in[0][0], in[1][0]};
+  };
+  nt.flops_fn = [](const std::vector<Shape>& in, const Shape&, const OpAttrs&) {
+    return MatmulFlops(in[0][0], in[0][1], in[1][0]);
+  };
+  nt.op_class = OpClass::kMatmul;
+  registry->Register(std::move(nt));
+}
+
+void RegisterReductionsAndLayout(OpRegistry* registry) {
+  // reduce_rows: [B,N] -> [N], the gradient of a broadcast bias add.
+  OpRegistry::OpTypeInfo rr;
+  rr.name = "reduce_rows";
+  rr.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("reduce_rows", 1);
+    IndexVar j = b.Out("j");
+    IndexVar i = b.Red("i");
+    return std::move(b).Build(b.Sum({i}, b.In(0)({i, j})));
+  };
+  rr.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return Shape{in[0][1]}; };
+  rr.flops_fn = nullptr;
+  rr.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(rr));
+
+  // reduce_mean_all: [B] -> scalar (rank 0). Used for the final loss value.
+  OpRegistry::OpTypeInfo rs;
+  rs.name = "reduce_mean_all";
+  rs.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("reduce_mean_all", 1);
+    IndexVar i = b.Red("i");
+    return std::move(b).Build(b.Sum({i}, b.In(0)({i})) * 1.0);
+  };
+  rs.shape_fn = [](const std::vector<Shape>&, const OpAttrs&) { return Shape{}; };
+  rs.flops_fn = nullptr;
+  rs.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(rs));
+
+  // broadcast_rows: [N] -> [attr("rows"), N] (adjoint of reduce_rows).
+  OpRegistry::OpTypeInfo br;
+  br.name = "broadcast_rows";
+  br.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("broadcast_rows", 1);
+    b.Out("i");
+    IndexVar j = b.Out("j");
+    return std::move(b).Build(b.In(0)({IndexExpr(j)}));
+  };
+  br.shape_fn = [](const std::vector<Shape>& in, const OpAttrs& attrs) {
+    return Shape{attrs.GetInt("rows"), in[0][0]};
+  };
+  br.flops_fn = nullptr;
+  br.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(br));
+
+  // broadcast_scalar: scalar -> [attr("n")] (adjoint of reduce_mean_all).
+  OpRegistry::OpTypeInfo bs;
+  bs.name = "broadcast_scalar";
+  bs.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("broadcast_scalar", 1);
+    b.Out("i");
+    return std::move(b).Build(b.In(0)(std::vector<IndexExpr>{}) * 1.0);
+  };
+  bs.shape_fn = [](const std::vector<Shape>&, const OpAttrs& attrs) {
+    return Shape{attrs.GetInt("n")};
+  };
+  bs.flops_fn = nullptr;
+  bs.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(bs));
+
+  // scale_rows: X [B,N] scaled row-wise by s [B].
+  OpRegistry::OpTypeInfo sr;
+  sr.name = "scale_rows";
+  sr.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("scale_rows", 2);
+    IndexVar i = b.Out("i"), j = b.Out("j");
+    return std::move(b).Build(b.In(0)({i, j}) * b.In(1)({IndexExpr(i)}));
+  };
+  sr.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return in[0]; };
+  sr.flops_fn = nullptr;
+  sr.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(sr));
+
+  // transpose2d: out[i,j] = in[j,i].
+  OpRegistry::OpTypeInfo tr;
+  tr.name = "transpose2d";
+  tr.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("transpose2d", 1);
+    IndexVar i = b.Out("i"), j = b.Out("j");
+    return std::move(b).Build(b.In(0)({j, i}));
+  };
+  tr.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    return Shape{in[0][1], in[0][0]};
+  };
+  tr.flops_fn = nullptr;
+  tr.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(tr));
+}
+
+void RegisterPaperExamples(OpRegistry* registry) {
+  // conv1d (paper Figures 1-3): data [B,Ci,X], filters [Ci,Co,Dx] -> out [B,Co,X-Dx+1].
+  OpRegistry::OpTypeInfo c1;
+  c1.name = "conv1d";
+  c1.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("conv1d", 2);
+    IndexVar bb = b.Out("b"), co = b.Out("co"), x = b.Out("x");
+    IndexVar ci = b.Red("ci"), dx = b.Red("dx");
+    return std::move(b).Build(
+        b.Sum({ci, dx}, b.In(0)({bb, ci, x + dx}) * b.In(1)({ci, co, dx})));
+  };
+  c1.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    return Shape{in[0][0], in[1][1], in[0][2] - in[1][2] + 1};
+  };
+  c1.flops_fn = [](const std::vector<Shape>& in, const Shape& out, const OpAttrs&) {
+    return 2.0 * static_cast<double>(NumElements(out)) * static_cast<double>(in[1][0]) *
+           static_cast<double>(in[1][2]);
+  };
+  c1.op_class = OpClass::kConv;
+  registry->Register(std::move(c1));
+
+  // shift_two (paper §4.2): out[i] = in[i+2].
+  OpRegistry::OpTypeInfo sh;
+  sh.name = "shift_two";
+  sh.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("shift_two", 1);
+    IndexVar i = b.Out("i");
+    return std::move(b).Build(b.In(0)({i + 2.0}));
+  };
+  sh.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    return Shape{in[0][0] - 2};
+  };
+  sh.flops_fn = nullptr;
+  sh.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(sh));
+
+  // batch_cholesky (paper Figure 3): out[b,i,j] = Cholesky(in[b,:,:])[i,j]. Only the
+  // batch dimension is partitionable.
+  OpRegistry::OpTypeInfo bc;
+  bc.name = "batch_cholesky";
+  bc.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("batch_cholesky", 1);
+    IndexVar bb = b.Out("b"), i = b.Out("i"), j = b.Out("j");
+    return std::move(b).Build(b.Opaque("cholesky", 0, {IndexExpr(bb), std::nullopt, std::nullopt},
+                                       {IndexExpr(i), IndexExpr(j)}));
+  };
+  bc.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return in[0]; };
+  bc.flops_fn = [](const std::vector<Shape>& in, const Shape&, const OpAttrs&) {
+    // B * n^3/3 multiply-adds.
+    const double n = static_cast<double>(in[0][1]);
+    return static_cast<double>(in[0][0]) * n * n * n / 3.0;
+  };
+  bc.op_class = OpClass::kMatmul;
+  registry->Register(std::move(bc));
+}
+
+}  // namespace
+
+void RegisterLinalgOps(OpRegistry* registry) {
+  RegisterMatmul(registry);
+  RegisterReductionsAndLayout(registry);
+  RegisterPaperExamples(registry);
+}
+
+}  // namespace tofu

@@ -1,0 +1,291 @@
+// TDL descriptions for neural-network operators: 2-D convolution and its adjoints,
+// pooling, batch normalization (scale/shift form), broadcast bias, channel reductions and
+// the opaque softmax cross-entropy head.
+#include "tofu/tdl/registry.h"
+#include "tofu/util/logging.h"
+
+namespace tofu {
+namespace {
+
+double ConvFlops(std::int64_t batch, std::int64_t co, std::int64_t ho, std::int64_t wo,
+                 std::int64_t ci, std::int64_t kh, std::int64_t kw) {
+  return 2.0 * static_cast<double>(batch) * static_cast<double>(co) * static_cast<double>(ho) *
+         static_cast<double>(wo) * static_cast<double>(ci) * static_cast<double>(kh) *
+         static_cast<double>(kw);
+}
+
+void RegisterConvOps(OpRegistry* registry) {
+  // conv2d: data [B,Ci,H,W], filters [Co,Ci,Kh,Kw] -> [B,Co,Ho,Wo].
+  // attrs: stride, pad.
+  OpRegistry::OpTypeInfo fwd;
+  fwd.name = "conv2d";
+  fwd.desc_fn = [](const OpAttrs& attrs, const std::vector<int>&) {
+    const double s = static_cast<double>(attrs.GetInt("stride", 1));
+    const double p = static_cast<double>(attrs.GetInt("pad", 0));
+    OpDescBuilder b("conv2d", 2);
+    IndexVar bb = b.Out("b"), co = b.Out("co"), ho = b.Out("ho"), wo = b.Out("wo");
+    IndexVar ci = b.Red("ci"), kh = b.Red("kh"), kw = b.Red("kw");
+    return std::move(b).Build(
+        b.Sum({ci, kh, kw}, b.In(0)({bb, ci, ho * s + kh - p, wo * s + kw - p}) *
+                                b.In(1)({co, ci, kh, kw})));
+  };
+  fwd.shape_fn = [](const std::vector<Shape>& in, const OpAttrs& attrs) {
+    const std::int64_t s = attrs.GetInt("stride", 1);
+    const std::int64_t p = attrs.GetInt("pad", 0);
+    const std::int64_t ho = (in[0][2] + 2 * p - in[1][2]) / s + 1;
+    const std::int64_t wo = (in[0][3] + 2 * p - in[1][3]) / s + 1;
+    TOFU_CHECK_EQ(in[0][1], in[1][1]) << "conv2d channel mismatch";
+    return Shape{in[0][0], in[1][0], ho, wo};
+  };
+  fwd.flops_fn = [](const std::vector<Shape>& in, const Shape& out, const OpAttrs&) {
+    return ConvFlops(out[0], out[1], out[2], out[3], in[1][1], in[1][2], in[1][3]);
+  };
+  fwd.op_class = OpClass::kConv;
+  registry->Register(std::move(fwd));
+
+  // conv2d_bwd_data: dy [B,Co,Ho,Wo], filters [Co,Ci,Kh,Kw] -> dx [B,Ci,H,W].
+  // attrs: stride, pad, h, w (the forward input spatial extents).
+  OpRegistry::OpTypeInfo bwd_data;
+  bwd_data.name = "conv2d_bwd_data";
+  bwd_data.desc_fn = [](const OpAttrs& attrs, const std::vector<int>&) {
+    const double s = static_cast<double>(attrs.GetInt("stride", 1));
+    const double p = static_cast<double>(attrs.GetInt("pad", 0));
+    OpDescBuilder b("conv2d_bwd_data", 2);
+    IndexVar bb = b.Out("b"), ci = b.Out("ci"), h = b.Out("h"), w = b.Out("w");
+    IndexVar co = b.Red("co"), kh = b.Red("kh"), kw = b.Red("kw");
+    return std::move(b).Build(
+        b.Sum({co, kh, kw}, b.In(0)({bb, co, (h + p - kh) / s, (w + p - kw) / s}) *
+                                b.In(1)({co, ci, kh, kw})));
+  };
+  bwd_data.shape_fn = [](const std::vector<Shape>& in, const OpAttrs& attrs) {
+    return Shape{in[0][0], in[1][1], attrs.GetInt("h"), attrs.GetInt("w")};
+  };
+  bwd_data.flops_fn = [](const std::vector<Shape>& in, const Shape& out, const OpAttrs&) {
+    return ConvFlops(in[0][0], in[0][1], in[0][2], in[0][3], in[1][1], in[1][2], in[1][3]);
+  };
+  bwd_data.op_class = OpClass::kConv;
+  registry->Register(std::move(bwd_data));
+
+  // conv2d_bwd_filter: dy [B,Co,Ho,Wo], data [B,Ci,H,W] -> dw [Co,Ci,Kh,Kw].
+  // attrs: stride, pad, kh, kw. The batch dimension is a reduction dimension: this is the
+  // output-reduction strategy missed by layer-granularity systems (paper §7.3).
+  OpRegistry::OpTypeInfo bwd_filter;
+  bwd_filter.name = "conv2d_bwd_filter";
+  bwd_filter.desc_fn = [](const OpAttrs& attrs, const std::vector<int>&) {
+    const double s = static_cast<double>(attrs.GetInt("stride", 1));
+    const double p = static_cast<double>(attrs.GetInt("pad", 0));
+    OpDescBuilder b("conv2d_bwd_filter", 2);
+    IndexVar co = b.Out("co"), ci = b.Out("ci"), kh = b.Out("kh"), kw = b.Out("kw");
+    IndexVar bb = b.Red("b"), ho = b.Red("ho"), wo = b.Red("wo");
+    return std::move(b).Build(
+        b.Sum({bb, ho, wo}, b.In(0)({bb, co, ho, wo}) *
+                                b.In(1)({bb, ci, ho * s + kh - p, wo * s + kw - p})));
+  };
+  bwd_filter.shape_fn = [](const std::vector<Shape>& in, const OpAttrs& attrs) {
+    return Shape{in[0][1], in[1][1], attrs.GetInt("kh"), attrs.GetInt("kw")};
+  };
+  bwd_filter.flops_fn = [](const std::vector<Shape>& in, const Shape& out, const OpAttrs&) {
+    return ConvFlops(in[0][0], in[0][1], in[0][2], in[0][3], out[1], out[2], out[3]);
+  };
+  bwd_filter.op_class = OpClass::kConv;
+  registry->Register(std::move(bwd_filter));
+}
+
+void RegisterPoolingOps(OpRegistry* registry) {
+  // maxpool2d: [B,C,H,W] -> [B,C,Ho,Wo]; attrs: kernel, stride.
+  OpRegistry::OpTypeInfo mp;
+  mp.name = "maxpool2d";
+  mp.desc_fn = [](const OpAttrs& attrs, const std::vector<int>&) {
+    const double s = static_cast<double>(attrs.GetInt("stride", 1));
+    const std::int64_t k = attrs.GetInt("kernel", 2);
+    OpDescBuilder b("maxpool2d", 1);
+    IndexVar bb = b.Out("b"), c = b.Out("c"), ho = b.Out("ho"), wo = b.Out("wo");
+    IndexVar kh = b.Red("kh", k), kw = b.Red("kw", k);
+    return std::move(b).Build(
+        b.Max({kh, kw}, b.In(0)({bb, c, ho * s + kh, wo * s + kw})));
+  };
+  mp.shape_fn = [](const std::vector<Shape>& in, const OpAttrs& attrs) {
+    const std::int64_t s = attrs.GetInt("stride", 1);
+    const std::int64_t k = attrs.GetInt("kernel", 2);
+    return Shape{in[0][0], in[0][1], (in[0][2] - k) / s + 1, (in[0][3] - k) / s + 1};
+  };
+  mp.flops_fn = nullptr;
+  mp.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(mp));
+
+  // maxpool2d_grad: dy [B,C,Ho,Wo], x [B,C,H,W], y [B,C,Ho,Wo] -> dx [B,C,H,W].
+  OpRegistry::OpTypeInfo mpg;
+  mpg.name = "maxpool2d_grad";
+  mpg.desc_fn = [](const OpAttrs& attrs, const std::vector<int>&) {
+    const double s = static_cast<double>(attrs.GetInt("stride", 1));
+    const std::int64_t k = attrs.GetInt("kernel", 2);
+    OpDescBuilder b("maxpool2d_grad", 3);
+    IndexVar bb = b.Out("b"), c = b.Out("c"), h = b.Out("h"), w = b.Out("w");
+    IndexVar kh = b.Red("kh", k), kw = b.Red("kw", k);
+    return std::move(b).Build(b.Sum(
+        {kh, kw}, b.In(0)({bb, c, (h - kh) / s, (w - kw) / s}) * b.In(1)({bb, c, h, w}) *
+                      b.In(2)({bb, c, (h - kh) / s, (w - kw) / s})));
+  };
+  mpg.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return in[1]; };
+  mpg.flops_fn = nullptr;
+  mpg.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(mpg));
+
+  // global_avg_pool: [B,C,H,W] -> [B,C].
+  OpRegistry::OpTypeInfo gap;
+  gap.name = "global_avg_pool";
+  gap.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("global_avg_pool", 1);
+    IndexVar bb = b.Out("b"), c = b.Out("c");
+    IndexVar h = b.Red("h"), w = b.Red("w");
+    return std::move(b).Build(b.Sum({h, w}, b.In(0)({bb, c, h, w})) * 1.0);
+  };
+  gap.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    return Shape{in[0][0], in[0][1]};
+  };
+  gap.flops_fn = nullptr;
+  gap.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(gap));
+
+  // global_avg_pool_grad: dy [B,C] -> dx [B,C,H,W]; attrs: h, w.
+  OpRegistry::OpTypeInfo gapg;
+  gapg.name = "global_avg_pool_grad";
+  gapg.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("global_avg_pool_grad", 1);
+    IndexVar bb = b.Out("b"), c = b.Out("c");
+    b.Out("h");
+    b.Out("w");
+    return std::move(b).Build(b.In(0)({bb, c}) * 1.0);
+  };
+  gapg.shape_fn = [](const std::vector<Shape>& in, const OpAttrs& attrs) {
+    return Shape{in[0][0], in[0][1], attrs.GetInt("h"), attrs.GetInt("w")};
+  };
+  gapg.flops_fn = nullptr;
+  gapg.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(gapg));
+}
+
+void RegisterNormalizationOps(OpRegistry* registry) {
+  // bn: x [B,C,H,W], gamma [C], beta [C] -> y [B,C,H,W].
+  //
+  // Substitution note (DESIGN.md §2): the cross-worker statistics synchronization of a
+  // partitioned BatchNorm moves O(C) bytes -- negligible against the tensors -- so the
+  // description models the scale/shift data path whose access pattern drives partitioning.
+  OpRegistry::OpTypeInfo bn;
+  bn.name = "bn";
+  bn.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("bn", 3);
+    IndexVar bb = b.Out("b"), c = b.Out("c"), h = b.Out("h"), w = b.Out("w");
+    return std::move(b).Build(b.In(0)({bb, c, h, w}) * b.In(1)({IndexExpr(c)}) +
+                              b.In(2)({IndexExpr(c)}));
+  };
+  bn.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return in[0]; };
+  bn.flops_fn = nullptr;
+  bn.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(bn));
+
+  // bn_grad_x: dy [B,C,H,W], gamma [C] -> dx [B,C,H,W].
+  OpRegistry::OpTypeInfo bngx;
+  bngx.name = "bn_grad_x";
+  bngx.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("bn_grad_x", 2);
+    IndexVar bb = b.Out("b"), c = b.Out("c"), h = b.Out("h"), w = b.Out("w");
+    return std::move(b).Build(b.In(0)({bb, c, h, w}) * b.In(1)({IndexExpr(c)}));
+  };
+  bngx.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return in[0]; };
+  bngx.flops_fn = nullptr;
+  bngx.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(bngx));
+
+  // bn_grad_gamma: dy [B,C,H,W], x [B,C,H,W] -> dgamma [C] (batch+spatial reduction).
+  OpRegistry::OpTypeInfo bngg;
+  bngg.name = "bn_grad_gamma";
+  bngg.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("bn_grad_gamma", 2);
+    IndexVar c = b.Out("c");
+    IndexVar bb = b.Red("b"), h = b.Red("h"), w = b.Red("w");
+    return std::move(b).Build(
+        b.Sum({bb, h, w}, b.In(0)({bb, c, h, w}) * b.In(1)({bb, c, h, w})));
+  };
+  bngg.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return Shape{in[0][1]}; };
+  bngg.flops_fn = nullptr;
+  bngg.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(bngg));
+
+  // reduce_channel: dy [B,C,H,W] -> [C] (beta gradient).
+  OpRegistry::OpTypeInfo rc;
+  rc.name = "reduce_channel";
+  rc.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("reduce_channel", 1);
+    IndexVar c = b.Out("c");
+    IndexVar bb = b.Red("b"), h = b.Red("h"), w = b.Red("w");
+    return std::move(b).Build(b.Sum({bb, h, w}, b.In(0)({bb, c, h, w})));
+  };
+  rc.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return Shape{in[0][1]}; };
+  rc.flops_fn = nullptr;
+  rc.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(rc));
+}
+
+void RegisterBroadcastAndHeadOps(OpRegistry* registry) {
+  // add_bias: x [rank r], bias [1-D indexed by output dim attr("bias_dim")] -> x shape.
+  OpRegistry::OpTypeInfo ab;
+  ab.name = "add_bias";
+  ab.desc_fn = [](const OpAttrs& attrs, const std::vector<int>& ranks) {
+    const int rank = ranks[0];
+    const int bias_dim = static_cast<int>(attrs.GetInt("bias_dim", static_cast<int>(rank) - 1));
+    OpDescBuilder b("add_bias", 2);
+    std::vector<IndexVar> vars;
+    for (int d = 0; d < rank; ++d) {
+      vars.push_back(b.Out("x" + std::to_string(d)));
+    }
+    std::vector<IndexExpr> idx(vars.begin(), vars.end());
+    return std::move(b).Build(b.In(0)(idx) +
+                              b.In(1)({IndexExpr(vars[static_cast<size_t>(bias_dim)])}));
+  };
+  ab.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return in[0]; };
+  ab.flops_fn = nullptr;
+  ab.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(ab));
+
+  // softmax_xent: logits [B,V], labels [B] -> per-sample loss [B]. The row-wise softmax
+  // is opaque (normalization couples the whole row); only the batch dimension partitions.
+  OpRegistry::OpTypeInfo sx;
+  sx.name = "softmax_xent";
+  sx.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("softmax_xent", 2);
+    IndexVar bb = b.Out("b");
+    ExprPtr head = b.Opaque("softmax_xent_row", 0, {IndexExpr(bb), std::nullopt}, {});
+    return std::move(b).Build(head + b.In(1)({IndexExpr(bb)}) * 0.0);
+  };
+  sx.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return Shape{in[0][0]}; };
+  sx.flops_fn = nullptr;
+  sx.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(sx));
+
+  // softmax_xent_grad: logits [B,V], labels [B] -> dlogits [B,V].
+  OpRegistry::OpTypeInfo sxg;
+  sxg.name = "softmax_xent_grad";
+  sxg.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("softmax_xent_grad", 2);
+    IndexVar bb = b.Out("b"), v = b.Out("v");
+    ExprPtr head =
+        b.Opaque("softmax_xent_row_grad", 0, {IndexExpr(bb), std::nullopt}, {IndexExpr(v)});
+    return std::move(b).Build(head + b.In(1)({IndexExpr(bb)}) * 0.0);
+  };
+  sxg.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return in[0]; };
+  sxg.flops_fn = nullptr;
+  sxg.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(sxg));
+}
+
+}  // namespace
+
+void RegisterNNOps(OpRegistry* registry) {
+  RegisterConvOps(registry);
+  RegisterPoolingOps(registry);
+  RegisterNormalizationOps(registry);
+  RegisterBroadcastAndHeadOps(registry);
+}
+
+}  // namespace tofu

@@ -1,0 +1,107 @@
+#include "tofu/tdl/registry.h"
+
+#include <sstream>
+
+#include "tofu/util/logging.h"
+#include "tofu/util/strings.h"
+
+namespace tofu {
+
+std::int64_t NumElements(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  return "[" + Join(shape, ",") + "]";
+}
+
+std::int64_t OpAttrs::GetInt(const std::string& key, std::int64_t def) const {
+  auto it = ints_.find(key);
+  return it == ints_.end() ? def : it->second;
+}
+
+double OpAttrs::GetFloat(const std::string& key, double def) const {
+  auto it = floats_.find(key);
+  return it == floats_.end() ? def : it->second;
+}
+
+std::string OpAttrs::Signature() const {
+  std::ostringstream out;
+  for (const auto& [k, v] : ints_) {
+    out << k << "=" << v << ";";
+  }
+  for (const auto& [k, v] : floats_) {
+    out << k << "=" << v << ";";
+  }
+  return out.str();
+}
+
+OpRegistry& OpRegistry::Get() {
+  static OpRegistry* registry = new OpRegistry();
+  return *registry;
+}
+
+OpRegistry::OpRegistry() {
+  RegisterElementwiseOps(this);
+  RegisterLinalgOps(this);
+  RegisterNNOps(this);
+}
+
+void OpRegistry::Register(OpTypeInfo info) {
+  TOFU_CHECK(types_.find(info.name) == types_.end()) << "duplicate op type: " << info.name;
+  std::string name = info.name;
+  types_.emplace(std::move(name), std::move(info));
+}
+
+bool OpRegistry::Has(const std::string& name) const { return types_.count(name) > 0; }
+
+const OpRegistry::OpTypeInfo& OpRegistry::Info(const std::string& name) const {
+  auto it = types_.find(name);
+  TOFU_CHECK(it != types_.end()) << "unknown op type: " << name;
+  return it->second;
+}
+
+const OpSemantics& OpRegistry::Semantics(const std::string& name, const OpAttrs& attrs,
+                                         const std::vector<int>& input_ranks) {
+  std::string key = name + "|" + attrs.Signature() + "|" + Join(input_ranks, ",");
+  auto it = semantics_cache_.find(key);
+  if (it != semantics_cache_.end()) {
+    return *it->second;
+  }
+  const OpTypeInfo& info = Info(name);
+  auto semantics = std::make_unique<OpSemantics>();
+  semantics->desc = info.desc_fn(attrs, input_ranks);
+  semantics->strategies = DiscoverStrategies(semantics->desc);
+  const OpSemantics& ref = *semantics;
+  semantics_cache_.emplace(std::move(key), std::move(semantics));
+  return ref;
+}
+
+Shape OpRegistry::InferShape(const std::string& name, const std::vector<Shape>& inputs,
+                             const OpAttrs& attrs) const {
+  return Info(name).shape_fn(inputs, attrs);
+}
+
+double OpRegistry::Flops(const std::string& name, const std::vector<Shape>& inputs,
+                         const Shape& output, const OpAttrs& attrs) const {
+  const OpTypeInfo& info = Info(name);
+  if (!info.flops_fn) {
+    return 0.0;
+  }
+  return info.flops_fn(inputs, output, attrs);
+}
+
+std::vector<std::string> OpRegistry::RegisteredNames() const {
+  std::vector<std::string> names;
+  names.reserve(types_.size());
+  for (const auto& [name, info] : types_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace tofu

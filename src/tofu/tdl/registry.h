@@ -1,0 +1,121 @@
+// Operator semantics registry.
+//
+// Every graph-level operator type registers:
+//   * a TDL description factory (descriptions may depend on instance attributes such as
+//     convolution stride, and on input ranks for rank-generic element-wise operators);
+//   * a shape-inference function;
+//   * a FLOP estimator and a compute class consumed by the simulator's cost model.
+//
+// Semantics lookups are cached per (type, attribute, rank) signature, so the partition
+// strategies of an operator type are discovered exactly once.
+#ifndef TOFU_TDL_REGISTRY_H_
+#define TOFU_TDL_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tofu/tdl/analysis.h"
+#include "tofu/tdl/expr.h"
+
+namespace tofu {
+
+using Shape = std::vector<std::int64_t>;
+
+std::int64_t NumElements(const Shape& shape);
+std::string ShapeToString(const Shape& shape);
+
+// Ordered attribute bag (integers and doubles) carried by op instances.
+class OpAttrs {
+ public:
+  OpAttrs() = default;
+
+  OpAttrs& Set(const std::string& key, std::int64_t value) {
+    ints_[key] = value;
+    return *this;
+  }
+  OpAttrs& SetF(const std::string& key, double value) {
+    floats_[key] = value;
+    return *this;
+  }
+
+  std::int64_t GetInt(const std::string& key, std::int64_t def = 0) const;
+  double GetFloat(const std::string& key, double def = 0.0) const;
+  bool Has(const std::string& key) const { return ints_.count(key) > 0; }
+
+  // Deterministic string form used as a cache key component.
+  std::string Signature() const;
+
+ private:
+  std::map<std::string, std::int64_t> ints_;
+  std::map<std::string, double> floats_;
+};
+
+// Compute class used by the simulator's kernel efficiency model.
+enum class OpClass {
+  kMatmul,     // GEMM-shaped: efficiency starves at small batch
+  kConv,       // convolution: good utilization even at small batch
+  kBandwidth,  // element-wise / data-movement: memory-bandwidth bound
+};
+
+// Cached analysis product for one (type, attrs, ranks) signature.
+struct OpSemantics {
+  OpDesc desc;
+  std::vector<BasicStrategy> strategies;
+};
+
+class OpRegistry {
+ public:
+  using DescFn = std::function<OpDesc(const OpAttrs&, const std::vector<int>& input_ranks)>;
+  using ShapeFn =
+      std::function<Shape(const std::vector<Shape>& input_shapes, const OpAttrs&)>;
+  using FlopsFn = std::function<double(const std::vector<Shape>& input_shapes,
+                                       const Shape& output_shape, const OpAttrs&)>;
+
+  struct OpTypeInfo {
+    std::string name;
+    DescFn desc_fn;
+    ShapeFn shape_fn;
+    FlopsFn flops_fn;  // null => bandwidth-bound (cost from bytes moved)
+    OpClass op_class = OpClass::kBandwidth;
+  };
+
+  // The process-wide registry with all built-in operators registered.
+  static OpRegistry& Get();
+
+  void Register(OpTypeInfo info);
+  bool Has(const std::string& name) const;
+  const OpTypeInfo& Info(const std::string& name) const;
+
+  // Returns the cached TDL description and discovered partition strategies.
+  const OpSemantics& Semantics(const std::string& name, const OpAttrs& attrs,
+                               const std::vector<int>& input_ranks);
+
+  Shape InferShape(const std::string& name, const std::vector<Shape>& inputs,
+                   const OpAttrs& attrs) const;
+
+  // FLOPs of one execution (0 for bandwidth-bound operators).
+  double Flops(const std::string& name, const std::vector<Shape>& inputs, const Shape& output,
+               const OpAttrs& attrs) const;
+
+  std::vector<std::string> RegisteredNames() const;
+
+ private:
+  OpRegistry();
+
+  std::unordered_map<std::string, OpTypeInfo> types_;
+  std::unordered_map<std::string, std::unique_ptr<OpSemantics>> semantics_cache_;
+};
+
+// Registration hooks implemented by the ops_*.cc translation units.
+void RegisterElementwiseOps(OpRegistry* registry);
+void RegisterLinalgOps(OpRegistry* registry);
+void RegisterNNOps(OpRegistry* registry);
+
+}  // namespace tofu
+
+#endif  // TOFU_TDL_REGISTRY_H_

@@ -1,0 +1,79 @@
+// Lightweight logging and invariant-checking facilities for Tofu.
+//
+// Follows the Google/Fuchsia C++ style used throughout this repository: checks abort on
+// failure (invariant violations are programming errors), recoverable conditions use
+// tofu::Status (see status.h) instead.
+#ifndef TOFU_UTIL_LOGGING_H_
+#define TOFU_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace tofu {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Returns the current minimum severity; messages below it are dropped.
+LogSeverity MinLogSeverity();
+
+// Sets the global minimum severity (e.g. to silence INFO logs in benchmarks).
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+// Accumulates one log statement and emits it (to stderr) on destruction.
+// kFatal messages abort the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows a streamed expression when a log statement is compiled out / disabled.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace tofu
+
+#define TOFU_LOG_INTERNAL(severity) \
+  ::tofu::internal::LogMessage(severity, __FILE__, __LINE__)
+
+#define TOFU_LOG(severity) TOFU_LOG_INTERNAL(::tofu::LogSeverity::k##severity)
+
+// TOFU_CHECK(cond) << "message": aborts with the message when cond is false.
+#define TOFU_CHECK(cond)                                 \
+  (cond) ? (void)0                                       \
+         : ::tofu::internal::LogMessageVoidify() &       \
+               TOFU_LOG_INTERNAL(::tofu::LogSeverity::kFatal) << "Check failed: " #cond " "
+
+#define TOFU_CHECK_OP(a, b, op) TOFU_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define TOFU_CHECK_EQ(a, b) TOFU_CHECK_OP(a, b, ==)
+#define TOFU_CHECK_NE(a, b) TOFU_CHECK_OP(a, b, !=)
+#define TOFU_CHECK_LT(a, b) TOFU_CHECK_OP(a, b, <)
+#define TOFU_CHECK_LE(a, b) TOFU_CHECK_OP(a, b, <=)
+#define TOFU_CHECK_GT(a, b) TOFU_CHECK_OP(a, b, >)
+#define TOFU_CHECK_GE(a, b) TOFU_CHECK_OP(a, b, >=)
+
+#endif  // TOFU_UTIL_LOGGING_H_

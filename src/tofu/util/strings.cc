@@ -1,0 +1,60 @@
+#include "tofu/util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tofu {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  double value = bytes;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return StrFormat("%.2f %s", value, kUnits[unit]);
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds < 1e-6) {
+    return StrFormat("%.1f ns", seconds * 1e9);
+  }
+  if (seconds < 1e-3) {
+    return StrFormat("%.1f us", seconds * 1e6);
+  }
+  if (seconds < 1.0) {
+    return StrFormat("%.1f ms", seconds * 1e3);
+  }
+  return StrFormat("%.2f s", seconds);
+}
+
+std::string Cell(const std::string& text, int width) {
+  std::string out = text;
+  if (static_cast<int>(out.size()) > width) {
+    out.resize(static_cast<size_t>(width));
+  }
+  while (static_cast<int>(out.size()) < width) {
+    out.push_back(' ');
+  }
+  return out;
+}
+
+}  // namespace tofu

@@ -1,0 +1,41 @@
+// Small string formatting helpers shared across modules (reports, DOT export, benches).
+#ifndef TOFU_UTIL_STRINGS_H_
+#define TOFU_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tofu {
+
+// Joins elements with `sep`, using operator<< for formatting.
+template <typename Container>
+std::string Join(const Container& items, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) {
+      out << sep;
+    }
+    out << item;
+    first = false;
+  }
+  return out.str();
+}
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Formats a byte count with binary units, e.g. "1.50 GiB".
+std::string HumanBytes(double bytes);
+
+// Formats a duration given in seconds with an adaptive unit, e.g. "12.3 ms".
+std::string HumanSeconds(double seconds);
+
+// Renders a fixed-width left-aligned cell (pads or truncates to `width`).
+std::string Cell(const std::string& text, int width);
+
+}  // namespace tofu
+
+#endif  // TOFU_UTIL_STRINGS_H_

@@ -1,0 +1,149 @@
+// Backward-pass generation tests: gradient structure for MLP and RNN graphs, shape
+// agreement, multi-use gradient aggregation, and optimizer update wiring (the §5.1
+// grouping inputs the coarsening pass relies on).
+#include <gtest/gtest.h>
+
+#include "tofu/graph/autodiff.h"
+#include "tofu/models/mlp.h"
+#include "tofu/models/rnn.h"
+
+namespace tofu {
+namespace {
+
+TEST(Autodiff, MlpGradientsExistForEveryParam) {
+  Graph g;
+  TensorId x = g.AddInput("x", {8, 16});
+  TensorId w1 = g.AddParam("w1", {16, 32});
+  TensorId h = g.AddOp("matmul", {}, {x, w1});
+  TensorId a = g.AddOp("relu", {}, {h});
+  TensorId w2 = g.AddParam("w2", {32, 4});
+  TensorId logits = g.AddOp("matmul", {}, {a, w2});
+  TensorId labels = g.AddInput("labels", {8});
+  TensorId xent = g.AddOp("softmax_xent", {}, {logits, labels});
+  TensorId loss = g.AddOp("reduce_mean_all", {}, {xent});
+
+  AutodiffResult grads = BuildBackward(&g, loss);
+  ValidateGraph(g);
+
+  for (TensorId w : {w1, w2}) {
+    auto it = grads.grad_map.find(w);
+    ASSERT_NE(it, grads.grad_map.end());
+    EXPECT_EQ(g.tensor(it->second).shape, g.tensor(w).shape);
+    EXPECT_EQ(g.tensor(it->second).grad_of, w);
+  }
+  // Data and labels carry no gradient.
+  EXPECT_EQ(grads.grad_map.count(x), 0u);
+  EXPECT_EQ(grads.grad_map.count(labels), 0u);
+  // Backward ops reference their forward op.
+  int backward_ops = 0;
+  for (const OpNode& op : g.ops()) {
+    if (op.is_backward) {
+      ++backward_ops;
+      EXPECT_NE(op.forward_op, kNoOp);
+    }
+  }
+  EXPECT_GT(backward_ops, 3);
+}
+
+TEST(Autodiff, SharedWeightGradsAreAggregatedInPlace) {
+  // One weight used by two matmuls: the chain rule must sum two contributions.
+  Graph g;
+  TensorId x1 = g.AddInput("x1", {8, 16});
+  TensorId x2 = g.AddInput("x2", {8, 16});
+  TensorId w = g.AddParam("w", {16, 16});
+  TensorId y1 = g.AddOp("matmul", {}, {x1, w});
+  TensorId y2 = g.AddOp("matmul", {}, {x2, w});
+  TensorId sum = g.AddOp("add", {}, {y1, y2});
+  TensorId flat = g.AddOp("reduce_rows", {}, {sum});
+  TensorId loss = g.AddOp("reduce_mean_all", {}, {flat});
+
+  AutodiffResult grads = BuildBackward(&g, loss);
+  ValidateGraph(g);
+
+  auto it = grads.grad_map.find(w);
+  ASSERT_NE(it, grads.grad_map.end());
+  const OpNode& agg = g.op(g.tensor(it->second).producer);
+  EXPECT_TRUE(agg.is_grad_agg);
+  EXPECT_EQ(agg.type, "add");
+  EXPECT_EQ(agg.inplace_input, 0);  // MXNet-style in-place accumulation
+}
+
+TEST(Autodiff, AdagradUpdatesAreInPlaceAndGrouped) {
+  MlpConfig config;
+  config.layer_sizes = {32, 16, 4};
+  ModelGraph model = BuildMlp(config);
+  ValidateGraph(model.graph);
+
+  int hist_updates = 0;
+  int weight_updates = 0;
+  for (const OpNode& op : model.graph.ops()) {
+    if (op.type == "adagrad_hist") {
+      ++hist_updates;
+      EXPECT_TRUE(op.is_update);
+      EXPECT_EQ(op.inplace_input, 0);
+    }
+    if (op.type == "adagrad_update") {
+      ++weight_updates;
+      EXPECT_TRUE(op.is_update);
+      EXPECT_EQ(op.inplace_input, 0);
+    }
+  }
+  const int num_params = static_cast<int>(model.graph.ParamIds().size());
+  EXPECT_EQ(hist_updates, num_params);
+  EXPECT_EQ(weight_updates, num_params);
+  // 3W accounting: weights + grads + history.
+  EXPECT_EQ(model.ModelStateBytes(), 3 * model.graph.TotalParamBytes());
+}
+
+TEST(Autodiff, RnnTimestepBackwardOpsShareUnrollKeys) {
+  RnnConfig config;
+  config.layers = 2;
+  config.hidden = 64;
+  config.batch = 8;
+  config.timesteps = 5;
+  ModelGraph model = BuildRnn(config);
+  ValidateGraph(model.graph);
+
+  // Count backward matmuls keyed per timestep for one logical op: interior timesteps
+  // must share the same key (boundary t=1 may differ: no dX through the initial state).
+  std::map<std::string, int> key_counts;
+  for (const OpNode& op : model.graph.ops()) {
+    if (op.is_backward && !op.unroll_key.empty() && op.type == "matmul_tn") {
+      ++key_counts[op.unroll_key];
+    }
+  }
+  ASSERT_FALSE(key_counts.empty());
+  int max_count = 0;
+  for (const auto& [key, count] : key_counts) {
+    max_count = std::max(max_count, count);
+  }
+  // Weight-gradient matmuls exist for every timestep and coalesce across them.
+  EXPECT_GE(max_count, config.timesteps - 1);
+}
+
+TEST(Autodiff, LossGradSeedMatchesLossShape) {
+  MlpConfig config;
+  config.layer_sizes = {16, 8, 4};
+  ModelGraph model = BuildMlp(config);
+  ASSERT_NE(model.loss, kNoTensor);
+  EXPECT_TRUE(model.graph.tensor(model.loss).shape.empty());  // rank-0 loss
+  // The seed gradient input exists with the same (rank-0) shape.
+  bool found_seed = false;
+  for (const TensorNode& t : model.graph.tensors()) {
+    if (t.is_input && t.name.rfind("d_", 0) == 0) {
+      found_seed = true;
+      EXPECT_TRUE(t.shape.empty());
+    }
+  }
+  EXPECT_TRUE(found_seed);
+}
+
+TEST(AutodiffDeath, LossMustDependOnParams) {
+  Graph g;
+  TensorId x = g.AddInput("x", {8});
+  TensorId loss = g.AddOp("reduce_mean_all", {}, {x});
+  EXPECT_DEATH(BuildBackward(&g, loss), "does not depend");
+}
+
+}  // namespace
+}  // namespace tofu

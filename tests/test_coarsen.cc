@@ -1,0 +1,183 @@
+// Graph coarsening tests (paper §5.1): forward/backward grouping, element-wise slot
+// coalescing, unrolled-timestep merging, and the invariants the DP relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tofu/models/mlp.h"
+#include "tofu/models/rnn.h"
+#include "tofu/partition/coarsen.h"
+
+namespace tofu {
+namespace {
+
+ModelGraph SmallMlp() {
+  MlpConfig config;
+  config.layer_sizes = {64, 32, 10};
+  config.batch = 16;
+  return BuildMlp(config);
+}
+
+TEST(Coarsen, SlotMembersShareShape) {
+  ModelGraph model = SmallMlp();
+  CoarseGraph cg = Coarsen(model.graph);
+  for (const TensorSlot& slot : cg.slots) {
+    const Shape& shape = model.graph.tensor(slot.members[0]).shape;
+    for (TensorId t : slot.members) {
+      EXPECT_EQ(model.graph.tensor(t).shape, shape);
+    }
+  }
+}
+
+TEST(Coarsen, EveryTensorInExactlyOneSlot) {
+  ModelGraph model = SmallMlp();
+  CoarseGraph cg = Coarsen(model.graph);
+  std::vector<int> seen(static_cast<size_t>(model.graph.num_tensors()), 0);
+  for (const TensorSlot& slot : cg.slots) {
+    for (TensorId t : slot.members) {
+      ++seen[static_cast<size_t>(t)];
+    }
+  }
+  for (TensorId t = 0; t < model.graph.num_tensors(); ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], 1) << model.graph.tensor(t).name;
+    EXPECT_GE(cg.tensor_slot[static_cast<size_t>(t)], 0);
+    EXPECT_LT(cg.tensor_slot[static_cast<size_t>(t)], cg.num_slots());
+  }
+}
+
+TEST(Coarsen, WeightGradHistoryShareOneSlot) {
+  // The optimizer's element-wise updates tie weight, gradient and history together --
+  // the paper's weight tensor group.
+  ModelGraph model = SmallMlp();
+  const Graph& g = model.graph;
+  CoarseGraph cg = Coarsen(g);
+  for (TensorId w : g.ParamIds()) {
+    const int slot = cg.tensor_slot[static_cast<size_t>(w)];
+    int grads_in_slot = 0;
+    int hist_in_slot = 0;
+    for (TensorId t : cg.slots[static_cast<size_t>(slot)].members) {
+      if (g.tensor(t).grad_of == w) {
+        ++grads_in_slot;
+      }
+      if (g.tensor(t).is_opt_state) {
+        ++hist_in_slot;
+      }
+    }
+    EXPECT_GE(grads_in_slot, 1) << g.tensor(w).name;
+    EXPECT_GE(hist_in_slot, 1) << g.tensor(w).name;
+  }
+}
+
+TEST(Coarsen, BackwardOpsJoinForwardGroups) {
+  ModelGraph model = SmallMlp();
+  const Graph& g = model.graph;
+  CoarseGraph cg = Coarsen(g);
+  // Map op -> group.
+  std::vector<int> group_of(static_cast<size_t>(g.num_ops()), -1);
+  for (size_t gi = 0; gi < cg.groups.size(); ++gi) {
+    for (int u : cg.groups[gi].units) {
+      for (OpId op : cg.units[static_cast<size_t>(u)].ops) {
+        group_of[static_cast<size_t>(op)] = static_cast<int>(gi);
+      }
+    }
+    for (OpId op : cg.groups[gi].ew_ops) {
+      group_of[static_cast<size_t>(op)] = static_cast<int>(gi);
+    }
+  }
+  for (const OpNode& op : g.ops()) {
+    ASSERT_GE(group_of[static_cast<size_t>(op.id)], 0) << op.type;
+    if (op.forward_op != kNoOp && !g.SemanticsOf(op).desc.elementwise &&
+        !g.SemanticsOf(g.op(op.forward_op)).desc.elementwise) {
+      EXPECT_EQ(group_of[static_cast<size_t>(op.id)],
+                group_of[static_cast<size_t>(op.forward_op)])
+          << "backward op " << op.type << " not grouped with its forward op";
+    }
+  }
+}
+
+TEST(Coarsen, MlpCoarseGraphIsCompact) {
+  ModelGraph model = SmallMlp();
+  CoarseGraph cg = Coarsen(model.graph);
+  // Coarsening must shrink the op count substantially (paper: the coarsened MLP graph is
+  // linear in the number of layers).
+  EXPECT_LT(static_cast<int>(cg.groups.size()), model.graph.num_ops() / 3);
+}
+
+TEST(Coarsen, RnnTimestepMergingCollapsesUnits) {
+  RnnConfig config;
+  config.layers = 2;
+  config.hidden = 64;
+  config.batch = 8;
+  config.timesteps = 6;
+  ModelGraph model = BuildRnn(config);
+  CoarseGraph merged = Coarsen(model.graph);
+
+  CoarsenOptions no_merge;
+  no_merge.merge_unrolled_steps = false;
+  CoarseGraph unmerged = Coarsen(model.graph, no_merge);
+
+  // Merging timesteps must reduce both units and groups by roughly the unroll factor.
+  EXPECT_LT(merged.units.size() * 3, unmerged.units.size());
+  EXPECT_LT(merged.groups.size() * 2, unmerged.groups.size());
+
+  // Forward gate matmuls of interior timesteps share a unit of size ~timesteps.
+  size_t max_unit = 0;
+  for (const Unit& unit : merged.units) {
+    max_unit = std::max(max_unit, unit.ops.size());
+  }
+  EXPECT_GE(max_unit, static_cast<size_t>(config.timesteps - 1));
+}
+
+TEST(Coarsen, UnitsAreTypeHomogeneous) {
+  RnnConfig config;
+  config.layers = 2;
+  config.hidden = 64;
+  config.batch = 8;
+  config.timesteps = 5;
+  ModelGraph model = BuildRnn(config);
+  CoarseGraph cg = Coarsen(model.graph);
+  for (const Unit& unit : cg.units) {
+    const OpNode& first = model.graph.op(unit.ops[0]);
+    for (OpId op : unit.ops) {
+      EXPECT_EQ(model.graph.op(op).type, first.type);
+      EXPECT_EQ(model.graph.op(op).attrs.Signature(), first.attrs.Signature());
+    }
+  }
+}
+
+TEST(Coarsen, DisablingElementwiseCoalescingGivesFinerSlots) {
+  ModelGraph model = SmallMlp();
+  CoarseGraph coalesced = Coarsen(model.graph);
+  CoarsenOptions off;
+  off.coalesce_elementwise = false;
+  CoarseGraph fine = Coarsen(model.graph, off);
+  EXPECT_GT(fine.num_slots(), coalesced.num_slots());
+}
+
+TEST(Coarsen, TieFwBwMergesGradientSlots) {
+  ModelGraph model = SmallMlp();
+  CoarsenOptions tie;
+  tie.tie_fw_bw_tensors = true;
+  CoarseGraph tied = Coarsen(model.graph, tie);
+  CoarseGraph untied = Coarsen(model.graph);
+  EXPECT_LE(tied.num_slots(), untied.num_slots());
+  for (const TensorNode& t : model.graph.tensors()) {
+    if (t.grad_of != kNoTensor) {
+      EXPECT_EQ(tied.tensor_slot[static_cast<size_t>(t.id)],
+                tied.tensor_slot[static_cast<size_t>(t.grad_of)]);
+    }
+  }
+}
+
+TEST(Coarsen, TouchedSlotsAreSortedUnique) {
+  ModelGraph model = SmallMlp();
+  CoarseGraph cg = Coarsen(model.graph);
+  for (const MacroGroup& group : cg.groups) {
+    std::set<int> unique(group.touched_slots.begin(), group.touched_slots.end());
+    EXPECT_EQ(unique.size(), group.touched_slots.size());
+    EXPECT_TRUE(std::is_sorted(group.touched_slots.begin(), group.touched_slots.end()));
+  }
+}
+
+}  // namespace
+}  // namespace tofu

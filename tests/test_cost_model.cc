@@ -1,0 +1,80 @@
+// Cost-model tests: roofline behaviour, batch-dependent efficiency (the §7.2 mechanism
+// behind SmallBatch's RNN collapse), transfer times, and monotonicity sweeps.
+#include <gtest/gtest.h>
+
+#include "tofu/sim/cost_model.h"
+
+namespace tofu {
+namespace {
+
+TEST(CostModel, K80ClusterMatchesPaperTestbed) {
+  ClusterSpec c = K80Cluster();
+  EXPECT_EQ(c.num_gpus, 8);
+  EXPECT_DOUBLE_EQ(c.p2p_bandwidth, 21e9);
+  EXPECT_DOUBLE_EQ(c.cpu_bandwidth, 10e9);
+  EXPECT_DOUBLE_EQ(c.gpu.mem_capacity, 12.0 * (1ull << 30));
+}
+
+TEST(CostModel, KernelTimeIncludesLaunchOverhead) {
+  GpuSpec gpu;
+  EXPECT_GE(KernelSeconds(gpu, OpClass::kBandwidth, 0, 0, 1), gpu.kernel_overhead_s);
+}
+
+TEST(CostModel, BandwidthBoundScalesWithBytes) {
+  GpuSpec gpu;
+  const double t1 = KernelSeconds(gpu, OpClass::kBandwidth, 0, 1e9, 1);
+  const double t2 = KernelSeconds(gpu, OpClass::kBandwidth, 0, 2e9, 1);
+  EXPECT_NEAR(t2 - gpu.kernel_overhead_s, 2.0 * (t1 - gpu.kernel_overhead_s), 1e-12);
+}
+
+TEST(CostModel, MatmulStarvesAtSmallBatch) {
+  // §7.2: GEMM utilization collapses at small row counts while convolutions stay
+  // efficient; this asymmetry is why SmallBatch competes on WResNet-50-4 but never on
+  // the RNNs.
+  GpuSpec gpu;
+  const double flops = 1e12;
+  const double gemm_small = KernelSeconds(gpu, OpClass::kMatmul, flops, 0, 8);
+  const double gemm_big = KernelSeconds(gpu, OpClass::kMatmul, flops, 0, 512);
+  EXPECT_GT(gemm_small, 4.0 * gemm_big);
+
+  const double conv_small = KernelSeconds(gpu, OpClass::kConv, flops, 0, 8);
+  const double conv_big = KernelSeconds(gpu, OpClass::kConv, flops, 0, 512);
+  EXPECT_LT(conv_small, 1.5 * conv_big);
+}
+
+TEST(CostModel, TransferIncludesLatency) {
+  ClusterSpec c = K80Cluster();
+  EXPECT_NEAR(TransferSeconds(c, 0, c.p2p_bandwidth), c.link_latency_s, 1e-15);
+  EXPECT_NEAR(TransferSeconds(c, c.p2p_bandwidth, c.p2p_bandwidth),
+              c.link_latency_s + 1.0, 1e-12);
+}
+
+// Parameterized monotonicity: kernel time never decreases with more FLOPs, and never
+// increases with more rows (better utilization).
+class EfficiencyMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(EfficiencyMonotone, MoreRowsNeverSlower) {
+  GpuSpec gpu;
+  const double rows = GetParam();
+  for (OpClass cls : {OpClass::kMatmul, OpClass::kConv}) {
+    const double t = KernelSeconds(gpu, cls, 1e12, 0, rows);
+    const double t2 = KernelSeconds(gpu, cls, 1e12, 0, rows * 2);
+    EXPECT_LE(t2, t) << "rows=" << rows;
+  }
+}
+
+TEST_P(EfficiencyMonotone, MoreFlopsNeverFaster) {
+  GpuSpec gpu;
+  const double rows = GetParam();
+  for (OpClass cls : {OpClass::kMatmul, OpClass::kConv}) {
+    const double t = KernelSeconds(gpu, cls, 1e12, 0, rows);
+    const double t2 = KernelSeconds(gpu, cls, 2e12, 0, rows);
+    EXPECT_GE(t2, t) << "rows=" << rows;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, EfficiencyMonotone,
+                         ::testing::Values(1.0, 4.0, 16.0, 64.0, 256.0, 1024.0));
+
+}  // namespace
+}  // namespace tofu

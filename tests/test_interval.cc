@@ -1,0 +1,148 @@
+// Tests for the symbolic interval domain (paper §4.2, Figure 4): affine forms over
+// symbolic upper bounds, the exact Figure-4 arithmetic, unions, and algebraic properties
+// checked over parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include "tofu/tdl/interval.h"
+
+namespace tofu {
+namespace {
+
+TEST(AffineForm, SymbolAndConstant) {
+  AffineForm f = AffineForm::Symbol(3, 1, 2.0);
+  EXPECT_EQ(f.num_symbols(), 3);
+  EXPECT_DOUBLE_EQ(f.coeff(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.coeff(1), 2.0);
+  EXPECT_DOUBLE_EQ(f.constant(), 0.0);
+
+  AffineForm c = AffineForm::Constant(3, 7.0);
+  EXPECT_DOUBLE_EQ(c.constant(), 7.0);
+  EXPECT_TRUE(c.IsNonNegative());
+}
+
+TEST(AffineForm, Arithmetic) {
+  AffineForm a = AffineForm::Symbol(2, 0);       // X0
+  AffineForm b = AffineForm::Symbol(2, 1, 3.0);  // 3*X1
+  AffineForm sum = a + b + 5.0;
+  EXPECT_DOUBLE_EQ(sum.coeff(0), 1.0);
+  EXPECT_DOUBLE_EQ(sum.coeff(1), 3.0);
+  EXPECT_DOUBLE_EQ(sum.constant(), 5.0);
+
+  AffineForm scaled = sum * 0.5;
+  EXPECT_DOUBLE_EQ(scaled.coeff(1), 1.5);
+  EXPECT_DOUBLE_EQ(scaled.constant(), 2.5);
+
+  AffineForm diff = scaled - scaled;
+  EXPECT_TRUE(diff.IsZero());
+}
+
+TEST(AffineForm, EvalSubstitutesConcreteBounds) {
+  AffineForm f = AffineForm::Symbol(2, 0, 2.0) + AffineForm::Symbol(2, 1, -1.0) + 3.0;
+  EXPECT_DOUBLE_EQ(f.Eval({10, 4}), 2.0 * 10 - 4 + 3);
+}
+
+TEST(AffineForm, ToStringReadable) {
+  AffineForm f = AffineForm::Symbol(2, 0) + AffineForm::Symbol(2, 1, 0.5) + 2.0;
+  EXPECT_EQ(f.ToString({"X", "Y"}), "X+0.5*Y+2");
+}
+
+TEST(SymInterval, FullRangeAndSlice) {
+  SymInterval full = SymInterval::FullRange(2, 0);
+  EXPECT_TRUE(full.lo.IsZero());
+  EXPECT_DOUBLE_EQ(full.hi.coeff(0), 1.0);
+
+  SymInterval half = SymInterval::Slice(2, 0, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(half.lo.coeff(0), 0.5);
+  EXPECT_DOUBLE_EQ(half.hi.coeff(0), 1.0);
+  // Width of the upper half is X0/2.
+  AffineForm width = half.Width();
+  EXPECT_DOUBLE_EQ(width.coeff(0), 0.5);
+}
+
+// Figure 4: I +- k, I * k, I / k, I +- I'.
+TEST(SymInterval, Figure4Arithmetic) {
+  SymInterval i = SymInterval::FullRange(1, 0);  // [0, X]
+  SymInterval shifted = i + 2.0;                 // [2, X+2]
+  EXPECT_DOUBLE_EQ(shifted.lo.constant(), 2.0);
+  EXPECT_DOUBLE_EQ(shifted.hi.constant(), 2.0);
+  EXPECT_DOUBLE_EQ(shifted.hi.coeff(0), 1.0);
+
+  SymInterval scaled = i * 3.0;  // [0, 3X]
+  EXPECT_DOUBLE_EQ(scaled.hi.coeff(0), 3.0);
+
+  SymInterval neg = i * -1.0;  // [-X, 0]: endpoints swap
+  EXPECT_DOUBLE_EQ(neg.lo.coeff(0), -1.0);
+  EXPECT_TRUE(neg.hi.IsZero());
+
+  SymInterval sum = i + shifted;  // [2, 2X+2]
+  EXPECT_DOUBLE_EQ(sum.lo.constant(), 2.0);
+  EXPECT_DOUBLE_EQ(sum.hi.coeff(0), 2.0);
+
+  SymInterval diff = i - i;  // [-X, X]
+  EXPECT_DOUBLE_EQ(diff.lo.coeff(0), -1.0);
+  EXPECT_DOUBLE_EQ(diff.hi.coeff(0), 1.0);
+}
+
+TEST(SymInterval, UnionIsCoefficientWiseHull) {
+  SymInterval a = SymInterval::Slice(2, 0, 0.0, 0.5);
+  SymInterval b = SymInterval::Slice(2, 0, 0.5, 1.0);
+  SymInterval u = SymInterval::Union(a, b);
+  EXPECT_TRUE(u.ApproxEquals(SymInterval::FullRange(2, 0)));
+}
+
+TEST(SymInterval, UnionContainsBothArguments) {
+  SymInterval a = SymInterval::FullRange(2, 0) + 3.0;
+  SymInterval b = SymInterval::FullRange(2, 1) * 2.0;
+  SymInterval u = SymInterval::Union(a, b);
+  // Evaluate at a concrete bound assignment and check containment.
+  const std::vector<std::int64_t> bounds = {7, 5};
+  EXPECT_LE(u.lo.Eval(bounds), a.lo.Eval(bounds));
+  EXPECT_LE(u.lo.Eval(bounds), b.lo.Eval(bounds));
+  EXPECT_GE(u.hi.Eval(bounds), a.hi.Eval(bounds));
+  EXPECT_GE(u.hi.Eval(bounds), b.hi.Eval(bounds));
+}
+
+// Parameterized property sweep: scaling by k then by 1/k round-trips, and width scales
+// linearly, across a range of scale factors.
+class IntervalScaleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(IntervalScaleProperty, ScaleRoundTrip) {
+  const double k = GetParam();
+  SymInterval i = SymInterval::Slice(2, 1, 0.25, 0.75) + 1.0;
+  SymInterval scaled = (i * k) * (1.0 / k);
+  EXPECT_TRUE(scaled.ApproxEquals(i, 1e-9)) << "k=" << k;
+}
+
+TEST_P(IntervalScaleProperty, WidthScalesLinearly) {
+  const double k = GetParam();
+  SymInterval i = SymInterval::Slice(3, 2, 0.0, 0.5);
+  AffineForm w = i.Width();
+  AffineForm w_scaled = (i * k).Width();
+  AffineForm expect = w * std::abs(k);
+  EXPECT_TRUE(w_scaled.ApproxEquals(expect, 1e-9)) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, IntervalScaleProperty,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0, -1.0, -2.0, 7.0, 0.125));
+
+// Commutativity / associativity of interval addition over parameterized slices.
+struct SlicePair {
+  double a_lo, a_hi, b_lo, b_hi;
+};
+
+class IntervalAddProperty : public ::testing::TestWithParam<SlicePair> {};
+
+TEST_P(IntervalAddProperty, AdditionCommutes) {
+  const SlicePair p = GetParam();
+  SymInterval a = SymInterval::Slice(2, 0, p.a_lo, p.a_hi);
+  SymInterval b = SymInterval::Slice(2, 1, p.b_lo, p.b_hi);
+  EXPECT_TRUE((a + b).ApproxEquals(b + a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Slices, IntervalAddProperty,
+                         ::testing::Values(SlicePair{0, 1, 0, 1}, SlicePair{0, 0.5, 0.5, 1},
+                                           SlicePair{0.25, 0.75, 0, 0.25},
+                                           SlicePair{0, 0.125, 0.875, 1}));
+
+}  // namespace
+}  // namespace tofu

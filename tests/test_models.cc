@@ -1,0 +1,156 @@
+// Model zoo tests. The load-bearing one is the Table 2 reproduction: the paper reports
+// total weight memory (weights + gradients + optimizer history, §7.1's 3W) in GiB for
+// every benchmark configuration; our generated models must land within a few percent.
+#include <gtest/gtest.h>
+
+#include "tofu/graph/graph.h"
+#include "tofu/models/mlp.h"
+#include "tofu/models/rnn.h"
+#include "tofu/models/wresnet.h"
+
+namespace tofu {
+namespace {
+
+double Gib(std::int64_t bytes) { return static_cast<double>(bytes) / (1ull << 30); }
+
+struct Table2Case {
+  std::string name;
+  bool is_rnn;
+  int layers;
+  int width_or_hidden_k;  // WResNet width, or RNN hidden size / 1024
+  double paper_gib;       // Table 2
+};
+
+std::vector<Table2Case> Table2() {
+  return {
+      // RNN rows (L x H).
+      {"rnn_6_4k", true, 6, 4, 8.4},    {"rnn_8_4k", true, 8, 4, 11.4},
+      {"rnn_10_4k", true, 10, 4, 14.4}, {"rnn_6_6k", true, 6, 6, 18.6},
+      {"rnn_8_6k", true, 8, 6, 28.5},   {"rnn_10_6k", true, 10, 6, 32.1},
+      {"rnn_6_8k", true, 6, 8, 33.0},   {"rnn_8_8k", true, 8, 8, 45.3},
+      {"rnn_10_8k", true, 10, 8, 57.0},
+      // Wide ResNet rows (L x W).
+      {"wresnet_50_4", false, 50, 4, 4.2},    {"wresnet_101_4", false, 101, 4, 7.8},
+      {"wresnet_152_4", false, 152, 4, 10.5}, {"wresnet_50_6", false, 50, 6, 9.6},
+      {"wresnet_101_6", false, 101, 6, 17.1}, {"wresnet_152_6", false, 152, 6, 23.4},
+      {"wresnet_50_8", false, 50, 8, 17.1},   {"wresnet_101_8", false, 101, 8, 30.6},
+      {"wresnet_152_8", false, 152, 8, 41.7}, {"wresnet_50_10", false, 50, 10, 26.7},
+      {"wresnet_101_10", false, 101, 10, 47.7},
+      {"wresnet_152_10", false, 152, 10, 65.1},
+  };
+}
+
+class Table2Sizes : public ::testing::TestWithParam<Table2Case> {};
+
+TEST_P(Table2Sizes, ModelStateMatchesPaper) {
+  const Table2Case& c = GetParam();
+  ModelGraph model;
+  if (c.is_rnn) {
+    RnnConfig config;
+    config.layers = c.layers;
+    config.hidden = static_cast<std::int64_t>(c.width_or_hidden_k) * 1024;
+    config.batch = 4;  // batch does not affect weight sizes
+    model = BuildRnn(config);
+  } else {
+    WResNetConfig config;
+    config.layers = c.layers;
+    config.width = c.width_or_hidden_k;
+    config.batch = 2;
+    model = BuildWResNet(config);
+  }
+  const double ours = Gib(model.ModelStateBytes());
+  // Within 8% of the paper's Table 2 (framework padding and head details differ). The
+  // rnn_8_6k cell is off-trend in the paper itself (the 6K column's deltas per layer are
+  // 9.9 then 3.6 GiB where the closed form gives ~6.4 for both), so it gets extra slack.
+  const double tolerance = (c.name == "rnn_8_6k" ? 0.16 : 0.08) * c.paper_gib;
+  EXPECT_NEAR(ours, c.paper_gib, tolerance)
+      << c.name << ": ours " << ours << " GiB vs paper " << c.paper_gib << " GiB";
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, Table2Sizes, ::testing::ValuesIn(Table2()),
+                         [](const ::testing::TestParamInfo<Table2Case>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Models, WResNetStageBlocksMatchResNetDepths) {
+  EXPECT_EQ(WResNetStageBlocks(50), (std::vector<int>{3, 4, 6, 3}));
+  EXPECT_EQ(WResNetStageBlocks(101), (std::vector<int>{3, 4, 23, 3}));
+  EXPECT_EQ(WResNetStageBlocks(152), (std::vector<int>{3, 8, 36, 3}));
+}
+
+TEST(Models, WResNet152HasPaperScaleOpCount) {
+  WResNetConfig config;
+  config.layers = 152;
+  config.width = 4;
+  config.batch = 2;
+  ModelGraph model = BuildWResNet(config);
+  // Paper §1: the 152-layer ResNet training graph has >1500 operators in MXNet.
+  EXPECT_GT(model.graph.num_ops(), 1500);
+  ValidateGraph(model.graph);
+}
+
+TEST(Models, WResNetShapesFlowTo7x7) {
+  WResNetConfig config;
+  config.layers = 50;
+  config.width = 4;
+  config.batch = 4;
+  ModelGraph model = BuildWResNet(config);
+  // The stage-3 output feature map must be 7x7 with 2048*w channels.
+  bool found = false;
+  for (const TensorNode& t : model.graph.tensors()) {
+    if (t.rank() == 4 && t.shape[1] == 2048 * 4 && t.shape[2] == 7) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Models, RnnUnrollsTimestepsWithSharedWeights) {
+  RnnConfig config;
+  config.layers = 3;
+  config.hidden = 128;
+  config.batch = 8;
+  config.timesteps = 10;
+  ModelGraph model = BuildRnn(config);
+  ValidateGraph(model.graph);
+  // 4 gates x (Wx, Wh, b) per layer plus the projection head.
+  EXPECT_EQ(model.graph.ParamIds().size(), static_cast<size_t>(3 * 12 + 1));
+  // Each weight feeds one matmul per timestep.
+  for (TensorId w : model.graph.ParamIds()) {
+    const TensorNode& t = model.graph.tensor(w);
+    if (t.name.find("/wx_") != std::string::npos) {
+      int fw_consumers = 0;
+      for (OpId c : t.consumers) {
+        fw_consumers += model.graph.op(c).is_backward || model.graph.op(c).is_update ? 0 : 1;
+      }
+      EXPECT_EQ(fw_consumers, config.timesteps) << t.name;
+    }
+  }
+}
+
+TEST(Models, RnnParamBytesFollowClosedForm) {
+  RnnConfig config;
+  config.layers = 2;
+  config.hidden = 256;
+  config.embed = 64;
+  config.batch = 4;
+  ModelGraph model = BuildRnn(config);
+  const std::int64_t h = config.hidden;
+  const std::int64_t e = config.embed;
+  const std::int64_t expect =
+      4 * (h * (e + h) + h)      // layer 0
+      + 4 * (h * (h + h) + h)    // layer 1
+      + h * e;                   // projection
+  EXPECT_EQ(model.graph.TotalParamBytes(), expect * 4);
+}
+
+TEST(Models, MlpLossIsScalar) {
+  MlpConfig config;
+  ModelGraph model = BuildMlp(config);
+  EXPECT_TRUE(model.graph.tensor(model.loss).shape.empty());
+  EXPECT_EQ(model.batch, config.batch);
+  ValidateGraph(model.graph);
+}
+
+}  // namespace
+}  // namespace tofu

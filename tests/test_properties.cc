@@ -1,0 +1,171 @@
+// Property-based sweeps over randomized model families:
+//   * DP-vs-exhaustive optimality on random linear graphs (Theorem-3 machinery);
+//   * Theorem 1 cost commutativity: swapping the order of two basic steps leaves the
+//     total communication cost unchanged;
+//   * the 1/k shard-memory invariant and plan determinism across random shapes.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+#include "tofu/models/mlp.h"
+#include "tofu/partition/coarsen.h"
+#include "tofu/partition/dp.h"
+#include "tofu/partition/recursive.h"
+
+namespace tofu {
+namespace {
+
+// Deterministic pseudo-random MLP family indexed by seed.
+ModelGraph RandomMlp(unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> layers(1, 4);
+  std::uniform_int_distribution<int> width_pick(0, 3);
+  const std::int64_t widths[] = {128, 256, 512, 1024};
+  MlpConfig config;
+  config.batch = 32 << (seed % 3);
+  config.with_bias = (seed % 2) == 0;
+  config.layer_sizes.clear();
+  const int n = layers(rng) + 1;
+  for (int i = 0; i < n; ++i) {
+    config.layer_sizes.push_back(widths[width_pick(rng)]);
+  }
+  return BuildMlp(config);
+}
+
+double ExhaustiveMin(const Graph& g, const CoarseGraph& cg, int ways) {
+  StepContext ctx(g, StepContext::InitialShapes(g), ways);
+  std::vector<std::vector<int>> options(static_cast<size_t>(cg.num_slots()));
+  for (int s = 0; s < cg.num_slots(); ++s) {
+    options[static_cast<size_t>(s)] =
+        ctx.CutOptions(cg.slots[static_cast<size_t>(s)].members[0]);
+  }
+  std::vector<size_t> odo(static_cast<size_t>(cg.num_slots()), 0);
+  std::vector<int> cuts(static_cast<size_t>(g.num_tensors()), kReplicated);
+  double best = std::numeric_limits<double>::infinity();
+  bool done = false;
+  while (!done) {
+    for (int s = 0; s < cg.num_slots(); ++s) {
+      for (TensorId t : cg.slots[static_cast<size_t>(s)].members) {
+        cuts[static_cast<size_t>(t)] =
+            options[static_cast<size_t>(s)][odo[static_cast<size_t>(s)]];
+      }
+    }
+    double total = 0.0;
+    for (OpId op = 0; op < g.num_ops(); ++op) {
+      double op_best = ctx.OpCommBytes(op, kReplicatedExec, cuts);
+      for (int i = 0; i < static_cast<int>(ctx.Strategies(op).size()); ++i) {
+        if (ctx.Applicable(op, i)) {
+          op_best = std::min(op_best, ctx.OpCommBytes(op, i, cuts));
+        }
+      }
+      total += op_best;
+    }
+    best = std::min(best, total);
+    size_t pos = 0;
+    while (pos < odo.size() && ++odo[pos] == options[pos].size()) {
+      odo[pos] = 0;
+      ++pos;
+    }
+    done = pos == odo.size();
+  }
+  return best;
+}
+
+class RandomModelProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomModelProperty, DpMatchesExhaustiveSearch) {
+  ModelGraph model = RandomMlp(GetParam());
+  CoarseGraph cg = Coarsen(model.graph);
+  if (cg.num_slots() > 18) {
+    GTEST_SKIP() << "fixture too large for exhaustive enumeration";
+  }
+  StepContext ctx(model.graph, StepContext::InitialShapes(model.graph), 2);
+  DpResult dp = RunStepDp(&ctx, cg, {});
+  EXPECT_NEAR(dp.plan.comm_bytes, ExhaustiveMin(model.graph, cg, 2), 1.0)
+      << "seed " << GetParam();
+}
+
+// Theorem 1: applying the two chosen basic plans in either order gives the same total
+// cost (cost(p1) + 2*cost(p2 | shrunk-by-p1) == cost(p2) + 2*cost(p1 | shrunk-by-p2)).
+TEST_P(RandomModelProperty, Theorem1StepOrderCommutes) {
+  ModelGraph model = RandomMlp(GetParam());
+  const Graph& g = model.graph;
+  PartitionPlan plan = RecursivePartition(g, 4);
+  if (plan.steps.size() != 2) {
+    GTEST_SKIP();
+  }
+  const BasicPlan& p1 = plan.steps[0];
+  const BasicPlan& p2 = plan.steps[1];
+
+  // Theorem 1's proof assumes every tensor is partitioned at every step (sizes halve
+  // uniformly). A tensor replicated in exactly one of the two steps does not shrink
+  // there, which legitimately breaks order-independence -- skip those assignments.
+  for (TensorId t = 0; t < g.num_tensors(); ++t) {
+    const bool r1 = p1.tensor_cut[static_cast<size_t>(t)] == kReplicated;
+    const bool r2 = p2.tensor_cut[static_cast<size_t>(t)] == kReplicated;
+    if (r1 != r2) {
+      GTEST_SKIP() << "mixed replication is outside Theorem 1's assumptions";
+    }
+  }
+
+  auto cost_of = [&](const BasicPlan& p, const std::vector<Shape>& shapes) {
+    StepContext ctx(g, shapes, p.ways);
+    double total = 0.0;
+    for (OpId op = 0; op < g.num_ops(); ++op) {
+      const int sidx = p.op_strategy[static_cast<size_t>(op)];
+      if (sidx != kReplicatedExec && !ctx.Applicable(op, sidx)) {
+        return std::numeric_limits<double>::quiet_NaN();  // order not evaluable
+      }
+      total += ctx.OpCommBytes(op, sidx, p.tensor_cut);
+    }
+    return total;
+  };
+
+  const std::vector<Shape> initial = StepContext::InitialShapes(g);
+  const double c12 = cost_of(p1, initial) +
+                     2.0 * cost_of(p2, StepContext::ApplyBasicPlan(g, initial, p1));
+  const double c21 = cost_of(p2, initial) +
+                     2.0 * cost_of(p1, StepContext::ApplyBasicPlan(g, initial, p2));
+  if (std::isnan(c12) || std::isnan(c21)) {
+    GTEST_SKIP() << "swapped order not applicable at these extents";
+  }
+  EXPECT_NEAR(c12, c21, 0.01 * std::max(1.0, c12)) << "seed " << GetParam();
+}
+
+TEST_P(RandomModelProperty, ShardMemoryIsOneKth) {
+  ModelGraph model = RandomMlp(GetParam());
+  const Graph& g = model.graph;
+  PartitionPlan plan = RecursivePartition(g, 8);
+  std::int64_t full = 0;
+  std::int64_t shard = 0;
+  for (const TensorNode& t : g.tensors()) {
+    if (t.bytes() <= kReplicateThresholdBytes) {
+      continue;
+    }
+    full += t.bytes();
+    shard += plan.ShardBytes(g, t.id);
+  }
+  if (full == 0) {
+    GTEST_SKIP();
+  }
+  EXPECT_LE(shard, full / 8 + full / 64) << "seed " << GetParam();
+}
+
+TEST_P(RandomModelProperty, PlansAreDeterministic) {
+  ModelGraph a = RandomMlp(GetParam());
+  ModelGraph b = RandomMlp(GetParam());
+  PartitionPlan plan_a = RecursivePartition(a.graph, 8);
+  PartitionPlan plan_b = RecursivePartition(b.graph, 8);
+  ASSERT_EQ(plan_a.steps.size(), plan_b.steps.size());
+  for (size_t i = 0; i < plan_a.steps.size(); ++i) {
+    EXPECT_EQ(plan_a.steps[i].tensor_cut, plan_b.steps[i].tensor_cut);
+    EXPECT_EQ(plan_a.steps[i].op_strategy, plan_b.steps[i].op_strategy);
+  }
+  EXPECT_DOUBLE_EQ(plan_a.total_comm_bytes, plan_b.total_comm_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelProperty, ::testing::Range(0u, 12u));
+
+}  // namespace
+}  // namespace tofu

@@ -1,0 +1,116 @@
+// Runtime driver tests: the qualitative relationships of §7.2 on scaled-down models --
+// Tofu under Ideal, SmallBatch falling over (OOM) on big models, Swap surviving but
+// paying for the shared host link, Op-Placement in between.
+#include <gtest/gtest.h>
+
+#include "tofu/core/experiment.h"
+#include "tofu/partition/baselines.h"
+
+namespace tofu {
+namespace {
+
+TEST(Runtimes, IdealScalesByGpuCount) {
+  ClusterSpec cluster = K80Cluster();
+  auto factory = RnnFactory(2, 1024);
+  ThroughputResult one = IdealThroughput(factory, 64, cluster);
+  ClusterSpec small = cluster;
+  small.num_gpus = 4;
+  ThroughputResult half = IdealThroughput(factory, 64, small);
+  EXPECT_NEAR(one.samples_per_second / half.samples_per_second, 2.0, 1e-6);
+}
+
+TEST(Runtimes, SmallBatchFindsLargestFit) {
+  ClusterSpec cluster = K80Cluster();
+  auto factory = WResNetFactory(50, 4);
+  ThroughputResult r = SmallBatchThroughput(factory, 64, cluster);
+  EXPECT_FALSE(r.oom);
+  EXPECT_GE(r.batch, 4);
+  // The next doubling would not fit.
+  ModelGraph bigger = factory(r.batch * 2);
+  PartitionPlan trivial;
+  SimGraph sim = LowerPartitioned(bigger.graph, trivial, cluster, bigger.batch);
+  EXPECT_TRUE(RunSim(sim, cluster).oom);
+}
+
+TEST(Runtimes, SmallBatchOomsOnVeryLargeModel) {
+  // WResNet-152-10's state alone (65 GiB) exceeds one GPU.
+  ClusterSpec cluster = K80Cluster();
+  ThroughputResult r = SmallBatchThroughput(WResNetFactory(152, 10), 8, cluster);
+  EXPECT_TRUE(r.oom);
+  EXPECT_EQ(r.samples_per_second, 0.0);
+}
+
+TEST(Runtimes, TofuTrainsWhatSmallBatchCannot) {
+  ClusterSpec cluster = K80Cluster();
+  auto factory = RnnFactory(6, 6144);  // 18.6 GiB of state: no single GPU fits it
+  ThroughputResult sb = SmallBatchThroughput(factory, 64, cluster);
+  EXPECT_TRUE(sb.oom);
+  ThroughputResult tofu = TofuThroughput(factory, 256, cluster);
+  EXPECT_FALSE(tofu.oom);
+  EXPECT_GT(tofu.samples_per_second, 0.0);
+}
+
+TEST(Runtimes, TofuStaysUnderIdeal) {
+  ClusterSpec cluster = K80Cluster();
+  auto factory = RnnFactory(4, 2048);
+  ThroughputResult ideal = IdealThroughput(factory, 256, cluster);
+  ThroughputResult tofu = TofuThroughput(factory, 256, cluster);
+  EXPECT_FALSE(tofu.oom);
+  EXPECT_LE(tofu.samples_per_second, ideal.samples_per_second * 1.001);
+  EXPECT_GE(tofu.samples_per_second, 0.5 * ideal.samples_per_second);
+}
+
+TEST(Runtimes, SwapSlowerThanTofuOnLargeRnn) {
+  ClusterSpec cluster = K80Cluster();
+  auto factory = RnnFactory(6, 6144);
+  ThroughputResult swap = SwapThroughput(factory, 256, cluster);
+  ThroughputResult tofu = TofuThroughput(factory, 256, cluster);
+  EXPECT_FALSE(swap.oom);
+  EXPECT_LT(swap.samples_per_second, tofu.samples_per_second);
+}
+
+TEST(Runtimes, PlacementBetweenSwapAndTofuOnRnn) {
+  ClusterSpec cluster = K80Cluster();
+  auto factory = RnnFactory(8, 4096);
+  ThroughputResult place = PlacementThroughput(factory, 512, cluster, RnnLayerOf);
+  ThroughputResult tofu = TofuThroughput(factory, 512, cluster);
+  EXPECT_FALSE(place.oom);
+  EXPECT_FALSE(tofu.oom);
+  // Pipelined layer placement cannot keep all GPUs busy (§7.2): Tofu wins.
+  EXPECT_LT(place.samples_per_second, tofu.samples_per_second);
+  EXPECT_GT(place.samples_per_second, 0.2 * tofu.samples_per_second);
+}
+
+TEST(Runtimes, TfModePlacementSlowerThanMxnet) {
+  ClusterSpec cluster = K80Cluster();
+  auto factory = RnnFactory(4, 2048);
+  LowerOptions tf_mode;
+  tf_mode.inplace_grad_agg = false;
+  ThroughputResult mx = PlacementThroughput(factory, 128, cluster, RnnLayerOf);
+  ThroughputResult tf = PlacementThroughput(factory, 128, cluster, RnnLayerOf, tf_mode);
+  EXPECT_LT(tf.samples_per_second, mx.samples_per_second);
+}
+
+TEST(Runtimes, CommFractionReportedForTofu) {
+  ClusterSpec cluster = K80Cluster();
+  ThroughputResult tofu = TofuThroughput(RnnFactory(4, 2048), 256, cluster);
+  EXPECT_GE(tofu.comm_fraction, 0.0);
+  EXPECT_LT(tofu.comm_fraction, 0.9);
+  EXPECT_GT(tofu.compute_seconds, 0.0);
+  EXPECT_LE(tofu.compute_seconds, tofu.iter_seconds);
+}
+
+TEST(Runtimes, RunPlanThroughputHonorsExplicitPlan) {
+  ClusterSpec cluster = K80Cluster();
+  ModelGraph model = RnnFactory(2, 1024)(64);
+  PartitionPlan tofu_plan = RecursivePartition(model.graph, cluster.num_gpus);
+  PartitionPlan greedy = AllRowGreedyPlan(model.graph, cluster.num_gpus);
+  ThroughputResult a = RunPlanThroughput(model, tofu_plan, cluster);
+  ThroughputResult b = RunPlanThroughput(model, greedy, cluster);
+  EXPECT_FALSE(a.oom);
+  // The better plan must not be slower.
+  EXPECT_GE(a.samples_per_second, b.samples_per_second * 0.999);
+}
+
+}  // namespace
+}  // namespace tofu

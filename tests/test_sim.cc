@@ -1,0 +1,179 @@
+// Event-simulator tests: resource serialization, compute/communication overlap, buffer
+// lifetime accounting, OOM detection, and determinism.
+#include <gtest/gtest.h>
+
+#include "tofu/sim/event_sim.h"
+
+namespace tofu {
+namespace {
+
+SimNode Compute(int device, double seconds, std::vector<std::int32_t> deps = {},
+                std::int64_t output_bytes = 0) {
+  SimNode n;
+  n.kind = SimNode::Kind::kCompute;
+  n.device = device;
+  n.duration_s = seconds;
+  n.deps = std::move(deps);
+  n.output_bytes = output_bytes;
+  return n;
+}
+
+SimNode P2P(int device, double bytes, std::vector<std::int32_t> deps = {}) {
+  SimNode n;
+  n.kind = SimNode::Kind::kP2P;
+  n.device = device;
+  n.comm_bytes = bytes;
+  n.deps = std::move(deps);
+  return n;
+}
+
+TEST(EventSim, SerialChainSumsDurations) {
+  SimGraph g;
+  g.num_devices = 1;
+  g.resident_bytes = {0.0};
+  std::int32_t a = g.Add(Compute(0, 1.0));
+  std::int32_t b = g.Add(Compute(0, 2.0, {a}));
+  g.Add(Compute(0, 3.0, {b}));
+  SimResult r = RunSim(g, K80Cluster());
+  EXPECT_DOUBLE_EQ(r.makespan_s, 6.0);
+  EXPECT_DOUBLE_EQ(r.compute_busy_s, 6.0);
+}
+
+TEST(EventSim, IndependentDevicesRunInParallel) {
+  SimGraph g;
+  g.num_devices = 2;
+  g.resident_bytes = {0.0, 0.0};
+  g.Add(Compute(0, 2.0));
+  g.Add(Compute(1, 2.0));
+  SimResult r = RunSim(g, K80Cluster());
+  EXPECT_DOUBLE_EQ(r.makespan_s, 2.0);
+}
+
+TEST(EventSim, ComputeStreamSerializesSameDevice) {
+  SimGraph g;
+  g.num_devices = 1;
+  g.resident_bytes = {0.0};
+  g.Add(Compute(0, 1.0));
+  g.Add(Compute(0, 1.0));  // independent, same device -> serialized
+  SimResult r = RunSim(g, K80Cluster());
+  EXPECT_DOUBLE_EQ(r.makespan_s, 2.0);
+}
+
+TEST(EventSim, CommOverlapsCompute) {
+  ClusterSpec cluster = K80Cluster();
+  SimGraph g;
+  g.num_devices = 1;
+  g.resident_bytes = {0.0};
+  g.Add(Compute(0, 1.0));
+  g.Add(P2P(0, cluster.p2p_bandwidth));  // exactly ~1 second of transfer
+  SimResult r = RunSim(g, cluster);
+  EXPECT_LT(r.makespan_s, 1.5);  // overlapped, not 2.0
+  EXPECT_GT(r.comm_busy_s, 0.9);
+}
+
+TEST(EventSim, ZeroCommOptionDropsTransfers) {
+  ClusterSpec cluster = K80Cluster();
+  SimGraph g;
+  g.num_devices = 1;
+  g.resident_bytes = {0.0};
+  std::int32_t x = g.Add(P2P(0, 10 * cluster.p2p_bandwidth));
+  g.Add(Compute(0, 1.0, {x}));
+  SimOptions zero;
+  zero.zero_comm = true;
+  EXPECT_DOUBLE_EQ(RunSim(g, cluster, zero).makespan_s, 1.0);
+  EXPECT_GT(RunSim(g, cluster).makespan_s, 10.0);
+}
+
+TEST(EventSim, HostLinkIsShared) {
+  ClusterSpec cluster = K80Cluster();
+  SimGraph g;
+  g.num_devices = 2;
+  g.resident_bytes = {0.0, 0.0};
+  SimNode h1;
+  h1.kind = SimNode::Kind::kHost;
+  h1.device = 0;
+  h1.comm_bytes = cluster.cpu_bandwidth;  // 1 second
+  g.Add(h1);
+  SimNode h2 = h1;
+  h2.device = 1;
+  g.Add(h2);  // shares the single host link -> serialized
+  SimResult r = RunSim(g, cluster);
+  EXPECT_GT(r.makespan_s, 1.9);
+}
+
+TEST(EventSim, OutputBufferFreedAfterLastConsumer) {
+  ClusterSpec cluster = K80Cluster();
+  const std::int64_t big = static_cast<std::int64_t>(cluster.gpu.mem_capacity * 0.6);
+  SimGraph g;
+  g.num_devices = 1;
+  g.resident_bytes = {0.0};
+  std::int32_t a = g.Add(Compute(0, 1.0, {}, big));
+  std::int32_t b = g.Add(Compute(0, 1.0, {a}, big));
+  // `a` frees once `b` (its only consumer) finishes, so the two buffers coexist: peak 2x.
+  SimResult r = RunSim(g, cluster);
+  EXPECT_TRUE(r.oom);
+  EXPECT_NEAR(r.max_peak_bytes, 2.0 * static_cast<double>(big), 1.0);
+  // A third node reusing nothing keeps the peak at 2x, not 3x.
+  std::int32_t c = g.Add(Compute(0, 1.0, {b}, big));
+  (void)c;
+  SimResult r2 = RunSim(g, cluster);
+  EXPECT_NEAR(r2.max_peak_bytes, 2.0 * static_cast<double>(big), 1.0);
+}
+
+TEST(EventSim, TransientBytesReleaseImmediately) {
+  ClusterSpec cluster = K80Cluster();
+  SimGraph g;
+  g.num_devices = 1;
+  g.resident_bytes = {0.0};
+  SimNode n = Compute(0, 1.0);
+  n.transient_bytes = 1000;
+  std::int32_t a = g.Add(n);
+  SimNode m = Compute(0, 1.0, {a});
+  m.transient_bytes = 1000;
+  g.Add(m);
+  SimResult r = RunSim(g, cluster);
+  EXPECT_NEAR(r.max_peak_bytes, 1000.0, 1.0);  // never both at once
+}
+
+TEST(EventSim, ResidentBytesCountTowardOom) {
+  ClusterSpec cluster = K80Cluster();
+  SimGraph g;
+  g.num_devices = 1;
+  g.resident_bytes = {cluster.gpu.mem_capacity * 1.5};
+  g.Add(Compute(0, 1.0));
+  SimResult r = RunSim(g, cluster);
+  EXPECT_TRUE(r.oom);
+  SimOptions unlimited;
+  unlimited.unlimited_memory = true;
+  EXPECT_FALSE(RunSim(g, cluster, unlimited).oom);
+}
+
+TEST(EventSim, DeterministicMakespan) {
+  SimGraph g;
+  g.num_devices = 4;
+  g.resident_bytes.assign(4, 0.0);
+  std::vector<std::int32_t> layer;
+  for (int d = 0; d < 4; ++d) {
+    layer.push_back(g.Add(Compute(d, 0.5 + 0.1 * d)));
+  }
+  for (int d = 0; d < 4; ++d) {
+    g.Add(P2P(d, 1e9, layer));
+  }
+  SimResult a = RunSim(g, K80Cluster());
+  SimResult b = RunSim(g, K80Cluster());
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.max_peak_bytes, b.max_peak_bytes);
+}
+
+TEST(EventSim, SamplesPerSecondDerivedFromMakespan) {
+  SimGraph g;
+  g.num_devices = 1;
+  g.resident_bytes = {0.0};
+  g.Add(Compute(0, 2.0));
+  g.samples_per_iteration = 64;
+  SimResult r = RunSim(g, K80Cluster());
+  EXPECT_DOUBLE_EQ(r.samples_per_second, 32.0);
+}
+
+}  // namespace
+}  // namespace tofu

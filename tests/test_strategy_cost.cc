@@ -1,0 +1,185 @@
+// Communication cost-model tests (Lemma 1 conventions, see strategy.h): aligned inputs
+// are free, mismatched cuts pay S*(f-1)/f, replication pays S*(f-1), reductions pay
+// S*(f-1), halos pay per-boundary slabs -- all verified against hand computations.
+#include <gtest/gtest.h>
+
+#include "tofu/partition/strategy.h"
+
+namespace tofu {
+namespace {
+
+// A single matmul: x [64,128] * w [128,256] -> y [64,256].
+struct MatmulFixture {
+  Graph g;
+  TensorId x, w, y;
+  OpId op;
+
+  MatmulFixture() {
+    x = g.AddInput("x", {64, 128});
+    w = g.AddParam("w", {128, 256});
+    y = g.AddOp("matmul", {}, {x, w});
+    op = g.tensor(y).producer;
+  }
+};
+
+int StrategyIndexByVar(StepContext* ctx, OpId op, const std::string& var,
+                       const Graph& graph) {
+  const OpSemantics& sem = graph.SemanticsOf(graph.op(op));
+  for (size_t i = 0; i < sem.strategies.size(); ++i) {
+    if (sem.strategies[i].var_name == var) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+TEST(StrategyCost, AlignedRowSplitIsFree) {
+  MatmulFixture f;
+  StepContext ctx(f.g, StepContext::InitialShapes(f.g), 2);
+  const int m = StrategyIndexByVar(&ctx, f.op, "m", f.g);
+  ASSERT_GE(m, 0);
+  // x row-split, w replicated (small enough? w is 128*256*4 = 128 KiB > threshold ->
+  // must use a real cut; keep it split on its own dim with the replication charge).
+  std::vector<int> cuts(static_cast<size_t>(f.g.num_tensors()), kReplicated);
+  cuts[static_cast<size_t>(f.x)] = 0;   // rows
+  cuts[static_cast<size_t>(f.y)] = 0;   // rows
+  cuts[static_cast<size_t>(f.w)] = kReplicated;
+  EXPECT_DOUBLE_EQ(ctx.OpCommBytes(f.op, m, cuts), 0.0);
+}
+
+TEST(StrategyCost, ReplicationChargesFullGather) {
+  MatmulFixture f;
+  StepContext ctx(f.g, StepContext::InitialShapes(f.g), 2);
+  const int m = StrategyIndexByVar(&ctx, f.op, "m", f.g);
+  std::vector<int> cuts(static_cast<size_t>(f.g.num_tensors()), kReplicated);
+  cuts[static_cast<size_t>(f.x)] = 0;
+  cuts[static_cast<size_t>(f.y)] = 0;
+  cuts[static_cast<size_t>(f.w)] = 1;  // w stored column-split but needed whole
+  const double w_bytes = static_cast<double>(f.g.tensor(f.w).bytes());
+  EXPECT_DOUBLE_EQ(ctx.OpCommBytes(f.op, m, cuts), w_bytes * 1.0);  // S*(f-1), f=2
+}
+
+TEST(StrategyCost, MismatchedSplitChargesHalfAtTwoWorkers) {
+  MatmulFixture f;
+  StepContext ctx(f.g, StepContext::InitialShapes(f.g), 2);
+  const int m = StrategyIndexByVar(&ctx, f.op, "m", f.g);
+  std::vector<int> cuts(static_cast<size_t>(f.g.num_tensors()), kReplicated);
+  cuts[static_cast<size_t>(f.x)] = 1;  // stored column-split, required row-split
+  cuts[static_cast<size_t>(f.y)] = 0;
+  cuts[static_cast<size_t>(f.w)] = kReplicated;
+  const double x_bytes = static_cast<double>(f.g.tensor(f.x).bytes());
+  EXPECT_DOUBLE_EQ(ctx.OpCommBytes(f.op, m, cuts), x_bytes / 2.0);  // S*(f-1)/f
+}
+
+TEST(StrategyCost, ReductionChargesOutputScatter) {
+  MatmulFixture f;
+  StepContext ctx(f.g, StepContext::InitialShapes(f.g), 2);
+  const int k = StrategyIndexByVar(&ctx, f.op, "k", f.g);
+  ASSERT_GE(k, 0);
+  std::vector<int> cuts(static_cast<size_t>(f.g.num_tensors()), kReplicated);
+  cuts[static_cast<size_t>(f.x)] = 1;  // k-split: x cols, w rows -- both aligned
+  cuts[static_cast<size_t>(f.w)] = 0;
+  cuts[static_cast<size_t>(f.y)] = 0;
+  const double y_bytes = static_cast<double>(f.g.tensor(f.y).bytes());
+  EXPECT_DOUBLE_EQ(ctx.OpCommBytes(f.op, k, cuts), y_bytes * 1.0);  // reduce-scatter
+}
+
+TEST(StrategyCost, OutputShuffleBetweenCuts) {
+  MatmulFixture f;
+  StepContext ctx(f.g, StepContext::InitialShapes(f.g), 2);
+  const int m = StrategyIndexByVar(&ctx, f.op, "m", f.g);
+  std::vector<int> cuts(static_cast<size_t>(f.g.num_tensors()), kReplicated);
+  cuts[static_cast<size_t>(f.x)] = 0;
+  cuts[static_cast<size_t>(f.w)] = kReplicated;
+  cuts[static_cast<size_t>(f.y)] = 1;  // produced row-split, stored column-split
+  const double y_bytes = static_cast<double>(f.g.tensor(f.y).bytes());
+  EXPECT_DOUBLE_EQ(ctx.OpCommBytes(f.op, m, cuts), y_bytes / 2.0);
+}
+
+TEST(StrategyCost, CostScalesWithWays) {
+  MatmulFixture f;
+  StepContext ctx2(f.g, StepContext::InitialShapes(f.g), 2);
+  StepContext ctx4(f.g, StepContext::InitialShapes(f.g), 4);
+  const int m = StrategyIndexByVar(&ctx2, f.op, "m", f.g);
+  std::vector<int> cuts(static_cast<size_t>(f.g.num_tensors()), kReplicated);
+  cuts[static_cast<size_t>(f.x)] = 0;
+  cuts[static_cast<size_t>(f.y)] = 0;
+  cuts[static_cast<size_t>(f.w)] = 1;
+  const double w_bytes = static_cast<double>(f.g.tensor(f.w).bytes());
+  EXPECT_DOUBLE_EQ(ctx2.OpCommBytes(f.op, m, cuts), w_bytes * 1.0);  // f=2: S
+  EXPECT_DOUBLE_EQ(ctx4.OpCommBytes(f.op, m, cuts), w_bytes * 3.0);  // f=4: 3S
+}
+
+TEST(StrategyCost, HaloChargesBoundarySlabs) {
+  Graph g;
+  TensorId x = g.AddInput("x", {8, 16, 64, 64});
+  TensorId w = g.AddParam("w", {16, 16, 3, 3});
+  TensorId y = g.AddOp("conv2d", OpAttrs().Set("stride", 1).Set("pad", 1), {x, w});
+  OpId op = g.tensor(y).producer;
+
+  StepContext ctx(g, StepContext::InitialShapes(g), 2);
+  const int ho = StrategyIndexByVar(&ctx, op, "ho", g);
+  ASSERT_GE(ho, 0);
+  std::vector<int> cuts(static_cast<size_t>(g.num_tensors()), kReplicated);
+  cuts[static_cast<size_t>(x)] = 2;  // H-split: aligned with the halo requirement
+  cuts[static_cast<size_t>(y)] = 2;
+  cuts[static_cast<size_t>(w)] = kReplicated;  // filters are tiny
+  const double cost = ctx.OpCommBytes(op, ho, cuts);
+  // Halo of ~1-2 rows on each side of one internal boundary: 2*(f-1)*halo*row_bytes.
+  const double row_bytes = static_cast<double>(g.tensor(x).bytes()) / 64.0;
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LE(cost, 2.0 * 3.0 * row_bytes);
+}
+
+TEST(StrategyCost, ReplicatedExecChargesInputGathers) {
+  MatmulFixture f;
+  StepContext ctx(f.g, StepContext::InitialShapes(f.g), 2);
+  std::vector<int> cuts(static_cast<size_t>(f.g.num_tensors()), kReplicated);
+  cuts[static_cast<size_t>(f.x)] = 0;
+  cuts[static_cast<size_t>(f.w)] = 0;
+  cuts[static_cast<size_t>(f.y)] = 0;
+  const double expect = static_cast<double>(f.g.tensor(f.x).bytes()) +
+                        static_cast<double>(f.g.tensor(f.w).bytes());
+  EXPECT_DOUBLE_EQ(ctx.OpCommBytes(f.op, kReplicatedExec, cuts), expect);
+}
+
+TEST(StrategyCost, ApplicabilityChecksExtents) {
+  Graph g;
+  TensorId x = g.AddInput("x", {2, 128});
+  TensorId w = g.AddParam("w", {128, 256});
+  TensorId y = g.AddOp("matmul", {}, {x, w});
+  OpId op = g.tensor(y).producer;
+  StepContext ctx(g, StepContext::InitialShapes(g), 4);
+  const int m = StrategyIndexByVar(&ctx, op, "m", g);
+  const int n = StrategyIndexByVar(&ctx, op, "n", g);
+  EXPECT_FALSE(ctx.Applicable(op, m));  // batch 2 cannot split 4 ways
+  EXPECT_TRUE(ctx.Applicable(op, n));
+}
+
+TEST(StrategyCost, ApplyBasicPlanShrinksShapes) {
+  MatmulFixture f;
+  BasicPlan plan;
+  plan.ways = 2;
+  plan.tensor_cut.assign(static_cast<size_t>(f.g.num_tensors()), kReplicated);
+  plan.tensor_cut[static_cast<size_t>(f.x)] = 0;
+  plan.tensor_cut[static_cast<size_t>(f.w)] = 1;
+  std::vector<Shape> shapes =
+      StepContext::ApplyBasicPlan(f.g, StepContext::InitialShapes(f.g), plan);
+  EXPECT_EQ(shapes[static_cast<size_t>(f.x)], (Shape{32, 128}));
+  EXPECT_EQ(shapes[static_cast<size_t>(f.w)], (Shape{128, 128}));
+  EXPECT_EQ(shapes[static_cast<size_t>(f.y)], (Shape{64, 256}));  // replicated: unchanged
+}
+
+TEST(StrategyCost, CutOptionsRespectThreshold) {
+  Graph g;
+  TensorId big = g.AddInput("big", {1024, 1024});   // 4 MiB: must partition
+  TensorId small = g.AddInput("small", {64});       // 256 B: may replicate
+  StepContext ctx(g, StepContext::InitialShapes(g), 2);
+  std::vector<int> big_options = ctx.CutOptions(big);
+  EXPECT_EQ(big_options, (std::vector<int>{0, 1}));
+  std::vector<int> small_options = ctx.CutOptions(small);
+  EXPECT_EQ(small_options, (std::vector<int>{0, kReplicated}));
+}
+
+}  // namespace
+}  // namespace tofu

@@ -1,0 +1,240 @@
+// Tests for the TDL language and its analysis (paper §4): description building, the
+// shift_two region-analysis example, and strategy discovery for the paper's running
+// examples -- conv1d (Figure 2's strategies), batched Cholesky (batch-only), convolution
+// halos and the output-reduction strategy of conv2d_bwd_filter.
+#include <gtest/gtest.h>
+
+#include "tofu/tdl/analysis.h"
+#include "tofu/tdl/registry.h"
+
+namespace tofu {
+namespace {
+
+const OpSemantics& Sem(const std::string& name, OpAttrs attrs = {},
+                       std::vector<int> ranks = {}) {
+  return OpRegistry::Get().Semantics(name, attrs, ranks);
+}
+
+// Finds the strategy partitioning variable `var_name`, or nullptr.
+const BasicStrategy* FindStrategy(const std::vector<BasicStrategy>& strategies,
+                                  const std::string& var_name) {
+  for (const BasicStrategy& s : strategies) {
+    if (s.var_name == var_name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+TEST(TdlBuilder, Conv1dDescriptionMatchesPaper) {
+  const OpDesc& desc = Sem("conv1d").desc;
+  EXPECT_EQ(desc.num_inputs, 2);
+  EXPECT_EQ(desc.num_output_dims, 3);
+  EXPECT_EQ(desc.num_vars(), 5);  // b, co, x + ci, dx
+  EXPECT_FALSE(desc.elementwise);
+  EXPECT_EQ(desc.input_ranks[0], 3);
+  EXPECT_EQ(desc.input_ranks[1], 3);
+  // The rendering should show the Sum over ci,dx.
+  std::vector<std::string> names;
+  for (const VarInfo& v : desc.vars) {
+    names.push_back(v.name);
+  }
+  EXPECT_NE(ExprToString(*desc.body, names).find("Sum{ci,dx}"), std::string::npos);
+}
+
+TEST(TdlBuilder, ElementwiseDetection) {
+  EXPECT_TRUE(Sem("add", {}, {2, 2}).desc.elementwise);
+  EXPECT_TRUE(Sem("relu", {}, {4}).desc.elementwise);
+  EXPECT_TRUE(Sem("adagrad_update", {}, {2, 2, 2}).desc.elementwise);
+  EXPECT_FALSE(Sem("matmul").desc.elementwise);
+  EXPECT_FALSE(Sem("add_bias", OpAttrs().Set("bias_dim", 1), {2, 1}).desc.elementwise);
+  EXPECT_FALSE(Sem("transpose2d").desc.elementwise);
+}
+
+// Paper §4.2's worked example: B = lambda i: A[i+2]. With i in [0, X/2], A's accessed
+// region must be [2, X/2 + 2].
+TEST(TdlAnalysis, ShiftTwoRegions) {
+  const OpDesc& desc = Sem("shift_two").desc;
+  VarEnv env = FullEnv(desc);
+  env[0] = SymInterval::Slice(desc.num_vars(), 0, 0.0, 0.5);
+  std::vector<InputRegion> regions = ComputeInputRegions(desc, env);
+  ASSERT_TRUE(regions[0].accessed);
+  const SymInterval& dim0 = regions[0].dims[0].interval;
+  EXPECT_DOUBLE_EQ(dim0.lo.constant(), 2.0);
+  EXPECT_DOUBLE_EQ(dim0.hi.constant(), 2.0);
+  EXPECT_DOUBLE_EQ(dim0.hi.coeff(0), 0.5);
+}
+
+// Figure 2: conv1d has case-1 strategies on b, co, x and case-2 strategies on ci, dx.
+TEST(TdlAnalysis, Conv1dStrategies) {
+  const auto& strategies = Sem("conv1d").strategies;
+  EXPECT_EQ(strategies.size(), 5u);
+
+  const BasicStrategy* b = FindStrategy(strategies, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(b->is_reduction);
+  EXPECT_EQ(b->output_dim, 0);
+  // Figure 2(a): data splits on its batch dimension, filters fully replicated.
+  EXPECT_EQ(b->inputs[0].kind, InputReq::Kind::kSplit);
+  EXPECT_EQ(b->inputs[0].dim, 0);
+  EXPECT_EQ(b->inputs[1].kind, InputReq::Kind::kReplicated);
+
+  const BasicStrategy* ci = FindStrategy(strategies, "ci");
+  ASSERT_NE(ci, nullptr);
+  EXPECT_TRUE(ci->is_reduction);
+  EXPECT_EQ(ci->reducer, ReduceKind::kSum);
+  // Figure 2(b): data splits on channel (dim 1), filters split on dim 0.
+  EXPECT_EQ(ci->inputs[0].kind, InputReq::Kind::kSplit);
+  EXPECT_EQ(ci->inputs[0].dim, 1);
+  EXPECT_EQ(ci->inputs[1].kind, InputReq::Kind::kSplit);
+  EXPECT_EQ(ci->inputs[1].dim, 0);
+
+  // Partitioning along x ("halo exchange") splits data with a halo of the filter width.
+  const BasicStrategy* x = FindStrategy(strategies, "x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->inputs[0].kind, InputReq::Kind::kSplit);
+  EXPECT_EQ(x->inputs[0].dim, 2);
+  EXPECT_TRUE(x->inputs[0].has_halo);
+}
+
+TEST(TdlAnalysis, MatmulStrategies) {
+  const auto& strategies = Sem("matmul").strategies;
+  ASSERT_EQ(strategies.size(), 3u);
+  const BasicStrategy* m = FindStrategy(strategies, "m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->inputs[0].kind, InputReq::Kind::kSplit);  // A row-split
+  EXPECT_EQ(m->inputs[1].kind, InputReq::Kind::kReplicated);
+  const BasicStrategy* k = FindStrategy(strategies, "k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_TRUE(k->is_reduction);
+  EXPECT_EQ(k->inputs[0].dim, 1);
+  EXPECT_EQ(k->inputs[1].dim, 0);
+}
+
+TEST(TdlAnalysis, BatchCholeskyOnlyBatchPartitionable) {
+  const auto& strategies = Sem("batch_cholesky").strategies;
+  ASSERT_EQ(strategies.size(), 1u);
+  EXPECT_EQ(strategies[0].var_name, "b");
+  EXPECT_EQ(strategies[0].inputs[0].kind, InputReq::Kind::kSplit);
+  EXPECT_EQ(strategies[0].inputs[0].dim, 0);
+}
+
+TEST(TdlAnalysis, SoftmaxXentOpaqueRowsBlockClassDim) {
+  const auto& grad = Sem("softmax_xent_grad").strategies;
+  // Only b is viable: v indexes the opaque result.
+  ASSERT_EQ(grad.size(), 1u);
+  EXPECT_EQ(grad[0].var_name, "b");
+}
+
+TEST(TdlAnalysis, Conv2dSpatialHaloScalesWithKernel) {
+  OpAttrs attrs;
+  attrs.Set("stride", 1).Set("pad", 1);
+  const auto& strategies = Sem("conv2d", attrs).strategies;
+  const BasicStrategy* ho = FindStrategy(strategies, "ho");
+  ASSERT_NE(ho, nullptr);
+  EXPECT_TRUE(ho->inputs[0].has_halo);
+  // Concretize against real shapes: halo along H must equal roughly the kernel extent / 2.
+  std::vector<std::int64_t> extents = BindVarExtents(
+      Sem("conv2d", attrs).desc, {{32, 64, 56, 56}, {128, 64, 3, 3}}, {32, 128, 56, 56});
+  ConcreteStrategy c = Concretize(*ho, extents);
+  EXPECT_EQ(c.inputs[0].kind, InputReq::Kind::kSplit);
+  EXPECT_EQ(c.inputs[0].dim, 2);
+  EXPECT_GE(c.inputs[0].halo_elems, 1);
+  EXPECT_LE(c.inputs[0].halo_elems, 3);
+}
+
+// §7.3's key strategy: conv2d_bwd_filter can partition the *batch* (a reduction
+// dimension), producing partial filter gradients aggregated across workers -- the
+// output-reduction strategy the ICML'18 baseline lacks.
+TEST(TdlAnalysis, ConvBwdFilterHasBatchReduction) {
+  OpAttrs attrs;
+  attrs.Set("stride", 1).Set("pad", 1).Set("kh", 3).Set("kw", 3);
+  const auto& strategies = Sem("conv2d_bwd_filter", attrs).strategies;
+  const BasicStrategy* b = FindStrategy(strategies, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->is_reduction);
+  EXPECT_EQ(b->reducer, ReduceKind::kSum);
+  EXPECT_EQ(b->inputs[0].dim, 0);  // dy splits on batch
+  EXPECT_EQ(b->inputs[1].dim, 0);  // data splits on batch
+}
+
+TEST(TdlAnalysis, MaxPoolReductionUsesMaxReducer) {
+  OpAttrs attrs;
+  attrs.Set("kernel", 2).Set("stride", 2);
+  const auto& strategies = Sem("maxpool2d", attrs).strategies;
+  const BasicStrategy* kh = FindStrategy(strategies, "kh");
+  ASSERT_NE(kh, nullptr);
+  EXPECT_TRUE(kh->is_reduction);
+  EXPECT_EQ(kh->reducer, ReduceKind::kMax);
+}
+
+TEST(TdlAnalysis, ReductionCombinabilityRules) {
+  // Sum under constant scale stays combinable (global_avg_pool's Sum * 1/HW).
+  const auto& gap = Sem("global_avg_pool").strategies;
+  EXPECT_NE(FindStrategy(gap, "h"), nullptr);
+  EXPECT_TRUE(FindStrategy(gap, "h")->is_reduction);
+
+  // A Sum nested under an opaque-breaking unary would not be combinable; built directly:
+  OpDescBuilder b("sqrt_of_sum", 1);
+  IndexVar i = b.Out("i");
+  IndexVar j = b.Red("j");
+  OpDesc desc = std::move(b).Build(Expr::MakeUnary(UnaryOp::kSqrt, b.Sum({j}, b.In(0)({i, j}))));
+  std::vector<BasicStrategy> strategies = DiscoverStrategies(desc);
+  EXPECT_EQ(FindStrategy(strategies, "j"), nullptr);  // not combinable
+  EXPECT_NE(FindStrategy(strategies, "i"), nullptr);  // case-1 still fine
+}
+
+TEST(TdlAnalysis, NestedSameReducerIsCombinable) {
+  OpDescBuilder b("sum_of_sum", 1);
+  IndexVar i = b.Out("i");
+  IndexVar j = b.Red("j");
+  IndexVar k = b.Red("k");
+  OpDesc desc = std::move(b).Build(b.Sum({j}, b.Sum({k}, b.In(0)({i, j, k}))));
+  std::vector<BasicStrategy> strategies = DiscoverStrategies(desc);
+  EXPECT_NE(FindStrategy(strategies, "k"), nullptr);  // Sum-of-Sum combines
+}
+
+TEST(TdlAnalysis, NestedMixedReducerIsNotCombinable) {
+  OpDescBuilder b("max_of_sum", 1);
+  IndexVar i = b.Out("i");
+  IndexVar j = b.Red("j");
+  IndexVar k = b.Red("k");
+  OpDesc desc =
+      std::move(b).Build(b.Max({j}, b.Sum({k}, b.In(0)({i, j, k}))));
+  std::vector<BasicStrategy> strategies = DiscoverStrategies(desc);
+  EXPECT_EQ(FindStrategy(strategies, "k"), nullptr);  // Sum under Max cannot combine
+  EXPECT_NE(FindStrategy(strategies, "j"), nullptr);  // outer Max can
+}
+
+TEST(TdlAnalysis, DiagonalAccessRejectsVariable) {
+  // A[i, i] violates assumption #1 (one output index per input dimension).
+  OpDescBuilder b("diag", 1);
+  IndexVar i = b.Out("i");
+  OpDesc desc = std::move(b).Build(b.In(0)({i, i}));
+  std::vector<BasicStrategy> strategies = DiscoverStrategies(desc);
+  EXPECT_EQ(FindStrategy(strategies, "i"), nullptr);
+}
+
+TEST(TdlAnalysis, StridedAccessSplitsCleanly) {
+  // out[i] = A[2*i]: halving i halves the accessed region; no halo.
+  OpDescBuilder b("stride2", 1);
+  IndexVar i = b.Out("i");
+  OpDesc desc = std::move(b).Build(b.In(0)({i * 2.0}));
+  std::vector<BasicStrategy> strategies = DiscoverStrategies(desc);
+  const BasicStrategy* s = FindStrategy(strategies, "i");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->inputs[0].kind, InputReq::Kind::kSplit);
+  EXPECT_FALSE(s->inputs[0].has_halo);
+}
+
+TEST(TdlAnalysis, ConcretizeBindsReduceExtents) {
+  const OpSemantics& sem = Sem("matmul");
+  std::vector<std::int64_t> extents =
+      BindVarExtents(sem.desc, {{64, 128}, {128, 256}}, {64, 256});
+  EXPECT_EQ(extents[0], 64);   // m
+  EXPECT_EQ(extents[1], 256);  // n
+  EXPECT_EQ(extents[2], 128);  // k, inferred from A's dim 1
+}
+
+}  // namespace
+}  // namespace tofu

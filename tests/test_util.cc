@@ -1,0 +1,94 @@
+// Unit tests for the utility layer: strings, status, logging severities.
+#include <gtest/gtest.h>
+
+#include "tofu/util/logging.h"
+#include "tofu/util/status.h"
+#include "tofu/util/strings.h"
+
+namespace tofu {
+namespace {
+
+TEST(Strings, JoinFormatsElements) {
+  EXPECT_EQ(Join(std::vector<int>{1, 2, 3}, ","), "1,2,3");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(Join(std::vector<std::string>{"solo"}, ", "), "solo");
+}
+
+TEST(Strings, StrFormatHandlesLongOutput) {
+  std::string long_arg(1000, 'x');
+  std::string out = StrFormat("<%s>", long_arg.c_str());
+  EXPECT_EQ(out.size(), 1002u);
+  EXPECT_EQ(out.front(), '<');
+  EXPECT_EQ(out.back(), '>');
+}
+
+TEST(Strings, HumanBytesPicksUnits) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(3.0 * (1 << 30)), "3.00 GiB");
+}
+
+TEST(Strings, HumanSecondsPicksUnits) {
+  EXPECT_EQ(HumanSeconds(2.5e-9), "2.5 ns");
+  EXPECT_EQ(HumanSeconds(3.1e-5), "31.0 us");
+  EXPECT_EQ(HumanSeconds(0.25), "250.0 ms");
+  EXPECT_EQ(HumanSeconds(12.0), "12.00 s");
+}
+
+TEST(Strings, CellPadsAndTruncates) {
+  EXPECT_EQ(Cell("ab", 4), "ab  ");
+  EXPECT_EQ(Cell("abcdef", 4), "abcd");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s(StatusCode::kResourceExhausted, "out of device memory");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "RESOURCE_EXHAUSTED: out of device memory");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= 5; ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status(StatusCode::kNotFound, "missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Logging, SeverityThresholdIsAdjustable) {
+  LogSeverity prev = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  TOFU_LOG(Info) << "suppressed message";
+  SetMinLogSeverity(prev);
+}
+
+TEST(Logging, CheckMacrosPassOnTrue) {
+  TOFU_CHECK(true) << "never shown";
+  TOFU_CHECK_EQ(2 + 2, 4);
+  TOFU_CHECK_LT(1, 2);
+  TOFU_CHECK_GE(5, 5);
+}
+
+TEST(LoggingDeath, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ TOFU_CHECK_EQ(1, 2) << "boom"; }, "Check failed");
+}
+
+}  // namespace
+}  // namespace tofu
