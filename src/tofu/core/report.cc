@@ -7,7 +7,7 @@
 
 namespace tofu {
 
-std::string PlanSummary(const Graph& graph, const PartitionPlan& plan) {
+std::string PlanSummary(const Graph& /*graph*/, const PartitionPlan& plan) {
   std::ostringstream out;
   out << StrFormat("plan for %d workers, total comm %s\n", plan.num_workers,
                    HumanBytes(plan.total_comm_bytes).c_str());

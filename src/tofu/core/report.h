@@ -1,4 +1,5 @@
-// Plan reporting: human-readable summaries and the Figure-11-style tiling visualization.
+// Plan reporting: human-readable summaries and the Figure-11-style tiling visualization
+// (which tensor dimensions each recursive step cut, and what one worker ends up storing).
 #ifndef TOFU_CORE_REPORT_H_
 #define TOFU_CORE_REPORT_H_
 

@@ -25,11 +25,11 @@ const std::unordered_map<std::string, GradFn>& GradRules() {
   static const auto* rules = new std::unordered_map<std::string, GradFn>{
       // ---- element-wise arithmetic -------------------------------------------------
       {"add",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* /*g*/, const OpNode& /*op*/, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{dy, dy};
        }},
       {"sub",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& /*op*/, TensorId dy, const std::vector<bool>& need) {
          TensorId d1 = need[1] ? Emit(g, "neg", {}, {dy}) : kNoTensor;
          return std::vector<TensorId>{dy, d1};
        }},
@@ -60,50 +60,50 @@ const std::unordered_map<std::string, GradFn>& GradRules() {
          return std::vector<TensorId>{need[0] ? d0 : kNoTensor, d1};
        }},
       {"copy",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* /*g*/, const OpNode& /*op*/, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{dy};
        }},
       {"neg",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& /*op*/, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{Emit(g, "neg", {}, {dy})};
        }},
       {"relu",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{Emit(g, "relu_grad", {}, {dy, op.inputs[0]})};
        }},
       {"tanh",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{Emit(g, "tanh_grad", {}, {dy, op.output})};
        }},
       {"sigmoid",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{Emit(g, "sigmoid_grad", {}, {dy, op.output})};
        }},
       {"exp",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{Emit(g, "mul", {}, {dy, op.output})};
        }},
       {"log",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{Emit(g, "div", {}, {dy, op.inputs[0]})};
        }},
       {"sqrt",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          TensorId half = Emit(g, "scale", OpAttrs().SetF("k", 0.5), {dy});
          return std::vector<TensorId>{Emit(g, "div", {}, {half, op.output})};
        }},
       {"square",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          TensorId two_x = Emit(g, "scale", OpAttrs().SetF("k", 2.0), {op.inputs[0]});
          return std::vector<TensorId>{Emit(g, "mul", {}, {dy, two_x})};
        }},
       {"scale",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{
              Emit(g, "scale", OpAttrs().SetF("k", op.attrs.GetFloat("k", 1.0)), {dy})};
        }},
       {"add_scalar",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* /*g*/, const OpNode& /*op*/, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{dy};
        }},
       {"fma2",  // out = a*b + c*d
@@ -136,19 +136,19 @@ const std::unordered_map<std::string, GradFn>& GradRules() {
          return std::vector<TensorId>{da, db};
        }},
       {"transpose2d",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& /*op*/, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{Emit(g, "transpose2d", {}, {dy})};
        }},
 
       // ---- reductions / broadcasts ---------------------------------------------------
       {"reduce_rows",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          const std::int64_t rows = g->tensor(op.inputs[0]).shape[0];
          return std::vector<TensorId>{
              Emit(g, "broadcast_rows", OpAttrs().Set("rows", rows), {dy})};
        }},
       {"reduce_mean_all",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          const std::int64_t n = g->tensor(op.inputs[0]).shape[0];
          return std::vector<TensorId>{Emit(g, "broadcast_scalar", OpAttrs().Set("n", n), {dy})};
        }},
@@ -190,12 +190,12 @@ const std::unordered_map<std::string, GradFn>& GradRules() {
          return std::vector<TensorId>{dx, dw};
        }},
       {"maxpool2d",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{
              Emit(g, "maxpool2d_grad", op.attrs, {dy, op.inputs[0], op.output})};
        }},
       {"global_avg_pool",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          const TensorNode& x = g->tensor(op.inputs[0]);
          OpAttrs attrs;
          attrs.Set("h", x.shape[2]).Set("w", x.shape[3]);
@@ -210,7 +210,7 @@ const std::unordered_map<std::string, GradFn>& GradRules() {
          return std::vector<TensorId>{dx, dgamma, dbeta};
        }},
       {"softmax_xent",
-       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
          TensorId raw = Emit(g, "softmax_xent_grad", {}, {op.inputs[0], op.inputs[1]});
          TensorId dlogits = Emit(g, "scale_rows", {}, {raw, dy});
          return std::vector<TensorId>{dlogits, kNoTensor};

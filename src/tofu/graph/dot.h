@@ -1,4 +1,6 @@
-// Graphviz DOT export for debugging and the examples.
+// Graphviz DOT export for debugging and the examples: renders the dataflow graph with
+// forward/backward/update ops distinguished, so the structures the coarsening pass
+// groups (paper §5.1) can be inspected visually.
 #ifndef TOFU_GRAPH_DOT_H_
 #define TOFU_GRAPH_DOT_H_
 

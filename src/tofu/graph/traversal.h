@@ -1,4 +1,6 @@
-// Graph traversal helpers: deterministic topological orders and reachability.
+// Graph traversal helpers: deterministic topological orders and reachability. The DP
+// processes coarsened groups in program order and the simulator schedules lowered tasks
+// deterministically, so every traversal here is stable across runs by construction.
 #ifndef TOFU_GRAPH_TRAVERSAL_H_
 #define TOFU_GRAPH_TRAVERSAL_H_
 

@@ -103,14 +103,6 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
 
   DpResult result;
 
-  auto encode = [&](const std::vector<int>& frontier_cuts) {
-    std::string key(frontier_cuts.size(), '\0');
-    for (size_t i = 0; i < frontier_cuts.size(); ++i) {
-      key[i] = static_cast<char>(frontier_cuts[i] + 2);  // kReplicated==-1 -> 1
-    }
-    return key;
-  };
-
   for (int g = 0; g < num_groups; ++g) {
     const MacroGroup& group = coarse.groups[static_cast<size_t>(g)];
 
@@ -128,7 +120,7 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
         for (int cut : slot_options[static_cast<size_t>(s)]) {
           recs.push_back({state.rec, s, cut});
           std::string new_key = key;
-          new_key.push_back(static_cast<char>(cut + 2));
+          new_key.push_back(static_cast<char>(cut + 2));  // kReplicated==-1 -> 1
           branched.emplace(std::move(new_key),
                            State{state.cost, static_cast<int>(recs.size()) - 1});
         }

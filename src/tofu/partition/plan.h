@@ -1,4 +1,5 @@
-// Partition plan types.
+// Partition plan types: the output of every search algorithm and the input to lowering,
+// reporting, and simulation.
 //
 // A plan is a sequence of *basic* steps (paper §5.2 / appendix A.1): step i splits every
 // tensor along at most one dimension into `ways` parts across `ways` worker groups. The

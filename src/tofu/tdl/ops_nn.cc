@@ -60,7 +60,7 @@ void RegisterConvOps(OpRegistry* registry) {
   bwd_data.shape_fn = [](const std::vector<Shape>& in, const OpAttrs& attrs) {
     return Shape{in[0][0], in[1][1], attrs.GetInt("h"), attrs.GetInt("w")};
   };
-  bwd_data.flops_fn = [](const std::vector<Shape>& in, const Shape& out, const OpAttrs&) {
+  bwd_data.flops_fn = [](const std::vector<Shape>& in, const Shape& /*out*/, const OpAttrs&) {
     return ConvFlops(in[0][0], in[0][1], in[0][2], in[0][3], in[1][1], in[1][2], in[1][3]);
   };
   bwd_data.op_class = OpClass::kConv;

@@ -1,4 +1,5 @@
-// Small string formatting helpers shared across modules (reports, DOT export, benches).
+// Small string formatting helpers shared across modules (reports, DOT export, benches):
+// printf-style StrFormat, container Join, and human-readable byte/time units.
 #ifndef TOFU_UTIL_STRINGS_H_
 #define TOFU_UTIL_STRINGS_H_
 
