@@ -16,6 +16,8 @@ const char* AlgorithmName(PartitionAlgorithm algorithm) {
       return "Spartan";
     case PartitionAlgorithm::kAllRowGreedy:
       return "AllRow-Greedy";
+    case PartitionAlgorithm::kDataParallel:
+      return "DataParallel";
   }
   return "?";
 }
@@ -33,6 +35,8 @@ PartitionPlan Partitioner::Partition(const Graph& graph, int num_workers,
       return SpartanGreedyPlan(graph, num_workers);
     case PartitionAlgorithm::kAllRowGreedy:
       return AllRowGreedyPlan(graph, num_workers);
+    case PartitionAlgorithm::kDataParallel:
+      return DataParallelPlan(graph, num_workers);
   }
   TOFU_LOG(Fatal) << "unreachable";
   return {};

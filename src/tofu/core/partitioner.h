@@ -16,13 +16,14 @@
 
 namespace tofu {
 
-// Named algorithm selector (Figure 10's comparison set).
+// Named algorithm selector (Figure 10's comparison set plus classic data parallelism).
 enum class PartitionAlgorithm {
   kTofu,          // recursive DP with output-reduction strategies
   kIcml18,        // recursive DP without output-reduction
   kEqualChop,     // single k-way DP step (one dimension per tensor)
   kSpartan,       // largest-tensor-first greedy
   kAllRowGreedy,  // everything split along dimension 0
+  kDataParallel,  // activations batch-split, model state replicated (all-reduce grads)
 };
 
 const char* AlgorithmName(PartitionAlgorithm algorithm);

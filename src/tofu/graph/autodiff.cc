@@ -139,6 +139,30 @@ const std::unordered_map<std::string, GradFn>& GradRules() {
        [](Graph* g, const OpNode& /*op*/, TensorId dy, const std::vector<bool>& /*need*/) {
          return std::vector<TensorId>{Emit(g, "transpose2d", {}, {dy})};
        }},
+      {"batch_matmul",  // Y[b] = A[b] B[b]
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId da = need[0] ? Emit(g, "batch_matmul_nt", {}, {dy, op.inputs[1]}) : kNoTensor;
+         TensorId db = need[1] ? Emit(g, "batch_matmul_tn", {}, {op.inputs[0], dy}) : kNoTensor;
+         return std::vector<TensorId>{da, db};
+       }},
+      {"batch_matmul_tn",  // Y[b] = A[b]^T B[b]
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId da = need[0] ? Emit(g, "batch_matmul_nt", {}, {op.inputs[1], dy}) : kNoTensor;
+         TensorId db = need[1] ? Emit(g, "batch_matmul", {}, {op.inputs[0], dy}) : kNoTensor;
+         return std::vector<TensorId>{da, db};
+       }},
+      {"batch_matmul_nt",  // Y[b] = A[b] B[b]^T
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId da = need[0] ? Emit(g, "batch_matmul", {}, {dy, op.inputs[1]}) : kNoTensor;
+         TensorId db = need[1] ? Emit(g, "batch_matmul_tn", {}, {dy, op.inputs[0]}) : kNoTensor;
+         return std::vector<TensorId>{da, db};
+       }},
+      {"linear3d",  // Y = X W with shared weight W: dX = dY W^T, dW = sum_{b,m} X^T dY
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId dx = need[0] ? Emit(g, "linear3d_nt", {}, {dy, op.inputs[1]}) : kNoTensor;
+         TensorId dw = need[1] ? Emit(g, "linear3d_grad_w", {}, {op.inputs[0], dy}) : kNoTensor;
+         return std::vector<TensorId>{dx, dw};
+       }},
 
       // ---- reductions / broadcasts ---------------------------------------------------
       {"reduce_rows",
@@ -162,6 +186,8 @@ const std::unordered_map<std::string, GradFn>& GradRules() {
              db = Emit(g, "reduce_rows", {}, {dy});
            } else if (rank == 4 && bias_dim == 1) {
              db = Emit(g, "reduce_channel", {}, {dy});
+           } else if (rank >= 3 && bias_dim == rank - 1) {
+             db = Emit(g, "reduce_leading", {}, {dy});
            } else {
              TOFU_LOG(Fatal) << "add_bias gradient unsupported for rank " << rank
                              << " bias_dim " << bias_dim;
@@ -208,6 +234,26 @@ const std::unordered_map<std::string, GradFn>& GradRules() {
              need[1] ? Emit(g, "bn_grad_gamma", {}, {dy, op.inputs[0]}) : kNoTensor;
          TensorId dbeta = need[2] ? Emit(g, "reduce_channel", {}, {dy}) : kNoTensor;
          return std::vector<TensorId>{dx, dgamma, dbeta};
+       }},
+      {"softmax",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
+         return std::vector<TensorId>{Emit(g, "softmax_grad", {}, {dy, op.output})};
+       }},
+      {"layernorm",  // inputs (x, gamma, beta)
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& need) {
+         TensorId dx = need[0]
+                           ? Emit(g, "layernorm_grad_x", {}, {dy, op.inputs[0], op.inputs[1]})
+                           : kNoTensor;
+         TensorId dgamma =
+             need[1] ? Emit(g, "layernorm_grad_gamma", {}, {dy, op.inputs[0]}) : kNoTensor;
+         TensorId dbeta = need[2] ? Emit(g, "reduce_leading", {}, {dy}) : kNoTensor;
+         return std::vector<TensorId>{dx, dgamma, dbeta};
+       }},
+      {"mean_seq",
+       [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {
+         const std::int64_t seq = g->tensor(op.inputs[0]).shape[1];
+         return std::vector<TensorId>{
+             Emit(g, "mean_seq_grad", OpAttrs().Set("seq", seq), {dy})};
        }},
       {"softmax_xent",
        [](Graph* g, const OpNode& op, TensorId dy, const std::vector<bool>& /*need*/) {

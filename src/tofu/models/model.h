@@ -1,5 +1,10 @@
 // Common result type for model builders: a complete training graph (forward pass, loss,
 // system-generated backward pass and Adagrad updates) plus the handles benches need.
+//
+// The structural annotations builders and autodiff leave on the graph (forward/backward
+// links, grad_of, unroll keys) feed the coarsening pass, which runs ONCE per partition
+// call and is reused across every recursive step (see partition/recursive.h); a builder
+// that mislabels them skews every step of the search, not just the first.
 #ifndef TOFU_MODELS_MODEL_H_
 #define TOFU_MODELS_MODEL_H_
 

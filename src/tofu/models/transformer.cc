@@ -1,0 +1,100 @@
+#include "tofu/models/transformer.h"
+
+#include <cmath>
+
+#include "tofu/util/logging.h"
+#include "tofu/util/strings.h"
+
+namespace tofu {
+
+std::int64_t TransformerParamCount(const TransformerConfig& config) {
+  const std::int64_t d = config.d_model;
+  const std::int64_t f = config.d_ff;
+  // Per layer: 3 QKV projections + the output projection (4*d*d in total across heads),
+  // FFN weights and biases, two layernorms.
+  const std::int64_t per_layer = 4 * d * d + (d * f + f) + (f * d + d) + 4 * d;
+  return config.layers * per_layer + d * config.num_classes;
+}
+
+ModelGraph BuildTransformer(const TransformerConfig& config) {
+  TOFU_CHECK_GE(config.layers, 1);
+  TOFU_CHECK_GE(config.heads, 1);
+  TOFU_CHECK_EQ(config.d_model % config.heads, 0)
+      << "heads must divide d_model";
+  const std::int64_t d_head = config.d_model / config.heads;
+
+  ModelGraph model;
+  model.name = StrFormat("transformer-%d-h%d-d%lld", config.layers, config.heads,
+                         static_cast<long long>(config.d_model));
+  model.batch = config.batch;
+  Graph& g = model.graph;
+
+  // Pre-embedded token representations, as one would feed a single device.
+  TensorId x = g.AddInput("tokens", {config.batch, config.seq_len, config.d_model});
+
+  for (int l = 0; l < config.layers; ++l) {
+    // ---- multi-head self-attention ----------------------------------------------------
+    TensorId attn_out = kNoTensor;
+    for (int h = 0; h < config.heads; ++h) {
+      const std::string base = StrFormat("enc%d/h%d", l, h);
+      TensorId wq = g.AddParam(base + "/wq", {config.d_model, d_head});
+      TensorId wk = g.AddParam(base + "/wk", {config.d_model, d_head});
+      TensorId wv = g.AddParam(base + "/wv", {config.d_model, d_head});
+      TensorId q = g.AddOp("linear3d", {}, {x, wq}, base + "/q");
+      TensorId k = g.AddOp("linear3d", {}, {x, wk}, base + "/k");
+      TensorId v = g.AddOp("linear3d", {}, {x, wv}, base + "/v");
+
+      // scores = (Q K^T) / sqrt(d_head); probabilities row-normalized over keys.
+      TensorId scores = g.AddOp("batch_matmul_nt", {}, {q, k}, base + "/scores");
+      TensorId scaled = g.AddOp(
+          "scale", OpAttrs().SetF("k", 1.0 / std::sqrt(static_cast<double>(d_head))),
+          {scores});
+      TensorId probs = g.AddOp("softmax", {}, {scaled}, base + "/probs");
+      TensorId ctx = g.AddOp("batch_matmul", {}, {probs, v}, base + "/ctx");
+
+      // Per-head output projection back to d_model; summing the heads' projections is the
+      // concat-then-project of the fused formulation.
+      TensorId wo = g.AddParam(base + "/wo", {d_head, config.d_model});
+      TensorId head_out = g.AddOp("linear3d", {}, {ctx, wo}, base + "/out");
+      attn_out = attn_out == kNoTensor ? head_out
+                                       : g.AddOp("add", {}, {attn_out, head_out});
+    }
+
+    // Residual + layernorm.
+    const std::string enc = StrFormat("enc%d", l);
+    TensorId res1 = g.AddOp("add", {}, {x, attn_out}, enc + "/res1");
+    TensorId gamma1 = g.AddParam(enc + "/ln1/gamma", {config.d_model});
+    TensorId beta1 = g.AddParam(enc + "/ln1/beta", {config.d_model});
+    TensorId y = g.AddOp("layernorm", {}, {res1, gamma1, beta1}, enc + "/ln1");
+
+    // ---- position-wise feed-forward network -------------------------------------------
+    TensorId w1 = g.AddParam(enc + "/ffn/w1", {config.d_model, config.d_ff});
+    TensorId b1 = g.AddParam(enc + "/ffn/b1", {config.d_ff});
+    TensorId hidden = g.AddOp("linear3d", {}, {y, w1}, enc + "/ffn/h");
+    hidden = g.AddOp("add_bias", OpAttrs().Set("bias_dim", 2), {hidden, b1});
+    hidden = g.AddOp("relu", {}, {hidden});
+    TensorId w2 = g.AddParam(enc + "/ffn/w2", {config.d_ff, config.d_model});
+    TensorId b2 = g.AddParam(enc + "/ffn/b2", {config.d_model});
+    TensorId ffn = g.AddOp("linear3d", {}, {hidden, w2}, enc + "/ffn/out");
+    ffn = g.AddOp("add_bias", OpAttrs().Set("bias_dim", 2), {ffn, b2});
+
+    TensorId res2 = g.AddOp("add", {}, {y, ffn}, enc + "/res2");
+    TensorId gamma2 = g.AddParam(enc + "/ln2/gamma", {config.d_model});
+    TensorId beta2 = g.AddParam(enc + "/ln2/beta", {config.d_model});
+    x = g.AddOp("layernorm", {}, {res2, gamma2, beta2}, enc + "/ln2");
+  }
+
+  // Mean-pool over positions, project to classes, softmax cross-entropy.
+  TensorId pooled = g.AddOp("mean_seq", {}, {x}, "head/pool");
+  TensorId wc = g.AddParam("head/wc", {config.d_model, config.num_classes});
+  TensorId logits = g.AddOp("matmul", {}, {pooled, wc}, "head/logits");
+  TensorId labels = g.AddInput("labels", {config.batch});
+  TensorId xent = g.AddOp("softmax_xent", {}, {logits, labels}, "xent");
+  model.loss = g.AddOp("reduce_mean_all", {}, {xent}, "loss");
+
+  AutodiffResult grads = BuildBackward(&g, model.loss);
+  BuildAdagradUpdates(&g, grads);
+  return model;
+}
+
+}  // namespace tofu

@@ -1,0 +1,40 @@
+// Transformer encoder builder (post-norm, BERT-style blocks): multi-head self-attention
+// plus a two-layer feed-forward network, with residual connections and layer
+// normalization, topped by a mean-pooled classifier head for the training loss.
+//
+// This is the first workload the paper never evaluated: attention exercises the TDL
+// analyzer on batched matmuls, row-coupled normalizations, and shared-weight projections
+// whose weight gradients reduce over batch *and* sequence.
+//
+// Heads are materialized as separate per-head projections (Wq/Wk/Wv of [d_model,
+// d_head] each and a per-head output projection [d_head, d_model] whose results are
+// summed) -- mathematically identical to the fused [d_model, d_model] form with
+// concatenation, but expressible without a reshape operator, whose index map (division /
+// modulo by the head count) is outside TDL's affine fragment.
+#ifndef TOFU_MODELS_TRANSFORMER_H_
+#define TOFU_MODELS_TRANSFORMER_H_
+
+#include "tofu/models/model.h"
+
+namespace tofu {
+
+struct TransformerConfig {
+  std::int64_t batch = 8;
+  std::int64_t seq_len = 128;
+  std::int64_t d_model = 512;
+  std::int64_t d_ff = 2048;  // FFN hidden width (4 x d_model in the standard recipe)
+  int heads = 4;             // must divide d_model
+  int layers = 2;
+  std::int64_t num_classes = 1000;  // classifier head vocabulary
+};
+
+// Parameter count of one configuration (per layer: QKV + output projections ~4*D^2 and
+// the FFN's 2*D*F + F + D, plus two layernorm scale/shift pairs; head: D*C classifier).
+std::int64_t TransformerParamCount(const TransformerConfig& config);
+
+// Builds the full training graph (forward, loss, backward, Adagrad), like BuildMlp.
+ModelGraph BuildTransformer(const TransformerConfig& config);
+
+}  // namespace tofu
+
+#endif  // TOFU_MODELS_TRANSFORMER_H_

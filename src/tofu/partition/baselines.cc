@@ -50,6 +50,47 @@ PartitionPlan BuildStepwisePlan(const Graph& graph, int num_workers, CutFn&& ass
 
 }  // namespace
 
+PartitionPlan DataParallelPlan(const Graph& graph, int num_workers) {
+  // Weight-gradient traffic: the final parameter gradients (grad_of links) plus every
+  // partial contribution feeding them through gradient-aggregation adds (an unrolled
+  // RNN's per-timestep weight gradients). Aggregation outputs have larger ids than their
+  // inputs, so one reverse-id pass sees each consumer's output before its inputs.
+  std::vector<bool> weight_grad(static_cast<size_t>(graph.num_tensors()), false);
+  for (TensorId t = graph.num_tensors() - 1; t >= 0; --t) {
+    const TensorNode& node = graph.tensor(t);
+    if (node.grad_of != kNoTensor && graph.tensor(node.grad_of).is_param) {
+      weight_grad[static_cast<size_t>(t)] = true;
+      continue;
+    }
+    for (OpId c : node.consumers) {
+      const OpNode& op = graph.op(c);
+      if (op.is_grad_agg && weight_grad[static_cast<size_t>(op.output)]) {
+        weight_grad[static_cast<size_t>(t)] = true;
+        break;
+      }
+    }
+  }
+
+  return BuildStepwisePlan(graph, num_workers, [&](StepContext* ctx, BasicPlan* step) {
+    for (TensorId t = 0; t < graph.num_tensors(); ++t) {
+      const TensorNode& node = graph.tensor(t);
+      // Model state stays replicated on every worker: weights, optimizer history, weight
+      // gradients (the all-reduce their producers' case-2 strategies charge), and the
+      // updated weight/history tensors the optimizer ops emit.
+      const bool model_state =
+          node.is_param || node.is_opt_state || weight_grad[static_cast<size_t>(t)] ||
+          (node.producer != kNoOp && graph.op(node.producer).is_update);
+      if (model_state) {
+        continue;
+      }
+      const Shape& shape = ctx->shape(t);
+      if (!shape.empty() && shape[0] >= step->ways) {
+        step->tensor_cut[static_cast<size_t>(t)] = 0;  // the batch dimension
+      }
+    }
+  });
+}
+
 PartitionPlan AllRowGreedyPlan(const Graph& graph, int num_workers) {
   return BuildStepwisePlan(graph, num_workers, [&](StepContext* ctx, BasicPlan* step) {
     for (TensorId t = 0; t < graph.num_tensors(); ++t) {

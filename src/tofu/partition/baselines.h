@@ -1,4 +1,7 @@
 // Baseline partition algorithms compared against Tofu in Figure 10:
+//   * DataParallel -- activations split along the batch dimension, model state (weights,
+//     weight gradients, optimizer history) replicated: the classic default whose
+//     per-iteration cost is an all-reduce of every weight gradient;
 //   * AllRow-Greedy -- every tensor split along its first dimension (the "one weird
 //     trick"-like default for CNNs), operators greedily adapted;
 //   * Spartan -- largest-tensor-first greedy tiling (Huang et al., ATC'15);
@@ -14,6 +17,8 @@
 #include "tofu/partition/recursive.h"
 
 namespace tofu {
+
+PartitionPlan DataParallelPlan(const Graph& graph, int num_workers);
 
 PartitionPlan AllRowGreedyPlan(const Graph& graph, int num_workers);
 

@@ -4,6 +4,13 @@
 // non-increasing). Each step's cost is weighted by the number of groups at that level
 // (appendix Eq. 3); Theorem 2's monotonicity (delta_i <= delta_{i+1}) is exposed through
 // PartitionPlan::weighted_step_costs for verification.
+//
+// Invariant: the CoarseGraph is computed ONCE from the unpartitioned graph and shared by
+// every recursive step. Coarsening is purely structural (forward/backward links, unroll
+// keys, element-wise coalescing) and partitioning never changes structure -- only the
+// per-step shapes shrink, which RecursivePartition threads through a fresh StepContext
+// per step. Anything shape-dependent therefore must live in StepContext / strategy
+// concretization, never in CoarseGraph.
 #ifndef TOFU_PARTITION_RECURSIVE_H_
 #define TOFU_PARTITION_RECURSIVE_H_
 

@@ -35,6 +35,25 @@ double ShardKernelSeconds(const Graph& graph, const OpNode& op, const ClusterSpe
   return KernelSeconds(cluster.gpu, cls, flops, bytes, std::max(rows, 1.0));
 }
 
+// The extent driving kernel efficiency. GEMM-class ops starve on their row count; batched
+// GEMMs (batch_matmul, linear3d -- any rank >= 3 kMatmul output) keep the device busy
+// across the whole batch of GEMMs, so every dimension but the innermost counts as rows.
+// Other classes (conv, bandwidth) key off the leading (batch) dimension as before.
+double EfficiencyRows(const OpNode& op, const Shape& out_shape) {
+  if (out_shape.empty()) {
+    return 1.0;
+  }
+  if (out_shape.size() >= 3 &&
+      OpRegistry::Get().Info(op.type).op_class == OpClass::kMatmul) {
+    double rows = 1.0;
+    for (size_t d = 0; d + 1 < out_shape.size(); ++d) {
+      rows *= static_cast<double>(out_shape[d]);
+    }
+    return rows;
+  }
+  return static_cast<double>(out_shape[0]);
+}
+
 }  // namespace
 
 SimGraph LowerPartitioned(const Graph& graph, const PartitionPlan& plan,
@@ -85,7 +104,7 @@ SimGraph LowerPartitioned(const Graph& graph, const PartitionPlan& plan,
 
     const Shape out_shape =
         trivial ? graph.tensor(op.output).shape : plan.ShardShape(graph, op.output);
-    const double rows = out_shape.empty() ? 1.0 : static_cast<double>(out_shape[0]);
+    const double rows = EfficiencyRows(op, out_shape);
     double kernel_s = ShardKernelSeconds(graph, op, cluster, cost.work_fraction, rows);
     if (op.is_grad_agg && !options.inplace_grad_agg) {
       kernel_s *= 2.0;  // extra read-modify-write pass without in-place accumulation
@@ -259,7 +278,7 @@ SimGraph LowerPlacement(const Graph& graph, int num_devices,
     }
 
     const Shape& out_shape = graph.tensor(op.output).shape;
-    const double rows = out_shape.empty() ? 1.0 : static_cast<double>(out_shape[0]);
+    const double rows = EfficiencyRows(op, out_shape);
     double kernel_s = ShardKernelSeconds(graph, op, cluster, 1.0, rows);
     if (op.is_grad_agg && !options.inplace_grad_agg) {
       kernel_s *= 2.0;

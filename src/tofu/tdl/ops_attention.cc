@@ -1,0 +1,354 @@
+// TDL descriptions for the transformer-attention operator family: batched matmul (and
+// the transposed variants autodiff emits), shared-weight 3-D projections, row-wise
+// softmax, layer normalization, and the sequence-pooling head.
+//
+// None of these operators appear in the paper's workloads -- they are the generalization
+// test of the TDL approach: the descriptions below are written once, and the analyzer
+// discovers the partition spaces (batch-, sequence-, head/model-dimension- and
+// reduction-splits) that transformer-specific systems hand-code.
+//
+// Row-coupled normalizations (softmax, layernorm) follow the softmax_xent pattern: the
+// normalized dimension is wrapped in an Opaque application, so every leading dimension
+// stays partitionable while splitting the normalized row is (correctly) rejected.
+#include <string>
+#include <vector>
+
+#include "tofu/tdl/registry.h"
+#include "tofu/util/logging.h"
+
+namespace tofu {
+namespace {
+
+double BatchMatmulFlops(std::int64_t batch, std::int64_t m, std::int64_t k, std::int64_t n) {
+  return 2.0 * static_cast<double>(batch) * static_cast<double>(m) * static_cast<double>(k) *
+         static_cast<double>(n);
+}
+
+void RegisterBatchMatmul(OpRegistry* registry) {
+  // batch_matmul: [B,M,K] x [B,K,N] -> [B,M,N]. One GEMM per batch entry; the batch
+  // dimension partitions cleanly, M and N partition as in 2-D matmul, and K is the
+  // output-reduction (case-2) dimension.
+  OpRegistry::OpTypeInfo info;
+  info.name = "batch_matmul";
+  info.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("batch_matmul", 2);
+    IndexVar bb = b.Out("b"), m = b.Out("m"), n = b.Out("n");
+    IndexVar k = b.Red("k");
+    return std::move(b).Build(b.Sum({k}, b.In(0)({bb, m, k}) * b.In(1)({bb, k, n})));
+  };
+  info.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    TOFU_CHECK_EQ(in[0][0], in[1][0]) << "batch_matmul batch mismatch";
+    TOFU_CHECK_EQ(in[0][2], in[1][1]) << "batch_matmul inner-dimension mismatch";
+    return Shape{in[0][0], in[0][1], in[1][2]};
+  };
+  info.flops_fn = [](const std::vector<Shape>& in, const Shape&, const OpAttrs&) {
+    return BatchMatmulFlops(in[0][0], in[0][1], in[0][2], in[1][2]);
+  };
+  info.op_class = OpClass::kMatmul;
+  registry->Register(std::move(info));
+
+  // batch_matmul_tn: A^T B per batch with A:[B,K,M], B:[B,K,N] -> [B,M,N].
+  OpRegistry::OpTypeInfo tn;
+  tn.name = "batch_matmul_tn";
+  tn.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("batch_matmul_tn", 2);
+    IndexVar bb = b.Out("b"), m = b.Out("m"), n = b.Out("n");
+    IndexVar k = b.Red("k");
+    return std::move(b).Build(b.Sum({k}, b.In(0)({bb, k, m}) * b.In(1)({bb, k, n})));
+  };
+  tn.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    TOFU_CHECK_EQ(in[0][0], in[1][0]) << "batch_matmul_tn batch mismatch";
+    TOFU_CHECK_EQ(in[0][1], in[1][1]) << "batch_matmul_tn inner-dimension mismatch";
+    return Shape{in[0][0], in[0][2], in[1][2]};
+  };
+  tn.flops_fn = [](const std::vector<Shape>& in, const Shape&, const OpAttrs&) {
+    return BatchMatmulFlops(in[0][0], in[0][2], in[0][1], in[1][2]);
+  };
+  tn.op_class = OpClass::kMatmul;
+  registry->Register(std::move(tn));
+
+  // batch_matmul_nt: A B^T per batch with A:[B,M,K], B:[B,N,K] -> [B,M,N] (the
+  // query-key score matmul: scores = Q K^T).
+  OpRegistry::OpTypeInfo nt;
+  nt.name = "batch_matmul_nt";
+  nt.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("batch_matmul_nt", 2);
+    IndexVar bb = b.Out("b"), m = b.Out("m"), n = b.Out("n");
+    IndexVar k = b.Red("k");
+    return std::move(b).Build(b.Sum({k}, b.In(0)({bb, m, k}) * b.In(1)({bb, n, k})));
+  };
+  nt.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    TOFU_CHECK_EQ(in[0][0], in[1][0]) << "batch_matmul_nt batch mismatch";
+    TOFU_CHECK_EQ(in[0][2], in[1][2]) << "batch_matmul_nt inner-dimension mismatch";
+    return Shape{in[0][0], in[0][1], in[1][1]};
+  };
+  nt.flops_fn = [](const std::vector<Shape>& in, const Shape&, const OpAttrs&) {
+    return BatchMatmulFlops(in[0][0], in[0][1], in[0][2], in[1][1]);
+  };
+  nt.op_class = OpClass::kMatmul;
+  registry->Register(std::move(nt));
+}
+
+void RegisterLinear3d(OpRegistry* registry) {
+  // linear3d: x [B,M,K] x w [K,N] -> [B,M,N]. A shared-weight projection applied to every
+  // (batch, position) row -- the Q/K/V/output projections and both FFN layers. Splitting
+  // the reduction dimension K shards the weight without touching the batch (the
+  // output-reduction strategy layer-granularity systems miss, §7.3).
+  OpRegistry::OpTypeInfo fwd;
+  fwd.name = "linear3d";
+  fwd.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("linear3d", 2);
+    IndexVar bb = b.Out("b"), m = b.Out("m"), n = b.Out("n");
+    IndexVar k = b.Red("k");
+    return std::move(b).Build(b.Sum({k}, b.In(0)({bb, m, k}) * b.In(1)({k, n})));
+  };
+  fwd.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    TOFU_CHECK_EQ(in[0][2], in[1][0]) << "linear3d inner-dimension mismatch";
+    return Shape{in[0][0], in[0][1], in[1][1]};
+  };
+  fwd.flops_fn = [](const std::vector<Shape>& in, const Shape&, const OpAttrs&) {
+    return BatchMatmulFlops(in[0][0], in[0][1], in[0][2], in[1][1]);
+  };
+  fwd.op_class = OpClass::kMatmul;
+  registry->Register(std::move(fwd));
+
+  // linear3d_nt: dy [B,M,N] x w [K,N] -> dx [B,M,K] (data gradient: dX = dY W^T).
+  OpRegistry::OpTypeInfo nt;
+  nt.name = "linear3d_nt";
+  nt.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("linear3d_nt", 2);
+    IndexVar bb = b.Out("b"), m = b.Out("m"), k = b.Out("k");
+    IndexVar n = b.Red("n");
+    return std::move(b).Build(b.Sum({n}, b.In(0)({bb, m, n}) * b.In(1)({k, n})));
+  };
+  nt.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    TOFU_CHECK_EQ(in[0][2], in[1][1]) << "linear3d_nt inner-dimension mismatch";
+    return Shape{in[0][0], in[0][1], in[1][0]};
+  };
+  nt.flops_fn = [](const std::vector<Shape>& in, const Shape&, const OpAttrs&) {
+    return BatchMatmulFlops(in[0][0], in[0][1], in[0][2], in[1][0]);
+  };
+  nt.op_class = OpClass::kMatmul;
+  registry->Register(std::move(nt));
+
+  // linear3d_grad_w: x [B,M,K] x dy [B,M,N] -> dw [K,N] (weight gradient: dW = X^T dY
+  // summed over batch AND sequence -- two independent output-reduction dimensions).
+  OpRegistry::OpTypeInfo gw;
+  gw.name = "linear3d_grad_w";
+  gw.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("linear3d_grad_w", 2);
+    IndexVar k = b.Out("k"), n = b.Out("n");
+    IndexVar bb = b.Red("b"), m = b.Red("m");
+    return std::move(b).Build(b.Sum({bb, m}, b.In(0)({bb, m, k}) * b.In(1)({bb, m, n})));
+  };
+  gw.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    TOFU_CHECK_EQ(in[0][0], in[1][0]) << "linear3d_grad_w batch mismatch";
+    TOFU_CHECK_EQ(in[0][1], in[1][1]) << "linear3d_grad_w row mismatch";
+    return Shape{in[0][2], in[1][2]};
+  };
+  gw.flops_fn = [](const std::vector<Shape>& in, const Shape&, const OpAttrs&) {
+    return BatchMatmulFlops(in[0][0], in[0][2], in[0][1], in[1][2]);
+  };
+  gw.op_class = OpClass::kMatmul;
+  registry->Register(std::move(gw));
+}
+
+// Index expressions for the leading (non-normalized) output variables of a rank-generic
+// row-coupled op, plus the trailing normalized variable.
+std::vector<IndexVar> DeclareOutVars(OpDescBuilder* b, int rank) {
+  std::vector<IndexVar> vars;
+  vars.reserve(static_cast<size_t>(rank));
+  for (int d = 0; d < rank; ++d) {
+    vars.push_back(b->Out("x" + std::to_string(d)));
+  }
+  return vars;
+}
+
+// Opaque row slice {x0, ..., x_{r-2}, ":"} -- affine on every leading dimension, whole on
+// the normalized one.
+std::vector<std::optional<IndexExpr>> RowSlice(const std::vector<IndexVar>& vars) {
+  std::vector<std::optional<IndexExpr>> slice;
+  for (size_t d = 0; d + 1 < vars.size(); ++d) {
+    slice.emplace_back(IndexExpr(vars[d]));
+  }
+  slice.emplace_back(std::nullopt);
+  return slice;
+}
+
+void RegisterSoftmax(OpRegistry* registry) {
+  // softmax: [..., N] -> [..., N], normalized along the last dimension. Rank-generic; the
+  // attention probabilities use rank 3 ([B, S_q, S_k], normalized over keys). The
+  // normalization couples the whole row, so the last dimension is opaque: every leading
+  // dimension partitions, the row dimension never does.
+  OpRegistry::OpTypeInfo sm;
+  sm.name = "softmax";
+  sm.desc_fn = [](const OpAttrs&, const std::vector<int>& ranks) {
+    const int rank = ranks[0];
+    TOFU_CHECK_GE(rank, 2) << "softmax requires rank >= 2";
+    OpDescBuilder b("softmax", 1);
+    std::vector<IndexVar> vars = DeclareOutVars(&b, rank);
+    return std::move(b).Build(
+        b.Opaque("softmax_row", 0, RowSlice(vars), {IndexExpr(vars.back())}));
+  };
+  sm.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return in[0]; };
+  sm.flops_fn = nullptr;
+  sm.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(sm));
+
+  // softmax_grad: dy [..., N], y [..., N] -> dx [..., N]. The row gradient
+  // y * (dy - <dy, y>) couples each row of both inputs; both are opaque row slices.
+  OpRegistry::OpTypeInfo smg;
+  smg.name = "softmax_grad";
+  smg.desc_fn = [](const OpAttrs&, const std::vector<int>& ranks) {
+    const int rank = ranks[0];
+    TOFU_CHECK_GE(rank, 2) << "softmax_grad requires rank >= 2";
+    OpDescBuilder b("softmax_grad", 2);
+    std::vector<IndexVar> vars = DeclareOutVars(&b, rank);
+    const IndexExpr last(vars.back());
+    ExprPtr dy_rows = b.Opaque("softmax_grad_row", 0, RowSlice(vars), {last});
+    ExprPtr y_rows = b.Opaque("softmax_grad_row_y", 1, RowSlice(vars), {last});
+    return std::move(b).Build(dy_rows + y_rows * 0.0);
+  };
+  smg.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return in[0]; };
+  smg.flops_fn = nullptr;
+  smg.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(smg));
+}
+
+void RegisterLayerNorm(OpRegistry* registry) {
+  // layernorm: x [..., D], gamma [D], beta [D] -> y [..., D], normalized per row over the
+  // last dimension then scaled and shifted. The mean/variance couple the row (opaque);
+  // gamma/beta are element-wise along the normalized dimension.
+  OpRegistry::OpTypeInfo ln;
+  ln.name = "layernorm";
+  ln.desc_fn = [](const OpAttrs&, const std::vector<int>& ranks) {
+    const int rank = ranks[0];
+    TOFU_CHECK_GE(rank, 2) << "layernorm requires rank >= 2";
+    OpDescBuilder b("layernorm", 3);
+    std::vector<IndexVar> vars = DeclareOutVars(&b, rank);
+    const IndexExpr d(vars.back());
+    ExprPtr xhat = b.Opaque("layernorm_row", 0, RowSlice(vars), {d});
+    return std::move(b).Build(xhat * b.In(1)({d}) + b.In(2)({d}));
+  };
+  ln.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return in[0]; };
+  ln.flops_fn = nullptr;
+  ln.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(ln));
+
+  // layernorm_grad_x: dy [..., D], x [..., D], gamma [D] -> dx [..., D]. The input
+  // gradient re-centers within each row, so both dy and x rows are opaque.
+  OpRegistry::OpTypeInfo lgx;
+  lgx.name = "layernorm_grad_x";
+  lgx.desc_fn = [](const OpAttrs&, const std::vector<int>& ranks) {
+    const int rank = ranks[0];
+    TOFU_CHECK_GE(rank, 2) << "layernorm_grad_x requires rank >= 2";
+    OpDescBuilder b("layernorm_grad_x", 3);
+    std::vector<IndexVar> vars = DeclareOutVars(&b, rank);
+    const IndexExpr d(vars.back());
+    ExprPtr dy_rows = b.Opaque("layernorm_grad_row", 0, RowSlice(vars), {d});
+    ExprPtr x_rows = b.Opaque("layernorm_grad_row_x", 1, RowSlice(vars), {d});
+    return std::move(b).Build(dy_rows * b.In(2)({d}) + x_rows * 0.0);
+  };
+  lgx.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) { return in[0]; };
+  lgx.flops_fn = nullptr;
+  lgx.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(lgx));
+
+  // layernorm_grad_gamma: dy [..., D], xhat [..., D] -> dgamma [D], reducing over every
+  // leading dimension -- each one an output-reduction (case-2) strategy.
+  //
+  // Substitution note: the true reduction operand is the *normalized* x; normalization is
+  // row-local and does not change the access pattern, so the description reads x directly.
+  OpRegistry::OpTypeInfo lgg;
+  lgg.name = "layernorm_grad_gamma";
+  lgg.desc_fn = [](const OpAttrs&, const std::vector<int>& ranks) {
+    const int rank = ranks[0];
+    TOFU_CHECK_GE(rank, 2) << "layernorm_grad_gamma requires rank >= 2";
+    OpDescBuilder b("layernorm_grad_gamma", 2);
+    IndexVar d = b.Out("d");
+    std::vector<IndexVar> leads;
+    for (int i = 0; i + 1 < rank; ++i) {
+      leads.push_back(b.Red("r" + std::to_string(i)));
+    }
+    std::vector<IndexExpr> idx(leads.begin(), leads.end());
+    idx.emplace_back(d);
+    return std::move(b).Build(b.Sum(leads, b.In(0)(idx) * b.In(1)(idx)));
+  };
+  lgg.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    return Shape{in[0].back()};
+  };
+  lgg.flops_fn = nullptr;
+  lgg.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(lgg));
+
+  // reduce_leading: [..., D] -> [D], summing every leading dimension (beta/bias gradients
+  // of rank >= 3 operands; the rank-2 case is reduce_rows).
+  OpRegistry::OpTypeInfo rl;
+  rl.name = "reduce_leading";
+  rl.desc_fn = [](const OpAttrs&, const std::vector<int>& ranks) {
+    const int rank = ranks[0];
+    TOFU_CHECK_GE(rank, 2) << "reduce_leading requires rank >= 2";
+    OpDescBuilder b("reduce_leading", 1);
+    IndexVar d = b.Out("d");
+    std::vector<IndexVar> leads;
+    for (int i = 0; i + 1 < rank; ++i) {
+      leads.push_back(b.Red("r" + std::to_string(i)));
+    }
+    std::vector<IndexExpr> idx(leads.begin(), leads.end());
+    idx.emplace_back(d);
+    return std::move(b).Build(b.Sum(leads, b.In(0)(idx)));
+  };
+  rl.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    return Shape{in[0].back()};
+  };
+  rl.flops_fn = nullptr;
+  rl.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(rl));
+}
+
+void RegisterSequencePooling(OpRegistry* registry) {
+  // mean_seq: [B,S,D] -> [B,D], the mean over positions feeding the classifier head.
+  OpRegistry::OpTypeInfo ms;
+  ms.name = "mean_seq";
+  ms.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("mean_seq", 1);
+    IndexVar bb = b.Out("b"), d = b.Out("d");
+    IndexVar s = b.Red("s");
+    return std::move(b).Build(b.Sum({s}, b.In(0)({bb, s, d})) * 1.0);
+  };
+  ms.shape_fn = [](const std::vector<Shape>& in, const OpAttrs&) {
+    return Shape{in[0][0], in[0][2]};
+  };
+  ms.flops_fn = nullptr;
+  ms.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(ms));
+
+  // mean_seq_grad: dy [B,D] -> dx [B,S,D] (adjoint broadcast over positions); attr: seq.
+  OpRegistry::OpTypeInfo msg;
+  msg.name = "mean_seq_grad";
+  msg.desc_fn = [](const OpAttrs&, const std::vector<int>&) {
+    OpDescBuilder b("mean_seq_grad", 1);
+    IndexVar bb = b.Out("b");
+    b.Out("s");
+    IndexVar d = b.Out("d");
+    return std::move(b).Build(b.In(0)({bb, d}) * 1.0);
+  };
+  msg.shape_fn = [](const std::vector<Shape>& in, const OpAttrs& attrs) {
+    return Shape{in[0][0], attrs.GetInt("seq"), in[0][1]};
+  };
+  msg.flops_fn = nullptr;
+  msg.op_class = OpClass::kBandwidth;
+  registry->Register(std::move(msg));
+}
+
+}  // namespace
+
+void RegisterAttentionOps(OpRegistry* registry) {
+  RegisterBatchMatmul(registry);
+  RegisterLinear3d(registry);
+  RegisterSoftmax(registry);
+  RegisterLayerNorm(registry);
+  RegisterSequencePooling(registry);
+}
+
+}  // namespace tofu

@@ -49,6 +49,7 @@ OpRegistry::OpRegistry() {
   RegisterElementwiseOps(this);
   RegisterLinalgOps(this);
   RegisterNNOps(this);
+  RegisterAttentionOps(this);
 }
 
 void OpRegistry::Register(OpTypeInfo info) {

@@ -115,6 +115,7 @@ class OpRegistry {
 void RegisterElementwiseOps(OpRegistry* registry);
 void RegisterLinalgOps(OpRegistry* registry);
 void RegisterNNOps(OpRegistry* registry);
+void RegisterAttentionOps(OpRegistry* registry);
 
 }  // namespace tofu
 

@@ -71,6 +71,24 @@ std::vector<OpCase> AllCases() {
   cases.push_back({"add_bias", OpAttrs().Set("bias_dim", 1), {t2, {64}}});
   cases.push_back({"softmax_xent", {}, {{32, 1000}, {32}}});
   cases.push_back({"softmax_xent_grad", {}, {{32, 1000}, {32}}});
+
+  // Attention family (ops_attention.cc): batched matmuls, shared-weight projections,
+  // row-coupled normalizations, sequence pooling.
+  const Shape t3{8, 32, 64};
+  cases.push_back({"batch_matmul", {}, {{8, 32, 64}, {8, 64, 16}}});
+  cases.push_back({"batch_matmul_tn", {}, {{8, 64, 32}, {8, 64, 16}}});
+  cases.push_back({"batch_matmul_nt", {}, {{8, 32, 64}, {8, 16, 64}}});
+  cases.push_back({"linear3d", {}, {{8, 32, 64}, {64, 128}}});
+  cases.push_back({"linear3d_nt", {}, {{8, 32, 128}, {64, 128}}});
+  cases.push_back({"linear3d_grad_w", {}, {{8, 32, 64}, {8, 32, 128}}});
+  cases.push_back({"softmax", {}, {t3}});
+  cases.push_back({"softmax_grad", {}, {t3, t3}});
+  cases.push_back({"layernorm", {}, {t3, {64}, {64}}});
+  cases.push_back({"layernorm_grad_x", {}, {t3, t3, {64}}});
+  cases.push_back({"layernorm_grad_gamma", {}, {t3, t3}});
+  cases.push_back({"reduce_leading", {}, {t3}});
+  cases.push_back({"mean_seq", {}, {t3}});
+  cases.push_back({"mean_seq_grad", OpAttrs().Set("seq", 32), {{8, 64}}});
   return cases;
 }
 
@@ -147,6 +165,25 @@ TEST(Registry, CaseListCoversEveryRegisteredOp) {
   }
   for (const std::string& name : names) {
     EXPECT_TRUE(covered.count(name) > 0) << "op " << name << " missing from registry tests";
+  }
+}
+
+// Naming conventions documented in docs/tdl.md: a gradient operator is `<fwd>_grad`,
+// `<fwd>_grad_<operand>` or `<fwd>_bwd_<operand>`, and its forward operator must be
+// registered too -- no orphan gradient ops. (Generic adjoints like reduce_rows /
+// broadcast_rows pair through autodiff rules instead and carry no _grad suffix.)
+TEST(Registry, EveryGradOpPairsWithARegisteredForwardOp) {
+  OpRegistry& registry = OpRegistry::Get();
+  for (const std::string& name : registry.RegisteredNames()) {
+    for (const char* marker : {"_grad", "_bwd"}) {
+      const size_t pos = name.find(marker);
+      if (pos == std::string::npos) {
+        continue;
+      }
+      const std::string forward = name.substr(0, pos);
+      EXPECT_TRUE(registry.Has(forward))
+          << "gradient op " << name << " has no registered forward op " << forward;
+    }
   }
 }
 

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Docs drift check: every operator registered in src/tofu/tdl/ops_*.cc must be documented
+# in docs/tdl.md (as a backticked `name`). Run from anywhere; exits non-zero listing the
+# undocumented ops. CI runs this on every push (see .github/workflows/ci.yml).
+set -u
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+doc="$repo/docs/tdl.md"
+
+if [[ ! -f "$doc" ]]; then
+  echo "check_docs: missing $doc" >&2
+  exit 1
+fi
+
+# Registration idioms: `xx.name = "op";` for hand-rolled OpTypeInfo, and
+# `RegisterElementwise(registry, "op", arity)` for the element-wise family.
+ops=$(
+  {
+    grep -hoE '\.name = "[a-z0-9_]+"' "$repo"/src/tofu/tdl/ops_*.cc |
+      sed -E 's/.*"([a-z0-9_]+)"/\1/'
+    grep -hoE 'RegisterElementwise\(registry, "[a-z0-9_]+"' "$repo"/src/tofu/tdl/ops_*.cc |
+      sed -E 's/.*"([a-z0-9_]+)"?/\1/'
+  } | sort -u
+)
+
+if [[ -z "$ops" ]]; then
+  echo "check_docs: found no registered ops under src/tofu/tdl/ -- pattern drift?" >&2
+  exit 1
+fi
+
+missing=0
+total=0
+for op in $ops; do
+  total=$((total + 1))
+  if ! grep -q "\`$op\`" "$doc"; then
+    echo "check_docs: op '$op' is registered but not documented in docs/tdl.md" >&2
+    missing=$((missing + 1))
+  fi
+done
+
+if [[ $missing -gt 0 ]]; then
+  echo "check_docs: $missing of $total registered ops missing from docs/tdl.md" >&2
+  exit 1
+fi
+echo "check_docs: all $total registered ops documented in docs/tdl.md"
