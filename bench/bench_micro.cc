@@ -46,16 +46,20 @@ void BM_Coarsen(benchmark::State& state) {
 }
 BENCHMARK(BM_Coarsen);
 
+// One DP step through the packed-state search engine; Arg = DpOptions::num_threads
+// (sharded state expansion; plans are byte-identical across thread counts).
 void BM_DpStep(benchmark::State& state) {
   ModelGraph model = BenchMlp();
   CoarseGraph cg = Coarsen(model.graph);
+  DpOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     StepContext ctx(model.graph, StepContext::InitialShapes(model.graph), 2);
-    DpResult dp = RunStepDp(&ctx, cg, {});
+    DpResult dp = RunStepDp(&ctx, cg, options);
     benchmark::DoNotOptimize(dp.plan.comm_bytes);
   }
 }
-BENCHMARK(BM_DpStep);
+BENCHMARK(BM_DpStep)->Arg(1)->Arg(4);
 
 void BM_RecursivePartitionMlp8(benchmark::State& state) {
   ModelGraph model = BenchMlp();
@@ -66,18 +70,30 @@ void BM_RecursivePartitionMlp8(benchmark::State& state) {
 }
 BENCHMARK(BM_RecursivePartitionMlp8);
 
+// Full recursive search; Arg = engine threads. Also reports the engine's own wall time
+// and cost-evaluation count through SearchStats counters.
 void BM_RecursivePartitionWResNet50(benchmark::State& state) {
   WResNetConfig config;
   config.layers = 50;
   config.width = 4;
   config.batch = 32;
   ModelGraph model = BuildWResNet(config);
+  PartitionOptions options;
+  options.dp.num_threads = static_cast<int>(state.range(0));
+  double engine_seconds = 0.0;
+  std::int64_t evals = 0;
   for (auto _ : state) {
-    PartitionPlan plan = RecursivePartition(model.graph, 8);
+    PartitionPlan plan = RecursivePartition(model.graph, 8, options);
+    engine_seconds += plan.search_stats.wall_seconds;
+    evals += plan.search_stats.states_explored;
     benchmark::DoNotOptimize(plan.total_comm_bytes);
   }
+  state.counters["engine_s"] =
+      benchmark::Counter(engine_seconds, benchmark::Counter::kAvgIterations);
+  state.counters["cost_evals"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kAvgIterations);
 }
-BENCHMARK(BM_RecursivePartitionWResNet50)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RecursivePartitionWResNet50)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_LowerAndSimulate(benchmark::State& state) {
   ModelGraph model = BenchMlp();

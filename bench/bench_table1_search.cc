@@ -8,13 +8,21 @@
 // We time our recursive search directly and run the flat ("DP with coarsening",
 // multi-dimension joint enumeration) search under a wall-clock budget, projecting its
 // completion time from the enumerated share -- the same blow-up the paper measured.
+//
+//   ./bench_table1_search                  # human-readable table
+//   ./bench_table1_search --json out.json  # also emit machine-readable results
+//                                          # (tools/check_perf.py gates CI on them)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "tofu/models/rnn.h"
 #include "tofu/models/wresnet.h"
 #include "tofu/partition/flat_dp.h"
 #include "tofu/partition/recursive.h"
+#include "tofu/util/json.h"
 #include "tofu/util/strings.h"
 
 namespace tofu {
@@ -22,7 +30,7 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-void Run(const std::string& name, ModelGraph model) {
+void Run(const std::string& name, ModelGraph model, JsonWriter* json) {
   std::printf("--- %s (%d ops, %d tensors) ---\n", name.c_str(), model.graph.num_ops(),
               model.graph.num_tensors());
 
@@ -31,6 +39,12 @@ void Run(const std::string& name, ModelGraph model) {
   const double recursive_s = std::chrono::duration<double>(Clock::now() - t0).count();
   std::printf("  using recursion:      %-10s (plan comm %s/iter)\n",
               HumanSeconds(recursive_s).c_str(), HumanBytes(plan.total_comm_bytes).c_str());
+  std::printf("  engine stats:         %lld cost evaluations, peak frontier %lld states, "
+              "%lld table cells%s\n",
+              static_cast<long long>(plan.search_stats.states_explored),
+              static_cast<long long>(plan.search_stats.max_frontier_states),
+              static_cast<long long>(plan.search_stats.cost_table_entries),
+              plan.search_stats.exact ? "" : " (beam-degraded)");
 
   CoarseGraph coarse = Coarsen(model.graph);
   FlatDpOptions options;
@@ -52,28 +66,72 @@ void Run(const std::string& name, ModelGraph model) {
   std::printf("  speedup (recursion vs flat): %.0fx\n\n",
               (flat.completed ? flat.elapsed_seconds : flat.projected_seconds) /
                   std::max(recursive_s, 1e-9));
+
+  if (json != nullptr) {
+    json->BeginObject();
+    json->Key("model").String(name);
+    json->Key("num_ops").Int(model.graph.num_ops());
+    json->Key("num_tensors").Int(model.graph.num_tensors());
+    json->Key("recursive_seconds").Number(recursive_s);
+    json->Key("recursive_comm_bytes").Number(plan.total_comm_bytes);
+    json->Key("states_explored").Int(plan.search_stats.states_explored);
+    json->Key("max_frontier_states").Int(plan.search_stats.max_frontier_states);
+    json->Key("cost_table_entries").Int(plan.search_stats.cost_table_entries);
+    json->Key("exact").Bool(plan.search_stats.exact);
+    json->Key("flat_completed").Bool(flat.completed);
+    json->Key("flat_elapsed_seconds").Number(flat.elapsed_seconds);
+    json->Key("flat_projected_seconds")
+        .Number(flat.completed ? flat.elapsed_seconds : flat.projected_seconds);
+    json->Key("flat_configs_evaluated").Number(flat.configs_evaluated);
+    json->Key("flat_configs_total").Number(flat.configs_total);
+    json->EndObject();
+  }
 }
 
 }  // namespace
 }  // namespace tofu
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   std::printf("=== Table 1: time to search for the best partition (8 workers) ===\n");
   std::printf("paper: WResNet-152 8h flat / 8.3s recursive; RNN-10 >24h flat / 66.6s "
               "recursive\n\n");
+
+  tofu::JsonWriter json;
+  json.BeginObject();
+  json.Key("benchmark").String("table1_search");
+  json.Key("workers").Int(8);
+  json.Key("results").BeginArray();
+  tofu::JsonWriter* json_ptr = json_path.empty() ? nullptr : &json;
+
   {
     tofu::WResNetConfig config;
     config.layers = 152;
     config.width = 10;
     config.batch = 8;
-    tofu::Run("WResNet-152-10", tofu::BuildWResNet(config));
+    tofu::Run("WResNet-152-10", tofu::BuildWResNet(config), json_ptr);
   }
   {
     tofu::RnnConfig config;
     config.layers = 10;
     config.hidden = 8192;
     config.batch = 128;
-    tofu::Run("RNN-10-8K", tofu::BuildRnn(config));
+    tofu::Run("RNN-10-8K", tofu::BuildRnn(config), json_ptr);
+  }
+
+  json.EndArray();
+  json.EndObject();
+  if (!json_path.empty()) {
+    if (!tofu::WriteTextFile(json_path, json.str() + "\n")) {
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;
 }

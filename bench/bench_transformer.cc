@@ -3,21 +3,25 @@
 // compares Tofu's recursive DP against classic data parallelism (activations batch-split,
 // weights replicated and all-reduced) and the one-dimension flat DP (EqualChop).
 //
-//   ./bench_transformer           # full sweep: 3 configurations x 3 algorithms
-//   ./bench_transformer --smoke   # one small configuration (CI)
+//   ./bench_transformer                  # full sweep: 3 configurations x 3 algorithms
+//   ./bench_transformer --smoke          # one small configuration (CI)
+//   ./bench_transformer --json out.json  # also emit machine-readable results
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "tofu/core/partitioner.h"
 #include "tofu/models/transformer.h"
 #include "tofu/sim/runtimes.h"
+#include "tofu/util/json.h"
 #include "tofu/util/strings.h"
 
 namespace {
 
 using namespace tofu;
 
-void RunConfig(const TransformerConfig& config, const ClusterSpec& cluster) {
+void RunConfig(const TransformerConfig& config, const ClusterSpec& cluster,
+               JsonWriter* json) {
   ModelGraph model = BuildTransformer(config);
   std::printf("\n--- %s: seq %lld, d_ff %lld, batch %lld ---\n", model.name.c_str(),
               static_cast<long long>(config.seq_len), static_cast<long long>(config.d_ff),
@@ -34,6 +38,16 @@ void RunConfig(const TransformerConfig& config, const ClusterSpec& cluster) {
   double tofu_comm = 0.0;
   std::printf("%-14s %16s %14s %14s %10s\n", "algorithm", "comm bytes/iter", "samples/s",
               "peak/GPU", "comm frac");
+  if (json != nullptr) {
+    json->BeginObject();
+    json->Key("model").String(model.name);
+    json->Key("seq_len").Int(config.seq_len);
+    json->Key("d_model").Int(config.d_model);
+    json->Key("d_ff").Int(config.d_ff);
+    json->Key("layers").Int(config.layers);
+    json->Key("batch").Int(config.batch);
+    json->Key("algorithms").BeginArray();
+  }
   for (PartitionAlgorithm algo : algos) {
     PartitionPlan plan = partitioner.Partition(model.graph, cluster.num_gpus, algo);
     ThroughputResult result = RunPlanThroughput(model, plan, cluster);
@@ -41,11 +55,29 @@ void RunConfig(const TransformerConfig& config, const ClusterSpec& cluster) {
                 HumanBytes(plan.total_comm_bytes).c_str(), result.samples_per_second,
                 HumanBytes(result.peak_bytes).c_str(), result.comm_fraction * 100.0,
                 result.oom ? " (OOM)" : "");
+    if (json != nullptr) {
+      json->BeginObject();
+      json->Key("algorithm").String(AlgorithmName(algo));
+      json->Key("comm_bytes").Number(plan.total_comm_bytes);
+      json->Key("samples_per_second").Number(result.samples_per_second);
+      json->Key("peak_bytes").Number(result.peak_bytes);
+      json->Key("comm_fraction").Number(result.comm_fraction);
+      json->Key("oom").Bool(result.oom);
+      json->Key("states_explored").Int(plan.search_stats.states_explored);
+      json->Key("search_wall_seconds").Number(plan.search_stats.wall_seconds);
+      json->EndObject();
+    }
     if (algo == PartitionAlgorithm::kDataParallel) {
       dp_comm = plan.total_comm_bytes;
     } else if (algo == PartitionAlgorithm::kTofu) {
       tofu_comm = plan.total_comm_bytes;
     }
+  }
+  if (json != nullptr) {
+    json->EndArray();
+    json->Key("tofu_vs_dp_comm_ratio")
+        .Number(dp_comm > 0.0 && tofu_comm > 0.0 ? dp_comm / tofu_comm : 0.0);
+    json->EndObject();
   }
   std::printf("Tofu vs DataParallel communication: %.2fx %s\n",
               dp_comm > 0.0 ? dp_comm / tofu_comm : 0.0,
@@ -55,12 +87,27 @@ void RunConfig(const TransformerConfig& config, const ClusterSpec& cluster) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   const ClusterSpec cluster = K80Cluster();
   std::printf("=== Transformer encoder on %d simulated GPUs ===\n", cluster.num_gpus);
   std::printf("expected shape: Tofu strictly below DataParallel on communication (it can\n"
               "shard the projection/FFN weights instead of all-reducing their gradients)\n"
               "and at or below EqualChop (recursion reaches multi-dimension tilings).\n");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("benchmark").String("transformer");
+  json.Key("workers").Int(cluster.num_gpus);
+  json.Key("results").BeginArray();
+  JsonWriter* json_ptr = json_path.empty() ? nullptr : &json;
 
   if (smoke) {
     TransformerConfig config;
@@ -71,31 +118,39 @@ int main(int argc, char** argv) {
     config.heads = 2;
     config.layers = 2;
     config.num_classes = 64;
-    RunConfig(config, cluster);
-    return 0;
+    RunConfig(config, cluster, json_ptr);
+  } else {
+    // Sweep depth and width; batch stays modest so weight traffic dominates -- the
+    // regime where data parallelism pays its all-reduce tax.
+    for (int layers : {2, 4}) {
+      TransformerConfig config;
+      config.layers = layers;
+      config.batch = 32;
+      config.seq_len = 128;
+      config.d_model = 512;
+      config.d_ff = 2048;
+      config.heads = 4;
+      RunConfig(config, cluster, json_ptr);
+    }
+    {
+      TransformerConfig config;
+      config.layers = 2;
+      config.batch = 32;
+      config.seq_len = 128;
+      config.d_model = 1024;
+      config.d_ff = 4096;
+      config.heads = 8;
+      RunConfig(config, cluster, json_ptr);
+    }
   }
 
-  // Sweep depth and width; batch stays modest so weight traffic dominates -- the regime
-  // where data parallelism pays its all-reduce tax.
-  for (int layers : {2, 4}) {
-    TransformerConfig config;
-    config.layers = layers;
-    config.batch = 32;
-    config.seq_len = 128;
-    config.d_model = 512;
-    config.d_ff = 2048;
-    config.heads = 4;
-    RunConfig(config, cluster);
-  }
-  {
-    TransformerConfig config;
-    config.layers = 2;
-    config.batch = 32;
-    config.seq_len = 128;
-    config.d_model = 1024;
-    config.d_ff = 4096;
-    config.heads = 8;
-    RunConfig(config, cluster);
+  json.EndArray();
+  json.EndObject();
+  if (!json_path.empty()) {
+    if (!WriteTextFile(json_path, json.str() + "\n")) {
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;
 }

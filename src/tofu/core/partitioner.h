@@ -5,7 +5,10 @@
 //
 // The same program written for one device runs on many: the plan assigns every tensor a
 // tiling and every operator a partition-n-reduce strategy per recursive step, and the
-// simulator (or a real backend) lowers it to per-worker execution.
+// simulator (or a real backend) lowers it to per-worker execution. The returned plan
+// also carries PartitionPlan::search_stats -- the aggregated effort of the packed-state
+// search engine (docs/search.md) -- so callers can assert on how hard the search worked
+// (zero for the greedy baselines, which run no DP).
 #ifndef TOFU_CORE_PARTITIONER_H_
 #define TOFU_CORE_PARTITIONER_H_
 

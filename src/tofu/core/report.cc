@@ -26,6 +26,16 @@ std::string PlanSummary(const Graph& /*graph*/, const PartitionPlan& plan) {
                      HumanBytes(plan.weighted_step_costs[i]).c_str(),
                      Join(parts, " ").c_str());
   }
+  if (plan.search_stats.states_explored > 0) {
+    out << StrFormat(
+        "  search: %lld cost evaluations, peak frontier %lld states, %lld table cells, "
+        "%s%s\n",
+        static_cast<long long>(plan.search_stats.states_explored),
+        static_cast<long long>(plan.search_stats.max_frontier_states),
+        static_cast<long long>(plan.search_stats.cost_table_entries),
+        HumanSeconds(plan.search_stats.wall_seconds).c_str(),
+        plan.search_stats.exact ? "" : " (beam-degraded, approximate)");
+  }
   return out.str();
 }
 

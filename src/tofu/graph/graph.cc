@@ -82,7 +82,14 @@ std::vector<int> Graph::InputRanks(const OpNode& op) const {
 }
 
 const OpSemantics& Graph::SemanticsOf(const OpNode& op) const {
-  return OpRegistry::Get().Semantics(op.type, op.attrs, InputRanks(op));
+  if (semantics_cache_.size() < ops_.size()) {
+    semantics_cache_.resize(ops_.size(), nullptr);
+  }
+  const OpSemantics*& cached = semantics_cache_[static_cast<size_t>(op.id)];
+  if (cached == nullptr) {
+    cached = &OpRegistry::Get().Semantics(op.type, op.attrs, InputRanks(op));
+  }
+  return *cached;
 }
 
 std::int64_t Graph::TotalParamBytes() const {

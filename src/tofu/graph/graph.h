@@ -103,6 +103,9 @@ class Graph {
   std::vector<int> InputRanks(const OpNode& op) const;
 
   // Cached TDL semantics (description + discovered strategies) for an op instance.
+  // Resolved through the registry once per op (semantics depend only on the op's type,
+  // attributes and input ranks, all fixed at construction) and memoized per op id --
+  // the partition search asks for these per step, on its hottest path.
   const OpSemantics& SemanticsOf(const OpNode& op) const;
 
   // Aggregate statistics.
@@ -115,6 +118,8 @@ class Graph {
 
   std::vector<TensorNode> tensors_;
   std::vector<OpNode> ops_;
+  // Registry semantics per op id, resolved lazily (grows with ops_; see SemanticsOf).
+  mutable std::vector<const OpSemantics*> semantics_cache_;
 };
 
 // Structural validation: producer/consumer symmetry, shapes re-inferable through the

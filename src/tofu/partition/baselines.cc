@@ -166,6 +166,7 @@ PartitionPlan EqualChopPlan(const Graph& graph, int num_workers,
   const CoarseGraph coarse = Coarsen(graph, options.coarsen);
   StepContext ctx(graph, StepContext::InitialShapes(graph), num_workers);
   DpResult dp = RunStepDp(&ctx, coarse, options.dp);
+  plan.search_stats = dp.stats;
   plan.weighted_step_costs.push_back(dp.plan.comm_bytes);
   plan.total_comm_bytes = dp.plan.comm_bytes;
   plan.steps.push_back(std::move(dp.plan));

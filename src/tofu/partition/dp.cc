@@ -1,57 +1,183 @@
 #include "tofu/partition/dp.h"
 
-#include <algorithm>
-#include <limits>
-#include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "tofu/partition/search_engine.h"
 #include "tofu/util/logging.h"
 
 namespace tofu {
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Backpointer record: fixes one slot's cut; chained per state.
-struct Rec {
-  int parent = -1;
-  int slot = -1;
-  int cut = kReplicated;
+// Precompiled cost evaluator of one unit at this step: strategy applicability, tensor
+// sizes, and halo volumes are all shape-only facts, so they are resolved ONCE per step
+// (per RunStepDp) instead of once per cost evaluation. What remains per evaluation is
+// branch-light arithmetic over flat arrays -- this is the function the per-group cost
+// tables are filled from, the hottest code in the search.
+//
+// Floating-point accumulation order deliberately mirrors StepContext::OpCommBytes
+// (per-op subtotals, inputs then output) so costs are bit-identical to evaluating
+// through StepContext.
+struct InputTerm {
+  int slot;      // the tensor's slot (cuts are per slot; slots can hold many tensors)
+  bool whole;    // whole-tensor requirement (InputReq::Kind::kReplicated)
+  int req_dim;   // split requirement dimension (when !whole)
+  double size;   // current bytes
+  double halo_bytes;
 };
 
-struct State {
-  double cost = 0.0;
-  int rec = -1;
+// One member op's contribution under one strategy: `num_inputs` InputTerms (stored
+// contiguously in the owning flat array) followed by the output re-partition term.
+struct OpTerms {
+  int num_inputs;
+  int out_slot;
+  double out_size;
+  bool is_reduction;
+  int output_dim;
 };
+
+struct StrategyEval {
+  int sidx;
+  int op_begin;     // index range into UnitEval::ops
+  int op_end;
+  int input_begin;  // start of this strategy's run in UnitEval::inputs
+};
+
+// Flat-array evaluator (single allocation per array, contiguous traversal): ops[o]
+// consumes the next ops[o].num_inputs entries of `inputs`, in order.
+struct UnitEval {
+  // Replicated-execution baseline: per member op, the inputs it would all-gather.
+  std::vector<int> repl_op_sizes;   // inputs per member op
+  std::vector<InputTerm> repl_inputs;
+  // Strategies applicable at this step's shapes (ascending sidx), reduction-filtered.
+  std::vector<StrategyEval> strategies;
+  std::vector<OpTerms> ops;
+  std::vector<InputTerm> inputs;
+};
+
+UnitEval BuildUnitEval(StepContext* ctx, const CoarseGraph& coarse, const Unit& unit,
+                       bool allow_reduction, const std::vector<double>& tensor_bytes) {
+  const Graph& graph = ctx->graph();
+  const double f = static_cast<double>(ctx->ways());
+  UnitEval ue;
+
+  ue.repl_op_sizes.reserve(unit.ops.size());
+  for (OpId op_id : unit.ops) {
+    const OpNode& op = graph.op(op_id);
+    ue.repl_op_sizes.push_back(static_cast<int>(op.inputs.size()));
+    for (TensorId t : op.inputs) {
+      ue.repl_inputs.push_back({coarse.tensor_slot[static_cast<size_t>(t)], true, -1,
+                                tensor_bytes[static_cast<size_t>(t)], 0.0});
+    }
+  }
+
+  const int num_strategies = static_cast<int>(ctx->Strategies(unit.ops[0]).size());
+  for (int sidx = 0; sidx < num_strategies; ++sidx) {
+    if (!allow_reduction &&
+        ctx->Strategies(unit.ops[0])[static_cast<size_t>(sidx)].is_reduction) {
+      continue;
+    }
+    bool ok = true;
+    for (OpId op_id : unit.ops) {
+      if (!ctx->Applicable(op_id, sidx)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      continue;
+    }
+    StrategyEval se;
+    se.sidx = sidx;
+    se.op_begin = static_cast<int>(ue.ops.size());
+    se.input_begin = static_cast<int>(ue.inputs.size());
+    for (OpId op_id : unit.ops) {
+      const OpNode& op = graph.op(op_id);
+      const ConcreteStrategy& s = ctx->Strategies(op_id)[static_cast<size_t>(sidx)];
+      OpTerms terms;
+      terms.num_inputs = static_cast<int>(op.inputs.size());
+      for (size_t i = 0; i < op.inputs.size(); ++i) {
+        const ConcreteInputReq& req = s.inputs[i];
+        InputTerm it;
+        it.slot = coarse.tensor_slot[static_cast<size_t>(op.inputs[i])];
+        it.size = tensor_bytes[static_cast<size_t>(op.inputs[i])];
+        it.whole = req.kind == InputReq::Kind::kReplicated;
+        it.req_dim = it.whole ? -1 : req.dim;
+        it.halo_bytes = 0.0;
+        if (!it.whole) {
+          const std::int64_t extent =
+              ctx->shape(op.inputs[i])[static_cast<size_t>(req.dim)];
+          if (req.halo_elems > 0 && extent > 0) {
+            const double slab =
+                it.size * static_cast<double>(req.halo_elems) / static_cast<double>(extent);
+            it.halo_bytes = 2.0 * (f - 1.0) * slab;
+          }
+        }
+        ue.inputs.push_back(it);
+      }
+      terms.out_slot = coarse.tensor_slot[static_cast<size_t>(op.output)];
+      terms.out_size = tensor_bytes[static_cast<size_t>(op.output)];
+      terms.is_reduction = s.is_reduction;
+      terms.output_dim = s.output_dim;
+      ue.ops.push_back(terms);
+    }
+    se.op_end = static_cast<int>(ue.ops.size());
+    ue.strategies.push_back(se);
+  }
+  return ue;
+}
 
 // Minimal cost of one unit given fixed cuts: min over applicable strategies of the summed
 // member-op communication. Replicated execution (every worker runs the whole op) is a
 // genuine candidate, not just a fallback -- for operators whose tensors are all stored
 // replicated it is the zero-communication choice.
-double UnitCost(StepContext* ctx, const Unit& unit, const std::vector<int>& cuts,
-                bool allow_reduction, int* best_sidx) {
-  const int num_strategies = static_cast<int>(ctx->Strategies(unit.ops[0]).size());
+double UnitCost(const UnitEval& ue, const std::vector<int>& slot_cuts, double f,
+                int* best_sidx) {
+  const double fm1 = f - 1.0;
   double best = 0.0;
-  int best_idx = kReplicatedExec;
-  for (OpId op : unit.ops) {
-    best += ctx->OpCommBytes(op, kReplicatedExec, cuts);
-  }
-  for (int sidx = 0; sidx < num_strategies; ++sidx) {
-    if (!allow_reduction && ctx->Strategies(unit.ops[0])[static_cast<size_t>(sidx)].is_reduction) {
-      continue;
-    }
-    bool ok = true;
-    double total = 0.0;
-    for (OpId op : unit.ops) {
-      if (!ctx->Applicable(op, sidx)) {
-        ok = false;
-        break;
+  {
+    const InputTerm* it = ue.repl_inputs.data();
+    for (int n : ue.repl_op_sizes) {
+      double op_total = 0.0;
+      for (int i = 0; i < n; ++i, ++it) {
+        if (slot_cuts[static_cast<size_t>(it->slot)] != kReplicated) {
+          op_total += it->size * fm1;
+        }
       }
-      total += ctx->OpCommBytes(op, sidx, cuts);
+      best += op_total;
     }
-    if (ok && total < best) {
+  }
+  int best_idx = kReplicatedExec;
+  for (const StrategyEval& se : ue.strategies) {
+    double total = 0.0;
+    // Each strategy's ops consume its own run of the shared flat input array.
+    const InputTerm* it = ue.inputs.data() + se.input_begin;
+    for (int o = se.op_begin; o < se.op_end; ++o) {
+      const OpTerms& op = ue.ops[static_cast<size_t>(o)];
+      double op_total = 0.0;
+      for (int i = 0; i < op.num_inputs; ++i, ++it) {
+        const int stored = slot_cuts[static_cast<size_t>(it->slot)];
+        if (stored == kReplicated) {
+          continue;  // every worker already holds the whole tensor
+        }
+        if (it->whole) {
+          op_total += it->size * fm1;  // all-gather the other shards
+        } else if (stored == it->req_dim) {
+          op_total += it->halo_bytes;  // aligned: only the halo moves
+        } else {
+          op_total += it->size * fm1 / f + it->halo_bytes;  // cross-cut shuffle
+        }
+      }
+      const int stored = slot_cuts[static_cast<size_t>(op.out_slot)];
+      if (op.is_reduction) {
+        op_total += stored == kReplicated ? 2.0 * op.out_size * fm1 : op.out_size * fm1;
+      } else if (stored != op.output_dim) {
+        op_total += stored == kReplicated ? op.out_size * fm1 : op.out_size * fm1 / f;
+      }
+      total += op_total;
+    }
+    if (total < best) {
       best = total;
-      best_idx = sidx;
+      best_idx = se.sidx;
     }
   }
   if (best_sidx != nullptr) {
@@ -65,211 +191,87 @@ double UnitCost(StepContext* ctx, const Unit& unit, const std::vector<int>& cuts
 DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions& options) {
   const Graph& graph = ctx->graph();
   const int num_slots = coarse.num_slots();
-  const int num_groups = static_cast<int>(coarse.groups.size());
+  const double f = static_cast<double>(ctx->ways());
 
-  // Cut options per slot (identical across members; validated by Coarsen).
-  std::vector<std::vector<int>> slot_options(static_cast<size_t>(num_slots));
+  // Cut options per slot (identical across members; validated by Coarsen). Cached by
+  // StepContext, so this is a pointer copy per slot.
+  std::vector<const std::vector<int>*> slot_options(static_cast<size_t>(num_slots));
+  SearchSpace space;
+  space.slot_num_options.resize(static_cast<size_t>(num_slots));
   for (int s = 0; s < num_slots; ++s) {
     slot_options[static_cast<size_t>(s)] =
-        ctx->CutOptions(coarse.slots[static_cast<size_t>(s)].members[0]);
+        &ctx->CutOptions(coarse.slots[static_cast<size_t>(s)].members[0]);
+    space.slot_num_options[static_cast<size_t>(s)] =
+        static_cast<int>(slot_options[static_cast<size_t>(s)]->size());
+  }
+  space.group_slots.reserve(coarse.groups.size());
+  for (const MacroGroup& group : coarse.groups) {
+    space.group_slots.push_back(group.touched_slots);  // already sorted, unique
   }
 
-  // First/last group touching each slot (in processing order). Slots touched by no group
-  // (isolated tensors) keep {-1,-1} and default to their first cut option.
-  std::vector<int> first(static_cast<size_t>(num_slots), -1);
-  std::vector<int> last(static_cast<size_t>(num_slots), -1);
-  for (int g = 0; g < num_groups; ++g) {
-    for (int s : coarse.groups[static_cast<size_t>(g)].touched_slots) {
-      if (first[static_cast<size_t>(s)] < 0) {
-        first[static_cast<size_t>(s)] = g;
-      }
-      last[static_cast<size_t>(s)] = g;
-    }
+  // Per-unit evaluators: applicability, sizes and halos resolved once per step.
+  std::vector<double> tensor_bytes(static_cast<size_t>(graph.num_tensors()));
+  for (TensorId t = 0; t < graph.num_tensors(); ++t) {
+    tensor_bytes[static_cast<size_t>(t)] = static_cast<double>(ctx->bytes(t));
+  }
+  std::vector<UnitEval> unit_evals;
+  unit_evals.reserve(coarse.units.size());
+  for (const Unit& unit : coarse.units) {
+    unit_evals.push_back(BuildUnitEval(ctx, coarse, unit,
+                                       options.allow_reduction_strategies, tensor_bytes));
   }
 
-  // Scratch per-tensor cut array consulted by the cost evaluator.
-  std::vector<int> cuts(static_cast<size_t>(graph.num_tensors()), kReplicated);
-  auto apply_slot_cut = [&](int slot, int cut) {
-    for (TensorId t : coarse.slots[static_cast<size_t>(slot)].members) {
-      cuts[static_cast<size_t>(t)] = cut;
+  // Scratch per-slot cut array consulted by the cost evaluator. Only the touched slots
+  // are (re)written before each evaluation, and only they are read.
+  std::vector<int> slot_cuts(static_cast<size_t>(num_slots), kReplicated);
+
+  // Group cost at one combination of its touched slots' cut options. Invoked once per
+  // combination while the engine fills the group's dense cost table. Element-wise riders
+  // contribute nothing: their tensors share one slot, hence one cut, hence zero
+  // re-partition traffic by construction.
+  SearchEngine::GroupCostFn cost_fn = [&](int g, const int* opts) {
+    const MacroGroup& group = coarse.groups[static_cast<size_t>(g)];
+    for (size_t i = 0; i < group.touched_slots.size(); ++i) {
+      const int slot = group.touched_slots[i];
+      slot_cuts[static_cast<size_t>(slot)] = (*slot_options[static_cast<size_t>(slot)])[
+          static_cast<size_t>(opts[i])];
     }
+    double group_cost = 0.0;
+    for (int u : group.units) {
+      group_cost += UnitCost(unit_evals[static_cast<size_t>(u)], slot_cuts, f, nullptr);
+    }
+    return group_cost;
   };
 
-  // DP over groups.
-  std::vector<Rec> recs;
-  std::unordered_map<std::string, State> states;
-  states.emplace(std::string(), State{0.0, -1});
-  std::vector<int> frontier;  // live slots, in insertion order (defines the state key)
+  SearchEngineOptions engine_options;
+  engine_options.max_states = options.max_states;
+  engine_options.num_threads = options.num_threads;
+  SearchEngine engine(std::move(space), engine_options);
+  SearchEngine::Result search = engine.Run(cost_fn);
 
   DpResult result;
+  result.stats = search.stats;
 
-  for (int g = 0; g < num_groups; ++g) {
-    const MacroGroup& group = coarse.groups[static_cast<size_t>(g)];
-
-    // 1. Slots entering the frontier at this group: branch every state on their options.
-    std::vector<int> entering;
-    for (int s : group.touched_slots) {
-      if (first[static_cast<size_t>(s)] == g) {
-        entering.push_back(s);
-      }
-    }
-    for (int s : entering) {
-      std::unordered_map<std::string, State> branched;
-      branched.reserve(states.size() * slot_options[static_cast<size_t>(s)].size());
-      for (const auto& [key, state] : states) {
-        for (int cut : slot_options[static_cast<size_t>(s)]) {
-          recs.push_back({state.rec, s, cut});
-          std::string new_key = key;
-          new_key.push_back(static_cast<char>(cut + 2));  // kReplicated==-1 -> 1
-          branched.emplace(std::move(new_key),
-                           State{state.cost, static_cast<int>(recs.size()) - 1});
-        }
-      }
-      states = std::move(branched);
-      frontier.push_back(s);
-      if (static_cast<std::int64_t>(states.size()) > options.max_states) {
-        // Beam fallback: keep the cheapest quarter of the cap (deterministic tie-break
-        // on the state key). Exactness is lost; see DpResult::exact.
-        std::vector<std::pair<double, std::string>> ranked;
-        ranked.reserve(states.size());
-        for (const auto& [key, state] : states) {
-          ranked.push_back({state.cost, key});
-        }
-        const size_t keep = static_cast<size_t>(options.max_states / 4);
-        std::nth_element(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(keep),
-                         ranked.end());
-        std::unordered_map<std::string, State> pruned;
-        pruned.reserve(keep);
-        for (size_t i = 0; i < keep; ++i) {
-          pruned.emplace(ranked[i].second, states[ranked[i].second]);
-        }
-        states = std::move(pruned);
-        if (result.exact) {
-          TOFU_LOG(Warning) << "DP frontier exceeded " << options.max_states
-                            << " states; degrading to a beam search (plan approximate)";
-        }
-        result.exact = false;
-      }
-    }
-
-    // 2. Charge the group's cost per state. The cost depends only on the cuts of the
-    // group's touched slots, so it is memoized on that projection of the state key --
-    // states only pay a substring extraction, not a re-evaluation.
-    std::vector<size_t> relevant_positions;
-    for (size_t i = 0; i < frontier.size(); ++i) {
-      for (int s : group.touched_slots) {
-        if (frontier[i] == s) {
-          relevant_positions.push_back(i);
-          break;
-        }
-      }
-    }
-    std::unordered_map<std::string, double> group_cost_memo;
-    for (auto& [key, state] : states) {
-      std::string sub;
-      sub.reserve(relevant_positions.size());
-      for (size_t pos : relevant_positions) {
-        sub.push_back(key[pos]);
-      }
-      auto memo_it = group_cost_memo.find(sub);
-      double group_cost;
-      if (memo_it != group_cost_memo.end()) {
-        group_cost = memo_it->second;
-      } else {
-        for (size_t pos : relevant_positions) {
-          apply_slot_cut(frontier[pos], static_cast<int>(key[pos]) - 2);
-        }
-        group_cost = 0.0;
-        for (int u : group.units) {
-          group_cost += UnitCost(ctx, coarse.units[static_cast<size_t>(u)], cuts,
-                                 options.allow_reduction_strategies, nullptr);
-        }
-        // Element-wise riders contribute nothing: their tensors share one slot, hence one
-        // cut, hence zero re-partition traffic by construction.
-        group_cost_memo.emplace(std::move(sub), group_cost);
-        ++result.states_explored;
-      }
-      state.cost += group_cost;
-    }
-    result.max_frontier_states =
-        std::max(result.max_frontier_states, static_cast<std::int64_t>(states.size()));
-
-    // 3. Project out slots leaving the frontier, keeping the cheapest state per residue.
-    std::vector<size_t> leaving_positions;
-    for (size_t i = 0; i < frontier.size(); ++i) {
-      if (last[static_cast<size_t>(frontier[i])] == g) {
-        leaving_positions.push_back(i);
-      }
-    }
-    if (!leaving_positions.empty()) {
-      std::unordered_map<std::string, State> projected;
-      projected.reserve(states.size());
-      for (const auto& [key, state] : states) {
-        std::string new_key;
-        new_key.reserve(key.size() - leaving_positions.size());
-        size_t next_leave = 0;
-        for (size_t i = 0; i < key.size(); ++i) {
-          if (next_leave < leaving_positions.size() && leaving_positions[next_leave] == i) {
-            ++next_leave;
-            continue;
-          }
-          new_key.push_back(key[i]);
-        }
-        auto [it, inserted] = projected.emplace(new_key, state);
-        if (!inserted && state.cost < it->second.cost) {
-          it->second = state;
-        }
-      }
-      states = std::move(projected);
-      std::vector<int> new_frontier;
-      size_t next_leave = 0;
-      for (size_t i = 0; i < frontier.size(); ++i) {
-        if (next_leave < leaving_positions.size() && leaving_positions[next_leave] == i) {
-          ++next_leave;
-          continue;
-        }
-        new_frontier.push_back(frontier[i]);
-      }
-      frontier = std::move(new_frontier);
-    }
-  }
-
-  // 4. Best terminal state and plan reconstruction.
-  TOFU_CHECK(!states.empty());
-  const State* best = nullptr;
-  for (const auto& [key, state] : states) {
-    if (best == nullptr || state.cost < best->cost) {
-      best = &state;
-    }
-  }
-
+  // Plan assembly from the chosen per-slot options.
   std::vector<int> slot_cut(static_cast<size_t>(num_slots), kReplicated);
-  std::vector<bool> slot_fixed(static_cast<size_t>(num_slots), false);
-  for (int r = best->rec; r >= 0; r = recs[static_cast<size_t>(r)].parent) {
-    slot_cut[static_cast<size_t>(recs[static_cast<size_t>(r)].slot)] =
-        recs[static_cast<size_t>(r)].cut;
-    slot_fixed[static_cast<size_t>(recs[static_cast<size_t>(r)].slot)] = true;
-  }
   for (int s = 0; s < num_slots; ++s) {
-    if (!slot_fixed[static_cast<size_t>(s)]) {
-      // Untouched slot (no op consumes or produces it): take the first option.
-      slot_cut[static_cast<size_t>(s)] = slot_options[static_cast<size_t>(s)][0];
-    }
+    slot_cut[static_cast<size_t>(s)] = (*slot_options[static_cast<size_t>(s)])[
+        static_cast<size_t>(search.slot_option[static_cast<size_t>(s)])];
   }
 
   BasicPlan plan;
   plan.ways = ctx->ways();
-  plan.comm_bytes = best->cost;
+  plan.comm_bytes = search.best_cost;
   plan.tensor_cut.assign(static_cast<size_t>(graph.num_tensors()), kReplicated);
   for (TensorId t = 0; t < graph.num_tensors(); ++t) {
     plan.tensor_cut[static_cast<size_t>(t)] =
         slot_cut[static_cast<size_t>(coarse.tensor_slot[static_cast<size_t>(t)])];
   }
   plan.op_strategy.assign(static_cast<size_t>(graph.num_ops()), kReplicatedExec);
-  for (const Unit& unit : coarse.units) {
+  for (size_t u = 0; u < coarse.units.size(); ++u) {
     int sidx = kReplicatedExec;
-    UnitCost(ctx, unit, plan.tensor_cut, options.allow_reduction_strategies, &sidx);
-    for (OpId op : unit.ops) {
+    UnitCost(unit_evals[u], slot_cut, f, &sidx);
+    for (OpId op : coarse.units[u].ops) {
       plan.op_strategy[static_cast<size_t>(op)] = sidx;
     }
   }

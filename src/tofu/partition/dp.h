@@ -8,6 +8,10 @@
 // the cuts, which is what keeps the in-group search cheap ("only a few operators in each
 // group"). On a linear coarsened graph this is exactly the chain DP of the paper; residual
 // fork-joins simply widen the frontier by one slot.
+//
+// The frontier mechanics (packed-integer state keys, per-group dense cost tables, beam
+// degradation, optional threaded expansion) live in the shared engine of
+// partition/search_engine.h; this file contributes only the step-DP cost semantics.
 #ifndef TOFU_PARTITION_DP_H_
 #define TOFU_PARTITION_DP_H_
 
@@ -15,6 +19,7 @@
 
 #include "tofu/partition/coarsen.h"
 #include "tofu/partition/plan.h"
+#include "tofu/partition/search_stats.h"
 #include "tofu/partition/strategy.h"
 
 namespace tofu {
@@ -24,17 +29,17 @@ struct DpOptions {
   bool allow_reduction_strategies = true;
   // Safety cap on simultaneous DP states (frontier blow-up on non-chain graphs).
   std::int64_t max_states = 1 << 22;
+  // Threads for state expansion (see SearchEngineOptions::num_threads). Off by default;
+  // any value yields byte-identical plans.
+  int num_threads = 1;
 };
 
 struct DpResult {
   BasicPlan plan;
-  std::int64_t states_explored = 0;
-  std::int64_t max_frontier_states = 0;
-  // False when the frontier exceeded max_states and the search degraded to a beam
-  // (keeping the cheapest states); the plan is then an approximation. With the
-  // coarsening of §5.1 enabled this never triggers on the paper's models -- it exists so
-  // ablations that disable coarsening degrade instead of failing.
-  bool exact = true;
+  // Search effort and exactness (stats.exact is false only after beam degradation; with
+  // the coarsening of §5.1 enabled that never triggers on the paper's models -- it
+  // exists so ablations that disable coarsening degrade instead of failing).
+  SearchStats stats;
 };
 
 // Finds the minimum-communication basic plan for ctx->ways() worker groups.

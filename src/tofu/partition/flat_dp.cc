@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
-#include <string>
-#include <unordered_map>
 
+#include "tofu/partition/search_engine.h"
 #include "tofu/partition/strategy.h"
 #include "tofu/util/logging.h"
 
@@ -225,145 +224,74 @@ FlatDpResult RunFlatDp(const Graph& graph, const CoarseGraph& coarse,
     return total;
   };
 
-  // Frontier DP over groups; state = tiling index per live slot.
-  struct Rec {
-    int parent;
-    int slot;
-    int tiling;
-  };
-  struct State {
-    double cost;
-    int rec;
-  };
-  std::vector<Rec> recs;
-  std::unordered_map<std::string, State> states;
-  states.emplace(std::string(), State{0.0, -1});
-  std::vector<int> frontier;
-
-  std::vector<int> first(static_cast<size_t>(num_slots), -1);
-  std::vector<int> last(static_cast<size_t>(num_slots), -1);
-  const int num_groups = static_cast<int>(coarse.groups.size());
-  for (int g = 0; g < num_groups; ++g) {
-    for (int s : coarse.groups[static_cast<size_t>(g)].touched_slots) {
-      if (first[static_cast<size_t>(s)] < 0) {
-        first[static_cast<size_t>(s)] = g;
-      }
-      last[static_cast<size_t>(s)] = g;
-    }
+  // Frontier DP over groups on the shared engine (streamed: the per-state joint
+  // enumeration below is the faithful reproduction of the blown-up search).
+  SearchSpace space;
+  space.slot_num_options.resize(static_cast<size_t>(num_slots));
+  for (int s = 0; s < num_slots; ++s) {
+    space.slot_num_options[static_cast<size_t>(s)] =
+        static_cast<int>(slot_tilings[static_cast<size_t>(s)].size());
+  }
+  space.group_slots.reserve(coarse.groups.size());
+  for (const MacroGroup& group : coarse.groups) {
+    space.group_slots.push_back(group.touched_slots);
   }
 
   std::vector<const Tiling*> tiling_of_slot(static_cast<size_t>(num_slots), nullptr);
-  bool aborted = false;
+  std::int64_t since_deadline_check = 0;
+  bool deadline_hit = false;
 
-  for (int g = 0; g < num_groups && !aborted; ++g) {
+  SearchEngine::StateCostFn state_cost_fn = [&](int g, const int* opts, double* out) {
     const MacroGroup& group = coarse.groups[static_cast<size_t>(g)];
-    // Branch on entering slots.
-    for (int s : group.touched_slots) {
-      if (first[static_cast<size_t>(s)] != g) {
-        continue;
+    for (size_t i = 0; i < group.touched_slots.size(); ++i) {
+      const int slot = group.touched_slots[i];
+      tiling_of_slot[static_cast<size_t>(slot)] =
+          &slot_tilings[static_cast<size_t>(slot)][static_cast<size_t>(opts[i])];
+    }
+    const size_t num_units = group.units.size();
+    std::vector<size_t> odo(num_units, 0);
+    std::vector<const std::vector<int>*> seqs(num_units, nullptr);
+    double best = num_units == 0 ? 0.0 : kInf;
+    bool done = num_units == 0;
+    while (!done) {
+      for (size_t ui = 0; ui < num_units; ++ui) {
+        seqs[ui] = &unit_seqs[static_cast<size_t>(group.units[ui])][odo[ui]];
       }
-      std::unordered_map<std::string, State> branched;
-      for (const auto& [key, state] : states) {
-        const auto& tilings = slot_tilings[static_cast<size_t>(s)];
-        for (size_t ti = 0; ti < tilings.size(); ++ti) {
-          recs.push_back({state.rec, s, static_cast<int>(ti)});
-          std::string new_key = key;
-          new_key.push_back(static_cast<char>(ti + 1));
-          branched.emplace(std::move(new_key), State{state.cost, static_cast<int>(recs.size()) - 1});
+      best = std::min(best, group_config_cost(group, tiling_of_slot, seqs));
+      result.configs_evaluated += 1.0;
+      if (++since_deadline_check >= 4096) {
+        since_deadline_check = 0;
+        if (Clock::now() > deadline) {
+          deadline_hit = true;
+          return false;
         }
       }
-      states = std::move(branched);
-      frontier.push_back(s);
+      // Advance odometer.
+      size_t pos = 0;
+      while (pos < num_units) {
+        if (++odo[pos] < unit_seqs[static_cast<size_t>(group.units[pos])].size()) {
+          break;
+        }
+        odo[pos] = 0;
+        ++pos;
+      }
+      done = pos == num_units;
     }
+    *out = best;
+    return true;
+  };
 
-    // Joint enumeration of unit strategy sequences per state (no independence shortcut:
-    // this is the faithful reproduction of the blown-up search).
-    std::int64_t since_deadline_check = 0;
-    for (auto& [key, state] : states) {
-      for (size_t i = 0; i < frontier.size(); ++i) {
-        const int slot = frontier[i];
-        tiling_of_slot[static_cast<size_t>(slot)] =
-            &slot_tilings[static_cast<size_t>(slot)][static_cast<size_t>(key[i]) - 1];
-      }
-      const size_t num_units = group.units.size();
-      std::vector<size_t> odo(num_units, 0);
-      std::vector<const std::vector<int>*> seqs(num_units, nullptr);
-      double best = num_units == 0 ? 0.0 : kInf;
-      bool done = num_units == 0;
-      while (!done) {
-        for (size_t ui = 0; ui < num_units; ++ui) {
-          seqs[ui] = &unit_seqs[static_cast<size_t>(group.units[ui])][odo[ui]];
-        }
-        best = std::min(best, group_config_cost(group, tiling_of_slot, seqs));
-        result.configs_evaluated += 1.0;
-        if (++since_deadline_check >= 4096) {
-          since_deadline_check = 0;
-          if (Clock::now() > deadline) {
-            aborted = true;
-            break;
-          }
-        }
-        // Advance odometer.
-        size_t pos = 0;
-        while (pos < num_units) {
-          if (++odo[pos] < unit_seqs[static_cast<size_t>(group.units[pos])].size()) {
-            break;
-          }
-          odo[pos] = 0;
-          ++pos;
-        }
-        done = pos == num_units;
-      }
-      if (aborted) {
-        break;
-      }
-      state.cost += best;
-    }
-    if (aborted) {
-      break;
-    }
-
-    // Project out leaving slots.
-    std::vector<size_t> leaving;
-    for (size_t i = 0; i < frontier.size(); ++i) {
-      if (last[static_cast<size_t>(frontier[i])] == g) {
-        leaving.push_back(i);
-      }
-    }
-    if (!leaving.empty()) {
-      std::unordered_map<std::string, State> projected;
-      for (const auto& [key, state] : states) {
-        std::string new_key;
-        size_t next = 0;
-        for (size_t i = 0; i < key.size(); ++i) {
-          if (next < leaving.size() && leaving[next] == i) {
-            ++next;
-            continue;
-          }
-          new_key.push_back(key[i]);
-        }
-        auto [it, inserted] = projected.emplace(new_key, state);
-        if (!inserted && state.cost < it->second.cost) {
-          it->second = state;
-        }
-      }
-      states = std::move(projected);
-      std::vector<int> new_frontier;
-      size_t next = 0;
-      for (size_t i = 0; i < frontier.size(); ++i) {
-        if (next < leaving.size() && leaving[next] == i) {
-          ++next;
-          continue;
-        }
-        new_frontier.push_back(frontier[i]);
-      }
-      frontier = std::move(new_frontier);
-    }
-  }
+  // No beam here: the flat search either completes exactly or times out.
+  SearchEngineOptions engine_options;
+  engine_options.max_states = std::numeric_limits<std::int64_t>::max() / 2;
+  SearchEngine engine(std::move(space), engine_options);
+  SearchEngine::Result search = engine.RunStreamed(state_cost_fn);
+  result.search_stats = search.stats;
 
   result.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
-  if (aborted) {
+  if (!search.completed) {
+    TOFU_CHECK(deadline_hit);
     result.completed = false;
     result.projected_seconds = result.configs_evaluated > 0
                                    ? result.elapsed_seconds * result.configs_total /
@@ -373,19 +301,8 @@ FlatDpResult RunFlatDp(const Graph& graph, const CoarseGraph& coarse,
   }
   result.completed = true;
 
-  // Reconstruct slot tilings from the best terminal state.
-  const State* best = nullptr;
-  for (const auto& [key, state] : states) {
-    if (best == nullptr || state.cost < best->cost) {
-      best = &state;
-    }
-  }
-  TOFU_CHECK(best != nullptr);
-  std::vector<int> slot_choice(static_cast<size_t>(num_slots), 0);
-  for (int r = best->rec; r >= 0; r = recs[static_cast<size_t>(r)].parent) {
-    slot_choice[static_cast<size_t>(recs[static_cast<size_t>(r)].slot)] =
-        recs[static_cast<size_t>(r)].tiling;
-  }
+  // Chosen tiling per slot, straight from the engine.
+  const std::vector<int>& slot_choice = search.slot_option;
 
   // Assemble the plan and recost it exactly with the shared StepContext machinery, so
   // totals are directly comparable with RecursivePartition's.

@@ -6,11 +6,16 @@
 // The search runs under a wall-clock budget: small graphs complete (and are cross-checked
 // against the recursive algorithm in tests); large graphs report the enumerated share and
 // a projected completion time, which is what bench_table1_search prints.
+//
+// The frontier mechanics are the shared engine of partition/search_engine.h in streamed
+// mode: the per-state joint enumeration below IS the measured blow-up, so group costs are
+// charged one state at a time instead of through precomputed tables.
 #ifndef TOFU_PARTITION_FLAT_DP_H_
 #define TOFU_PARTITION_FLAT_DP_H_
 
 #include "tofu/partition/coarsen.h"
 #include "tofu/partition/plan.h"
+#include "tofu/partition/search_stats.h"
 
 namespace tofu {
 
@@ -28,6 +33,8 @@ struct FlatDpResult {
   double configs_evaluated = 0.0;
   double configs_total = 0.0;
   double projected_seconds = 0.0;  // elapsed scaled to the full count (when incomplete)
+  // Engine-level effort (per-state charge counts; no cost tables in streamed mode).
+  SearchStats search_stats;
 };
 
 FlatDpResult RunFlatDp(const Graph& graph, const CoarseGraph& coarse,

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "tofu/graph/graph.h"
+#include "tofu/partition/search_stats.h"
 
 namespace tofu {
 
@@ -43,6 +44,10 @@ struct PartitionPlan {
   double total_comm_bytes = 0.0;
   // Per-step weighted costs (#groups * step cost), for Theorem-2 monotonicity checks.
   std::vector<double> weighted_step_costs;
+  // Aggregate search effort across all steps (zero for greedy baselines that run no
+  // DP); lets benchmarks and tests assert on how hard the search worked, not just on
+  // what it found.
+  SearchStats search_stats;
 
   // Per-dimension split factors of a tensor after all steps (product over steps).
   std::vector<int> TensorSplits(const Graph& graph, TensorId t) const;

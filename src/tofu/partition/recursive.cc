@@ -21,6 +21,7 @@ PartitionPlan RecursivePartition(const Graph& graph, int num_workers,
   for (int factor : plan.step_factors) {
     StepContext ctx(graph, shapes, factor);
     DpResult dp = RunStepDp(&ctx, coarse, options.dp);
+    plan.search_stats.Merge(dp.stats);
     const double weighted = groups * dp.plan.comm_bytes;
     plan.weighted_step_costs.push_back(weighted);
     plan.total_comm_bytes += weighted;

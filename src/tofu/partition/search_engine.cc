@@ -1,0 +1,498 @@
+#include "tofu/partition/search_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "tofu/util/logging.h"
+#include "tofu/util/thread_pool.h"
+
+namespace tofu {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Bits needed to store option indices 0..n-1 (0 bits for single-option slots).
+int BitsFor(int num_options) {
+  int bits = 0;
+  while ((1 << bits) < num_options) {
+    ++bits;
+  }
+  return bits;
+}
+
+// Field accessors over a W-word packed key. Fields may straddle a word boundary;
+// WriteField assumes the target bits are zero (keys are always built from zeroed words).
+inline std::uint64_t ExtractField(const std::uint64_t* key, int offset, int bits) {
+  if (bits == 0) {
+    return 0;
+  }
+  const int word = offset >> 6;
+  const int bit = offset & 63;
+  std::uint64_t v = key[word] >> bit;
+  if (bit + bits > 64) {
+    v |= key[word + 1] << (64 - bit);
+  }
+  return v & ((std::uint64_t{1} << bits) - 1);
+}
+
+inline void WriteField(std::uint64_t* key, int offset, int bits, std::uint64_t value) {
+  if (bits == 0) {
+    return;
+  }
+  const int word = offset >> 6;
+  const int bit = offset & 63;
+  key[word] |= value << bit;
+  if (bit + bits > 64) {
+    key[word + 1] |= value >> (64 - bit);
+  }
+}
+
+std::uint64_t HashKey(const std::uint64_t* key, int words) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (int w = 0; w < words; ++w) {
+    std::uint64_t x = key[w] + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    h ^= (x ^ (x >> 31)) + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+// Struct-of-arrays state set: W words of packed key, cost, and backpointer per state.
+// All keys in one set share the same field layout (the current frontier).
+struct StateArena {
+  int words = 1;
+  std::vector<std::uint64_t> keys;  // size() == count * words
+  std::vector<double> cost;
+  std::vector<std::int32_t> rec;
+
+  std::int64_t count() const { return static_cast<std::int64_t>(cost.size()); }
+  const std::uint64_t* key(std::int64_t i) const {
+    return keys.data() + static_cast<size_t>(i) * static_cast<size_t>(words);
+  }
+  std::uint64_t* key(std::int64_t i) {
+    return keys.data() + static_cast<size_t>(i) * static_cast<size_t>(words);
+  }
+  void Resize(std::int64_t n) {
+    keys.assign(static_cast<size_t>(n) * static_cast<size_t>(words), 0);
+    cost.resize(static_cast<size_t>(n));
+    rec.resize(static_cast<size_t>(n));
+  }
+};
+
+// Backpointer record: fixes one slot's option; chained per state.
+struct Rec {
+  std::int32_t parent;
+  std::int32_t slot;
+  std::int32_t option;
+};
+
+struct FrontierField {
+  int slot;
+  int offset;  // bit offset within the packed key
+  int bits;
+};
+
+}  // namespace
+
+struct SearchEngine::Impl {
+  SearchSpace space;
+  SearchEngineOptions options;
+  ThreadPool pool;
+  std::vector<int> slot_bits;
+  int words = 1;  // per-key words, sized for the widest frontier the schedule reaches
+
+  Impl(SearchSpace s, SearchEngineOptions o)
+      : space(std::move(s)), options(o), pool(o.num_threads) {
+    const int num_slots = static_cast<int>(space.slot_num_options.size());
+    slot_bits.resize(static_cast<size_t>(num_slots));
+    for (int s2 = 0; s2 < num_slots; ++s2) {
+      TOFU_CHECK_GE(space.slot_num_options[static_cast<size_t>(s2)], 1);
+      slot_bits[static_cast<size_t>(s2)] =
+          BitsFor(space.slot_num_options[static_cast<size_t>(s2)]);
+    }
+    ComputeSchedule();
+  }
+
+  std::vector<int> first, last;  // per slot: first/last group touching it (-1 if none)
+
+  void ComputeSchedule() {
+    const int num_slots = static_cast<int>(space.slot_num_options.size());
+    const int num_groups = static_cast<int>(space.group_slots.size());
+    first.assign(static_cast<size_t>(num_slots), -1);
+    last.assign(static_cast<size_t>(num_slots), -1);
+    for (int g = 0; g < num_groups; ++g) {
+      for (int s : space.group_slots[static_cast<size_t>(g)]) {
+        if (first[static_cast<size_t>(s)] < 0) {
+          first[static_cast<size_t>(s)] = g;
+        }
+        last[static_cast<size_t>(s)] = g;
+      }
+    }
+    // Widest simultaneous frontier, in bits, over the whole schedule.
+    int width = 0;
+    int max_width = 0;
+    for (int g = 0; g < num_groups; ++g) {
+      for (int s : space.group_slots[static_cast<size_t>(g)]) {
+        if (first[static_cast<size_t>(s)] == g) {
+          width += slot_bits[static_cast<size_t>(s)];
+        }
+      }
+      max_width = std::max(max_width, width);
+      for (int s : space.group_slots[static_cast<size_t>(g)]) {
+        if (last[static_cast<size_t>(s)] == g) {
+          width -= slot_bits[static_cast<size_t>(s)];
+        }
+      }
+    }
+    words = std::max(1, (max_width + 63) / 64);
+  }
+
+  Result RunImpl(const GroupCostFn* table_fn, const StateCostFn* stream_fn);
+};
+
+SearchEngine::SearchEngine(SearchSpace space, SearchEngineOptions options)
+    : impl_(std::make_unique<Impl>(std::move(space), options)) {}
+
+SearchEngine::~SearchEngine() = default;
+
+SearchEngine::Result SearchEngine::Run(const GroupCostFn& cost_fn) {
+  return impl_->RunImpl(&cost_fn, nullptr);
+}
+
+SearchEngine::Result SearchEngine::RunStreamed(const StateCostFn& cost_fn) {
+  return impl_->RunImpl(nullptr, &cost_fn);
+}
+
+SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
+                                                 const StateCostFn* stream_fn) {
+  const auto start = Clock::now();
+  const int num_slots = static_cast<int>(space.slot_num_options.size());
+  const int num_groups = static_cast<int>(space.group_slots.size());
+
+  Result result;
+  std::vector<Rec> recs;
+  std::vector<FrontierField> frontier;
+  int width = 0;  // current key width in bits
+
+  StateArena states;
+  states.words = words;
+  states.Resize(1);
+  states.cost[0] = 0.0;
+  states.rec[0] = -1;
+
+  StateArena scratch;
+  scratch.words = words;
+
+  // Projection dedup table: open addressing over state indices.
+  std::vector<std::int32_t> dedup;
+
+  std::vector<double> table;      // current group's dense cost table
+  std::vector<int> opts_buffer;   // decoded option indices handed to cost callbacks
+  bool aborted = false;
+
+  for (int g = 0; g < num_groups && !aborted; ++g) {
+    const std::vector<int>& touched = space.group_slots[static_cast<size_t>(g)];
+
+    // 1. Branch every state on each entering slot's options.
+    for (int s : touched) {
+      if (first[static_cast<size_t>(s)] != g) {
+        continue;
+      }
+      const int opts = space.slot_num_options[static_cast<size_t>(s)];
+      const int bits = slot_bits[static_cast<size_t>(s)];
+      const std::int64_t n_in = states.count();
+      const std::int64_t n_out = n_in * opts;
+      TOFU_CHECK(recs.size() + static_cast<size_t>(n_out) <
+                 static_cast<size_t>(std::numeric_limits<std::int32_t>::max()));
+      const std::int64_t rec_base = static_cast<std::int64_t>(recs.size());
+      recs.resize(recs.size() + static_cast<size_t>(n_out));
+      scratch.Resize(n_out);
+      const int offset = width;
+      pool.ParallelFor(n_in, [&](int, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const std::uint64_t* in_key = states.key(i);
+          for (int o = 0; o < opts; ++o) {
+            const std::int64_t j = i * opts + o;
+            std::uint64_t* out_key = scratch.key(j);
+            std::memcpy(out_key, in_key, sizeof(std::uint64_t) * static_cast<size_t>(words));
+            WriteField(out_key, offset, bits, static_cast<std::uint64_t>(o));
+            scratch.cost[static_cast<size_t>(j)] = states.cost[static_cast<size_t>(i)];
+            const std::int64_t r = rec_base + j;
+            recs[static_cast<size_t>(r)] = {states.rec[static_cast<size_t>(i)],
+                                            static_cast<std::int32_t>(s),
+                                            static_cast<std::int32_t>(o)};
+            scratch.rec[static_cast<size_t>(j)] = static_cast<std::int32_t>(r);
+          }
+        }
+      });
+      std::swap(states, scratch);
+      frontier.push_back({s, width, bits});
+      width += bits;
+
+      if (states.count() > options.max_states) {
+        // Beam fallback: keep the cheapest quarter of the cap, deterministic tie-break
+        // on the packed key. Exactness is lost; see SearchStats::exact.
+        const std::int64_t keep =
+            std::max<std::int64_t>(1, options.max_states / 4);
+        std::vector<std::int64_t> order(static_cast<size_t>(states.count()));
+        for (std::int64_t i = 0; i < states.count(); ++i) {
+          order[static_cast<size_t>(i)] = i;
+        }
+        auto cheaper = [&](std::int64_t a, std::int64_t b) {
+          if (states.cost[static_cast<size_t>(a)] != states.cost[static_cast<size_t>(b)]) {
+            return states.cost[static_cast<size_t>(a)] < states.cost[static_cast<size_t>(b)];
+          }
+          return std::lexicographical_compare(states.key(a), states.key(a) + words,
+                                              states.key(b), states.key(b) + words);
+        };
+        std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+                          order.end(), cheaper);
+        scratch.Resize(keep);
+        for (std::int64_t i = 0; i < keep; ++i) {
+          const std::int64_t src = order[static_cast<size_t>(i)];
+          std::memcpy(scratch.key(i), states.key(src),
+                      sizeof(std::uint64_t) * static_cast<size_t>(words));
+          scratch.cost[static_cast<size_t>(i)] = states.cost[static_cast<size_t>(src)];
+          scratch.rec[static_cast<size_t>(i)] = states.rec[static_cast<size_t>(src)];
+        }
+        std::swap(states, scratch);
+        if (result.stats.exact) {
+          TOFU_LOG(Warning) << "search frontier exceeded " << options.max_states
+                            << " states; degrading to a beam search (plan approximate)";
+        }
+        result.stats.exact = false;
+      }
+    }
+
+    // 2. Charge the group's cost to every state. The cost depends only on the options
+    // of the group's touched slots (all live here), read straight out of the packed key.
+    std::vector<FrontierField> rel;
+    rel.reserve(touched.size());
+    for (const FrontierField& f : frontier) {
+      if (std::binary_search(touched.begin(), touched.end(), f.slot)) {
+        rel.push_back(f);
+      }
+    }
+    // `rel` is in frontier (insertion) order; cost callbacks expect group_slots order
+    // (sorted by slot id). Reorder to match.
+    std::sort(rel.begin(), rel.end(),
+              [](const FrontierField& a, const FrontierField& b) { return a.slot < b.slot; });
+    const int k = static_cast<int>(rel.size());
+    opts_buffer.assign(static_cast<size_t>(k), 0);
+
+    if (table_fn != nullptr) {
+      // Dense table: one evaluation per combination, mixed-radix indexed with the last
+      // touched slot fastest. Only worthwhile (and safe) while the combination count
+      // stays within the live state count: normally every combination is reachable so
+      // the table does exactly the work a memo would, but after a beam prune -- or on a
+      // group whose option product is astronomically larger than the beam -- a dense
+      // table would be unbounded. Those groups fall back to a per-state memo below,
+      // bounding work and memory by the state count (the pre-refactor behavior).
+      const std::int64_t cells_cap = std::max<std::int64_t>(states.count(), 4096);
+      std::vector<std::int64_t> stride(static_cast<size_t>(k), 1);
+      std::int64_t cells = 1;
+      bool use_table = true;
+      for (int i = k - 1; i >= 0; --i) {
+        stride[static_cast<size_t>(i)] = cells;
+        const int n_opt =
+            space.slot_num_options[static_cast<size_t>(rel[static_cast<size_t>(i)].slot)];
+        if (cells > cells_cap / n_opt) {  // saturating guard (also prevents overflow)
+          use_table = false;
+          break;
+        }
+        cells *= n_opt;
+      }
+      use_table = use_table && cells <= cells_cap;
+
+      if (use_table) {
+        table.assign(static_cast<size_t>(cells), 0.0);
+        for (std::int64_t idx = 0; idx < cells; ++idx) {
+          for (int i = 0; i < k; ++i) {
+            opts_buffer[static_cast<size_t>(i)] = static_cast<int>(
+                (idx / stride[static_cast<size_t>(i)]) %
+                space.slot_num_options[static_cast<size_t>(rel[static_cast<size_t>(i)].slot)]);
+          }
+          table[static_cast<size_t>(idx)] = (*table_fn)(g, opts_buffer.data());
+        }
+        result.stats.states_explored += cells;
+        result.stats.cost_table_entries += cells;
+
+        const std::vector<FrontierField>& rel_ref = rel;
+        const std::vector<std::int64_t>& stride_ref = stride;
+        pool.ParallelFor(states.count(), [&](int, std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const std::uint64_t* key = states.key(i);
+            std::int64_t idx = 0;
+            for (int f = 0; f < k; ++f) {
+              const FrontierField& field = rel_ref[static_cast<size_t>(f)];
+              idx += static_cast<std::int64_t>(ExtractField(key, field.offset, field.bits)) *
+                     stride_ref[static_cast<size_t>(f)];
+            }
+            states.cost[static_cast<size_t>(i)] += table[static_cast<size_t>(idx)];
+          }
+        });
+      } else {
+        // Memoized per-state charge: one evaluation per DISTINCT reached projection,
+        // serial (the cost callback shares caller scratch).
+        std::unordered_map<std::string, double> memo;
+        std::string sub;
+        for (std::int64_t i = 0; i < states.count(); ++i) {
+          const std::uint64_t* key = states.key(i);
+          sub.clear();
+          for (int f = 0; f < k; ++f) {
+            const FrontierField& field = rel[static_cast<size_t>(f)];
+            const int v = static_cast<int>(ExtractField(key, field.offset, field.bits));
+            opts_buffer[static_cast<size_t>(f)] = v;
+            sub.append(reinterpret_cast<const char*>(&v), sizeof(v));
+          }
+          auto [it, inserted] = memo.emplace(sub, 0.0);
+          if (inserted) {
+            it->second = (*table_fn)(g, opts_buffer.data());
+            ++result.stats.states_explored;
+          }
+          states.cost[static_cast<size_t>(i)] += it->second;
+        }
+      }
+    } else {
+      // Streamed: the callback's own enumeration is the measured cost; keep it serial
+      // and in state-index order.
+      for (std::int64_t i = 0; i < states.count(); ++i) {
+        const std::uint64_t* key = states.key(i);
+        for (int f = 0; f < k; ++f) {
+          const FrontierField& field = rel[static_cast<size_t>(f)];
+          opts_buffer[static_cast<size_t>(f)] =
+              static_cast<int>(ExtractField(key, field.offset, field.bits));
+        }
+        double cost = 0.0;
+        if (!(*stream_fn)(g, opts_buffer.data(), &cost)) {
+          aborted = true;
+          break;
+        }
+        states.cost[static_cast<size_t>(i)] += cost;
+        ++result.stats.states_explored;
+      }
+      if (aborted) {
+        break;
+      }
+    }
+    result.stats.max_frontier_states =
+        std::max(result.stats.max_frontier_states, states.count());
+
+    // 3. Project out slots leaving the frontier, keeping the cheapest state per residue.
+    bool any_leaving = false;
+    for (int s : touched) {
+      any_leaving = any_leaving || last[static_cast<size_t>(s)] == g;
+    }
+    if (!any_leaving) {
+      continue;
+    }
+    std::vector<FrontierField> kept;
+    kept.reserve(frontier.size());
+    int new_width = 0;
+    for (const FrontierField& f : frontier) {
+      if (last[static_cast<size_t>(f.slot)] == g) {
+        continue;
+      }
+      kept.push_back({f.slot, new_width, f.bits});  // new offset; old offset is f.offset
+      new_width += f.bits;
+    }
+    // Repack surviving fields. Old offsets are needed for extraction, so carry pairs.
+    struct Repack {
+      int old_offset;
+      int new_offset;
+      int bits;
+    };
+    std::vector<Repack> repack;
+    repack.reserve(kept.size());
+    {
+      size_t ki = 0;
+      for (const FrontierField& f : frontier) {
+        if (last[static_cast<size_t>(f.slot)] == g) {
+          continue;
+        }
+        repack.push_back({f.offset, kept[ki].offset, f.bits});
+        ++ki;
+      }
+    }
+    // Repack keys into scratch; costs and recs stay in `states` (read by index below).
+    const std::int64_t n = states.count();
+    scratch.Resize(n);
+    pool.ParallelFor(n, [&](int, std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const std::uint64_t* in_key = states.key(i);
+        std::uint64_t* out_key = scratch.key(i);
+        for (const Repack& r : repack) {
+          WriteField(out_key, r.new_offset, r.bits, ExtractField(in_key, r.old_offset, r.bits));
+        }
+      }
+    });
+    // Serial min-merge in state-index order (deterministic for any thread count).
+    std::int64_t cap = 1;
+    while (cap < 2 * n) {
+      cap <<= 1;
+    }
+    dedup.assign(static_cast<size_t>(cap), -1);
+    StateArena merged;
+    merged.words = words;
+    merged.keys.reserve(static_cast<size_t>(n) * static_cast<size_t>(words));
+    merged.cost.reserve(static_cast<size_t>(n));
+    merged.rec.reserve(static_cast<size_t>(n));
+    const std::uint64_t mask = static_cast<std::uint64_t>(cap - 1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::uint64_t* key = scratch.key(i);
+      std::uint64_t slot_idx = HashKey(key, words) & mask;
+      for (;;) {
+        std::int32_t& entry = dedup[static_cast<size_t>(slot_idx)];
+        if (entry < 0) {
+          entry = static_cast<std::int32_t>(merged.count());
+          merged.keys.insert(merged.keys.end(), key, key + words);
+          merged.cost.push_back(states.cost[static_cast<size_t>(i)]);
+          merged.rec.push_back(states.rec[static_cast<size_t>(i)]);
+          break;
+        }
+        if (std::memcmp(merged.key(entry), key,
+                        sizeof(std::uint64_t) * static_cast<size_t>(words)) == 0) {
+          if (states.cost[static_cast<size_t>(i)] < merged.cost[static_cast<size_t>(entry)]) {
+            merged.cost[static_cast<size_t>(entry)] = states.cost[static_cast<size_t>(i)];
+            merged.rec[static_cast<size_t>(entry)] = states.rec[static_cast<size_t>(i)];
+          }
+          break;
+        }
+        slot_idx = (slot_idx + 1) & mask;
+      }
+    }
+    std::swap(states, merged);
+    frontier = std::move(kept);
+    width = new_width;
+  }
+
+  result.stats.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  if (aborted) {
+    result.completed = false;
+    return result;
+  }
+
+  // 4. Best terminal state and option reconstruction (untouched slots keep option 0).
+  TOFU_CHECK_GE(states.count(), 1);
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < states.count(); ++i) {
+    if (states.cost[static_cast<size_t>(i)] < states.cost[static_cast<size_t>(best)]) {
+      best = i;
+    }
+  }
+  result.best_cost = states.cost[static_cast<size_t>(best)];
+  result.slot_option.assign(static_cast<size_t>(num_slots), 0);
+  for (std::int32_t r = states.rec[static_cast<size_t>(best)]; r >= 0;
+       r = recs[static_cast<size_t>(r)].parent) {
+    result.slot_option[static_cast<size_t>(recs[static_cast<size_t>(r)].slot)] =
+        recs[static_cast<size_t>(r)].option;
+  }
+  return result;
+}
+
+}  // namespace tofu

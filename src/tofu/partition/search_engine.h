@@ -1,0 +1,84 @@
+// Shared frontier-DP search engine behind RunStepDp and RunFlatDp.
+//
+// Both searches have the same skeleton: walk macro groups in program order keeping a
+// frontier of "live" slots (slots touched by both processed and unprocessed groups);
+// a DP state assigns every frontier slot one of a small set of options (a storage cut
+// for the per-step DP, a full multi-step tiling for the flat DP); entering slots branch
+// every state on their options, each group charges a cost that depends only on its
+// touched slots' options, and leaving slots are projected out keeping the cheapest
+// state per residue.
+//
+// The engine owns that skeleton once, with two representation choices that make it fast:
+//   * states are packed integer keys -- each live slot contributes ceil(log2(#options))
+//     bits, concatenated in frontier order into fixed-width uint64_t words interned in a
+//     flat arena (no per-state heap strings, no hashing on the charge path);
+//   * in table mode, each group's cost becomes one dense table precomputed per group
+//     (one evaluation per combination of its touched slots' options); charging a state
+//     is a shift/mask field extraction plus one array load.
+//
+// Charging and key construction can optionally be sharded across a small thread pool
+// (SearchEngineOptions::num_threads). Sharding is deterministic: results are assembled
+// in state-index order, so any thread count yields byte-identical plans.
+#ifndef TOFU_PARTITION_SEARCH_ENGINE_H_
+#define TOFU_PARTITION_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tofu/partition/search_stats.h"
+
+namespace tofu {
+
+// Engine-facing shape of one search: per-slot option counts and, per group in
+// processing order, the sorted unique slots whose options the group's cost reads.
+struct SearchSpace {
+  std::vector<int> slot_num_options;          // per slot; every entry >= 1
+  std::vector<std::vector<int>> group_slots;  // per group: sorted, unique slot indices
+};
+
+struct SearchEngineOptions {
+  // Safety cap on simultaneous DP states (frontier blow-up on non-chain graphs). When
+  // exceeded the search degrades to a beam keeping the cheapest quarter of the cap;
+  // SearchStats::exact turns false.
+  std::int64_t max_states = 1 << 22;
+  // Threads for state expansion (branch/charge/project sharding). 1 = serial. Cost
+  // callbacks are never called concurrently regardless of this setting.
+  int num_threads = 1;
+};
+
+class SearchEngine {
+ public:
+  // Table mode: called once per combination of group `g`'s touched-slot options while
+  // precomputing the group's cost table. `options[i]` is the option index of
+  // SearchSpace::group_slots[g][i].
+  using GroupCostFn = std::function<double(int group, const int* options)>;
+
+  // Streamed mode: called once per (group, state) -- preserving searches whose measured
+  // cost is intentionally per-state, like the flat DP's joint enumeration. Returns
+  // false to abort the whole search (deadline exceeded).
+  using StateCostFn = std::function<bool(int group, const int* options, double* cost)>;
+
+  struct Result {
+    bool completed = true;          // false only when a streamed search aborted
+    double best_cost = 0.0;
+    // Chosen option index per slot; slots no group touches default to option 0.
+    std::vector<int> slot_option;
+    SearchStats stats;
+  };
+
+  SearchEngine(SearchSpace space, SearchEngineOptions options);
+  ~SearchEngine();
+
+  Result Run(const GroupCostFn& cost_fn);
+  Result RunStreamed(const StateCostFn& cost_fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tofu
+
+#endif  // TOFU_PARTITION_SEARCH_ENGINE_H_

@@ -1,0 +1,38 @@
+// Instrumentation of one partition search, surfaced through DpResult, FlatDpResult and
+// PartitionPlan so benchmarks and tests can assert on search effort, not just on the
+// resulting plan.
+#ifndef TOFU_PARTITION_SEARCH_STATS_H_
+#define TOFU_PARTITION_SEARCH_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tofu {
+
+struct SearchStats {
+  // Distinct group-cost evaluations: dense cost-table cells in table mode, per-state
+  // callback invocations in streamed mode.
+  std::int64_t states_explored = 0;
+  // Peak number of simultaneous DP states (the frontier blow-up the beam cap guards).
+  std::int64_t max_frontier_states = 0;
+  // Total cells across all precomputed per-group cost tables (0 in streamed mode).
+  std::int64_t cost_table_entries = 0;
+  double wall_seconds = 0.0;
+  // False when the frontier exceeded the state cap and the search degraded to a beam
+  // (the plan is then an approximation; see SearchEngineOptions::max_states).
+  bool exact = true;
+
+  // Folds one step's stats into a whole-plan aggregate (recursive steps sum effort and
+  // wall time; the peak frontier is a max; exactness is conjunctive).
+  void Merge(const SearchStats& step) {
+    states_explored += step.states_explored;
+    max_frontier_states = std::max(max_frontier_states, step.max_frontier_states);
+    cost_table_entries += step.cost_table_entries;
+    wall_seconds += step.wall_seconds;
+    exact = exact && step.exact;
+  }
+};
+
+}  // namespace tofu
+
+#endif  // TOFU_PARTITION_SEARCH_STATS_H_

@@ -8,6 +8,9 @@ StepContext::StepContext(const Graph& graph, std::vector<Shape> shapes, int ways
     : graph_(&graph), shapes_(std::move(shapes)), ways_(ways) {
   TOFU_CHECK_GE(ways_, 2);
   TOFU_CHECK_EQ(static_cast<int>(shapes_.size()), graph.num_tensors());
+  strategy_cache_.assign(static_cast<size_t>(graph.num_ops()), nullptr);
+  cut_options_cache_.resize(static_cast<size_t>(graph.num_tensors()));
+  cut_options_cached_.assign(static_cast<size_t>(graph.num_tensors()), 0);
 }
 
 std::int64_t StepContext::bytes(TensorId t) const {
@@ -15,25 +18,43 @@ std::int64_t StepContext::bytes(TensorId t) const {
 }
 
 const std::vector<ConcreteStrategy>& StepContext::Strategies(OpId op_id) {
-  auto it = strategy_cache_.find(op_id);
-  if (it != strategy_cache_.end()) {
-    return it->second;
+  const std::vector<ConcreteStrategy>* cached = strategy_cache_[static_cast<size_t>(op_id)];
+  if (cached != nullptr) {
+    return *cached;
   }
   const OpNode& op = graph_->op(op_id);
   const OpSemantics& sem = graph_->SemanticsOf(op);
-  std::vector<Shape> input_shapes;
-  input_shapes.reserve(op.inputs.size());
+  // Ops with the same semantics and the same current shapes concretize identically;
+  // share one list (unrolled timesteps otherwise redo this work per step per copy).
+  const OpSemantics* sem_ptr = &sem;
+  std::string key(reinterpret_cast<const char*>(&sem_ptr), sizeof(sem_ptr));
+  auto append_shape = [&key](const Shape& s) {
+    key.append(reinterpret_cast<const char*>(s.data()),
+               s.size() * sizeof(std::int64_t));
+    key.push_back('|');
+  };
   for (TensorId t : op.inputs) {
-    input_shapes.push_back(shape(t));
+    append_shape(shape(t));
   }
-  const std::vector<std::int64_t> extents =
-      BindVarExtents(sem.desc, input_shapes, shape(op.output));
-  std::vector<ConcreteStrategy> concrete;
-  concrete.reserve(sem.strategies.size());
-  for (const BasicStrategy& s : sem.strategies) {
-    concrete.push_back(Concretize(s, extents));
+  append_shape(shape(op.output));
+  std::unique_ptr<std::vector<ConcreteStrategy>>& shared = shared_strategies_[key];
+  if (shared == nullptr) {
+    std::vector<Shape> input_shapes;
+    input_shapes.reserve(op.inputs.size());
+    for (TensorId t : op.inputs) {
+      input_shapes.push_back(shape(t));
+    }
+    const std::vector<std::int64_t> extents =
+        BindVarExtents(sem.desc, input_shapes, shape(op.output));
+    auto concrete = std::make_unique<std::vector<ConcreteStrategy>>();
+    concrete->reserve(sem.strategies.size());
+    for (const BasicStrategy& s : sem.strategies) {
+      concrete->push_back(Concretize(s, extents));
+    }
+    shared = std::move(concrete);
   }
-  return strategy_cache_.emplace(op_id, std::move(concrete)).first->second;
+  strategy_cache_[static_cast<size_t>(op_id)] = shared.get();
+  return *shared;
 }
 
 bool StepContext::Applicable(OpId op_id, int sidx) {
@@ -61,7 +82,10 @@ bool StepContext::Applicable(OpId op_id, int sidx) {
   return true;
 }
 
-std::vector<int> StepContext::CutOptions(TensorId t) const {
+const std::vector<int>& StepContext::CutOptions(TensorId t) {
+  if (cut_options_cached_[static_cast<size_t>(t)]) {
+    return cut_options_cache_[static_cast<size_t>(t)];
+  }
   const Shape& s = shape(t);
   std::vector<int> options;
   for (size_t d = 0; d < s.size(); ++d) {
@@ -75,7 +99,9 @@ std::vector<int> StepContext::CutOptions(TensorId t) const {
   if (options.empty() || graph_->tensor(t).bytes() <= kReplicateThresholdBytes) {
     options.push_back(kReplicated);
   }
-  return options;
+  cut_options_cache_[static_cast<size_t>(t)] = std::move(options);
+  cut_options_cached_[static_cast<size_t>(t)] = 1;
+  return cut_options_cache_[static_cast<size_t>(t)];
 }
 
 double StepContext::InputCommBytes(TensorId t, const ConcreteInputReq& req, int stored_cut) {

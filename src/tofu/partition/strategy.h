@@ -21,6 +21,8 @@
 #define TOFU_PARTITION_STRATEGY_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -44,15 +46,18 @@ class StepContext {
   const Shape& shape(TensorId t) const { return shapes_[static_cast<size_t>(t)]; }
   std::int64_t bytes(TensorId t) const;
 
-  // The op's strategies concretized against current shapes (cached).
+  // The op's strategies concretized against current shapes (cached; O(1) after the
+  // first call -- the cache is a dense per-op array, this is the search's hottest read).
   const std::vector<ConcreteStrategy>& Strategies(OpId op);
 
   // True when strategy `sidx` of `op` can split `ways` ways at current shapes.
   bool Applicable(OpId op, int sidx);
 
   // Valid storage cuts for a tensor at this step: every dimension with extent >= ways,
-  // plus kReplicated for small tensors (or when nothing else qualifies).
-  std::vector<int> CutOptions(TensorId t) const;
+  // plus kReplicated for small tensors (or when nothing else qualifies). Computed once
+  // per tensor per step and cached (callers hit this per slot, per state, per greedy
+  // refinement pass -- never recompute).
+  const std::vector<int>& CutOptions(TensorId t);
 
   // Communication bytes of executing `op` with strategy `sidx` (kReplicatedExec allowed),
   // given the storage cuts in `tensor_cut` (indexed by TensorId; only the op's own tensors
@@ -81,7 +86,14 @@ class StepContext {
   const Graph* graph_;
   std::vector<Shape> shapes_;
   int ways_;
-  std::unordered_map<OpId, std::vector<ConcreteStrategy>> strategy_cache_;
+  // Dense per-op / per-tensor caches (ids are contiguous), filled lazily. Concretized
+  // strategy lists are shared between ops with identical semantics and shapes (unrolled
+  // RNN timesteps concretize once, not once per timestep).
+  std::vector<const std::vector<ConcreteStrategy>*> strategy_cache_;
+  std::unordered_map<std::string, std::unique_ptr<std::vector<ConcreteStrategy>>>
+      shared_strategies_;
+  std::vector<std::vector<int>> cut_options_cache_;
+  std::vector<char> cut_options_cached_;
 };
 
 }  // namespace tofu

@@ -30,14 +30,23 @@ double OpAttrs::GetFloat(const std::string& key, double def) const {
 }
 
 std::string OpAttrs::Signature() const {
-  std::ostringstream out;
+  // Direct appends, no ostringstream: signatures key the semantics cache and the
+  // coarsener's unit merge, so this runs once per op on the partitioner's setup path.
+  std::string out;
+  out.reserve(ints_.size() * 12 + floats_.size() * 16);
   for (const auto& [k, v] : ints_) {
-    out << k << "=" << v << ";";
+    out += k;
+    out += '=';
+    out += std::to_string(v);
+    out += ';';
   }
   for (const auto& [k, v] : floats_) {
-    out << k << "=" << v << ";";
+    out += k;
+    out += '=';
+    out += StrFormat("%.17g", v);
+    out += ';';
   }
-  return out.str();
+  return out;
 }
 
 OpRegistry& OpRegistry::Get() {

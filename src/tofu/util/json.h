@@ -1,0 +1,54 @@
+// Minimal streaming JSON writer for the benchmark drivers' --json output. Emits
+// machine-readable results (BENCH_*.json trajectory tracking, CI perf gates) without
+// pulling in a JSON dependency.
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("model").String("WResNet-152");
+//   w.Key("seconds").Number(8.3);
+//   w.Key("steps").BeginArray();
+//   w.Number(1).Number(2);
+//   w.EndArray();
+//   w.EndObject();
+//   WriteFile(path, w.str());
+//
+// The writer tracks nesting and inserts commas; it does not validate that keys are only
+// used inside objects -- callers are the handful of bench drivers in this repo.
+#ifndef TOFU_UTIL_JSON_H_
+#define TOFU_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tofu {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& name);
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);   // %.17g round-trippable
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& Bool(bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+  void EmitString(const std::string& value);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // per open scope
+  bool after_key_ = false;
+};
+
+// Writes `content` to `path`; returns false (and logs) on failure.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace tofu
+
+#endif  // TOFU_UTIL_JSON_H_

@@ -1,0 +1,80 @@
+#include "tofu/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace tofu {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int threads = std::max(1, std::min(num_threads, hw > 0 ? hw : 1));
+  workers_.reserve(static_cast<size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::RunShard(int shard) {
+  const std::int64_t t = num_threads();
+  const std::int64_t begin = job_n_ * shard / t;
+  const std::int64_t end = job_n_ * (shard + 1) / t;
+  if (begin < end) {
+    (*job_)(shard, begin, end);
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = generation_;
+    }
+    RunShard(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) {
+        work_done_.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t n, const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    fn(0, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  RunShard(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  work_done_.wait(lock, [&] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace tofu

@@ -130,7 +130,7 @@ TEST(Integration, DpStaysExactOnPaperModels) {
     CoarseGraph cg = Coarsen(model.graph);
     StepContext ctx(model.graph, StepContext::InitialShapes(model.graph), 2);
     DpResult dp = RunStepDp(&ctx, cg, {});
-    EXPECT_TRUE(dp.exact) << "family " << family;
+    EXPECT_TRUE(dp.stats.exact) << "family " << family;
   }
 }
 

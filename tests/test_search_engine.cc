@@ -1,0 +1,288 @@
+// Search-engine tests: golden cost equivalence against the pre-refactor string-keyed
+// DP (recorded values), byte-identical plans across thread counts, beam degradation,
+// SearchStats plumbing, and direct engine unit cases.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tofu/core/partitioner.h"
+#include "tofu/core/report.h"
+#include "tofu/models/mlp.h"
+#include "tofu/models/rnn.h"
+#include "tofu/models/transformer.h"
+#include "tofu/models/wresnet.h"
+#include "tofu/partition/search_engine.h"
+
+namespace tofu {
+namespace {
+
+ModelGraph GoldenMlp() {
+  MlpConfig c;
+  c.layer_sizes = {512, 512, 512, 256};
+  c.batch = 64;
+  return BuildMlp(c);
+}
+
+ModelGraph GoldenRnn() {
+  RnnConfig c;
+  c.layers = 2;
+  c.hidden = 512;
+  c.batch = 64;
+  c.timesteps = 6;
+  return BuildRnn(c);
+}
+
+ModelGraph GoldenWResNet() {
+  WResNetConfig c;
+  c.layers = 50;
+  c.width = 4;
+  c.batch = 32;
+  return BuildWResNet(c);
+}
+
+ModelGraph GoldenTransformer() {
+  TransformerConfig c;
+  c.batch = 16;
+  c.seq_len = 32;
+  c.d_model = 128;
+  c.d_ff = 256;
+  c.heads = 2;
+  c.layers = 2;
+  c.num_classes = 64;
+  return BuildTransformer(c);
+}
+
+// Total comm bytes recorded from the PRE-refactor string-keyed engine (`pre_refactor`)
+// and expected from the packed-state engine (`engine`). Single-step searches (2 workers,
+// and EqualChop at any k) are bit-identical. Multi-step recursions can legitimately
+// differ where a step has several equal-cost optima: the old engine picked the winner by
+// unordered_map iteration order (stdlib-dependent), the new engine canonically (lowest
+// branch index). Every divergent row is equal-cost per step and CHEAPER in total -- the
+// EXPECT_LE below asserts the new engine never does worse than the recorded old totals.
+struct GoldenRow {
+  const char* model;
+  int workers;
+  PartitionAlgorithm algo;
+  double pre_refactor;
+  double engine;
+};
+
+constexpr PartitionAlgorithm kT = PartitionAlgorithm::kTofu;
+constexpr PartitionAlgorithm kI = PartitionAlgorithm::kIcml18;
+constexpr PartitionAlgorithm kE = PartitionAlgorithm::kEqualChop;
+
+const GoldenRow kGolden[] = {
+    {"mlp", 2, kT, 786432, 786432},
+    {"mlp", 2, kI, 1638400, 1638400},
+    {"mlp", 2, kE, 786432, 786432},
+    {"mlp", 4, kT, 1572864, 1572864},
+    {"mlp", 4, kI, 3276800, 3276800},
+    {"mlp", 4, kE, 2359296, 2359296},
+    {"mlp", 8, kT, 2490368, 2359296},
+    {"mlp", 8, kI, 4980736, 4915200},
+    {"mlp", 8, kE, 5505024, 5505024},
+    {"rnn", 2, kT, 35913736, 35913736},
+    {"rnn", 2, kI, 73007360, 73007360},
+    {"rnn", 2, kE, 35913736, 35913736},
+    {"rnn", 4, kT, 71827480, 71827480},
+    {"rnn", 4, kI, 146014720, 146014720},
+    {"rnn", 4, kE, 107741208, 107741208},
+    {"rnn", 8, kT, 107741240, 107741240},
+    {"rnn", 8, kI, 219022080, 219022080},
+    {"rnn", 8, kE, 251396152, 251396152},
+    {"wresnet", 2, kT, 2346550088, 2346550088},
+    {"wresnet", 2, kI, 11885077632, 11885077632},
+    {"wresnet", 2, kE, 2346550088, 2346550088},
+    {"wresnet", 4, kT, 4693753496, 4693548696},
+    {"wresnet", 4, kI, 23770157312, 23770156288},
+    {"wresnet", 4, kE, 6550243800, 6550243800},
+    {"wresnet", 8, kT, 7042263544, 7041444344},
+    {"wresnet", 8, kI, 35655241088, 35655236992},
+    {"wresnet", 8, kE, 14625937144, 14625937144},
+    {"transformer", 2, kT, 2643968, 2643968},
+    {"transformer", 2, kI, 10105856, 10105856},
+    {"transformer", 2, kE, 2643968, 2643968},
+    {"transformer", 4, kT, 6158336, 5955584},
+    {"transformer", 4, kI, 20682752, 20549632},
+    {"transformer", 4, kE, 7931904, 7931904},
+    {"transformer", 8, kT, 11413504, 10602496},
+    {"transformer", 8, kI, 32201728, 31669248},
+    {"transformer", 8, kE, 18507776, 18507776},
+};
+
+TEST(SearchEngineGolden, MatchesRecordedCosts) {
+  ModelGraph models[] = {GoldenMlp(), GoldenRnn(), GoldenWResNet(), GoldenTransformer()};
+  const char* names[] = {"mlp", "rnn", "wresnet", "transformer"};
+  Partitioner partitioner;
+  for (const GoldenRow& row : kGolden) {
+    const ModelGraph* model = nullptr;
+    for (size_t i = 0; i < 4; ++i) {
+      if (row.model == std::string(names[i])) {
+        model = &models[i];
+      }
+    }
+    ASSERT_NE(model, nullptr);
+    PartitionPlan plan = partitioner.Partition(model->graph, row.workers, row.algo);
+    EXPECT_DOUBLE_EQ(plan.total_comm_bytes, row.engine)
+        << row.model << " x" << row.workers << " " << AlgorithmName(row.algo);
+    // Never worse than the pre-refactor engine (equal-cost ties may resolve cheaper).
+    EXPECT_LE(plan.total_comm_bytes, row.pre_refactor + 1.0)
+        << row.model << " x" << row.workers << " " << AlgorithmName(row.algo);
+  }
+}
+
+TEST(SearchEngineThreads, FourThreadsYieldByteIdenticalPlans) {
+  ModelGraph models[] = {GoldenMlp(), GoldenRnn(), GoldenTransformer()};
+  for (const ModelGraph& model : models) {
+    PartitionOptions serial;
+    serial.dp.num_threads = 1;
+    PartitionOptions threaded;
+    threaded.dp.num_threads = 4;
+    PartitionPlan a = RecursivePartition(model.graph, 8, serial);
+    PartitionPlan b = RecursivePartition(model.graph, 8, threaded);
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    for (size_t i = 0; i < a.steps.size(); ++i) {
+      EXPECT_EQ(a.steps[i].tensor_cut, b.steps[i].tensor_cut) << "step " << i;
+      EXPECT_EQ(a.steps[i].op_strategy, b.steps[i].op_strategy) << "step " << i;
+      EXPECT_DOUBLE_EQ(a.steps[i].comm_bytes, b.steps[i].comm_bytes) << "step " << i;
+    }
+    EXPECT_DOUBLE_EQ(a.total_comm_bytes, b.total_comm_bytes);
+    // Search effort is also identical: threading shards work, it does not change it.
+    EXPECT_EQ(a.search_stats.states_explored, b.search_stats.states_explored);
+    EXPECT_EQ(a.search_stats.max_frontier_states, b.search_stats.max_frontier_states);
+    EXPECT_EQ(a.search_stats.cost_table_entries, b.search_stats.cost_table_entries);
+  }
+}
+
+TEST(SearchEngineStats, SurfacedThroughPlanAndReport) {
+  ModelGraph model = GoldenMlp();
+  Partitioner partitioner;
+  PartitionPlan plan = partitioner.Partition(model.graph, 8);
+  EXPECT_GT(plan.search_stats.states_explored, 0);
+  EXPECT_GT(plan.search_stats.max_frontier_states, 0);
+  EXPECT_GT(plan.search_stats.cost_table_entries, 0);
+  EXPECT_GE(plan.search_stats.wall_seconds, 0.0);
+  EXPECT_TRUE(plan.search_stats.exact);
+  const std::string summary = PlanSummary(model.graph, plan);
+  EXPECT_NE(summary.find("search:"), std::string::npos);
+
+  // Greedy baselines run no DP: their stats stay zeroed.
+  PartitionPlan greedy =
+      partitioner.Partition(model.graph, 8, PartitionAlgorithm::kDataParallel);
+  EXPECT_EQ(greedy.search_stats.states_explored, 0);
+}
+
+TEST(SearchEngineBeam, DegradesInsteadOfFailing) {
+  ModelGraph model = GoldenMlp();
+  PartitionOptions exact_options;
+  PartitionPlan exact = RecursivePartition(model.graph, 8, exact_options);
+
+  PartitionOptions beam_options;
+  beam_options.dp.max_states = 8;  // force the cap immediately
+  PartitionPlan beam = RecursivePartition(model.graph, 8, beam_options);
+  EXPECT_FALSE(beam.search_stats.exact);
+  // The beam keeps a valid (if approximate) plan: well-formed and never better than
+  // the exact optimum.
+  EXPECT_GE(beam.total_comm_bytes, exact.total_comm_bytes - 1.0);
+  ASSERT_EQ(beam.steps.size(), exact.steps.size());
+  for (const BasicPlan& step : beam.steps) {
+    EXPECT_EQ(step.tensor_cut.size(), static_cast<size_t>(model.graph.num_tensors()));
+  }
+}
+
+// Direct engine cases: known-minimum chains exercised without the partition layer.
+TEST(SearchEngineUnit, PicksCheapestOptionOnOneSlot) {
+  SearchSpace space;
+  space.slot_num_options = {2};
+  space.group_slots = {{0}};
+  SearchEngine engine(std::move(space), {});
+  SearchEngine::Result res =
+      engine.Run([](int, const int* o) { return o[0] == 0 ? 5.0 : 3.0; });
+  EXPECT_TRUE(res.completed);
+  EXPECT_DOUBLE_EQ(res.best_cost, 3.0);
+  ASSERT_EQ(res.slot_option.size(), 1u);
+  EXPECT_EQ(res.slot_option[0], 1);
+  EXPECT_EQ(res.stats.states_explored, 2);
+}
+
+TEST(SearchEngineUnit, ChainDpFindsJointMinimum) {
+  // Slots 0,1,2; group A touches (0,1), group B touches (1,2). The joint optimum
+  // requires remembering slot 1 across the groups: 0->1, 1->0, 2->1 at cost 0.
+  SearchSpace space;
+  space.slot_num_options = {2, 2, 2};
+  space.group_slots = {{0, 1}, {1, 2}};
+  SearchEngine engine(std::move(space), {});
+  SearchEngine::Result res = engine.Run([](int g, const int* o) {
+    if (g == 0) {
+      return (o[0] == 1 ? 0.0 : 10.0) + (o[1] == 0 ? 0.0 : 1.0);
+    }
+    return (o[0] == 0 ? 0.0 : 5.0) + (o[1] == 1 ? 0.0 : 2.0);
+  });
+  EXPECT_DOUBLE_EQ(res.best_cost, 0.0);
+  EXPECT_EQ(res.slot_option, (std::vector<int>{1, 0, 1}));
+  EXPECT_EQ(res.stats.states_explored, 8);  // 4 cells per group
+  EXPECT_EQ(res.stats.max_frontier_states, 4);
+}
+
+TEST(SearchEngineUnit, SingleOptionAndUntouchedSlotsDefaultToZero) {
+  // Slot 1 has one option (zero key bits); slot 2 is touched by no group.
+  SearchSpace space;
+  space.slot_num_options = {3, 1, 4};
+  space.group_slots = {{0, 1}};
+  SearchEngine engine(std::move(space), {});
+  SearchEngine::Result res = engine.Run([](int, const int* o) {
+    return o[0] == 2 ? 1.0 : 7.0;  // slot 1's only option rides along
+  });
+  EXPECT_DOUBLE_EQ(res.best_cost, 1.0);
+  EXPECT_EQ(res.slot_option, (std::vector<int>{2, 0, 0}));
+}
+
+TEST(SearchEngineUnit, OversizedGroupFallsBackToMemoizedCharge) {
+  // 13 slots x 2 options touched by ONE group: the option product (8192) exceeds both
+  // the 4096 table floor and the beam-pruned state count, so the charge must go through
+  // the per-state memo instead of a dense table -- bounded by live states, not by the
+  // cross product.
+  SearchSpace space;
+  space.slot_num_options.assign(13, 2);
+  space.group_slots.push_back({});
+  for (int s = 0; s < 13; ++s) {
+    space.group_slots[0].push_back(s);
+  }
+  SearchEngineOptions options;
+  options.max_states = 16;  // beam prunes during branching
+  SearchEngine engine(std::move(space), options);
+  SearchEngine::Result res = engine.Run([](int, const int* o) {
+    double c = 0.0;
+    for (int i = 0; i < 13; ++i) {
+      c += o[i] == 1 ? 1.0 : 0.0;
+    }
+    return c;
+  });
+  EXPECT_TRUE(res.completed);
+  EXPECT_FALSE(res.stats.exact);
+  EXPECT_EQ(res.stats.cost_table_entries, 0);  // no dense table was built
+  // Memoized evaluations are bounded by the surviving states, not the 8192 combos.
+  EXPECT_LE(res.stats.states_explored, res.stats.max_frontier_states);
+  // The all-zeros state survives every cost-ranked beam prune: optimum found anyway.
+  EXPECT_DOUBLE_EQ(res.best_cost, 0.0);
+}
+
+TEST(SearchEngineUnit, StreamedModeAborts) {
+  SearchSpace space;
+  space.slot_num_options = {2, 2};
+  space.group_slots = {{0}, {1}};
+  SearchEngine engine(std::move(space), {});
+  int calls = 0;
+  SearchEngine::Result res =
+      engine.RunStreamed([&calls](int, const int*, double* cost) {
+        if (++calls > 2) {
+          return false;
+        }
+        *cost = 1.0;
+        return true;
+      });
+  EXPECT_FALSE(res.completed);
+}
+
+}  // namespace
+}  // namespace tofu

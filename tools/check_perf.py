@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Gate on bench_table1_search --json results against a checked-in baseline.
+
+Usage: check_perf.py <baseline.json> <current.json> [--max-slowdown X]
+
+Fails (exit 1) when:
+  * a baseline model has no matching row in the current results (dropping or renaming
+    a model must not silently disable its gate);
+  * the recursive search wall time regressed more than --max-slowdown (default 3x)
+    over the baseline -- loose enough to absorb CI machine variance, tight enough to
+    catch an accidental return to the string-keyed search;
+  * the machine-independent search-effort counters (states_explored,
+    cost_table_entries) drifted -- these are deterministic, so any change means the
+    search semantics changed without re-recording the baseline;
+  * the plan's communication bytes changed at all (same reasoning);
+  * an exact search became beam-degraded.
+"""
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-slowdown", type=float, default=3.0)
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    base_by_model = {r["model"]: r for r in baseline["results"]}
+    current_models = {r["model"] for r in current["results"]}
+    failed = False
+    for missing in sorted(set(base_by_model) - current_models):
+        print(f"FAIL  {missing}: in baseline but absent from current results")
+        failed = True
+    for row in current["results"]:
+        base = base_by_model.get(row["model"])
+        if base is None:
+            print(f"NOTE  {row['model']}: not in baseline, skipping")
+            continue
+        slowdown = row["recursive_seconds"] / max(base["recursive_seconds"], 1e-12)
+        status = "ok"
+        if slowdown > args.max_slowdown:
+            status = f"FAIL (> {args.max_slowdown}x baseline)"
+            failed = True
+        print(
+            f"{row['model']}: {row['recursive_seconds']*1e3:.1f} ms vs baseline "
+            f"{base['recursive_seconds']*1e3:.1f} ms ({slowdown:.2f}x) {status}"
+        )
+        for counter in ("states_explored", "cost_table_entries"):
+            if row.get(counter) != base.get(counter):
+                print(
+                    f"FAIL  {row['model']}: {counter} {row.get(counter)} != baseline "
+                    f"{base.get(counter)} (search semantics drifted; re-record the "
+                    "baseline if intentional)"
+                )
+                failed = True
+        if row["recursive_comm_bytes"] != base["recursive_comm_bytes"]:
+            print(
+                f"FAIL  {row['model']}: comm bytes {row['recursive_comm_bytes']} != "
+                f"baseline {base['recursive_comm_bytes']} (plan drifted; re-record the "
+                "baseline if intentional)"
+            )
+            failed = True
+        if base.get("exact", True) and not row.get("exact", True):
+            print(f"FAIL  {row['model']}: search became beam-degraded")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
