@@ -3,24 +3,37 @@
 // per-batch execution time with the communication overhead fraction (the paper measures
 // it by skipping memory copies -- our zero-comm simulation), plus OOM where the plan's
 // per-worker memory exceeds 12 GB.
+//
+//   ./bench_fig10_algos                 # all five algorithms
+//   ./bench_fig10_algos --algo=Tofu     # one algorithm (name per AlgorithmName)
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "tofu/core/experiment.h"
-#include "tofu/core/partitioner.h"
+#include "tofu/core/session.h"
 #include "tofu/util/strings.h"
 
 namespace tofu {
 namespace {
 
-void RunCase(const std::string& name, ModelGraph model, const ClusterSpec& cluster) {
+void RunCase(const std::string& name, ModelGraph model, const ClusterSpec& cluster,
+             const std::vector<PartitionAlgorithm>& algorithms) {
   std::printf("--- %s (batch %lld) ---\n", name.c_str(),
               static_cast<long long>(model.batch));
-  Partitioner partitioner;
-  for (PartitionAlgorithm algorithm :
-       {PartitionAlgorithm::kAllRowGreedy, PartitionAlgorithm::kSpartan,
-        PartitionAlgorithm::kEqualChop, PartitionAlgorithm::kIcml18,
-        PartitionAlgorithm::kTofu}) {
-    PartitionPlan plan = partitioner.Partition(model.graph, cluster.num_gpus, algorithm);
+  Session session(DeviceTopology::FromCluster(cluster));
+  for (PartitionAlgorithm algorithm : algorithms) {
+    PartitionRequest request;
+    request.graph = &model.graph;
+    request.algorithm = algorithm;
+    Result<PartitionResponse> response = session.Partition(request);
+    if (!response.ok()) {
+      std::printf("  %-14s error: %s\n", AlgorithmName(algorithm),
+                  response.status().ToString().c_str());
+      continue;
+    }
+    const PartitionPlan& plan = response->plan;
     ThroughputResult r = RunPlanThroughput(model, plan, cluster);
     if (r.oom) {
       std::printf("  %-14s OOM   (plan comm %s/iter, peak %s/GPU)\n",
@@ -40,8 +53,27 @@ void RunCase(const std::string& name, ModelGraph model, const ClusterSpec& clust
 }  // namespace
 }  // namespace tofu
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tofu;
+  std::vector<PartitionAlgorithm> algorithms = {
+      PartitionAlgorithm::kAllRowGreedy, PartitionAlgorithm::kSpartan,
+      PartitionAlgorithm::kEqualChop, PartitionAlgorithm::kIcml18,
+      PartitionAlgorithm::kTofu};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--algo=", 7) == 0) {
+      Result<PartitionAlgorithm> algorithm = AlgorithmFromName(argv[i] + 7);
+      if (!algorithm.ok()) {
+        std::fprintf(stderr, "%s\n", algorithm.status().ToString().c_str());
+        return 2;
+      }
+      algorithms = {*algorithm};
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'; usage: bench_fig10_algos [--algo=Name]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
   const ClusterSpec cluster = K80Cluster();
   std::printf("=== Figure 10: comparison of partition algorithms (8 GPUs) ===\n");
   std::printf("paper: (a) RNN-4-8K  AllRow 24.5s / Spartan 21.1s / EqualChop 13.8s /\n"
@@ -53,14 +85,14 @@ int main() {
     config.layers = 4;
     config.hidden = 8192;
     config.batch = 512;
-    RunCase("RNN-4-8K", BuildRnn(config), cluster);
+    RunCase("RNN-4-8K", BuildRnn(config), cluster, algorithms);
   }
   {
     WResNetConfig config;
     config.layers = 152;
     config.width = 10;
     config.batch = 8;
-    RunCase("WResNet-152-10", BuildWResNet(config), cluster);
+    RunCase("WResNet-152-10", BuildWResNet(config), cluster, algorithms);
   }
   return 0;
 }

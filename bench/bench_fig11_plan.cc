@@ -7,8 +7,8 @@
 //     layers (big weights) switch to strategies that fetch activations.
 #include <cstdio>
 
-#include "tofu/core/partitioner.h"
 #include "tofu/core/report.h"
+#include "tofu/core/session.h"
 #include "tofu/models/wresnet.h"
 #include "tofu/util/strings.h"
 
@@ -20,8 +20,15 @@ int main() {
   config.batch = 8;
   ModelGraph model = BuildWResNet(config);
 
-  Partitioner partitioner;
-  PartitionPlan plan = partitioner.Partition(model.graph, 8);
+  Session session(DeviceTopology::FromCluster(K80Cluster()));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> response = session.Partition(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "partitioning failed: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  const PartitionPlan& plan = response->plan;
 
   std::printf("=== Figure 11: Tofu's partition of WResNet-152-10 across 8 GPUs ===\n\n");
   std::printf("%s\n", PlanSummary(model.graph, plan).c_str());

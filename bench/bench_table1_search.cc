@@ -18,9 +18,11 @@
 #include <cstring>
 #include <string>
 
+#include "tofu/core/session.h"
 #include "tofu/models/rnn.h"
 #include "tofu/models/wresnet.h"
 #include "tofu/partition/flat_dp.h"
+#include "tofu/partition/plan_io.h"
 #include "tofu/partition/recursive.h"
 #include "tofu/util/json.h"
 #include "tofu/util/strings.h"
@@ -67,6 +69,28 @@ void Run(const std::string& name, ModelGraph model, JsonWriter* json) {
               (flat.completed ? flat.elapsed_seconds : flat.projected_seconds) /
                   std::max(recursive_s, 1e-9));
 
+  // Serving-path check the CI perf gate asserts on: a repeated identical request must
+  // hit the session's plan cache, and the cached plan must be byte-identical (in its
+  // JSON serialization) to what a fresh session searches from scratch.
+  Session session(DeviceTopology::Uniform(8));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> first = session.Partition(request);
+  Result<PartitionResponse> second = session.Partition(request);
+  Session fresh_session(DeviceTopology::Uniform(8));
+  Result<PartitionResponse> fresh = fresh_session.Partition(request);
+  const bool cache_hit = first.ok() && second.ok() && !first->from_cache &&
+                         second->from_cache && session.cache_stats().hits == 1;
+  // Byte-identical up to search wall time, the one nondeterministic plan field.
+  auto comparable = [](PartitionPlan plan) {
+    plan.search_stats.wall_seconds = 0.0;
+    return PlanToJson(plan);
+  };
+  const bool identical =
+      second.ok() && fresh.ok() && comparable(second->plan) == comparable(fresh->plan);
+  std::printf("  session plan cache:   repeat %s, cached == fresh plan: %s\n\n",
+              cache_hit ? "hit" : "MISSED", identical ? "byte-identical" : "DIVERGED");
+
   if (json != nullptr) {
     json->BeginObject();
     json->Key("model").String(name);
@@ -84,6 +108,8 @@ void Run(const std::string& name, ModelGraph model, JsonWriter* json) {
         .Number(flat.completed ? flat.elapsed_seconds : flat.projected_seconds);
     json->Key("flat_configs_evaluated").Number(flat.configs_evaluated);
     json->Key("flat_configs_total").Number(flat.configs_total);
+    json->Key("session_cache_hit").Bool(cache_hit);
+    json->Key("cached_plan_identical").Bool(identical);
     json->EndObject();
   }
 }

@@ -6,11 +6,13 @@
 //   ./bench_transformer                  # full sweep: 3 configurations x 3 algorithms
 //   ./bench_transformer --smoke          # one small configuration (CI)
 //   ./bench_transformer --json out.json  # also emit machine-readable results
+//   ./bench_transformer --algo=Tofu      # restrict to one algorithm
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
-#include "tofu/core/partitioner.h"
+#include "tofu/core/session.h"
 #include "tofu/models/transformer.h"
 #include "tofu/sim/runtimes.h"
 #include "tofu/util/json.h"
@@ -19,6 +21,10 @@
 namespace {
 
 using namespace tofu;
+
+std::vector<PartitionAlgorithm> g_algorithms = {PartitionAlgorithm::kDataParallel,
+                                                PartitionAlgorithm::kEqualChop,
+                                                PartitionAlgorithm::kTofu};
 
 void RunConfig(const TransformerConfig& config, const ClusterSpec& cluster,
                JsonWriter* json) {
@@ -30,10 +36,7 @@ void RunConfig(const TransformerConfig& config, const ClusterSpec& cluster,
               model.graph.num_tensors(),
               HumanBytes(static_cast<double>(model.ModelStateBytes())).c_str());
 
-  Partitioner partitioner;
-  const PartitionAlgorithm algos[] = {PartitionAlgorithm::kDataParallel,
-                                      PartitionAlgorithm::kEqualChop,
-                                      PartitionAlgorithm::kTofu};
+  Session session(DeviceTopology::FromCluster(cluster));
   double dp_comm = 0.0;
   double tofu_comm = 0.0;
   std::printf("%-14s %16s %14s %14s %10s\n", "algorithm", "comm bytes/iter", "samples/s",
@@ -48,8 +51,17 @@ void RunConfig(const TransformerConfig& config, const ClusterSpec& cluster,
     json->Key("batch").Int(config.batch);
     json->Key("algorithms").BeginArray();
   }
-  for (PartitionAlgorithm algo : algos) {
-    PartitionPlan plan = partitioner.Partition(model.graph, cluster.num_gpus, algo);
+  for (PartitionAlgorithm algo : g_algorithms) {
+    PartitionRequest partition_request;
+    partition_request.graph = &model.graph;
+    partition_request.algorithm = algo;
+    Result<PartitionResponse> response = session.Partition(partition_request);
+    if (!response.ok()) {
+      std::printf("%-14s error: %s\n", AlgorithmName(algo),
+                  response.status().ToString().c_str());
+      continue;
+    }
+    const PartitionPlan& plan = response->plan;
     ThroughputResult result = RunPlanThroughput(model, plan, cluster);
     std::printf("%-14s %16s %14.1f %14s %9.1f%%%s\n", AlgorithmName(algo),
                 HumanBytes(plan.total_comm_bytes).c_str(), result.samples_per_second,
@@ -79,9 +91,10 @@ void RunConfig(const TransformerConfig& config, const ClusterSpec& cluster,
         .Number(dp_comm > 0.0 && tofu_comm > 0.0 ? dp_comm / tofu_comm : 0.0);
     json->EndObject();
   }
-  std::printf("Tofu vs DataParallel communication: %.2fx %s\n",
-              dp_comm > 0.0 ? dp_comm / tofu_comm : 0.0,
-              tofu_comm < dp_comm ? "lower (PASS)" : "NOT lower (FAIL)");
+  if (dp_comm > 0.0 && tofu_comm > 0.0) {
+    std::printf("Tofu vs DataParallel communication: %.2fx %s\n", dp_comm / tofu_comm,
+                tofu_comm < dp_comm ? "lower (PASS)" : "NOT lower (FAIL)");
+  }
 }
 
 }  // namespace
@@ -94,6 +107,19 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--algo=", 7) == 0) {
+      Result<PartitionAlgorithm> algorithm = AlgorithmFromName(argv[i] + 7);
+      if (!algorithm.ok()) {
+        std::fprintf(stderr, "%s\n", algorithm.status().ToString().c_str());
+        return 2;
+      }
+      g_algorithms = {*algorithm};
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'; usage: bench_transformer [--smoke] "
+                   "[--json out.json] [--algo=Name]\n",
+                   argv[i]);
+      return 2;
     }
   }
   const ClusterSpec cluster = K80Cluster();

@@ -1,9 +1,12 @@
 // Registering a custom operator with a TDL description -- the extension point the paper
 // designs for ("operator developers write the description; Tofu discovers the partition
 // strategies"). We register a 1-D dilated convolution, let the analyzer discover its
-// strategies, and show the paper's batched-Cholesky opaque example alongside.
+// strategies, show the paper's batched-Cholesky opaque example alongside, then partition
+// a graph using the new operator through a Session -- and show what happens when a graph
+// references an operator nobody registered (a recoverable error, not an abort).
 #include <cstdio>
 
+#include "tofu/core/session.h"
 #include "tofu/tdl/registry.h"
 #include "tofu/util/strings.h"
 
@@ -53,5 +56,31 @@ int main() {
                   static_cast<long long>(c.inputs[0].halo_elems));
     }
   }
-  return 0;
+
+  // The operator is a first-class citizen of the partition search now: a graph using it
+  // goes through the session API like any built-in.
+  Graph graph;
+  TensorId data = graph.AddInput("data", {32, 16, 128});
+  TensorId filters = graph.AddParam("filters", {16, 32, 3});
+  graph.AddOp("dilated_conv1d", {}, {data, filters}, "y");
+  Session session(DeviceTopology::Uniform(4));
+  PartitionRequest request;
+  request.graph = &graph;
+  Result<PartitionResponse> response = session.Partition(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "partitioning failed: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\npartitioned a dilated_conv1d graph across 4 workers: data tiled { %s }, "
+              "comm %s\n",
+              response->plan.DescribeTiling(graph, data).c_str(),
+              HumanBytes(response->plan.total_comm_bytes).c_str());
+
+  // An operator nobody registered is a user error the session reports, not a crash:
+  // simulate a graph arriving from elsewhere with an unknown type.
+  graph.op(0).type = "fancy_future_op";
+  Result<PartitionResponse> unknown = session.Partition(request);
+  std::printf("partitioning a graph with an unregistered op: %s\n",
+              unknown.ok() ? "unexpectedly succeeded?!" : unknown.status().ToString().c_str());
+  return unknown.ok() ? 1 : 0;
 }

@@ -1,20 +1,43 @@
-// Quickstart: build a training graph, partition it across 8 workers, inspect the plan,
-// and estimate its execution on the simulated 8-GPU machine.
+// Quickstart: build a training graph, open a partitioning Session against the paper's
+// 8-GPU machine, inspect the response, and estimate execution in the simulator.
 //
-//   $ ./quickstart
+//   $ ./quickstart                        # partition, budget demo, simulate
+//   $ ./quickstart --save-plan plan.json  # also serialize the discovered plan
+//   $ ./quickstart --load-plan plan.json  # reload a saved plan and replay it, checking
+//                                         # the totals match a fresh search bit-for-bit
 //
-// The program written for one device runs across devices without changes -- the
-// partitioner decides every tensor's tiling and every operator's strategy (paper §2).
+// The program written for one device runs across devices without changes -- the session
+// decides every tensor's tiling and every operator's strategy (paper §2), reports
+// per-worker memory and per-step link times, and returns user mistakes (like an
+// impossible memory budget) as recoverable errors instead of aborting.
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
-#include "tofu/core/partitioner.h"
 #include "tofu/core/report.h"
+#include "tofu/core/session.h"
 #include "tofu/models/mlp.h"
+#include "tofu/partition/plan_io.h"
 #include "tofu/sim/runtimes.h"
+#include "tofu/util/json.h"
 #include "tofu/util/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tofu;
+
+  std::string save_path;
+  std::string load_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--save-plan") == 0 && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--load-plan") == 0 && i + 1 < argc) {
+      load_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: quickstart [--save-plan f] [--load-plan f]\n");
+      return 2;
+    }
+  }
 
   // 1. A model, exactly as one would write it for a single device: a 4-layer MLP with
   //    softmax cross-entropy, backward pass and Adagrad updates generated automatically.
@@ -26,10 +49,25 @@ int main() {
               model.name.c_str(), model.graph.num_ops(), model.graph.num_tensors(),
               HumanBytes(static_cast<double>(model.ModelStateBytes())).c_str());
 
-  // 2. Partition across 8 workers with Tofu's recursive search.
-  Partitioner partitioner;
-  PartitionPlan plan = partitioner.Partition(model.graph, 8);
-  std::printf("\n%s\n", PlanSummary(model.graph, plan).c_str());
+  // 2. A session for the paper's 8xK80 machine: 8 workers, cross-group host link slower
+  //    than intra-group PCIe p2p, 12 GB per GPU.
+  const ClusterSpec cluster = K80Cluster();
+  Session session(DeviceTopology::FromCluster(cluster));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> response = session.Partition(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "partitioning failed: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  const PartitionPlan& plan = response->plan;
+  std::printf("\n%s", PlanSummary(model.graph, plan).c_str());
+  std::printf("  per-worker shards: %s; per-step link time",
+              HumanBytes(static_cast<double>(response->peak_shard_bytes)).c_str());
+  for (size_t i = 0; i < response->step_seconds.size(); ++i) {
+    std::printf("%s %s", i == 0 ? "" : " +", HumanSeconds(response->step_seconds[i]).c_str());
+  }
+  std::printf(" = %s\n\n", HumanSeconds(response->estimated_comm_seconds).c_str());
 
   // 3. Inspect a tensor's tiling: each recursive step split one dimension in two.
   for (TensorId w : model.graph.ParamIds()) {
@@ -41,8 +79,63 @@ int main() {
     }
   }
 
-  // 4. Estimate execution on the paper's 8xK80 machine.
-  const ClusterSpec cluster = K80Cluster();
+  // 4. User error stays recoverable: a 64 MiB per-worker budget cannot hold this model,
+  //    and the session says so (with the deficit) instead of aborting the process.
+  PartitionRequest tight = request;
+  tight.memory_budget_bytes = 64ll << 20;
+  Result<PartitionResponse> refused = session.Partition(tight);
+  std::printf("\nwith a 64 MiB budget: %s\n",
+              refused.ok() ? "unexpectedly fit?!" : refused.status().ToString().c_str());
+  if (refused.ok()) {
+    return 1;
+  }
+
+  // 5. Repeating a request hits the session's plan cache -- the search ran once.
+  Result<PartitionResponse> repeat = session.Partition(request);
+  std::printf("repeated request: %s (cache: %lld hit(s), %lld miss(es))\n",
+              repeat.ok() && repeat->from_cache ? "served from plan cache" : "re-searched",
+              static_cast<long long>(session.cache_stats().hits),
+              static_cast<long long>(session.cache_stats().misses));
+
+  // 6. Plans serialize: --save-plan writes JSON, --load-plan reloads it and replays it
+  //    through the simulator, verifying the totals match a fresh search exactly.
+  if (!save_path.empty()) {
+    if (!WriteTextFile(save_path, PlanToJson(plan) + "\n")) {
+      return 1;
+    }
+    std::printf("saved plan to %s\n", save_path.c_str());
+  }
+  if (!load_path.empty()) {
+    Result<std::string> text = ReadTextFile(load_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "cannot read plan: %s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    Result<PartitionPlan> loaded = PlanFromJson(*text);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot parse plan: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    Status valid = ValidatePlanForGraph(model.graph, *loaded);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "plan does not fit this graph: %s\n", valid.ToString().c_str());
+      return 1;
+    }
+    ThroughputResult fresh_run = RunPlanThroughput(model, plan, cluster);
+    ThroughputResult replay = RunPlanThroughput(model, *loaded, cluster);
+    const bool identical = loaded->total_comm_bytes == plan.total_comm_bytes &&
+                           loaded->weighted_step_costs == plan.weighted_step_costs &&
+                           replay.iter_seconds == fresh_run.iter_seconds;
+    std::printf("reloaded plan from %s: replay %s (comm %s, iteration %s)\n",
+                load_path.c_str(), identical ? "matches the fresh search" : "DIVERGED",
+                HumanBytes(loaded->total_comm_bytes).c_str(),
+                HumanSeconds(replay.iter_seconds).c_str());
+    if (!identical) {
+      return 1;
+    }
+  }
+
+  // 7. Estimate execution on the simulated machine.
   ThroughputResult result = RunPlanThroughput(model, plan, cluster);
   std::printf("\nsimulated on 8 GPUs: %.1f samples/s, iteration %s, per-GPU peak %s%s\n",
               result.samples_per_second, HumanSeconds(result.iter_seconds).c_str(),

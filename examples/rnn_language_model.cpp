@@ -4,8 +4,9 @@
 #include <cstdio>
 
 #include "tofu/core/experiment.h"
-#include "tofu/util/strings.h"
 #include "tofu/core/report.h"
+#include "tofu/core/session.h"
+#include "tofu/util/strings.h"
 
 int main() {
   using namespace tofu;
@@ -33,10 +34,21 @@ int main() {
   std::printf("Tofu (operator partitioning): %.1f samples/s at global batch %lld\n\n",
               tofu.samples_per_second, static_cast<long long>(tofu.batch));
 
-  // What did the search decide? Summarize the per-step choices.
+  // What did the search decide? Ask a session (which also weighs each step's bytes by
+  // the link it crosses) and summarize the per-step choices.
   ModelGraph model = factory(tofu.batch);
-  PartitionPlan plan = RecursivePartition(model.graph, cluster.num_gpus);
-  std::printf("%s\n", PlanSummary(model.graph, plan).c_str());
+  Session session(DeviceTopology::FromCluster(cluster));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> response = session.Partition(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "partitioning failed: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  const PartitionPlan& plan = response->plan;
+  std::printf("%s(estimated comm time %s/iter on this topology)\n\n",
+              PlanSummary(model.graph, plan).c_str(),
+              HumanSeconds(response->estimated_comm_seconds).c_str());
   std::printf("example weight tilings:\n");
   int shown = 0;
   for (TensorId w : model.graph.ParamIds()) {

@@ -5,8 +5,8 @@
 // operators instead of hand-tuning layers.
 #include <cstdio>
 
-#include "tofu/core/partitioner.h"
 #include "tofu/core/report.h"
+#include "tofu/core/session.h"
 #include "tofu/models/transformer.h"
 #include "tofu/sim/runtimes.h"
 #include "tofu/util/strings.h"
@@ -27,9 +27,16 @@ int main() {
               model.name.c_str(), model.graph.num_ops(), model.graph.num_tensors(),
               HumanBytes(static_cast<double>(model.ModelStateBytes())).c_str());
 
-  // Tofu's recursive search across 8 workers.
-  Partitioner partitioner;
-  PartitionPlan plan = partitioner.Partition(model.graph, 8);
+  // Tofu's recursive search across 8 workers, through a session.
+  Session session(DeviceTopology::FromCluster(K80Cluster()));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> response = session.Partition(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "partitioning failed: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  const PartitionPlan& plan = response->plan;
   std::printf("\n%s\n", PlanSummary(model.graph, plan).c_str());
 
   // How do the attention weights end up tiled? Note the projection weights sharding along
@@ -44,13 +51,18 @@ int main() {
                 HumanBytes(static_cast<double>(plan.ShardBytes(model.graph, w))).c_str());
   }
 
-  // Against classic data parallelism on the same graph.
-  PartitionPlan dp =
-      partitioner.Partition(model.graph, 8, PartitionAlgorithm::kDataParallel);
+  // Against classic data parallelism on the same graph (same session, second request).
+  PartitionRequest dp_request = request;
+  dp_request.algorithm = PartitionAlgorithm::kDataParallel;
+  Result<PartitionResponse> dp = session.Partition(dp_request);
+  if (!dp.ok()) {
+    std::fprintf(stderr, "partitioning failed: %s\n", dp.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\ncommunication per iteration: Tofu %s vs DataParallel %s (%.2fx)\n",
               HumanBytes(plan.total_comm_bytes).c_str(),
-              HumanBytes(dp.total_comm_bytes).c_str(),
-              dp.total_comm_bytes / plan.total_comm_bytes);
+              HumanBytes(dp->plan.total_comm_bytes).c_str(),
+              dp->plan.total_comm_bytes / plan.total_comm_bytes);
 
   // Simulated execution on the paper's 8xK80 machine.
   ThroughputResult result = RunPlanThroughput(model, plan, K80Cluster());

@@ -5,8 +5,9 @@
 #include <cstdio>
 
 #include "tofu/core/experiment.h"
-#include "tofu/util/strings.h"
 #include "tofu/core/report.h"
+#include "tofu/core/session.h"
+#include "tofu/util/strings.h"
 
 int main() {
   using namespace tofu;
@@ -33,10 +34,26 @@ int main() {
               tofu.samples_per_second, static_cast<long long>(tofu.batch),
               HumanBytes(tofu.peak_bytes).c_str());
 
-  // Show a slice of the discovered plan (Figure 11 style).
+  // Show a slice of the discovered plan (Figure 11 style), through the session API. No
+  // hard memory_budget_bytes here: peak_shard_bytes counts every tensor resident at once
+  // (a schedule-independent upper bound), which a 30 GiB model legitimately exceeds --
+  // the event simulator's memory planner above measured the scheduled peak that counts.
   ModelGraph model = factory(tofu.batch);
-  PartitionPlan plan = RecursivePartition(model.graph, cluster.num_gpus);
+  Session session(DeviceTopology::FromCluster(cluster));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> response = session.Partition(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "partitioning failed: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("per-worker shards %s worst-case vs %s capacity (scheduled peak above: %s); "
+              "estimated comm %s/iter\n",
+              HumanBytes(static_cast<double>(response->peak_shard_bytes)).c_str(),
+              HumanBytes(cluster.gpu.mem_capacity).c_str(),
+              HumanBytes(tofu.peak_bytes).c_str(),
+              HumanSeconds(response->estimated_comm_seconds).c_str());
   std::printf("discovered tilings (repeated blocks collapsed):\n%s",
-              TilingReport(model.graph, plan).c_str());
+              TilingReport(model.graph, response->plan).c_str());
   return 0;
 }

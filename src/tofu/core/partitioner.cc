@@ -4,42 +4,19 @@
 
 namespace tofu {
 
-const char* AlgorithmName(PartitionAlgorithm algorithm) {
-  switch (algorithm) {
-    case PartitionAlgorithm::kTofu:
-      return "Tofu";
-    case PartitionAlgorithm::kIcml18:
-      return "ICML18";
-    case PartitionAlgorithm::kEqualChop:
-      return "EqualChop";
-    case PartitionAlgorithm::kSpartan:
-      return "Spartan";
-    case PartitionAlgorithm::kAllRowGreedy:
-      return "AllRow-Greedy";
-    case PartitionAlgorithm::kDataParallel:
-      return "DataParallel";
-  }
-  return "?";
-}
-
 PartitionPlan Partitioner::Partition(const Graph& graph, int num_workers,
                                      PartitionAlgorithm algorithm) const {
-  switch (algorithm) {
-    case PartitionAlgorithm::kTofu:
-      return RecursivePartition(graph, num_workers, options_);
-    case PartitionAlgorithm::kIcml18:
-      return Icml18Plan(graph, num_workers, options_);
-    case PartitionAlgorithm::kEqualChop:
-      return EqualChopPlan(graph, num_workers, options_);
-    case PartitionAlgorithm::kSpartan:
-      return SpartanGreedyPlan(graph, num_workers);
-    case PartitionAlgorithm::kAllRowGreedy:
-      return AllRowGreedyPlan(graph, num_workers);
-    case PartitionAlgorithm::kDataParallel:
-      return DataParallelPlan(graph, num_workers);
-  }
-  TOFU_LOG(Fatal) << "unreachable";
-  return {};
+  // One throwaway uniform-topology session per call: the legacy facade is stateless, so
+  // it cannot carry the session's plan cache (that is the point of migrating) -- caching
+  // is disabled to skip the dead deep-copy into a cache that dies with the session.
+  Session session(DeviceTopology::Uniform(num_workers), /*max_cached_plans=*/0);
+  PartitionRequest request;
+  request.graph = &graph;
+  request.algorithm = algorithm;
+  request.options = options_;
+  Result<PartitionResponse> response = session.Partition(request);
+  TOFU_CHECK(response.ok()) << "Partitioner::Partition: " << response.status().ToString();
+  return std::move(*response).plan;
 }
 
 }  // namespace tofu

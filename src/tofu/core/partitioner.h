@@ -1,41 +1,25 @@
-// Public facade: the one-stop API a downstream user calls to partition a model.
+// DEPRECATED one-shot facade, kept as a thin shim over the session API (core/session.h).
 //
 //   tofu::Partitioner partitioner;
 //   tofu::PartitionPlan plan = partitioner.Partition(model.graph, /*num_workers=*/8);
 //
-// The same program written for one device runs on many: the plan assigns every tensor a
-// tiling and every operator a partition-n-reduce strategy per recursive step, and the
-// simulator (or a real backend) lowers it to per-worker execution. The returned plan
-// also carries PartitionPlan::search_stats -- the aggregated effort of the packed-state
-// search engine (docs/search.md) -- so callers can assert on how hard the search worked
-// (zero for the greedy baselines, which run no DP).
+// delegates to a default-topology (uniform-bandwidth) tofu::Session and keeps the old
+// abort-on-error contract: any Status a Session would return recoverable becomes a
+// TOFU_CHECK failure here. New code should construct a Session -- it adds device
+// topology, memory budgets, recoverable errors, plan caching and serializable plans.
 #ifndef TOFU_CORE_PARTITIONER_H_
 #define TOFU_CORE_PARTITIONER_H_
 
-#include <string>
-
-#include "tofu/partition/baselines.h"
-#include "tofu/partition/recursive.h"
+#include "tofu/core/session.h"
 
 namespace tofu {
-
-// Named algorithm selector (Figure 10's comparison set plus classic data parallelism).
-enum class PartitionAlgorithm {
-  kTofu,          // recursive DP with output-reduction strategies
-  kIcml18,        // recursive DP without output-reduction
-  kEqualChop,     // single k-way DP step (one dimension per tensor)
-  kSpartan,       // largest-tensor-first greedy
-  kAllRowGreedy,  // everything split along dimension 0
-  kDataParallel,  // activations batch-split, model state replicated (all-reduce grads)
-};
-
-const char* AlgorithmName(PartitionAlgorithm algorithm);
 
 class Partitioner {
  public:
   explicit Partitioner(PartitionOptions options = {}) : options_(options) {}
 
-  // Partitions across num_workers workers with the chosen algorithm.
+  // Partitions across num_workers workers with the chosen algorithm. Aborts on user
+  // error (use Session::Partition for a recoverable Result instead).
   PartitionPlan Partition(const Graph& graph, int num_workers,
                           PartitionAlgorithm algorithm = PartitionAlgorithm::kTofu) const;
 

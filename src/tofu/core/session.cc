@@ -1,0 +1,261 @@
+#include "tofu/core/session.h"
+
+#include <algorithm>
+
+#include "tofu/util/strings.h"
+
+namespace tofu {
+
+const char* AlgorithmName(PartitionAlgorithm algorithm) {
+  switch (algorithm) {
+    case PartitionAlgorithm::kTofu:
+      return "Tofu";
+    case PartitionAlgorithm::kIcml18:
+      return "ICML18";
+    case PartitionAlgorithm::kEqualChop:
+      return "EqualChop";
+    case PartitionAlgorithm::kSpartan:
+      return "Spartan";
+    case PartitionAlgorithm::kAllRowGreedy:
+      return "AllRow-Greedy";
+    case PartitionAlgorithm::kDataParallel:
+      return "DataParallel";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr PartitionAlgorithm kAllAlgorithms[] = {
+    PartitionAlgorithm::kTofu,         PartitionAlgorithm::kIcml18,
+    PartitionAlgorithm::kEqualChop,    PartitionAlgorithm::kSpartan,
+    PartitionAlgorithm::kAllRowGreedy, PartitionAlgorithm::kDataParallel,
+};
+
+}  // namespace
+
+Result<PartitionAlgorithm> AlgorithmFromName(const std::string& name) {
+  std::vector<std::string> known;
+  for (PartitionAlgorithm algorithm : kAllAlgorithms) {
+    if (name == AlgorithmName(algorithm)) {
+      return algorithm;
+    }
+    known.push_back(AlgorithmName(algorithm));
+  }
+  return Status(StatusCode::kInvalidArgument,
+                StrFormat("unknown algorithm '%s' (known: %s)", name.c_str(),
+                          Join(known, ", ").c_str()));
+}
+
+double DeviceTopology::BandwidthForStep(size_t step) const {
+  return LevelBandwidth(level_bandwidths, uniform_bandwidth, step);
+}
+
+std::string DeviceTopology::Fingerprint() const {
+  std::string out = StrFormat("w=%d;ub=%.17g;mem=%lld;lv=", num_workers, uniform_bandwidth,
+                              static_cast<long long>(memory_bytes_per_worker));
+  for (double b : level_bandwidths) {
+    out += StrFormat("%.17g,", b);
+  }
+  return out;
+}
+
+DeviceTopology DeviceTopology::Uniform(int num_workers, double bandwidth) {
+  DeviceTopology topology;
+  topology.num_workers = num_workers;
+  topology.uniform_bandwidth = bandwidth;
+  return topology;
+}
+
+DeviceTopology DeviceTopology::FromCluster(const ClusterSpec& cluster) {
+  DeviceTopology topology;
+  topology.num_workers = cluster.num_gpus;
+  topology.uniform_bandwidth = cluster.p2p_bandwidth;
+  // Coarsest split first: its traffic crosses the shared host link between the PCIe
+  // root complexes; everything deeper stays peer-to-peer.
+  topology.level_bandwidths = {cluster.cpu_bandwidth, cluster.p2p_bandwidth};
+  topology.memory_bytes_per_worker = static_cast<std::int64_t>(cluster.gpu.mem_capacity);
+  return topology;
+}
+
+void Session::ClearPlanCache() {
+  plan_cache_.clear();
+  cache_insertion_order_.clear();
+}
+
+// Deliberately excludes memory_budget_bytes: the budget never influences the search, it
+// is a post-hoc check -- keying on it would re-run identical searches for every budget
+// (and an infeasible request would re-search on every retry). The option fields come
+// through PartitionOptions::Fingerprint, defined next to the structs so new fields
+// cannot be forgotten here.
+std::string Session::CacheKey(const PartitionRequest& request) const {
+  return StrFormat("g=%016llx;a=%d;",
+                   static_cast<unsigned long long>(GraphSignature(*request.graph)),
+                   static_cast<int>(request.algorithm)) +
+         request.options.Fingerprint() + "topo=" + topology_.Fingerprint();
+}
+
+namespace {
+
+Status BudgetCheck(const PartitionResponse& response, std::int64_t budget) {
+  if (budget > 0 && response.peak_shard_bytes > budget) {
+    return Status(
+        StatusCode::kResourceExhausted,
+        StrFormat("plan needs %s per worker but the budget is %s (deficit %s); add "
+                  "workers or raise memory_budget_bytes",
+                  HumanBytes(static_cast<double>(response.peak_shard_bytes)).c_str(),
+                  HumanBytes(static_cast<double>(budget)).c_str(),
+                  HumanBytes(static_cast<double>(response.peak_shard_bytes - budget))
+                      .c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<PartitionResponse> Session::Partition(const PartitionRequest& request) {
+  if (request.graph == nullptr) {
+    return Status(StatusCode::kInvalidArgument, "PartitionRequest.graph is null");
+  }
+  if (topology_.num_workers < 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  StrFormat("DeviceTopology.num_workers = %d; need >= 1",
+                            topology_.num_workers));
+  }
+  // Every bandwidth divides a byte count somewhere downstream; zero or negative ones
+  // would turn into inf/NaN estimates inside an ok() response.
+  if (topology_.uniform_bandwidth <= 0.0) {
+    return Status(StatusCode::kInvalidArgument,
+                  StrFormat("DeviceTopology.uniform_bandwidth = %g; need > 0",
+                            topology_.uniform_bandwidth));
+  }
+  for (double b : topology_.level_bandwidths) {
+    if (b <= 0.0) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("DeviceTopology.level_bandwidths entry %g; need > 0", b));
+    }
+  }
+  for (double b : request.options.step_bandwidths) {
+    if (b <= 0.0) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("PartitionOptions.step_bandwidths entry %g; need > 0", b));
+    }
+  }
+  const Graph& graph = *request.graph;
+
+  const std::string key = CacheKey(request);
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) {
+    ++cache_stats_.hits;
+    // The budget is not part of the key (it never affects the search), so it is
+    // re-applied to the cached result: a retry with a bigger budget reuses the plan.
+    TOFU_RETURN_IF_ERROR(BudgetCheck(it->second, request.memory_budget_bytes));
+    PartitionResponse response = it->second;  // copy; the cache keeps the original
+    response.from_cache = true;
+    return response;
+  }
+  ++cache_stats_.misses;
+
+  // Reject graphs with unregistered operators up front: everything downstream (strategy
+  // discovery, shape inference, lowering) assumes registry entries exist and aborts
+  // otherwise. Builders cannot create such graphs, but deserialized or mutated ones
+  // can. Runs after the cache lookup -- the key hashes every op type, so a hit implies
+  // an identical op set already passed this scan when its entry was inserted.
+  const OpRegistry& registry = OpRegistry::Get();
+  for (const OpNode& op : graph.ops()) {
+    if (!registry.Has(op.type)) {
+      return Status(StatusCode::kNotFound,
+                    StrFormat("operator '%s' (op #%d) has no TDL registry entry",
+                              op.type.c_str(), op.id));
+    }
+  }
+
+  // The recursion-based algorithms take the topology into the search: each step's bytes
+  // are weighted by the link they cross, and non-uniform bandwidths trigger the factor-
+  // ordering search (partition/recursive.h).
+  PartitionOptions options = request.options;
+  if (options.step_bandwidths.empty()) {
+    options.step_bandwidths = topology_.level_bandwidths.empty()
+                                  ? std::vector<double>{topology_.uniform_bandwidth}
+                                  : topology_.level_bandwidths;
+  }
+
+  PartitionResponse response;
+  switch (request.algorithm) {
+    case PartitionAlgorithm::kTofu:
+      response.plan = RecursivePartition(graph, topology_.num_workers, options);
+      break;
+    case PartitionAlgorithm::kIcml18:
+      response.plan = Icml18Plan(graph, topology_.num_workers, options);
+      break;
+    case PartitionAlgorithm::kEqualChop:
+      response.plan = EqualChopPlan(graph, topology_.num_workers, options);
+      break;
+    case PartitionAlgorithm::kSpartan:
+      response.plan = SpartanGreedyPlan(graph, topology_.num_workers);
+      break;
+    case PartitionAlgorithm::kAllRowGreedy:
+      response.plan = AllRowGreedyPlan(graph, topology_.num_workers);
+      break;
+    case PartitionAlgorithm::kDataParallel:
+      response.plan = DataParallelPlan(graph, topology_.num_workers);
+      break;
+    default:
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("unknown algorithm enum value %d",
+                              static_cast<int>(request.algorithm)));
+  }
+  const PartitionPlan& plan = response.plan;
+
+  // Per-worker residency upper bound: every tensor's shard at once. Deliberately
+  // conservative (no liveness / buffer-reuse credit), so "fits" here means the plan fits
+  // under any execution order; the event simulator's memory planner reports the tighter
+  // figure for a concrete schedule.
+  std::int64_t peak = 0;
+  for (const TensorNode& t : graph.tensors()) {
+    peak += plan.ShardBytes(graph, t.id);
+  }
+  response.peak_shard_bytes = peak;
+  response.fits_device_memory = topology_.memory_bytes_per_worker <= 0 ||
+                                peak <= topology_.memory_bytes_per_worker;
+
+  // Topology-weighted step times. Recursion-based plans already carry them (the search
+  // used them to pick the factor ordering); greedy baselines get them computed here from
+  // the same weighted costs.
+  if (plan.step_seconds.size() == plan.steps.size() && !plan.steps.empty()) {
+    response.step_seconds = plan.step_seconds;
+    response.estimated_comm_seconds = plan.estimated_comm_seconds;
+  } else {
+    double groups = 1.0;
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      const double weighted = i < plan.weighted_step_costs.size()
+                                  ? plan.weighted_step_costs[i]
+                                  : groups * plan.steps[i].comm_bytes;
+      // Same effective bandwidths the recursion-based algorithms searched under, so
+      // cross-algorithm time comparisons on one request are apples-to-apples.
+      const double seconds = weighted / LevelBandwidth(options.step_bandwidths,
+                                                       topology_.uniform_bandwidth, i);
+      response.step_seconds.push_back(seconds);
+      response.estimated_comm_seconds += seconds;
+      groups *= static_cast<double>(plan.steps[i].ways);
+    }
+  }
+  response.search_stats = plan.search_stats;
+  response.from_cache = false;
+
+  // Cache before the budget check: the search is the expensive part, and a request that
+  // fails its budget today may be retried with a bigger one (or more workers) tomorrow.
+  // Oldest-first eviction keeps a long-lived session bounded.
+  if (max_cached_plans_ > 0) {
+    while (plan_cache_.size() >= max_cached_plans_) {
+      plan_cache_.erase(cache_insertion_order_.front());
+      cache_insertion_order_.pop_front();
+    }
+    plan_cache_.emplace(key, response);
+    cache_insertion_order_.push_back(key);
+  }
+  TOFU_RETURN_IF_ERROR(BudgetCheck(response, request.memory_budget_bytes));
+  return response;
+}
+
+}  // namespace tofu

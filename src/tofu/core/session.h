@@ -1,0 +1,148 @@
+// The session-based partitioning API: the long-lived entry point a service embeds.
+//
+//   tofu::Session session(tofu::DeviceTopology::FromCluster(tofu::K80Cluster()));
+//   tofu::PartitionRequest request;
+//   request.graph = &model.graph;
+//   request.memory_budget_bytes = 12ll << 30;
+//   tofu::Result<tofu::PartitionResponse> response = session.Partition(request);
+//   if (!response.ok()) { /* recoverable: bad request, unknown op, budget too small */ }
+//   UsePlan(response->plan);
+//
+// Compared to the one-shot Partitioner facade this adds:
+//   * hardware in the request path -- a DeviceTopology carries the worker count and the
+//     per-level link bandwidths (intra-group p2p vs. cross-group host links), so the
+//     recursive search weighs each step's bytes by the link it crosses and the response
+//     reports estimated per-step times;
+//   * recoverable errors -- user mistakes (unknown operator, infeasible memory budget,
+//     bad worker count) come back as Status via Result, never a process abort;
+//   * a plan cache keyed by graph signature + request fingerprint with hit/miss
+//     counters, so a service seeing repeated traffic pays for each distinct search once;
+//   * serializable artifacts -- responses carry PartitionPlans that round-trip through
+//     JSON (partition/plan_io.h).
+//
+// Sessions are not thread-safe; give each serving thread its own (the plan cache is
+// per-session state).
+#ifndef TOFU_CORE_SESSION_H_
+#define TOFU_CORE_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tofu/partition/baselines.h"
+#include "tofu/partition/recursive.h"
+#include "tofu/sim/cost_model.h"
+#include "tofu/util/status.h"
+
+namespace tofu {
+
+// Named algorithm selector (Figure 10's comparison set plus classic data parallelism).
+enum class PartitionAlgorithm {
+  kTofu,          // recursive DP with output-reduction strategies
+  kIcml18,        // recursive DP without output-reduction
+  kEqualChop,     // single k-way DP step (one dimension per tensor)
+  kSpartan,       // largest-tensor-first greedy
+  kAllRowGreedy,  // everything split along dimension 0
+  kDataParallel,  // activations batch-split, model state replicated (all-reduce grads)
+};
+
+const char* AlgorithmName(PartitionAlgorithm algorithm);
+
+// Inverse of AlgorithmName (exact match, e.g. "Tofu", "ICML18", "AllRow-Greedy");
+// kInvalidArgument lists the known names for unknown input. Backs the --algo= flags of
+// the bench and example drivers.
+Result<PartitionAlgorithm> AlgorithmFromName(const std::string& name);
+
+// The hardware a session partitions for: how many workers, how fast the link each
+// recursive step's traffic crosses is, and (optionally) how much memory one worker has.
+// Step 0 is the coarsest split (the paper's k1), so its bytes cross the top-level --
+// usually slowest -- interconnect.
+struct DeviceTopology {
+  int num_workers = 1;
+  // Bandwidth (bytes/s) of the link crossed by recursive step i, coarse to fine; steps
+  // past the end reuse the last entry. Empty means uniform_bandwidth everywhere.
+  std::vector<double> level_bandwidths;
+  double uniform_bandwidth = 21e9;  // PCIe p2p on the paper's testbed
+  // Per-worker memory (bytes) for the advisory feasibility verdict; 0 = unknown.
+  std::int64_t memory_bytes_per_worker = 0;
+
+  // Bandwidth step i's traffic crosses. (Whether the bandwidths differ across steps --
+  // and hence whether the factor-ordering search engages -- is decided where it is
+  // used, in partition/recursive.cc.)
+  double BandwidthForStep(size_t step) const;
+  // Deterministic string form folded into the plan-cache key.
+  std::string Fingerprint() const;
+
+  // num_workers workers behind one uniform interconnect.
+  static DeviceTopology Uniform(int num_workers, double bandwidth = 21e9);
+  // Derived from the simulator's ClusterSpec: the coarsest split's traffic crosses the
+  // shared host link (cpu_bandwidth) between the two PCIe root complexes; every deeper
+  // split stays on intra-group p2p links. Worker memory comes from the GPU spec.
+  static DeviceTopology FromCluster(const ClusterSpec& cluster);
+};
+
+struct PartitionRequest {
+  const Graph* graph = nullptr;  // not owned; must outlive the Partition call
+  PartitionAlgorithm algorithm = PartitionAlgorithm::kTofu;
+  PartitionOptions options;  // step_bandwidths is filled from the session's topology
+  // Per-worker memory budget; > 0 makes an oversized plan fail with kResourceExhausted
+  // (the message reports the deficit). 0 disables the hard check -- the response still
+  // carries the advisory verdict against the topology's memory_bytes_per_worker.
+  std::int64_t memory_budget_bytes = 0;
+};
+
+struct PartitionResponse {
+  PartitionPlan plan;
+  // Per-worker residency upper bound: every tensor's shard resident at once (no buffer
+  // reuse or liveness credit). What the budget check and feasibility verdict use.
+  std::int64_t peak_shard_bytes = 0;
+  // Advisory verdict against topology.memory_bytes_per_worker (true when unknown).
+  bool fits_device_memory = true;
+  // Estimated per-step communication time (weighted step bytes / link bandwidth).
+  std::vector<double> step_seconds;
+  double estimated_comm_seconds = 0.0;
+  SearchStats search_stats;
+  // True when the plan came from the session's cache rather than a fresh search.
+  bool from_cache = false;
+};
+
+struct PlanCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+};
+
+class Session {
+ public:
+  // max_cached_plans bounds the plan cache (oldest-first eviction) so a long-lived
+  // serving session over a stream of distinct graphs cannot grow without limit; 0
+  // disables caching entirely.
+  explicit Session(DeviceTopology topology = {}, size_t max_cached_plans = 128)
+      : topology_(std::move(topology)), max_cached_plans_(max_cached_plans) {}
+
+  // Validates the request, serves it from the plan cache when an identical one was seen
+  // before, and otherwise runs the requested algorithm. Never aborts on user error:
+  //   * kInvalidArgument -- null graph, or a topology with < 1 worker;
+  //   * kNotFound        -- an operator in the graph has no TDL registry entry;
+  //   * kResourceExhausted -- memory_budget_bytes > 0 and the plan's per-worker shards
+  //                           exceed it (the message reports the deficit).
+  Result<PartitionResponse> Partition(const PartitionRequest& request);
+
+  const DeviceTopology& topology() const { return topology_; }
+  const PlanCacheStats& cache_stats() const { return cache_stats_; }
+  void ClearPlanCache();
+
+ private:
+  std::string CacheKey(const PartitionRequest& request) const;
+
+  DeviceTopology topology_;
+  size_t max_cached_plans_;
+  PlanCacheStats cache_stats_;
+  std::unordered_map<std::string, PartitionResponse> plan_cache_;
+  std::deque<std::string> cache_insertion_order_;  // eviction runs oldest-first
+};
+
+}  // namespace tofu
+
+#endif  // TOFU_CORE_SESSION_H_

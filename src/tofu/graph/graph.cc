@@ -122,4 +122,60 @@ std::vector<TensorId> Graph::ParamIds() const {
   return ids;
 }
 
+namespace {
+
+// FNV-1a, folded incrementally; 64-bit offset basis / prime.
+inline void HashMix(std::uint64_t* h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xFF;
+    *h *= 0x100000001b3ull;
+  }
+}
+
+inline void HashMixString(std::uint64_t* h, const std::string& s) {
+  HashMix(h, s.size());
+  for (char c : s) {
+    *h ^= static_cast<unsigned char>(c);
+    *h *= 0x100000001b3ull;
+  }
+}
+
+}  // namespace
+
+std::uint64_t GraphSignature(const Graph& graph) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  HashMix(&h, static_cast<std::uint64_t>(graph.num_tensors()));
+  HashMix(&h, static_cast<std::uint64_t>(graph.num_ops()));
+  for (const TensorNode& t : graph.tensors()) {
+    HashMix(&h, static_cast<std::uint64_t>(t.shape.size()));
+    for (std::int64_t d : t.shape) {
+      HashMix(&h, static_cast<std::uint64_t>(d));
+    }
+    HashMix(&h, static_cast<std::uint64_t>(t.elem_size));
+    HashMix(&h, static_cast<std::uint64_t>(t.producer));
+    HashMix(&h, static_cast<std::uint64_t>(t.grad_of));
+    HashMix(&h, static_cast<std::uint64_t>((t.is_input ? 1 : 0) | (t.is_param ? 2 : 0) |
+                                           (t.is_opt_state ? 4 : 0) |
+                                           (t.requires_grad ? 8 : 0)));
+    HashMixString(&h, t.unroll_key);
+    HashMix(&h, static_cast<std::uint64_t>(t.timestep));
+  }
+  for (const OpNode& op : graph.ops()) {
+    HashMixString(&h, op.type);
+    HashMixString(&h, op.attrs.Signature());
+    HashMix(&h, static_cast<std::uint64_t>(op.inputs.size()));
+    for (TensorId t : op.inputs) {
+      HashMix(&h, static_cast<std::uint64_t>(t));
+    }
+    HashMix(&h, static_cast<std::uint64_t>(op.output));
+    HashMix(&h, static_cast<std::uint64_t>(op.forward_op));
+    HashMix(&h, static_cast<std::uint64_t>((op.is_backward ? 1 : 0) | (op.is_update ? 2 : 0) |
+                                           (op.is_grad_agg ? 4 : 0)));
+    HashMix(&h, static_cast<std::uint64_t>(op.inplace_input));
+    HashMixString(&h, op.unroll_key);
+    HashMix(&h, static_cast<std::uint64_t>(op.timestep));
+  }
+  return h;
+}
+
 }  // namespace tofu

@@ -126,6 +126,12 @@ class Graph {
 // registry, gradient links well-formed. Aborts on violation (used by tests and builders).
 void ValidateGraph(const Graph& graph);
 
+// Structural fingerprint of the graph: tensor shapes and roles, op types, attributes and
+// connectivity, folded with FNV-1a. Deterministic across runs and processes (no pointer
+// or hash-table ordering leaks in), so it can key persistent caches -- the Session plan
+// cache of core/session.h keys on it together with the request fingerprint.
+std::uint64_t GraphSignature(const Graph& graph);
+
 }  // namespace tofu
 
 #endif  // TOFU_GRAPH_GRAPH_H_

@@ -27,6 +27,19 @@ struct CoarsenOptions {
   // configuration (Tofu lifts this; see §5.1 "allows tensors involved in the forward and
   // backward operators to be partitioned differently").
   bool tie_fw_bw_tensors = false;
+
+  // Deterministic serialization of every field, kept next to the struct so adding a
+  // field forces the question "does this belong in the Session plan-cache key?" to be
+  // answered here, not in core/session.cc.
+  std::string Fingerprint() const {
+    std::string out = "co=";
+    out += group_forward_backward ? '1' : '0';
+    out += coalesce_elementwise ? '1' : '0';
+    out += merge_unrolled_steps ? '1' : '0';
+    out += tie_fw_bw_tensors ? '1' : '0';
+    out += ';';
+    return out;
+  }
 };
 
 // Tensors constrained to share one storage cut. All members have identical shapes.

@@ -4,8 +4,18 @@
 
 #include "tofu/partition/search_engine.h"
 #include "tofu/util/logging.h"
+#include "tofu/util/strings.h"
 
 namespace tofu {
+
+std::string DpOptions::Fingerprint() const {
+  // num_threads is deliberately omitted: any thread count yields byte-identical plans
+  // (the field's contract above), so keying on it would only cause spurious cache
+  // misses for thread-tuned requests.
+  return StrFormat("dp=%d,%lld,%.17g;", allow_reduction_strategies ? 1 : 0,
+                   static_cast<long long>(max_states), link_bandwidth);
+}
+
 namespace {
 
 // Precompiled cost evaluator of one unit at this step: strategy applicability, tensor
@@ -262,6 +272,9 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
   BasicPlan plan;
   plan.ways = ctx->ways();
   plan.comm_bytes = search.best_cost;
+  if (options.link_bandwidth > 0.0) {
+    plan.comm_seconds = plan.comm_bytes / options.link_bandwidth;
+  }
   plan.tensor_cut.assign(static_cast<size_t>(graph.num_tensors()), kReplicated);
   for (TensorId t = 0; t < graph.num_tensors(); ++t) {
     plan.tensor_cut[static_cast<size_t>(t)] =

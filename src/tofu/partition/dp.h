@@ -16,6 +16,7 @@
 #define TOFU_PARTITION_DP_H_
 
 #include <cstdint>
+#include <string>
 
 #include "tofu/partition/coarsen.h"
 #include "tofu/partition/plan.h"
@@ -32,6 +33,16 @@ struct DpOptions {
   // Threads for state expansion (see SearchEngineOptions::num_threads). Off by default;
   // any value yields byte-identical plans.
   int num_threads = 1;
+  // Bandwidth (bytes/s) of the link this step's traffic crosses; > 0 makes RunStepDp
+  // fill BasicPlan::comm_seconds. Within one step every transfer crosses the same link,
+  // so the bandwidth scales all candidate costs equally and cannot change the argmin --
+  // the recursion (recursive.h) uses it to compare different step *orderings*, where
+  // the byte totals genuinely differ.
+  double link_bandwidth = 0.0;
+
+  // Deterministic serialization of every field for the Session plan-cache key; extend
+  // together with the struct (see CoarsenOptions::Fingerprint).
+  std::string Fingerprint() const;
 };
 
 struct DpResult {

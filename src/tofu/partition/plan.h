@@ -33,6 +33,9 @@ struct BasicPlan {
   std::vector<int> op_strategy;  // indexed by OpId
   // Communication bytes this step incurs *within one worker group* of the previous level.
   double comm_bytes = 0.0;
+  // comm_bytes over the bandwidth of the link this step crosses (DpOptions::
+  // link_bandwidth); 0 when the step was searched without a topology.
+  double comm_seconds = 0.0;
 };
 
 struct PartitionPlan {
@@ -44,6 +47,11 @@ struct PartitionPlan {
   double total_comm_bytes = 0.0;
   // Per-step weighted costs (#groups * step cost), for Theorem-2 monotonicity checks.
   std::vector<double> weighted_step_costs;
+  // Topology-weighted estimates: weighted_step_costs[i] divided by the bandwidth of the
+  // link step i crosses (PartitionOptions::step_bandwidths). Empty / 0 when the plan was
+  // searched without a topology.
+  std::vector<double> step_seconds;
+  double estimated_comm_seconds = 0.0;
   // Aggregate search effort across all steps (zero for greedy baselines that run no
   // DP); lets benchmarks and tests assert on how hard the search worked, not just on
   // what it found.

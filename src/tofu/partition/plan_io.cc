@@ -1,0 +1,261 @@
+#include "tofu/partition/plan_io.h"
+
+#include <cstring>
+
+#include "tofu/util/json.h"
+#include "tofu/util/strings.h"
+
+namespace tofu {
+namespace {
+
+void WriteIntArray(JsonWriter* w, const std::vector<int>& values) {
+  w->BeginArray();
+  for (int v : values) {
+    w->Int(v);
+  }
+  w->EndArray();
+}
+
+void WriteNumberArray(JsonWriter* w, const std::vector<double>& values) {
+  w->BeginArray();
+  for (double v : values) {
+    w->Number(v);
+  }
+  w->EndArray();
+}
+
+Result<std::vector<int>> ReadIntArray(const JsonValue& obj, const std::string& key) {
+  TOFU_ASSIGN_OR_RETURN(const JsonValue* arr, obj.ArrayAt(key));
+  std::vector<int> out;
+  out.reserve(arr->AsArray().size());
+  for (const JsonValue& v : arr->AsArray()) {
+    if (v.kind() != JsonValue::Kind::kNumber) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("plan field '%s': non-numeric element", key.c_str()));
+    }
+    const double n = v.AsNumber();
+    // Range check before the cast: casting an out-of-range double is UB.
+    if (!(n >= -2147483648.0 && n <= 2147483647.0) ||
+        static_cast<double>(static_cast<int>(n)) != n) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("plan field '%s': %g is not an int32", key.c_str(), n));
+    }
+    out.push_back(static_cast<int>(n));
+  }
+  return out;
+}
+
+Result<std::vector<double>> ReadNumberArray(const JsonValue& obj, const std::string& key) {
+  TOFU_ASSIGN_OR_RETURN(const JsonValue* arr, obj.ArrayAt(key));
+  std::vector<double> out;
+  out.reserve(arr->AsArray().size());
+  for (const JsonValue& v : arr->AsArray()) {
+    if (v.kind() != JsonValue::Kind::kNumber) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("plan field '%s': non-numeric element", key.c_str()));
+    }
+    out.push_back(v.AsNumber());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PlanToJson(const PartitionPlan& plan) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(kPlanJsonSchema);
+  w.Key("num_workers").Int(plan.num_workers);
+  w.Key("step_factors");
+  WriteIntArray(&w, plan.step_factors);
+  w.Key("total_comm_bytes").Number(plan.total_comm_bytes);
+  w.Key("weighted_step_costs");
+  WriteNumberArray(&w, plan.weighted_step_costs);
+  w.Key("step_seconds");
+  WriteNumberArray(&w, plan.step_seconds);
+  w.Key("estimated_comm_seconds").Number(plan.estimated_comm_seconds);
+  w.Key("search_stats").BeginObject();
+  w.Key("states_explored").Int(plan.search_stats.states_explored);
+  w.Key("max_frontier_states").Int(plan.search_stats.max_frontier_states);
+  w.Key("cost_table_entries").Int(plan.search_stats.cost_table_entries);
+  w.Key("wall_seconds").Number(plan.search_stats.wall_seconds);
+  w.Key("exact").Bool(plan.search_stats.exact);
+  w.EndObject();
+  w.Key("steps").BeginArray();
+  for (const BasicPlan& step : plan.steps) {
+    w.BeginObject();
+    w.Key("ways").Int(step.ways);
+    w.Key("comm_bytes").Number(step.comm_bytes);
+    w.Key("comm_seconds").Number(step.comm_seconds);
+    w.Key("tensor_cut");
+    WriteIntArray(&w, step.tensor_cut);
+    w.Key("op_strategy");
+    WriteIntArray(&w, step.op_strategy);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Result<PartitionPlan> PlanFromJson(const std::string& json) {
+  TOFU_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json));
+  if (!doc.is_object()) {
+    return Status(StatusCode::kInvalidArgument, "plan document is not a JSON object");
+  }
+  TOFU_ASSIGN_OR_RETURN(std::string schema, doc.StringAt("schema"));
+  if (schema != kPlanJsonSchema) {
+    return Status(StatusCode::kInvalidArgument,
+                  StrFormat("unknown plan schema '%s' (want %s)", schema.c_str(),
+                            kPlanJsonSchema));
+  }
+
+  PartitionPlan plan;
+  TOFU_ASSIGN_OR_RETURN(std::int64_t workers, doc.IntAt("num_workers"));
+  if (workers < 1 || workers > (1 << 30)) {
+    return Status(StatusCode::kInvalidArgument,
+                  StrFormat("num_workers %lld out of range", static_cast<long long>(workers)));
+  }
+  plan.num_workers = static_cast<int>(workers);
+  TOFU_ASSIGN_OR_RETURN(plan.step_factors, ReadIntArray(doc, "step_factors"));
+  TOFU_ASSIGN_OR_RETURN(plan.total_comm_bytes, doc.NumberAt("total_comm_bytes"));
+  TOFU_ASSIGN_OR_RETURN(plan.weighted_step_costs, ReadNumberArray(doc, "weighted_step_costs"));
+  TOFU_ASSIGN_OR_RETURN(plan.step_seconds, ReadNumberArray(doc, "step_seconds"));
+  TOFU_ASSIGN_OR_RETURN(plan.estimated_comm_seconds, doc.NumberAt("estimated_comm_seconds"));
+
+  TOFU_ASSIGN_OR_RETURN(const JsonValue* stats, doc.ObjectAt("search_stats"));
+  TOFU_ASSIGN_OR_RETURN(plan.search_stats.states_explored, stats->IntAt("states_explored"));
+  TOFU_ASSIGN_OR_RETURN(plan.search_stats.max_frontier_states,
+                        stats->IntAt("max_frontier_states"));
+  TOFU_ASSIGN_OR_RETURN(plan.search_stats.cost_table_entries,
+                        stats->IntAt("cost_table_entries"));
+  TOFU_ASSIGN_OR_RETURN(plan.search_stats.wall_seconds, stats->NumberAt("wall_seconds"));
+  TOFU_ASSIGN_OR_RETURN(plan.search_stats.exact, stats->BoolAt("exact"));
+
+  TOFU_ASSIGN_OR_RETURN(const JsonValue* steps, doc.ArrayAt("steps"));
+  for (const JsonValue& entry : steps->AsArray()) {
+    if (!entry.is_object()) {
+      return Status(StatusCode::kInvalidArgument, "plan step is not a JSON object");
+    }
+    BasicPlan step;
+    TOFU_ASSIGN_OR_RETURN(std::int64_t ways, entry.IntAt("ways"));
+    if (ways < 2 || ways > (1 << 30)) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("step ways %lld out of range", static_cast<long long>(ways)));
+    }
+    step.ways = static_cast<int>(ways);
+    TOFU_ASSIGN_OR_RETURN(step.comm_bytes, entry.NumberAt("comm_bytes"));
+    TOFU_ASSIGN_OR_RETURN(step.comm_seconds, entry.NumberAt("comm_seconds"));
+    TOFU_ASSIGN_OR_RETURN(step.tensor_cut, ReadIntArray(entry, "tensor_cut"));
+    TOFU_ASSIGN_OR_RETURN(step.op_strategy, ReadIntArray(entry, "op_strategy"));
+    plan.steps.push_back(std::move(step));
+  }
+
+  if (plan.steps.size() != plan.step_factors.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  StrFormat("plan has %zu steps but %zu step_factors", plan.steps.size(),
+                            plan.step_factors.size()));
+  }
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    if (plan.steps[i].ways != plan.step_factors[i]) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("step %zu: ways %d != step_factors[%zu] %d", i,
+                              plan.steps[i].ways, i, plan.step_factors[i]));
+    }
+  }
+  if (plan.weighted_step_costs.size() != plan.steps.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  StrFormat("plan has %zu steps but %zu weighted_step_costs",
+                            plan.steps.size(), plan.weighted_step_costs.size()));
+  }
+  if (!plan.step_seconds.empty() && plan.step_seconds.size() != plan.steps.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  StrFormat("plan has %zu steps but %zu step_seconds", plan.steps.size(),
+                            plan.step_seconds.size()));
+  }
+  return plan;
+}
+
+Status ValidatePlanForGraph(const Graph& graph, const PartitionPlan& plan) {
+  if (plan.num_workers < 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  StrFormat("plan num_workers %d < 1", plan.num_workers));
+  }
+  if (plan.steps.size() != plan.step_factors.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  StrFormat("plan has %zu steps but %zu step_factors", plan.steps.size(),
+                            plan.step_factors.size()));
+  }
+  std::int64_t product = 1;
+  for (size_t i = 0; i < plan.step_factors.size(); ++i) {
+    if (plan.step_factors[i] < 2) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("step_factors[%zu] = %d < 2", i, plan.step_factors[i]));
+    }
+    product *= plan.step_factors[i];
+    // Early exit keeps the accumulation far from int64 overflow (factors are bounded by
+    // PlanFromJson at 2^30, so one multiply past this cap is still safe).
+    if (product > (std::int64_t{1} << 30)) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("step factors multiply past 2^30 by step %zu", i));
+    }
+  }
+  // A plan with no steps is only the trivial single-worker plan; anything claiming more
+  // workers must factorize them (a truncated file must not replay as "replicate all").
+  if (product != plan.num_workers && !(plan.steps.empty() && plan.num_workers == 1)) {
+    return Status(StatusCode::kInvalidArgument,
+                  StrFormat("step factors multiply to %lld, not num_workers %d",
+                            static_cast<long long>(product), plan.num_workers));
+  }
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const BasicPlan& step = plan.steps[i];
+    if (step.tensor_cut.size() != static_cast<size_t>(graph.num_tensors())) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("step %zu: tensor_cut has %zu entries for a graph with %d "
+                              "tensors",
+                              i, step.tensor_cut.size(), graph.num_tensors()));
+    }
+    if (step.op_strategy.size() != static_cast<size_t>(graph.num_ops())) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("step %zu: op_strategy has %zu entries for a graph with %d "
+                              "ops",
+                              i, step.op_strategy.size(), graph.num_ops()));
+    }
+    for (TensorId t = 0; t < graph.num_tensors(); ++t) {
+      const int cut = step.tensor_cut[static_cast<size_t>(t)];
+      if (cut == kReplicated) {
+        continue;
+      }
+      if (cut < 0 || cut >= graph.tensor(t).rank()) {
+        return Status(StatusCode::kInvalidArgument,
+                      StrFormat("step %zu: tensor %d ('%s', rank %d) cut along invalid "
+                                "dimension %d",
+                                i, t, graph.tensor(t).name.c_str(), graph.tensor(t).rank(),
+                                cut));
+      }
+    }
+    for (OpId o = 0; o < graph.num_ops(); ++o) {
+      const int sidx = step.op_strategy[static_cast<size_t>(o)];
+      if (sidx == kReplicatedExec) {
+        continue;
+      }
+      const OpNode& op = graph.op(o);
+      if (!OpRegistry::Get().Has(op.type)) {
+        return Status(StatusCode::kNotFound,
+                      StrFormat("step %zu: op %d type '%s' has no TDL registry entry", i,
+                                o, op.type.c_str()));
+      }
+      // Bound by the op's discovered strategy list: everything downstream indexes it.
+      const int num_strategies = static_cast<int>(graph.SemanticsOf(op).strategies.size());
+      if (sidx < 0 || sidx >= num_strategies) {
+        return Status(StatusCode::kInvalidArgument,
+                      StrFormat("step %zu: op %d ('%s') strategy index %d outside its %d "
+                                "discovered strategies",
+                                i, o, op.type.c_str(), sidx, num_strategies));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tofu

@@ -1,0 +1,43 @@
+// Serializable partition plans: a JSON round-trip so plans can be saved, cached on disk,
+// shipped to another process, and replayed through the simulator (RunPlanThroughput)
+// without re-running the search.
+//
+//   WriteTextFile("plan.json", PlanToJson(plan));
+//   ...
+//   TOFU_ASSIGN_OR_RETURN(std::string text, ReadTextFile("plan.json"));
+//   TOFU_ASSIGN_OR_RETURN(PartitionPlan loaded, PlanFromJson(text));
+//   TOFU_RETURN_IF_ERROR(ValidatePlanForGraph(graph, loaded));
+//
+// Numbers are written with %.17g, so every double (comm bytes, step costs) reloads
+// bit-identically -- a saved plan replays with exactly the original totals. The schema is
+// documented in docs/api.md ("tofu.plan.v1").
+#ifndef TOFU_PARTITION_PLAN_IO_H_
+#define TOFU_PARTITION_PLAN_IO_H_
+
+#include <string>
+
+#include "tofu/graph/graph.h"
+#include "tofu/partition/plan.h"
+#include "tofu/util/status.h"
+
+namespace tofu {
+
+// Current schema tag; bump when the plan format changes shape.
+inline constexpr const char* kPlanJsonSchema = "tofu.plan.v1";
+
+// Serializes every PartitionPlan field (steps with per-tensor cuts and per-op
+// strategies, costs, topology estimates, search stats).
+std::string PlanToJson(const PartitionPlan& plan);
+
+// Parses a plan serialized by PlanToJson. Returns kInvalidArgument on malformed JSON,
+// an unknown schema tag, or inconsistent step arrays.
+Result<PartitionPlan> PlanFromJson(const std::string& json);
+
+// Checks a (possibly reloaded) plan against a concrete graph: array sizes match the
+// graph, every cut names a real dimension of its tensor, every step factor is sane.
+// Returns kInvalidArgument describing the first violation.
+Status ValidatePlanForGraph(const Graph& graph, const PartitionPlan& plan);
+
+}  // namespace tofu
+
+#endif  // TOFU_PARTITION_PLAN_IO_H_

@@ -1,35 +1,135 @@
 #include "tofu/partition/recursive.h"
 
+#include <algorithm>
+
 #include "tofu/util/logging.h"
+#include "tofu/util/strings.h"
 
 namespace tofu {
 
-PartitionPlan RecursivePartition(const Graph& graph, int num_workers,
-                                 const PartitionOptions& options) {
+std::string PartitionOptions::Fingerprint() const {
+  std::string out = coarsen.Fingerprint() + dp.Fingerprint() + "bw=";
+  for (double b : step_bandwidths) {
+    out += StrFormat("%.17g,", b);
+  }
+  out += ';';
+  return out;
+}
+
+namespace {
+
+// Runs the per-step DP loop for one ordering of the step factors. Coarsening is
+// structural and shared by all steps (and all candidate orderings); shapes change per
+// step.
+PartitionPlan RunSteps(const Graph& graph, int num_workers, const CoarseGraph& coarse,
+                       const PartitionOptions& options, const std::vector<int>& factors) {
   PartitionPlan plan;
   plan.num_workers = num_workers;
-  if (num_workers <= 1) {
-    return plan;
-  }
-  plan.step_factors = FactorizeWorkers(num_workers);
-
-  // Coarsening is structural and shared by all steps; shapes change per step.
-  const CoarseGraph coarse = Coarsen(graph, options.coarsen);
+  plan.step_factors = factors;
   std::vector<Shape> shapes = StepContext::InitialShapes(graph);
 
+  bool any_bandwidth = false;
   double groups = 1.0;
-  for (int factor : plan.step_factors) {
-    StepContext ctx(graph, shapes, factor);
-    DpResult dp = RunStepDp(&ctx, coarse, options.dp);
+  for (size_t i = 0; i < factors.size(); ++i) {
+    StepContext ctx(graph, shapes, factors[i]);
+    DpOptions dp_options = options.dp;
+    // Per-step bandwidths take precedence; a caller-set flat dp.link_bandwidth (the
+    // dp.h contract) survives when no step_bandwidths were provided.
+    const double step_bw = StepBandwidth(options, i);
+    if (step_bw > 0.0) {
+      dp_options.link_bandwidth = step_bw;
+    }
+    DpResult dp = RunStepDp(&ctx, coarse, dp_options);
     plan.search_stats.Merge(dp.stats);
     const double weighted = groups * dp.plan.comm_bytes;
     plan.weighted_step_costs.push_back(weighted);
     plan.total_comm_bytes += weighted;
+    // step_seconds stays parallel to steps: a step without a usable bandwidth records
+    // 0; the whole vector is dropped below when no step had one.
+    const double seconds =
+        dp_options.link_bandwidth > 0.0 ? weighted / dp_options.link_bandwidth : 0.0;
+    any_bandwidth = any_bandwidth || dp_options.link_bandwidth > 0.0;
+    plan.step_seconds.push_back(seconds);
+    plan.estimated_comm_seconds += seconds;
     shapes = StepContext::ApplyBasicPlan(graph, shapes, dp.plan);
     plan.steps.push_back(std::move(dp.plan));
-    groups *= static_cast<double>(factor);
+    groups *= static_cast<double>(factors[i]);
+  }
+  if (!any_bandwidth) {
+    plan.step_seconds.clear();  // topology-agnostic search: no estimates at all
   }
   return plan;
+}
+
+// True when the steps would see at least two different bandwidths, i.e. ordering the
+// factors differently can change the estimated time. All-equal (or absent) bandwidths
+// scale every candidate identically, so the canonical order stays optimal.
+bool BandwidthsDiffer(const PartitionOptions& options, size_t num_steps) {
+  if (options.step_bandwidths.empty() || num_steps < 2) {
+    return false;
+  }
+  const double first = StepBandwidth(options, 0);
+  for (size_t i = 1; i < num_steps; ++i) {
+    if (StepBandwidth(options, i) != first) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double LevelBandwidth(const std::vector<double>& levels, double fallback, size_t step) {
+  if (levels.empty()) {
+    return fallback;
+  }
+  return levels[std::min(step, levels.size() - 1)];
+}
+
+double StepBandwidth(const PartitionOptions& options, size_t step) {
+  return LevelBandwidth(options.step_bandwidths, 0.0, step);
+}
+
+PartitionPlan RecursivePartition(const Graph& graph, int num_workers,
+                                 const PartitionOptions& options) {
+  if (num_workers <= 1) {
+    PartitionPlan plan;
+    plan.num_workers = num_workers;
+    return plan;
+  }
+
+  const CoarseGraph coarse = Coarsen(graph, options.coarsen);
+  const std::vector<int> canonical = FactorizeWorkers(num_workers);
+  PartitionPlan best = RunSteps(graph, num_workers, coarse, options, canonical);
+  if (!BandwidthsDiffer(options, canonical.size())) {
+    return best;
+  }
+
+  // Non-uniform topology: the factor ordering matters, because the coarsest step's bytes
+  // cross the slowest link and each step's byte total depends on the shapes the earlier
+  // steps left behind. Enumerate the distinct permutations of the factor multiset
+  // (ascending start -> lexicographic next_permutation covers each exactly once) and keep
+  // the lowest estimated time; ties keep the canonical non-increasing order. The
+  // permutation count is tiny for realistic worker counts (<= 6 below 64 workers), but a
+  // cap bounds adversarial inputs.
+  constexpr int kMaxOrderings = 24;
+  std::vector<int> ordering = canonical;
+  std::sort(ordering.begin(), ordering.end());
+  int tried = 0;
+  do {
+    if (ordering == canonical) {
+      continue;  // already evaluated
+    }
+    PartitionPlan candidate = RunSteps(graph, num_workers, coarse, options, ordering);
+    best.search_stats.Merge(candidate.search_stats);
+    if (candidate.estimated_comm_seconds < best.estimated_comm_seconds) {
+      const SearchStats merged = best.search_stats;
+      best = std::move(candidate);
+      best.search_stats = merged;
+    }
+    ++tried;
+  } while (std::next_permutation(ordering.begin(), ordering.end()) && tried < kMaxOrderings);
+  return best;
 }
 
 }  // namespace tofu

@@ -23,7 +23,28 @@ namespace tofu {
 struct PartitionOptions {
   CoarsenOptions coarsen;
   DpOptions dp;
+  // Bandwidth (bytes/s) of the link recursive step i crosses, coarse to fine; steps past
+  // the end reuse the last entry. Empty keeps the search topology-agnostic (pure bytes,
+  // today's behaviour, bit-identical plans). When the bandwidths actually differ across
+  // steps, RecursivePartition additionally searches over distinct orderings of the step
+  // factors and keeps the one with the lowest estimated communication time -- putting
+  // the cheap-to-communicate split on the slow cross-group link (see core/session.h's
+  // DeviceTopology, which fills this from intra-group p2p vs. cross-group host links).
+  std::vector<double> step_bandwidths;
+
+  // Deterministic serialization of every field (composing the nested fingerprints) for
+  // the Session plan-cache key; extend together with the struct.
+  std::string Fingerprint() const;
 };
+
+// The shared per-level lookup rule: step i takes levels[i], steps past the end reuse the
+// last entry, and an empty list falls back to `fallback`. Used both for the search's
+// step weighting here and for DeviceTopology::BandwidthForStep in core/session.cc --
+// one definition so the two can never disagree.
+double LevelBandwidth(const std::vector<double>& levels, double fallback, size_t step);
+
+// Bandwidth step i sees under `options` (0 when step_bandwidths is empty).
+double StepBandwidth(const PartitionOptions& options, size_t step);
 
 // Partitions `graph` across `num_workers` workers; num_workers == 1 returns the trivial
 // plan. The same entry point with dp.allow_reduction_strategies=false reproduces the

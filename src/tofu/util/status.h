@@ -43,7 +43,7 @@ class Status {
 };
 
 // Value-or-error carrier. `value()` checks ok() and aborts on error; callers that can
-// recover should test ok() first.
+// recover should test ok() first (or use value_or / TOFU_ASSIGN_OR_RETURN).
 template <typename T>
 class Result {
  public:
@@ -68,10 +68,52 @@ class Result {
     return std::move(*value_);
   }
 
+  // Returns the value, or `fallback` converted to T on error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+  template <typename U>
+  T value_or(U&& fallback) && {
+    return ok() ? std::move(*value_) : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  // Pointer-style access with the same abort-on-error contract as value().
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
  private:
   Status status_;
   std::optional<T> value_;
 };
+
+// TOFU_ASSIGN_OR_RETURN(lhs, expr): evaluates `expr` (a Result<T>), returns its Status
+// from the enclosing function on error, and otherwise move-assigns the value into `lhs`
+// (which may be a declaration, e.g. `TOFU_ASSIGN_OR_RETURN(auto plan, PlanFromJson(s))`).
+// The temporary is moved from, so T only needs to be movable.
+#define TOFU_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define TOFU_STATUS_MACROS_CONCAT_(x, y) TOFU_STATUS_MACROS_CONCAT_INNER_(x, y)
+#define TOFU_ASSIGN_OR_RETURN(lhs, expr) \
+  TOFU_ASSIGN_OR_RETURN_IMPL_(TOFU_STATUS_MACROS_CONCAT_(tofu_result_, __COUNTER__), lhs, expr)
+#define TOFU_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+// TOFU_RETURN_IF_ERROR(expr): returns the Status from the enclosing function when the
+// Status-valued `expr` is not OK.
+#define TOFU_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::tofu::Status tofu_status_ = (expr);       \
+    if (!tofu_status_.ok()) {                   \
+      return tofu_status_;                      \
+    }                                           \
+  } while (false)
 
 }  // namespace tofu
 

@@ -1,0 +1,143 @@
+// Plan serialization tests: every PartitionPlan field survives the JSON round trip, a
+// reloaded plan replays through the simulator with identical totals, malformed or
+// mismatched documents are rejected with recoverable Statuses, and ValidatePlanForGraph
+// rejects plans that do not fit the graph they are applied to.
+#include <gtest/gtest.h>
+
+#include "tofu/core/session.h"
+#include "tofu/models/mlp.h"
+#include "tofu/partition/plan_io.h"
+#include "tofu/sim/runtimes.h"
+
+namespace tofu {
+namespace {
+
+ModelGraph SmallModel() {
+  MlpConfig config;
+  config.layer_sizes = {256, 256, 64};
+  config.batch = 32;
+  return BuildMlp(config);
+}
+
+PartitionPlan PlanFor(const ModelGraph& model, int workers) {
+  Session session(DeviceTopology::FromCluster(K80Cluster()));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> response = session.Partition(request);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->plan.num_workers, workers);
+  return response->plan;
+}
+
+TEST(PlanJson, RoundTripsEveryField) {
+  ModelGraph model = SmallModel();
+  PartitionPlan plan = PlanFor(model, 8);
+  plan.search_stats.wall_seconds = 0.015625;  // representable, so EQ is exact
+
+  Result<PartitionPlan> reloaded = PlanFromJson(PlanToJson(plan));
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  EXPECT_EQ(reloaded->num_workers, plan.num_workers);
+  EXPECT_EQ(reloaded->step_factors, plan.step_factors);
+  EXPECT_EQ(reloaded->total_comm_bytes, plan.total_comm_bytes);
+  EXPECT_EQ(reloaded->weighted_step_costs, plan.weighted_step_costs);
+  EXPECT_EQ(reloaded->step_seconds, plan.step_seconds);
+  EXPECT_EQ(reloaded->estimated_comm_seconds, plan.estimated_comm_seconds);
+  EXPECT_EQ(reloaded->search_stats.states_explored, plan.search_stats.states_explored);
+  EXPECT_EQ(reloaded->search_stats.max_frontier_states,
+            plan.search_stats.max_frontier_states);
+  EXPECT_EQ(reloaded->search_stats.cost_table_entries,
+            plan.search_stats.cost_table_entries);
+  EXPECT_EQ(reloaded->search_stats.wall_seconds, plan.search_stats.wall_seconds);
+  EXPECT_EQ(reloaded->search_stats.exact, plan.search_stats.exact);
+  ASSERT_EQ(reloaded->steps.size(), plan.steps.size());
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    EXPECT_EQ(reloaded->steps[i].ways, plan.steps[i].ways);
+    EXPECT_EQ(reloaded->steps[i].comm_bytes, plan.steps[i].comm_bytes);
+    EXPECT_EQ(reloaded->steps[i].comm_seconds, plan.steps[i].comm_seconds);
+    EXPECT_EQ(reloaded->steps[i].tensor_cut, plan.steps[i].tensor_cut);
+    EXPECT_EQ(reloaded->steps[i].op_strategy, plan.steps[i].op_strategy);
+  }
+  // The serialized forms agree byte-for-byte, so plans can be compared as strings.
+  EXPECT_EQ(PlanToJson(*reloaded), PlanToJson(plan));
+}
+
+TEST(PlanJson, ReloadedPlanReplaysIdentically) {
+  ModelGraph model = SmallModel();
+  PartitionPlan plan = PlanFor(model, 8);
+  Result<PartitionPlan> reloaded = PlanFromJson(PlanToJson(plan));
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_TRUE(ValidatePlanForGraph(model.graph, *reloaded).ok());
+
+  const ClusterSpec cluster = K80Cluster();
+  ThroughputResult original = RunPlanThroughput(model, plan, cluster);
+  ThroughputResult replay = RunPlanThroughput(model, *reloaded, cluster);
+  EXPECT_EQ(reloaded->total_comm_bytes, plan.total_comm_bytes);
+  EXPECT_EQ(replay.iter_seconds, original.iter_seconds);
+  EXPECT_EQ(replay.samples_per_second, original.samples_per_second);
+  EXPECT_EQ(replay.peak_bytes, original.peak_bytes);
+}
+
+TEST(PlanJson, RejectsMalformedDocuments) {
+  // Not JSON at all.
+  EXPECT_EQ(PlanFromJson("not json").status().code(), StatusCode::kInvalidArgument);
+  // Valid JSON, wrong shape.
+  EXPECT_FALSE(PlanFromJson("[1, 2, 3]").ok());
+  EXPECT_FALSE(PlanFromJson("{}").ok());
+  // Wrong schema tag.
+  EXPECT_FALSE(PlanFromJson(R"({"schema": "tofu.plan.v999"})").ok());
+}
+
+TEST(PlanJson, RejectsInconsistentSteps) {
+  ModelGraph model = SmallModel();
+  PartitionPlan plan = PlanFor(model, 8);
+
+  PartitionPlan dropped = plan;
+  dropped.steps.pop_back();  // steps vs step_factors mismatch
+  EXPECT_FALSE(PlanFromJson(PlanToJson(dropped)).ok());
+
+  PartitionPlan skewed = plan;
+  skewed.steps[0].ways = 3;  // ways vs step_factors mismatch
+  EXPECT_FALSE(PlanFromJson(PlanToJson(skewed)).ok());
+}
+
+TEST(PlanValidate, RejectsPlansForOtherGraphs) {
+  ModelGraph model = SmallModel();
+  PartitionPlan plan = PlanFor(model, 8);
+  EXPECT_TRUE(ValidatePlanForGraph(model.graph, plan).ok());
+
+  // A different graph: tensor/op counts no longer line up.
+  MlpConfig other_config;
+  other_config.layer_sizes = {128, 64};
+  other_config.batch = 16;
+  ModelGraph other = BuildMlp(other_config);
+  EXPECT_EQ(ValidatePlanForGraph(other.graph, plan).code(),
+            StatusCode::kInvalidArgument);
+
+  // A cut along a dimension the tensor does not have.
+  PartitionPlan corrupt = plan;
+  corrupt.steps[0].tensor_cut[0] = 99;
+  EXPECT_EQ(ValidatePlanForGraph(model.graph, corrupt).code(),
+            StatusCode::kInvalidArgument);
+
+  // A strategy index past the op's discovered strategy list (would index out of bounds
+  // when lowering).
+  PartitionPlan bad_strategy = plan;
+  bad_strategy.steps[0].op_strategy[0] = 999;
+  EXPECT_EQ(ValidatePlanForGraph(model.graph, bad_strategy).code(),
+            StatusCode::kInvalidArgument);
+
+  // Step factors that do not multiply to the worker count.
+  PartitionPlan wrong_product = plan;
+  wrong_product.num_workers = 16;
+  EXPECT_FALSE(ValidatePlanForGraph(model.graph, wrong_product).ok());
+
+  // Crafted factor lists whose product would overflow are rejected early (no UB).
+  PartitionPlan huge = plan;
+  huge.step_factors.assign(4, 1 << 30);
+  EXPECT_EQ(ValidatePlanForGraph(model.graph, huge).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tofu

@@ -1,5 +1,8 @@
-// Unit tests for the utility layer: strings, status, logging severities.
+// Unit tests for the utility layer: strings, status/result ergonomics, logging
+// severities.
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "tofu/util/logging.h"
 #include "tofu/util/status.h"
@@ -63,6 +66,51 @@ TEST(Result, HoldsValue) {
   Result<int> r(42);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, ValueOrFallsBackOnError) {
+  Result<int> ok(42);
+  Result<int> err(Status(StatusCode::kNotFound, "missing"));
+  EXPECT_EQ(ok.value_or(7), 42);
+  EXPECT_EQ(err.value_or(7), 7);
+  Result<std::string> moved(std::string("hello"));
+  EXPECT_EQ(std::move(moved).value_or("bye"), "hello");
+}
+
+TEST(Result, PointerStyleAccess) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(*r, "abc");
+  EXPECT_EQ(r->size(), 3u);
+  *r += "d";
+  EXPECT_EQ(*r, "abcd");
+}
+
+namespace assign_or_return {
+
+Result<std::unique_ptr<int>> MakeBox(bool ok) {
+  if (!ok) {
+    return Status(StatusCode::kUnsupported, "no box");
+  }
+  return std::make_unique<int>(5);
+}
+
+// TOFU_ASSIGN_OR_RETURN must move the value out (unique_ptr is move-only) and propagate
+// the error status otherwise.
+Result<int> Unbox(bool ok) {
+  TOFU_ASSIGN_OR_RETURN(std::unique_ptr<int> box, MakeBox(ok));
+  TOFU_RETURN_IF_ERROR(Status::Ok());
+  return *box;
+}
+
+}  // namespace assign_or_return
+
+TEST(Result, AssignOrReturnMovesValueAndPropagatesError) {
+  Result<int> ok = assign_or_return::Unbox(true);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  Result<int> err = assign_or_return::Unbox(false);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kUnsupported);
 }
 
 TEST(Result, HoldsError) {

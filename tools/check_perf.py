@@ -13,7 +13,11 @@ Fails (exit 1) when:
     cost_table_entries) drifted -- these are deterministic, so any change means the
     search semantics changed without re-recording the baseline;
   * the plan's communication bytes changed at all (same reasoning);
-  * an exact search became beam-degraded.
+  * an exact search became beam-degraded;
+  * the Session plan cache did not hit on a repeated identical request, or the cached
+    plan was not byte-identical to a fresh session's plan (the serving-path contract of
+    core/session.h -- fields session_cache_hit / cached_plan_identical in the bench
+    JSON; their absence also fails, so the gate cannot be disabled by dropping them).
 """
 import argparse
 import json
@@ -39,9 +43,19 @@ def main() -> int:
         print(f"FAIL  {missing}: in baseline but absent from current results")
         failed = True
     for row in current["results"]:
+        # The serving-path flags gate every current row, baseline entry or not --
+        # dropping or renaming a model must not disable them.
+        for flag in ("session_cache_hit", "cached_plan_identical"):
+            if row.get(flag) is not True:
+                print(
+                    f"FAIL  {row['model']}: {flag} is {row.get(flag)!r} (repeated "
+                    "requests must be served from the plan cache with a byte-identical "
+                    "plan)"
+                )
+                failed = True
         base = base_by_model.get(row["model"])
         if base is None:
-            print(f"NOTE  {row['model']}: not in baseline, skipping")
+            print(f"NOTE  {row['model']}: not in baseline, skipping timing gates")
             continue
         slowdown = row["recursive_seconds"] / max(base["recursive_seconds"], 1e-12)
         status = "ok"
