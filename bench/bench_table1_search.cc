@@ -12,11 +12,16 @@
 //   ./bench_table1_search                  # human-readable table
 //   ./bench_table1_search --json out.json  # also emit machine-readable results
 //                                          # (tools/check_perf.py gates CI on them)
+//   ./bench_table1_search --memory-budget auto         # comm/memory frontier sweep
+//   ./bench_table1_search --memory-budget 8589934592   # one budget (bytes, comma-list ok)
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "tofu/core/session.h"
 #include "tofu/models/rnn.h"
@@ -31,6 +36,70 @@ namespace tofu {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// FNV-1a over the normalized plan JSON (search wall time zeroed, the one
+// nondeterministic field): a machine-independent fingerprint of WHAT the search found.
+// tools/check_perf.py compares it against bench/baseline_table1.json, so any drift of
+// the unconstrained plan -- not just its comm total -- fails the perf gate.
+std::string PlanDigest(PartitionPlan plan) {
+  plan.search_stats.wall_seconds = 0.0;
+  const std::string normalized = PlanToJson(plan);
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : normalized) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return StrFormat("%016llx", static_cast<unsigned long long>(h));
+}
+
+// The comm-time/memory frontier: the same model partitioned under a descending ladder
+// of per-worker budgets. Tightening the budget can only raise communication (the search
+// gives up cheap-but-heavy placements), until no configuration fits at all.
+void RunBudgetSweep(const std::string& name, const ModelGraph& model,
+                    const std::vector<std::int64_t>& budgets) {
+  Session session(DeviceTopology::Uniform(8));
+  std::printf("--- %s: comm-time/memory frontier (8 workers) ---\n", name.c_str());
+  std::printf("  %14s %14s %16s %12s %10s\n", "budget/worker", "peak/worker",
+              "comm bytes/iter", "comm time", "pruned");
+  for (std::int64_t budget : budgets) {
+    PartitionRequest request;
+    request.graph = &model.graph;
+    request.memory_budget_bytes = budget;
+    Result<PartitionResponse> response = session.Partition(request);
+    if (!response.ok()) {
+      std::printf("  %14s %s\n",
+                  budget > 0 ? HumanBytes(static_cast<double>(budget)).c_str() : "none",
+                  response.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %14s %14s %16s %12s %10lld\n",
+                budget > 0 ? HumanBytes(static_cast<double>(budget)).c_str() : "none",
+                HumanBytes(static_cast<double>(response->peak_shard_bytes)).c_str(),
+                HumanBytes(response->plan.total_comm_bytes).c_str(),
+                HumanSeconds(response->estimated_comm_seconds).c_str(),
+                static_cast<long long>(
+                    response->plan.search_stats.memory_pruned_states));
+  }
+  std::printf("\n");
+}
+
+// "auto" derives a ladder from the unconstrained footprint: the all-resident sum down
+// to fractions of it, ending in one that cannot fit (the error row of the frontier).
+std::vector<std::int64_t> AutoBudgets(const ModelGraph& model) {
+  Session session(DeviceTopology::Uniform(8));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> response = session.Partition(request);
+  std::vector<std::int64_t> budgets = {0};
+  if (!response.ok()) {
+    return budgets;
+  }
+  for (double fraction : {1.0, 0.75, 0.5, 0.25, 0.05}) {
+    budgets.push_back(static_cast<std::int64_t>(
+        static_cast<double>(response->all_resident_bytes) * fraction));
+  }
+  return budgets;
+}
 
 void Run(const std::string& name, ModelGraph model, JsonWriter* json) {
   std::printf("--- %s (%d ops, %d tensors) ---\n", name.c_str(), model.graph.num_ops(),
@@ -110,6 +179,7 @@ void Run(const std::string& name, ModelGraph model, JsonWriter* json) {
     json->Key("flat_configs_total").Number(flat.configs_total);
     json->Key("session_cache_hit").Bool(cache_hit);
     json->Key("cached_plan_identical").Bool(identical);
+    json->Key("plan_digest").String(PlanDigest(plan));
     json->EndObject();
   }
 }
@@ -119,9 +189,19 @@ void Run(const std::string& name, ModelGraph model, JsonWriter* json) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string budget_spec;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0 && i + 1 < argc) {
+      budget_spec = argv[++i];  // "auto" or comma-separated per-worker byte counts
+    }
+  }
+  std::vector<std::int64_t> budgets;
+  const bool sweep_auto = budget_spec == "auto";
+  if (!budget_spec.empty() && !sweep_auto) {
+    for (const std::string& token : tofu::Split(budget_spec, ',')) {
+      budgets.push_back(std::strtoll(token.c_str(), nullptr, 10));
     }
   }
 
@@ -142,6 +222,11 @@ int main(int argc, char** argv) {
     config.width = 10;
     config.batch = 8;
     tofu::Run("WResNet-152-10", tofu::BuildWResNet(config), json_ptr);
+    if (sweep_auto || !budgets.empty()) {
+      tofu::ModelGraph model = tofu::BuildWResNet(config);
+      tofu::RunBudgetSweep("WResNet-152-10", model,
+                           sweep_auto ? tofu::AutoBudgets(model) : budgets);
+    }
   }
   {
     tofu::RnnConfig config;
@@ -149,6 +234,11 @@ int main(int argc, char** argv) {
     config.hidden = 8192;
     config.batch = 128;
     tofu::Run("RNN-10-8K", tofu::BuildRnn(config), json_ptr);
+    if (sweep_auto || !budgets.empty()) {
+      tofu::ModelGraph model = tofu::BuildRnn(config);
+      tofu::RunBudgetSweep("RNN-10-8K", model,
+                           sweep_auto ? tofu::AutoBudgets(model) : budgets);
+    }
   }
 
   json.EndArray();

@@ -7,7 +7,11 @@
 //   ./bench_transformer --smoke          # one small configuration (CI)
 //   ./bench_transformer --json out.json  # also emit machine-readable results
 //   ./bench_transformer --algo=Tofu      # restrict to one algorithm
+//   ./bench_transformer --memory-budget auto          # comm/memory frontier per config
+//   ./bench_transformer --memory-budget 1073741824    # explicit bytes (comma-list ok)
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -25,6 +29,48 @@ using namespace tofu;
 std::vector<PartitionAlgorithm> g_algorithms = {PartitionAlgorithm::kDataParallel,
                                                 PartitionAlgorithm::kEqualChop,
                                                 PartitionAlgorithm::kTofu};
+std::string g_budget_spec;  // empty = no frontier sweep; "auto" or comma byte counts
+
+// The comm-time/memory frontier for one configuration: Tofu's plan under a descending
+// budget ladder. Tighter budgets trade communication for residency until nothing fits.
+void RunBudgetSweep(const ModelGraph& model, const ClusterSpec& cluster) {
+  Session session(DeviceTopology::FromCluster(cluster));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  std::vector<std::int64_t> budgets;
+  if (g_budget_spec == "auto") {
+    Result<PartitionResponse> free_response = session.Partition(request);
+    if (!free_response.ok()) {
+      return;
+    }
+    budgets.push_back(0);
+    for (double fraction : {1.0, 0.75, 0.5, 0.25, 0.05}) {
+      budgets.push_back(static_cast<std::int64_t>(
+          static_cast<double>(free_response->all_resident_bytes) * fraction));
+    }
+  } else {
+    for (const std::string& token : Split(g_budget_spec, ',')) {
+      budgets.push_back(std::strtoll(token.c_str(), nullptr, 10));
+    }
+  }
+  std::printf("memory frontier (Tofu):\n  %14s %14s %16s %12s\n", "budget/worker",
+              "peak/worker", "comm bytes/iter", "comm time");
+  for (std::int64_t budget : budgets) {
+    request.memory_budget_bytes = budget;
+    Result<PartitionResponse> response = session.Partition(request);
+    if (!response.ok()) {
+      std::printf("  %14s %s\n",
+                  budget > 0 ? HumanBytes(static_cast<double>(budget)).c_str() : "none",
+                  response.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %14s %14s %16s %12s\n",
+                budget > 0 ? HumanBytes(static_cast<double>(budget)).c_str() : "none",
+                HumanBytes(static_cast<double>(response->peak_shard_bytes)).c_str(),
+                HumanBytes(response->plan.total_comm_bytes).c_str(),
+                HumanSeconds(response->estimated_comm_seconds).c_str());
+  }
+}
 
 void RunConfig(const TransformerConfig& config, const ClusterSpec& cluster,
                JsonWriter* json) {
@@ -95,6 +141,9 @@ void RunConfig(const TransformerConfig& config, const ClusterSpec& cluster,
     std::printf("Tofu vs DataParallel communication: %.2fx %s\n", dp_comm / tofu_comm,
                 tofu_comm < dp_comm ? "lower (PASS)" : "NOT lower (FAIL)");
   }
+  if (!g_budget_spec.empty()) {
+    RunBudgetSweep(model, cluster);
+  }
 }
 
 }  // namespace
@@ -114,10 +163,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       g_algorithms = {*algorithm};
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0 && i + 1 < argc) {
+      g_budget_spec = argv[++i];
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'; usage: bench_transformer [--smoke] "
-                   "[--json out.json] [--algo=Name]\n",
+                   "[--json out.json] [--algo=Name] [--memory-budget auto|bytes,...]\n",
                    argv[i]);
       return 2;
     }

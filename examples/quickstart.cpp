@@ -79,12 +79,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 4. User error stays recoverable: a 64 MiB per-worker budget cannot hold this model,
-  //    and the session says so (with the deficit) instead of aborting the process.
+  // 4. Memory budgets are a search constraint, not just a check: a 64 MiB per-worker
+  //    budget -- below this plan's all-resident footprint -- still comes back Ok,
+  //    because the search (and the liveness-aware peak) only has to fit the budget, not
+  //    the sum of every shard.
   PartitionRequest tight = request;
   tight.memory_budget_bytes = 64ll << 20;
-  Result<PartitionResponse> refused = session.Partition(tight);
+  Result<PartitionResponse> squeezed = session.Partition(tight);
   std::printf("\nwith a 64 MiB budget: %s\n",
+              squeezed.ok()
+                  ? StrFormat("fits (liveness-aware peak %s)",
+                              HumanBytes(static_cast<double>(squeezed->peak_shard_bytes))
+                                  .c_str())
+                        .c_str()
+                  : squeezed.status().ToString().c_str());
+  if (!squeezed.ok() || squeezed->peak_shard_bytes > tight.memory_budget_bytes) {
+    return 1;
+  }
+
+  //    A budget below the model state itself (each worker must keep at least 1/8 of the
+  //    430 MiB of weights+grads+history) is genuinely infeasible, and the session says
+  //    so -- with the deficit -- instead of aborting the process.
+  PartitionRequest impossible = request;
+  impossible.memory_budget_bytes = 16ll << 20;
+  Result<PartitionResponse> refused = session.Partition(impossible);
+  std::printf("with a 16 MiB budget: %s\n",
               refused.ok() ? "unexpectedly fit?!" : refused.status().ToString().c_str());
   if (refused.ok()) {
     return 1;

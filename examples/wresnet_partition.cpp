@@ -35,9 +35,11 @@ int main() {
               HumanBytes(tofu.peak_bytes).c_str());
 
   // Show a slice of the discovered plan (Figure 11 style), through the session API. No
-  // hard memory_budget_bytes here: peak_shard_bytes counts every tensor resident at once
-  // (a schedule-independent upper bound), which a 30 GiB model legitimately exceeds --
-  // the event simulator's memory planner above measured the scheduled peak that counts.
+  // hard memory_budget_bytes here: the throughput run above already sized the batch to
+  // the device, so the interesting figures are the response's liveness-aware peak
+  // (peak_shard_bytes, what a budget would be checked against) next to its all-resident
+  // upper bound (all_resident_bytes, every shard at once -- which a 30 GiB model can
+  // legitimately exceed without OOMing).
   ModelGraph model = factory(tofu.batch);
   Session session(DeviceTopology::FromCluster(cluster));
   PartitionRequest request;
@@ -47,9 +49,10 @@ int main() {
     std::fprintf(stderr, "partitioning failed: %s\n", response.status().ToString().c_str());
     return 1;
   }
-  std::printf("per-worker shards %s worst-case vs %s capacity (scheduled peak above: %s); "
-              "estimated comm %s/iter\n",
+  std::printf("per-worker peak %s (all-resident worst case %s) vs %s capacity "
+              "(scheduled peak above: %s); estimated comm %s/iter\n",
               HumanBytes(static_cast<double>(response->peak_shard_bytes)).c_str(),
+              HumanBytes(static_cast<double>(response->all_resident_bytes)).c_str(),
               HumanBytes(cluster.gpu.mem_capacity).c_str(),
               HumanBytes(tofu.peak_bytes).c_str(),
               HumanSeconds(response->estimated_comm_seconds).c_str());

@@ -36,6 +36,20 @@ std::string PlanSummary(const Graph& /*graph*/, const PartitionPlan& plan) {
         HumanSeconds(plan.search_stats.wall_seconds).c_str(),
         plan.search_stats.exact ? "" : " (beam-degraded, approximate)");
   }
+  if (!plan.steps.empty() && plan.steps.back().peak_shard_bytes > 0.0) {
+    out << StrFormat(
+        "  memory: %s resident per worker (all shards)%s%s\n",
+        HumanBytes(plan.steps.back().peak_shard_bytes).c_str(),
+        plan.memory_budget_bytes > 0
+            ? StrFormat(", budget %s",
+                        HumanBytes(static_cast<double>(plan.memory_budget_bytes))
+                            .c_str())
+                  .c_str()
+            : "",
+        // Not "infeasible" outright: the session's verdict uses the liveness-aware
+        // peak, which can accept a plan the search's all-resident model could not.
+        plan.memory_feasible ? "" : " (over budget in the search's all-resident model)");
+  }
   return out.str();
 }
 

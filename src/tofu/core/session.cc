@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tofu/partition/plan_io.h"
 #include "tofu/util/strings.h"
 
 namespace tofu {
@@ -83,32 +84,55 @@ void Session::ClearPlanCache() {
   cache_insertion_order_.clear();
 }
 
-// Deliberately excludes memory_budget_bytes: the budget never influences the search, it
-// is a post-hoc check -- keying on it would re-run identical searches for every budget
-// (and an infeasible request would re-search on every retry). The option fields come
-// through PartitionOptions::Fingerprint, defined next to the structs so new fields
-// cannot be forgotten here.
+// Includes memory_budget_bytes: since the budget became a first-class search constraint
+// (it steers which states survive the DP and whether the ordering / lightest-cuts
+// fallbacks engage), two requests differing only in budget can legitimately produce
+// different plans, so they must not share a cache entry. A retry with a bigger budget
+// is therefore a fresh search -- which is exactly what can now succeed where the
+// smaller budget failed. The option fields come through PartitionOptions::Fingerprint,
+// defined next to the structs so new fields cannot be forgotten here.
 std::string Session::CacheKey(const PartitionRequest& request) const {
-  return StrFormat("g=%016llx;a=%d;",
+  return StrFormat("g=%016llx;a=%d;rb=%lld;",
                    static_cast<unsigned long long>(GraphSignature(*request.graph)),
-                   static_cast<int>(request.algorithm)) +
+                   static_cast<int>(request.algorithm),
+                   static_cast<long long>(request.memory_budget_bytes)) +
          request.options.Fingerprint() + "topo=" + topology_.Fingerprint();
 }
 
 namespace {
 
-Status BudgetCheck(const PartitionResponse& response, std::int64_t budget) {
-  if (budget > 0 && response.peak_shard_bytes > budget) {
-    return Status(
-        StatusCode::kResourceExhausted,
-        StrFormat("plan needs %s per worker but the budget is %s (deficit %s); add "
-                  "workers or raise memory_budget_bytes",
-                  HumanBytes(static_cast<double>(response.peak_shard_bytes)).c_str(),
-                  HumanBytes(static_cast<double>(budget)).c_str(),
-                  HumanBytes(static_cast<double>(response.peak_shard_bytes - budget))
-                      .c_str()));
+// The hard verdict against the request budget, phrased so the user fixes the RIGHT
+// knob: when the topology's per-worker device memory is smaller than the requested
+// budget, raising memory_budget_bytes cannot possibly help -- the device bound is the
+// binding constraint and the message says so. A plan the search itself already proved
+// unbeatable (memory_feasible == false) reports the deficit as final rather than as a
+// property of one plan.
+Status BudgetCheck(const PartitionResponse& response, std::int64_t budget,
+                   std::int64_t device_memory) {
+  if (budget <= 0 || response.peak_shard_bytes <= budget) {
+    return Status::Ok();
   }
-  return Status::Ok();
+  const char* severity = response.plan.memory_feasible
+                             ? "the chosen plan needs"
+                             : "no searched configuration fits: the lightest plan "
+                               "still needs";
+  std::string advice;
+  if (device_memory > 0 && device_memory < budget) {
+    advice = StrFormat(
+        "the topology's memory_bytes_per_worker (%s) is below the requested budget, so "
+        "raising memory_budget_bytes cannot help; add workers or use larger devices",
+        HumanBytes(static_cast<double>(device_memory)).c_str());
+  } else {
+    advice = "add workers or raise memory_budget_bytes";
+  }
+  return Status(
+      StatusCode::kResourceExhausted,
+      StrFormat("%s %s per worker but the budget is %s (deficit %s); %s", severity,
+                HumanBytes(static_cast<double>(response.peak_shard_bytes)).c_str(),
+                HumanBytes(static_cast<double>(budget)).c_str(),
+                HumanBytes(static_cast<double>(response.peak_shard_bytes - budget))
+                    .c_str(),
+                advice.c_str()));
 }
 
 }  // namespace
@@ -145,11 +169,21 @@ Result<PartitionResponse> Session::Partition(const PartitionRequest& request) {
 
   const std::string key = CacheKey(request);
   auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end() &&
+      !ValidatePlanForGraph(graph, it->second.plan).ok()) {
+    // The 64-bit GraphSignature collided: the cached plan belongs to a different graph.
+    // Serving it would be silently wrong; fall through to a fresh search (which
+    // overwrites the entry -- latest graph wins) and count the event.
+    ++cache_stats_.collisions;
+    it = plan_cache_.end();
+  }
   if (it != plan_cache_.end()) {
     ++cache_stats_.hits;
-    // The budget is not part of the key (it never affects the search), so it is
-    // re-applied to the cached result: a retry with a bigger budget reuses the plan.
-    TOFU_RETURN_IF_ERROR(BudgetCheck(it->second, request.memory_budget_bytes));
+    // The budget is part of the key, so a hit was searched under this exact budget and
+    // the verdict below merely repeats what the insertion-time check concluded (an
+    // infeasible request fails fast here without re-searching).
+    TOFU_RETURN_IF_ERROR(BudgetCheck(it->second, request.memory_budget_bytes,
+                                     topology_.memory_bytes_per_worker));
     PartitionResponse response = it->second;  // copy; the cache keeps the original
     response.from_cache = true;
     return response;
@@ -179,6 +213,12 @@ Result<PartitionResponse> Session::Partition(const PartitionRequest& request) {
                                   ? std::vector<double>{topology_.uniform_bandwidth}
                                   : topology_.level_bandwidths;
   }
+  // The request budget steers the recursion-based searches (memory as a first-class
+  // constraint); a budget already set on the options (a direct RecursivePartition-style
+  // caller) wins, mirroring step_bandwidths.
+  if (options.memory_budget_bytes == 0) {
+    options.memory_budget_bytes = request.memory_budget_bytes;
+  }
 
   PartitionResponse response;
   switch (request.algorithm) {
@@ -207,17 +247,16 @@ Result<PartitionResponse> Session::Partition(const PartitionRequest& request) {
   }
   const PartitionPlan& plan = response.plan;
 
-  // Per-worker residency upper bound: every tensor's shard at once. Deliberately
-  // conservative (no liveness / buffer-reuse credit), so "fits" here means the plan fits
-  // under any execution order; the event simulator's memory planner reports the tighter
-  // figure for a concrete schedule.
-  std::int64_t peak = 0;
-  for (const TensorNode& t : graph.tensors()) {
-    peak += plan.ShardBytes(graph, t.id);
-  }
-  response.peak_shard_bytes = peak;
-  response.fits_device_memory = topology_.memory_bytes_per_worker <= 0 ||
-                                peak <= topology_.memory_bytes_per_worker;
+  // Liveness-aware per-worker peak -- the figure the event simulator's memory planner
+  // would report for a program-order schedule -- plus the schedule-independent
+  // all-resident upper bound for reporting. The budget check and feasibility verdict
+  // use the peak: summing every shard as simultaneously resident overstated memory and
+  // declared feasible plans infeasible.
+  response.peak_shard_bytes = LivenessPeakShardBytes(graph, plan);
+  response.all_resident_bytes = AllResidentShardBytes(graph, plan);
+  response.fits_device_memory =
+      topology_.memory_bytes_per_worker <= 0 ||
+      response.peak_shard_bytes <= topology_.memory_bytes_per_worker;
 
   // Topology-weighted step times. Recursion-based plans already carry them (the search
   // used them to pick the factor ordering); greedy baselines get them computed here from
@@ -243,19 +282,31 @@ Result<PartitionResponse> Session::Partition(const PartitionRequest& request) {
   response.search_stats = plan.search_stats;
   response.from_cache = false;
 
-  // Cache before the budget check: the search is the expensive part, and a request that
-  // fails its budget today may be retried with a bigger one (or more workers) tomorrow.
-  // Oldest-first eviction keeps a long-lived session bounded.
+  // Cache before the budget check: the search is the expensive part, and a repeated
+  // identical (infeasible) request should fail fast from the cache instead of
+  // re-proving infeasibility. Oldest-first eviction keeps a long-lived session bounded.
+  // insert_or_assign rather than emplace: a collision fall-through must overwrite the
+  // stale entry (latest graph wins).
   if (max_cached_plans_ > 0) {
-    while (plan_cache_.size() >= max_cached_plans_) {
+    while (plan_cache_.size() >= max_cached_plans_ && !cache_insertion_order_.empty()) {
       plan_cache_.erase(cache_insertion_order_.front());
       cache_insertion_order_.pop_front();
     }
-    plan_cache_.emplace(key, response);
+    if (plan_cache_.insert_or_assign(key, response).second) {
+      cache_insertion_order_.push_back(key);
+    }
+  }
+  TOFU_RETURN_IF_ERROR(BudgetCheck(response, request.memory_budget_bytes,
+                                   topology_.memory_bytes_per_worker));
+  return response;
+}
+
+void Session::InsertPlanForTesting(const PartitionRequest& request,
+                                   PartitionResponse response) {
+  const std::string key = CacheKey(request);
+  if (plan_cache_.insert_or_assign(key, std::move(response)).second) {
     cache_insertion_order_.push_back(key);
   }
-  TOFU_RETURN_IF_ERROR(BudgetCheck(response, request.memory_budget_bytes));
-  return response;
 }
 
 }  // namespace tofu

@@ -65,7 +65,8 @@ struct DeviceTopology {
   // past the end reuse the last entry. Empty means uniform_bandwidth everywhere.
   std::vector<double> level_bandwidths;
   double uniform_bandwidth = 21e9;  // PCIe p2p on the paper's testbed
-  // Per-worker memory (bytes) for the advisory feasibility verdict; 0 = unknown.
+  // Per-worker memory (bytes) for the advisory feasibility verdict, and -- when it is
+  // the binding constraint -- named in budget-failure messages; 0 = unknown.
   std::int64_t memory_bytes_per_worker = 0;
 
   // Bandwidth step i's traffic crosses. (Whether the bandwidths differ across steps --
@@ -87,17 +88,30 @@ struct PartitionRequest {
   const Graph* graph = nullptr;  // not owned; must outlive the Partition call
   PartitionAlgorithm algorithm = PartitionAlgorithm::kTofu;
   PartitionOptions options;  // step_bandwidths is filled from the session's topology
-  // Per-worker memory budget; > 0 makes an oversized plan fail with kResourceExhausted
-  // (the message reports the deficit). 0 disables the hard check -- the response still
-  // carries the advisory verdict against the topology's memory_bytes_per_worker.
+  // Per-worker memory budget; > 0 makes memory a first-class search constraint for the
+  // recursion-based algorithms (kTofu, kIcml18, kEqualChop): the search returns the
+  // cheapest plan whose liveness-aware per-worker peak fits, trying alternative step
+  // factor orderings and a lightest-cuts fallback before giving up. Only when no
+  // searched configuration fits does Partition fail with kResourceExhausted (the
+  // message reports the deficit and which bound -- this budget or the topology's
+  // device memory -- is binding). Greedy baselines ignore the budget during
+  // construction but are still checked. 0 disables the constraint entirely; the
+  // response then only carries the advisory verdict against the topology's
+  // memory_bytes_per_worker.
   std::int64_t memory_budget_bytes = 0;
 };
 
 struct PartitionResponse {
   PartitionPlan plan;
-  // Per-worker residency upper bound: every tensor's shard resident at once (no buffer
-  // reuse or liveness credit). What the budget check and feasibility verdict use.
+  // Liveness-aware per-worker peak (LivenessPeakShardBytes, partition/plan.h): model
+  // state stays resident, activation buffers live from producer to last consumer, and
+  // in-place outputs reuse their input's buffer -- the figure the event simulator's
+  // memory planner reports for a program-order schedule. What the budget check and
+  // feasibility verdict use.
   std::int64_t peak_shard_bytes = 0;
+  // Schedule-independent upper bound: every tensor's shard resident at once (no
+  // liveness credit). Kept for reporting; always >= peak_shard_bytes.
+  std::int64_t all_resident_bytes = 0;
   // Advisory verdict against topology.memory_bytes_per_worker (true when unknown).
   bool fits_device_memory = true;
   // Estimated per-step communication time (weighted step bytes / link bandwidth).
@@ -111,6 +125,10 @@ struct PartitionResponse {
 struct PlanCacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
+  // Cache entries whose plan failed ValidatePlanForGraph against the request's graph: a
+  // 64-bit GraphSignature collision (or an entry poisoned through the test hook). Such
+  // hits fall through to a fresh search instead of serving the wrong plan.
+  std::int64_t collisions = 0;
 };
 
 class Session {
@@ -122,16 +140,25 @@ class Session {
       : topology_(std::move(topology)), max_cached_plans_(max_cached_plans) {}
 
   // Validates the request, serves it from the plan cache when an identical one was seen
-  // before, and otherwise runs the requested algorithm. Never aborts on user error:
+  // before (cache hits are re-validated against the graph -- a signature collision
+  // falls through to a fresh search), and otherwise runs the requested algorithm.
+  // Never aborts on user error:
   //   * kInvalidArgument -- null graph, or a topology with < 1 worker;
   //   * kNotFound        -- an operator in the graph has no TDL registry entry;
-  //   * kResourceExhausted -- memory_budget_bytes > 0 and the plan's per-worker shards
-  //                           exceed it (the message reports the deficit).
+  //   * kResourceExhausted -- memory_budget_bytes > 0 and no searched configuration's
+  //                           liveness-aware peak fits it (the message reports the
+  //                           deficit and which bound is binding).
   Result<PartitionResponse> Partition(const PartitionRequest& request);
 
   const DeviceTopology& topology() const { return topology_; }
   const PlanCacheStats& cache_stats() const { return cache_stats_; }
   void ClearPlanCache();
+
+  // Test-only: plants `response` in the plan cache under `request`'s key, exactly as a
+  // fresh search would have. Exists so the collision fall-through (a cached plan that
+  // does not validate against the request's graph) can be exercised without forging a
+  // 64-bit GraphSignature collision.
+  void InsertPlanForTesting(const PartitionRequest& request, PartitionResponse response);
 
  private:
   std::string CacheKey(const PartitionRequest& request) const;

@@ -11,9 +11,11 @@ namespace tofu {
 std::string DpOptions::Fingerprint() const {
   // num_threads is deliberately omitted: any thread count yields byte-identical plans
   // (the field's contract above), so keying on it would only cause spurious cache
-  // misses for thread-tuned requests.
-  return StrFormat("dp=%d,%lld,%.17g;", allow_reduction_strategies ? 1 : 0,
-                   static_cast<long long>(max_states), link_bandwidth);
+  // misses for thread-tuned requests. memory_budget_bytes is included: the budget
+  // steers which states survive, so plans searched under different budgets differ.
+  return StrFormat("dp=%d,%lld,%.17g,%lld;", allow_reduction_strategies ? 1 : 0,
+                   static_cast<long long>(max_states), link_bandwidth,
+                   static_cast<long long>(memory_budget_bytes));
 }
 
 namespace {
@@ -219,6 +221,28 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
     space.group_slots.push_back(group.touched_slots);  // already sorted, unique
   }
 
+  // Memory model for the engine's budget pruning: each slot's resident bytes per cut
+  // option (all members of a slot share one cut, so the slot's contribution is the sum
+  // of its members' shards). Only built when a budget is set -- without one the engine
+  // must stay bit-identical to the unconstrained search.
+  if (options.memory_budget_bytes > 0) {
+    space.slot_option_bytes.resize(static_cast<size_t>(num_slots));
+    for (int s = 0; s < num_slots; ++s) {
+      const std::vector<int>& cut_opts = *slot_options[static_cast<size_t>(s)];
+      std::vector<double>& bytes_per_option =
+          space.slot_option_bytes[static_cast<size_t>(s)];
+      bytes_per_option.reserve(cut_opts.size());
+      for (int cut : cut_opts) {
+        double b = 0.0;
+        for (TensorId t : coarse.slots[static_cast<size_t>(s)].members) {
+          b += ShardBytesForCut(ctx->shape(t), graph.tensor(t).elem_size, cut,
+                                ctx->ways());
+        }
+        bytes_per_option.push_back(b);
+      }
+    }
+  }
+
   // Per-unit evaluators: applicability, sizes and halos resolved once per step.
   std::vector<double> tensor_bytes(static_cast<size_t>(graph.num_tensors()));
   for (TensorId t = 0; t < graph.num_tensors(); ++t) {
@@ -256,11 +280,19 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
   SearchEngineOptions engine_options;
   engine_options.max_states = options.max_states;
   engine_options.num_threads = options.num_threads;
+  engine_options.memory_budget = static_cast<double>(options.memory_budget_bytes);
   SearchEngine engine(std::move(space), engine_options);
   SearchEngine::Result search = engine.Run(cost_fn);
 
   DpResult result;
   result.stats = search.stats;
+  result.min_possible_bytes = search.min_possible_bytes;
+  if (!search.feasible) {
+    // No assignment at this step's shapes fits the budget; the caller (recursive.cc)
+    // decides whether another factor ordering or a min-bytes fallback can.
+    result.feasible = false;
+    return result;
+  }
 
   // Plan assembly from the chosen per-slot options.
   std::vector<int> slot_cut(static_cast<size_t>(num_slots), kReplicated);
@@ -279,6 +311,13 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
   for (TensorId t = 0; t < graph.num_tensors(); ++t) {
     plan.tensor_cut[static_cast<size_t>(t)] =
         slot_cut[static_cast<size_t>(coarse.tensor_slot[static_cast<size_t>(t)])];
+  }
+  // Per-group resident bytes after this step (always recorded, budget or not, so plans
+  // carry their memory footprint for serialization and the session's reporting).
+  for (TensorId t = 0; t < graph.num_tensors(); ++t) {
+    plan.peak_shard_bytes +=
+        ShardBytesForCut(ctx->shape(t), graph.tensor(t).elem_size,
+                         plan.tensor_cut[static_cast<size_t>(t)], ctx->ways());
   }
   plan.op_strategy.assign(static_cast<size_t>(graph.num_ops()), kReplicatedExec);
   for (size_t u = 0; u < coarse.units.size(); ++u) {

@@ -39,6 +39,15 @@ struct DpOptions {
   // the recursion (recursive.h) uses it to compare different step *orderings*, where
   // the byte totals genuinely differ.
   double link_bandwidth = 0.0;
+  // Resident-byte budget for ONE worker group at this step (the recursion divides the
+  // per-worker budget by the shrink still to come; see recursive.cc). > 0 makes the
+  // search prune assignments whose per-group shard bytes cannot fit and prefer lighter
+  // plans on cost ties, returning the cheapest feasible plan the constrained DP finds
+  // -- guaranteed feasible, and exact except when an equal-key projection merge
+  // discards the state with the only cheap feasible completion (docs/search.md,
+  // "Memory-constrained search", documents this approximation). 0 keeps the search
+  // unconstrained and bit-identical to the pre-budget engine.
+  std::int64_t memory_budget_bytes = 0;
 
   // Deterministic serialization of every field for the Session plan-cache key; extend
   // together with the struct (see CoarsenOptions::Fingerprint).
@@ -47,6 +56,13 @@ struct DpOptions {
 
 struct DpResult {
   BasicPlan plan;
+  // False when memory_budget_bytes > 0 excluded every assignment at this step: even
+  // cutting every tensor that can be cut overflows the budget. The plan is then
+  // meaningless (empty); min_possible_bytes reports the unbeatable lower bound.
+  bool feasible = true;
+  // Lower bound on per-group resident bytes over ALL assignments at this step's shapes
+  // (each slot takes its lightest cut). 0 when the search ran without a budget.
+  double min_possible_bytes = 0.0;
   // Search effort and exactness (stats.exact is false only after beam degradation; with
   // the coarsening of §5.1 enabled that never triggers on the paper's models -- it
   // exists so ablations that disable coarsening degrade instead of failing).

@@ -236,6 +236,30 @@ FlatDpResult RunFlatDp(const Graph& graph, const CoarseGraph& coarse,
   for (const MacroGroup& group : coarse.groups) {
     space.group_slots.push_back(group.touched_slots);
   }
+  // A flat option is a whole multi-step tiling, so each slot's FINAL per-worker bytes
+  // are known per option and the budget prunes directly (step-wise ceil division,
+  // matching ApplyBasicPlan's rounding).
+  if (options.memory_budget_bytes > 0) {
+    space.slot_option_bytes.resize(static_cast<size_t>(num_slots));
+    for (int s = 0; s < num_slots; ++s) {
+      const TensorSlot& slot = coarse.slots[static_cast<size_t>(s)];
+      for (const Tiling& tiling : slot_tilings[static_cast<size_t>(s)]) {
+        double total = 0.0;
+        for (TensorId t : slot.members) {
+          Shape shape = graph.tensor(t).shape;
+          for (size_t i = 0; i < tiling.size(); ++i) {
+            if (tiling[i] != kReplicated) {
+              std::int64_t& e = shape[static_cast<size_t>(tiling[i])];
+              e = (e + factors[i] - 1) / factors[i];
+            }
+          }
+          total += static_cast<double>(NumElements(shape)) *
+                   static_cast<double>(graph.tensor(t).elem_size);
+        }
+        space.slot_option_bytes[static_cast<size_t>(s)].push_back(total);
+      }
+    }
+  }
 
   std::vector<const Tiling*> tiling_of_slot(static_cast<size_t>(num_slots), nullptr);
   std::int64_t since_deadline_check = 0;
@@ -284,12 +308,19 @@ FlatDpResult RunFlatDp(const Graph& graph, const CoarseGraph& coarse,
   // No beam here: the flat search either completes exactly or times out.
   SearchEngineOptions engine_options;
   engine_options.max_states = std::numeric_limits<std::int64_t>::max() / 2;
+  engine_options.memory_budget = static_cast<double>(options.memory_budget_bytes);
   SearchEngine engine(std::move(space), engine_options);
   SearchEngine::Result search = engine.RunStreamed(state_cost_fn);
   result.search_stats = search.stats;
+  result.min_possible_bytes = search.min_possible_bytes;
 
   result.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  if (!search.feasible) {
+    result.feasible = false;
+    result.completed = true;  // nothing left to search: infeasibility is a full answer
+    return result;
+  }
   if (!search.completed) {
     TOFU_CHECK(deadline_hit);
     result.completed = false;
@@ -309,6 +340,7 @@ FlatDpResult RunFlatDp(const Graph& graph, const CoarseGraph& coarse,
   PartitionPlan plan;
   plan.num_workers = options.num_workers;
   plan.step_factors = factors;
+  plan.memory_budget_bytes = options.memory_budget_bytes;
   std::vector<Shape> shapes = StepContext::InitialShapes(graph);
   double groups_at_step = 1.0;
   for (size_t step = 0; step < m; ++step) {
@@ -345,6 +377,11 @@ FlatDpResult RunFlatDp(const Graph& graph, const CoarseGraph& coarse,
       }
       bp.op_strategy[static_cast<size_t>(op_id)] = op_choice;
       bp.comm_bytes += op_best;
+    }
+    for (TensorId t = 0; t < graph.num_tensors(); ++t) {
+      bp.peak_shard_bytes +=
+          ShardBytesForCut(shapes[static_cast<size_t>(t)], graph.tensor(t).elem_size,
+                           bp.tensor_cut[static_cast<size_t>(t)], factors[step]);
     }
     const double weighted = groups_at_step * bp.comm_bytes;
     plan.weighted_step_costs.push_back(weighted);

@@ -23,11 +23,21 @@ struct FlatDpOptions {
   int num_workers = 8;
   double time_budget_seconds = 5.0;
   bool allow_reduction_strategies = true;
+  // Per-worker resident-byte budget (0 = unconstrained). The flat search's options are
+  // whole multi-step tilings, so the final per-worker residency of each slot is known
+  // per option and the budget applies directly (no per-step relaxation as in the
+  // recursion): tilings that cannot fit are pruned, and `feasible` turns false when
+  // even the lightest joint tiling overflows.
+  std::int64_t memory_budget_bytes = 0;
 };
 
 struct FlatDpResult {
   bool completed = false;
-  PartitionPlan plan;  // meaningful only when completed
+  // False when memory_budget_bytes excluded every tiling (nothing was searched);
+  // min_possible_bytes then reports the unbeatable per-worker lower bound.
+  bool feasible = true;
+  double min_possible_bytes = 0.0;
+  PartitionPlan plan;  // meaningful only when completed && feasible
   double elapsed_seconds = 0.0;
   // Joint group configurations actually costed vs. the full count the run would need.
   double configs_evaluated = 0.0;

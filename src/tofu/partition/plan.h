@@ -36,6 +36,10 @@ struct BasicPlan {
   // comm_bytes over the bandwidth of the link this step crosses (DpOptions::
   // link_bandwidth); 0 when the step was searched without a topology.
   double comm_seconds = 0.0;
+  // Resident bytes ONE worker group of this step stores under the chosen cuts (every
+  // tensor's shard at this step's granularity, summed). The last step's figure is the
+  // per-worker all-resident bound the memory-constrained search enforces.
+  double peak_shard_bytes = 0.0;
 };
 
 struct PartitionPlan {
@@ -56,6 +60,13 @@ struct PartitionPlan {
   // DP); lets benchmarks and tests assert on how hard the search worked, not just on
   // what it found.
   SearchStats search_stats;
+  // Per-worker resident-byte budget the plan was searched under (0 = unconstrained).
+  std::int64_t memory_budget_bytes = 0;
+  // False when the search could not satisfy memory_budget_bytes under its all-resident
+  // model at any searched configuration; the plan is then the lightest one found (best
+  // effort). The session's authoritative verdict uses the liveness-aware peak, which
+  // can still fit -- see LivenessPeakShardBytes below.
+  bool memory_feasible = true;
 
   // Per-dimension split factors of a tensor after all steps (product over steps).
   std::vector<int> TensorSplits(const Graph& graph, TensorId t) const;
@@ -70,6 +81,25 @@ struct PartitionPlan {
 // Factorizes the worker count into non-increasing factors (prime factorization, largest
 // first), per §5.2's handling of non-power-of-two device counts.
 std::vector<int> FactorizeWorkers(int num_workers);
+
+// Bytes one worker group stores for a tensor of (current-step) `shape` under one
+// storage cut at split factor `ways`: ceil-divided along the cut dimension, whole
+// otherwise -- the same rounding StepContext::ApplyBasicPlan uses, so per-step figures
+// compose exactly with the shapes the next step sees. `cut` may be kReplicated.
+double ShardBytesForCut(const Shape& shape, int elem_size, int cut, int ways);
+
+// Per-worker residency upper bound: every tensor's final shard resident at once, no
+// liveness or buffer-reuse credit. Schedule-independent, hence conservative.
+std::int64_t AllResidentShardBytes(const Graph& graph, const PartitionPlan& plan);
+
+// Liveness-aware per-worker peak, the figure the event simulator's memory planner
+// reports for a program-order schedule: model state (inputs, weights, optimizer
+// history -- every producer-less tensor) stays resident for the whole iteration, a
+// produced tensor's buffer is allocated when its producer runs and freed after its last
+// consumer, and in-place outputs (OpNode::inplace_input) extend their input's buffer
+// instead of allocating a new one. Always <= AllResidentShardBytes; this is what the
+// session's budget check and feasibility verdict use.
+std::int64_t LivenessPeakShardBytes(const Graph& graph, const PartitionPlan& plan);
 
 }  // namespace tofu
 

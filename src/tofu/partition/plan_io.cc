@@ -74,10 +74,13 @@ std::string PlanToJson(const PartitionPlan& plan) {
   w.Key("step_seconds");
   WriteNumberArray(&w, plan.step_seconds);
   w.Key("estimated_comm_seconds").Number(plan.estimated_comm_seconds);
+  w.Key("memory_budget_bytes").Int(plan.memory_budget_bytes);
+  w.Key("memory_feasible").Bool(plan.memory_feasible);
   w.Key("search_stats").BeginObject();
   w.Key("states_explored").Int(plan.search_stats.states_explored);
   w.Key("max_frontier_states").Int(plan.search_stats.max_frontier_states);
   w.Key("cost_table_entries").Int(plan.search_stats.cost_table_entries);
+  w.Key("memory_pruned_states").Int(plan.search_stats.memory_pruned_states);
   w.Key("wall_seconds").Number(plan.search_stats.wall_seconds);
   w.Key("exact").Bool(plan.search_stats.exact);
   w.EndObject();
@@ -87,6 +90,7 @@ std::string PlanToJson(const PartitionPlan& plan) {
     w.Key("ways").Int(step.ways);
     w.Key("comm_bytes").Number(step.comm_bytes);
     w.Key("comm_seconds").Number(step.comm_seconds);
+    w.Key("peak_shard_bytes").Number(step.peak_shard_bytes);
     w.Key("tensor_cut");
     WriteIntArray(&w, step.tensor_cut);
     w.Key("op_strategy");
@@ -104,10 +108,13 @@ Result<PartitionPlan> PlanFromJson(const std::string& json) {
     return Status(StatusCode::kInvalidArgument, "plan document is not a JSON object");
   }
   TOFU_ASSIGN_OR_RETURN(std::string schema, doc.StringAt("schema"));
-  if (schema != kPlanJsonSchema) {
+  // v1 plans (searched before memory became a constraint) still load; their memory
+  // fields default to "unconstrained".
+  const bool v2 = schema == kPlanJsonSchema;
+  if (!v2 && schema != kPlanJsonSchemaV1) {
     return Status(StatusCode::kInvalidArgument,
-                  StrFormat("unknown plan schema '%s' (want %s)", schema.c_str(),
-                            kPlanJsonSchema));
+                  StrFormat("unknown plan schema '%s' (want %s or %s)", schema.c_str(),
+                            kPlanJsonSchema, kPlanJsonSchemaV1));
   }
 
   PartitionPlan plan;
@@ -122,6 +129,15 @@ Result<PartitionPlan> PlanFromJson(const std::string& json) {
   TOFU_ASSIGN_OR_RETURN(plan.weighted_step_costs, ReadNumberArray(doc, "weighted_step_costs"));
   TOFU_ASSIGN_OR_RETURN(plan.step_seconds, ReadNumberArray(doc, "step_seconds"));
   TOFU_ASSIGN_OR_RETURN(plan.estimated_comm_seconds, doc.NumberAt("estimated_comm_seconds"));
+  if (v2) {
+    TOFU_ASSIGN_OR_RETURN(plan.memory_budget_bytes, doc.IntAt("memory_budget_bytes"));
+    if (plan.memory_budget_bytes < 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("memory_budget_bytes %lld is negative",
+                              static_cast<long long>(plan.memory_budget_bytes)));
+    }
+    TOFU_ASSIGN_OR_RETURN(plan.memory_feasible, doc.BoolAt("memory_feasible"));
+  }
 
   TOFU_ASSIGN_OR_RETURN(const JsonValue* stats, doc.ObjectAt("search_stats"));
   TOFU_ASSIGN_OR_RETURN(plan.search_stats.states_explored, stats->IntAt("states_explored"));
@@ -129,6 +145,10 @@ Result<PartitionPlan> PlanFromJson(const std::string& json) {
                         stats->IntAt("max_frontier_states"));
   TOFU_ASSIGN_OR_RETURN(plan.search_stats.cost_table_entries,
                         stats->IntAt("cost_table_entries"));
+  if (v2) {
+    TOFU_ASSIGN_OR_RETURN(plan.search_stats.memory_pruned_states,
+                          stats->IntAt("memory_pruned_states"));
+  }
   TOFU_ASSIGN_OR_RETURN(plan.search_stats.wall_seconds, stats->NumberAt("wall_seconds"));
   TOFU_ASSIGN_OR_RETURN(plan.search_stats.exact, stats->BoolAt("exact"));
 
@@ -146,6 +166,9 @@ Result<PartitionPlan> PlanFromJson(const std::string& json) {
     step.ways = static_cast<int>(ways);
     TOFU_ASSIGN_OR_RETURN(step.comm_bytes, entry.NumberAt("comm_bytes"));
     TOFU_ASSIGN_OR_RETURN(step.comm_seconds, entry.NumberAt("comm_seconds"));
+    if (v2) {
+      TOFU_ASSIGN_OR_RETURN(step.peak_shard_bytes, entry.NumberAt("peak_shard_bytes"));
+    }
     TOFU_ASSIGN_OR_RETURN(step.tensor_cut, ReadIntArray(entry, "tensor_cut"));
     TOFU_ASSIGN_OR_RETURN(step.op_strategy, ReadIntArray(entry, "op_strategy"));
     plan.steps.push_back(std::move(step));

@@ -10,7 +10,8 @@
 //
 // Numbers are written with %.17g, so every double (comm bytes, step costs) reloads
 // bit-identically -- a saved plan replays with exactly the original totals. The schema is
-// documented in docs/api.md ("tofu.plan.v1").
+// documented in docs/api.md ("tofu.plan.v2"; v1 files still load, their memory fields
+// defaulting to "searched without a budget").
 #ifndef TOFU_PARTITION_PLAN_IO_H_
 #define TOFU_PARTITION_PLAN_IO_H_
 
@@ -22,8 +23,12 @@
 
 namespace tofu {
 
-// Current schema tag; bump when the plan format changes shape.
-inline constexpr const char* kPlanJsonSchema = "tofu.plan.v1";
+// Current schema tag; bump when the plan format changes shape. v2 added the memory
+// fields (per-step peak_shard_bytes, plan-level memory_budget_bytes / memory_feasible,
+// search_stats.memory_pruned_states).
+inline constexpr const char* kPlanJsonSchema = "tofu.plan.v2";
+// Still accepted by PlanFromJson; the v2-only fields default to an unconstrained plan.
+inline constexpr const char* kPlanJsonSchemaV1 = "tofu.plan.v1";
 
 // Serializes every PartitionPlan field (steps with per-tensor cuts and per-op
 // strategies, costs, topology estimates, search stats).

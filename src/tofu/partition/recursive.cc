@@ -1,6 +1,7 @@
 #include "tofu/partition/recursive.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "tofu/util/logging.h"
 #include "tofu/util/strings.h"
@@ -13,19 +14,62 @@ std::string PartitionOptions::Fingerprint() const {
     out += StrFormat("%.17g,", b);
   }
   out += ';';
+  out += StrFormat("mb=%lld;", static_cast<long long>(memory_budget_bytes));
   return out;
 }
 
 namespace {
 
+// Per-worker budget relaxed for step i: the steps still to come can shrink a tensor by
+// at most the product of their factors, so a plan whose final per-worker shards fit B
+// necessarily keeps step i's per-group bytes within B * prod(factors[i+1..]) -- the
+// per-step bound the DP prunes against. Saturating: huge budgets stay "unconstrained
+// enough" instead of overflowing.
+std::int64_t StepBudget(std::int64_t budget, const std::vector<int>& factors, size_t i) {
+  if (budget <= 0) {
+    return 0;
+  }
+  std::int64_t remaining = 1;
+  for (size_t j = i + 1; j < factors.size(); ++j) {
+    remaining *= factors[j];
+  }
+  if (budget > std::numeric_limits<std::int64_t>::max() / remaining) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return budget * remaining;
+}
+
+// Folds one finished step into the plan: weighted cost (appendix Eq. 3), topology-
+// weighted seconds, shrunken shapes for the next step, and the group multiplier.
+// Shared by the DP loop and the lightest-cuts fallback so their per-step bookkeeping
+// can never diverge. step_seconds stays parallel to steps: a step without a usable
+// bandwidth records 0, and the caller drops the whole vector when no step had one.
+void AppendStep(const Graph& graph, BasicPlan step, double link_bandwidth,
+                PartitionPlan* plan, std::vector<Shape>* shapes, double* groups,
+                bool* any_bandwidth) {
+  const double weighted = *groups * step.comm_bytes;
+  plan->weighted_step_costs.push_back(weighted);
+  plan->total_comm_bytes += weighted;
+  const double seconds = link_bandwidth > 0.0 ? weighted / link_bandwidth : 0.0;
+  *any_bandwidth = *any_bandwidth || link_bandwidth > 0.0;
+  plan->step_seconds.push_back(seconds);
+  plan->estimated_comm_seconds += seconds;
+  *shapes = StepContext::ApplyBasicPlan(graph, *shapes, step);
+  *groups *= static_cast<double>(step.ways);
+  plan->steps.push_back(std::move(step));
+}
+
 // Runs the per-step DP loop for one ordering of the step factors. Coarsening is
 // structural and shared by all steps (and all candidate orderings); shapes change per
-// step.
+// step. With a budget, each step searches under its relaxed bound; a step where even
+// the lightest assignment overflows stops the loop with memory_feasible = false (the
+// partial plan is only an infeasibility witness -- the driver never returns it).
 PartitionPlan RunSteps(const Graph& graph, int num_workers, const CoarseGraph& coarse,
                        const PartitionOptions& options, const std::vector<int>& factors) {
   PartitionPlan plan;
   plan.num_workers = num_workers;
   plan.step_factors = factors;
+  plan.memory_budget_bytes = options.memory_budget_bytes;
   std::vector<Shape> shapes = StepContext::InitialShapes(graph);
 
   bool any_bandwidth = false;
@@ -39,25 +83,112 @@ PartitionPlan RunSteps(const Graph& graph, int num_workers, const CoarseGraph& c
     if (step_bw > 0.0) {
       dp_options.link_bandwidth = step_bw;
     }
+    dp_options.memory_budget_bytes = StepBudget(options.memory_budget_bytes, factors, i);
     DpResult dp = RunStepDp(&ctx, coarse, dp_options);
     plan.search_stats.Merge(dp.stats);
-    const double weighted = groups * dp.plan.comm_bytes;
-    plan.weighted_step_costs.push_back(weighted);
-    plan.total_comm_bytes += weighted;
-    // step_seconds stays parallel to steps: a step without a usable bandwidth records
-    // 0; the whole vector is dropped below when no step had one.
-    const double seconds =
-        dp_options.link_bandwidth > 0.0 ? weighted / dp_options.link_bandwidth : 0.0;
-    any_bandwidth = any_bandwidth || dp_options.link_bandwidth > 0.0;
-    plan.step_seconds.push_back(seconds);
-    plan.estimated_comm_seconds += seconds;
-    shapes = StepContext::ApplyBasicPlan(graph, shapes, dp.plan);
-    plan.steps.push_back(std::move(dp.plan));
-    groups *= static_cast<double>(factors[i]);
+    if (!dp.feasible) {
+      plan.memory_feasible = false;
+      return plan;
+    }
+    AppendStep(graph, std::move(dp.plan), dp_options.link_bandwidth, &plan, &shapes,
+               &groups, &any_bandwidth);
   }
   if (!any_bandwidth) {
     plan.step_seconds.clear();  // topology-agnostic search: no estimates at all
   }
+  return plan;
+}
+
+// The lightest plan of one factor ordering, built without the DP: byte totals are
+// separable per slot, so each slot independently takes its minimum-resident cut at
+// every step (ties prefer the dimension with the largest current extent, keeping later
+// steps something to cut; then the lowest dimension, for determinism), and each
+// operator the cheapest strategy under those cuts. This is both the feasibility
+// fallback when every constrained DP ordering fails -- a feasible plan may still exist
+// off the DP's cost-greedy path -- and the witness behind a kResourceExhausted verdict:
+// if even this plan overflows, the configuration cannot fit.
+PartitionPlan MinBytesSteps(const Graph& graph, int num_workers, const CoarseGraph& coarse,
+                            const PartitionOptions& options,
+                            const std::vector<int>& factors) {
+  PartitionPlan plan;
+  plan.num_workers = num_workers;
+  plan.step_factors = factors;
+  plan.memory_budget_bytes = options.memory_budget_bytes;
+  std::vector<Shape> shapes = StepContext::InitialShapes(graph);
+
+  bool any_bandwidth = false;
+  double groups = 1.0;
+  for (size_t i = 0; i < factors.size(); ++i) {
+    const int f = factors[i];
+    StepContext ctx(graph, shapes, f);
+    BasicPlan bp;
+    bp.ways = f;
+    bp.tensor_cut.assign(static_cast<size_t>(graph.num_tensors()), kReplicated);
+    for (const TensorSlot& slot : coarse.slots) {
+      const TensorId rep = slot.members[0];
+      int best_cut = kReplicated;
+      double best_bytes = std::numeric_limits<double>::infinity();
+      std::int64_t best_extent = -1;
+      for (int cut : ctx.CutOptions(rep)) {
+        double b = 0.0;
+        for (TensorId t : slot.members) {
+          b += ShardBytesForCut(ctx.shape(t), graph.tensor(t).elem_size, cut, f);
+        }
+        const std::int64_t extent =
+            cut == kReplicated ? -1 : ctx.shape(rep)[static_cast<size_t>(cut)];
+        if (b < best_bytes || (b == best_bytes && extent > best_extent)) {
+          best_cut = cut;
+          best_bytes = b;
+          best_extent = extent;
+        }
+      }
+      for (TensorId t : slot.members) {
+        bp.tensor_cut[static_cast<size_t>(t)] = best_cut;
+      }
+    }
+    bp.op_strategy.assign(static_cast<size_t>(graph.num_ops()), kReplicatedExec);
+    for (OpId op_id = 0; op_id < graph.num_ops(); ++op_id) {
+      double op_best = ctx.OpCommBytes(op_id, kReplicatedExec, bp.tensor_cut);
+      int op_choice = kReplicatedExec;
+      const int n = static_cast<int>(ctx.Strategies(op_id).size());
+      for (int sidx = 0; sidx < n; ++sidx) {
+        if (!options.dp.allow_reduction_strategies &&
+            ctx.Strategies(op_id)[static_cast<size_t>(sidx)].is_reduction) {
+          continue;
+        }
+        if (!ctx.Applicable(op_id, sidx)) {
+          continue;
+        }
+        const double c = ctx.OpCommBytes(op_id, sidx, bp.tensor_cut);
+        if (c < op_best) {
+          op_best = c;
+          op_choice = sidx;
+        }
+      }
+      bp.op_strategy[static_cast<size_t>(op_id)] = op_choice;
+      bp.comm_bytes += op_best;
+    }
+    for (TensorId t = 0; t < graph.num_tensors(); ++t) {
+      bp.peak_shard_bytes += ShardBytesForCut(ctx.shape(t), graph.tensor(t).elem_size,
+                                              bp.tensor_cut[static_cast<size_t>(t)], f);
+    }
+    const double step_bw = StepBandwidth(options, i);
+    const double link_bw = step_bw > 0.0 ? step_bw : options.dp.link_bandwidth;
+    if (link_bw > 0.0) {
+      bp.comm_seconds = bp.comm_bytes / link_bw;
+    }
+    AppendStep(graph, std::move(bp), link_bw, &plan, &shapes, &groups, &any_bandwidth);
+  }
+  if (!any_bandwidth) {
+    plan.step_seconds.clear();
+  }
+  // The real memory constraint is the FINAL per-worker residency: intermediate groups
+  // are sets of workers, each of which only ever stores its final shard.
+  plan.memory_feasible =
+      options.memory_budget_bytes <= 0 ||
+      (!plan.steps.empty() &&
+       plan.steps.back().peak_shard_bytes <=
+           static_cast<double>(options.memory_budget_bytes));
   return plan;
 }
 
@@ -90,28 +221,58 @@ double StepBandwidth(const PartitionOptions& options, size_t step) {
   return LevelBandwidth(options.step_bandwidths, 0.0, step);
 }
 
+namespace {
+
+// Candidate preference for the ordering search: a memory-feasible plan always beats an
+// infeasible one; among equals, lower estimated time, then lower weighted bytes (the
+// time metric when no bandwidths were given). Strict, so ties keep the earlier
+// candidate -- the canonical non-increasing order stays the deterministic default.
+bool PlanBeats(const PartitionPlan& a, const PartitionPlan& b) {
+  if (a.memory_feasible != b.memory_feasible) {
+    return a.memory_feasible;
+  }
+  if (a.estimated_comm_seconds != b.estimated_comm_seconds) {
+    return a.estimated_comm_seconds < b.estimated_comm_seconds;
+  }
+  return a.total_comm_bytes < b.total_comm_bytes;
+}
+
+// Among plans that all failed the budget, the one peaking lowest is the best witness
+// (and the best best-effort answer).
+double FinalPeak(const PartitionPlan& plan) {
+  return plan.steps.empty() ? 0.0 : plan.steps.back().peak_shard_bytes;
+}
+
+}  // namespace
+
 PartitionPlan RecursivePartition(const Graph& graph, int num_workers,
                                  const PartitionOptions& options) {
   if (num_workers <= 1) {
     PartitionPlan plan;
     plan.num_workers = num_workers;
+    plan.memory_budget_bytes = options.memory_budget_bytes;
     return plan;
   }
 
   const CoarseGraph coarse = Coarsen(graph, options.coarsen);
   const std::vector<int> canonical = FactorizeWorkers(num_workers);
   PartitionPlan best = RunSteps(graph, num_workers, coarse, options, canonical);
-  if (!BandwidthsDiffer(options, canonical.size())) {
+  const bool budgeted = options.memory_budget_bytes > 0;
+  if (!BandwidthsDiffer(options, canonical.size()) &&
+      (!budgeted || best.memory_feasible)) {
     return best;
   }
 
-  // Non-uniform topology: the factor ordering matters, because the coarsest step's bytes
-  // cross the slowest link and each step's byte total depends on the shapes the earlier
-  // steps left behind. Enumerate the distinct permutations of the factor multiset
-  // (ascending start -> lexicographic next_permutation covers each exactly once) and keep
-  // the lowest estimated time; ties keep the canonical non-increasing order. The
-  // permutation count is tiny for realistic worker counts (<= 6 below 64 workers), but a
-  // cap bounds adversarial inputs.
+  // The factor ordering matters in two situations: on a non-uniform topology the
+  // coarsest step's bytes cross the slowest link (and each step's byte total depends on
+  // the shapes the earlier steps left behind), and under a memory budget a different
+  // ordering can be feasible where the canonical one is not (a factor applied earlier
+  // shrinks extents differently, changing which cuts remain applicable later).
+  // Enumerate the distinct permutations of the factor multiset (ascending start ->
+  // lexicographic next_permutation covers each exactly once) and keep the best by
+  // PlanBeats; ties keep the canonical non-increasing order. The permutation count is
+  // tiny for realistic worker counts (<= 6 below 64 workers), but a cap bounds
+  // adversarial inputs.
   constexpr int kMaxOrderings = 24;
   std::vector<int> ordering = canonical;
   std::sort(ordering.begin(), ordering.end());
@@ -122,14 +283,47 @@ PartitionPlan RecursivePartition(const Graph& graph, int num_workers,
     }
     PartitionPlan candidate = RunSteps(graph, num_workers, coarse, options, ordering);
     best.search_stats.Merge(candidate.search_stats);
-    if (candidate.estimated_comm_seconds < best.estimated_comm_seconds) {
+    if (PlanBeats(candidate, best)) {
       const SearchStats merged = best.search_stats;
       best = std::move(candidate);
       best.search_stats = merged;
     }
     ++tried;
   } while (std::next_permutation(ordering.begin(), ordering.end()) && tried < kMaxOrderings);
-  return best;
+  if (!budgeted || best.memory_feasible) {
+    return best;
+  }
+
+  // Every constrained DP ordering overflowed. The DP's per-step cost-greedy choices can
+  // paint later steps into a corner, so try the lightest-cuts plan of every ordering:
+  // if one fits, return it (higher comm, but feasible -- the point of the budget); if
+  // none does, return the lowest-peaking witness marked infeasible so the session can
+  // report the unbeatable deficit.
+  PartitionPlan lightest;
+  bool have_lightest = false;
+  ordering = canonical;
+  std::sort(ordering.begin(), ordering.end());
+  tried = 0;
+  do {
+    PartitionPlan candidate = MinBytesSteps(graph, num_workers, coarse, options, ordering);
+    bool take;
+    if (!have_lightest) {
+      take = true;
+    } else if (candidate.memory_feasible != lightest.memory_feasible) {
+      take = candidate.memory_feasible;
+    } else if (!candidate.memory_feasible) {
+      take = FinalPeak(candidate) < FinalPeak(lightest);  // best witness: lowest peak
+    } else {
+      take = PlanBeats(candidate, lightest);
+    }
+    if (take) {
+      candidate.search_stats = best.search_stats;  // keep the DP effort visible
+      lightest = std::move(candidate);
+      have_lightest = true;
+    }
+    ++tried;
+  } while (std::next_permutation(ordering.begin(), ordering.end()) && tried < kMaxOrderings);
+  return lightest;
 }
 
 }  // namespace tofu

@@ -31,6 +31,16 @@ struct PartitionOptions {
   // the cheap-to-communicate split on the slow cross-group link (see core/session.h's
   // DeviceTopology, which fills this from intra-group p2p vs. cross-group host links).
   std::vector<double> step_bandwidths;
+  // Per-worker resident-byte budget (0 = unconstrained). When set, each recursive step
+  // searches under the relaxed bound budget * (shrink still to come) -- a condition
+  // implied by final feasibility -- and the returned plan's final per-worker shards
+  // fit. The plan is the cheapest the constrained per-step DP finds, which is near-
+  // but not provably-minimum communication (per-step greediness and the engine's
+  // single-state-per-key merges; see docs/search.md). When the canonical factor
+  // ordering cannot fit, the ordering search engages even on uniform topologies, and
+  // if no ordering's DP fits, a lightest-cuts fallback plan is tried; only when that
+  // overflows too does the plan come back marked memory_feasible = false.
+  std::int64_t memory_budget_bytes = 0;
 
   // Deterministic serialization of every field (composing the nested fingerprints) for
   // the Session plan-cache key; extend together with the struct.

@@ -62,12 +62,15 @@ std::uint64_t HashKey(const std::uint64_t* key, int words) {
   return h;
 }
 
-// Struct-of-arrays state set: W words of packed key, cost, and backpointer per state.
-// All keys in one set share the same field layout (the current frontier).
+// Struct-of-arrays state set: W words of packed key, cost, and backpointer per state
+// (plus accumulated resident bytes when a memory budget is active). All keys in one set
+// share the same field layout (the current frontier).
 struct StateArena {
   int words = 1;
+  bool track_bytes = false;
   std::vector<std::uint64_t> keys;  // size() == count * words
   std::vector<double> cost;
+  std::vector<double> bytes;  // populated only when track_bytes
   std::vector<std::int32_t> rec;
 
   std::int64_t count() const { return static_cast<std::int64_t>(cost.size()); }
@@ -80,6 +83,18 @@ struct StateArena {
   void Resize(std::int64_t n) {
     keys.assign(static_cast<size_t>(n) * static_cast<size_t>(words), 0);
     cost.resize(static_cast<size_t>(n));
+    if (track_bytes) {
+      bytes.resize(static_cast<size_t>(n));
+    }
+    rec.resize(static_cast<size_t>(n));
+  }
+  // Keeps the first n states as-is (Resize would zero the keys).
+  void Shrink(std::int64_t n) {
+    keys.resize(static_cast<size_t>(n) * static_cast<size_t>(words));
+    cost.resize(static_cast<size_t>(n));
+    if (track_bytes) {
+      bytes.resize(static_cast<size_t>(n));
+    }
     rec.resize(static_cast<size_t>(n));
   }
 };
@@ -179,14 +194,55 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
   std::vector<FrontierField> frontier;
   int width = 0;  // current key width in bits
 
+  // Memory-constrained mode: per-state resident bytes ride along with cost. Slots no
+  // group ever touches stay at option 0, so they contribute a constant; every touched
+  // slot contributes at least its cheapest option, giving the admissible lower bound
+  // used for pruning ("could any completion of this state still fit?").
+  const bool track = options.memory_budget > 0.0 && !space.slot_option_bytes.empty();
+  const double budget = options.memory_budget;
+  std::vector<double> slot_min_bytes;
+  double base_bytes = 0.0;     // untouched slots, fixed at option 0
+  double remaining_min = 0.0;  // cheapest option of every touched slot not yet entered
+  if (track) {
+    TOFU_CHECK_EQ(space.slot_option_bytes.size(), space.slot_num_options.size());
+    slot_min_bytes.resize(static_cast<size_t>(num_slots), 0.0);
+    for (int s = 0; s < num_slots; ++s) {
+      const std::vector<double>& ob = space.slot_option_bytes[static_cast<size_t>(s)];
+      TOFU_CHECK_EQ(static_cast<int>(ob.size()),
+                    space.slot_num_options[static_cast<size_t>(s)]);
+      if (first[static_cast<size_t>(s)] < 0) {
+        base_bytes += ob[0];
+        continue;
+      }
+      double m = ob[0];
+      for (double b : ob) {
+        m = std::min(m, b);
+      }
+      slot_min_bytes[static_cast<size_t>(s)] = m;
+      remaining_min += m;
+    }
+    result.min_possible_bytes = base_bytes + remaining_min;
+    if (result.min_possible_bytes > budget) {
+      // Even the lightest assignment overflows: infeasible before exploring anything.
+      result.feasible = false;
+      result.slot_option.assign(static_cast<size_t>(num_slots), 0);
+      return result;
+    }
+  }
+
   StateArena states;
   states.words = words;
+  states.track_bytes = track;
   states.Resize(1);
   states.cost[0] = 0.0;
   states.rec[0] = -1;
+  if (track) {
+    states.bytes[0] = base_bytes;
+  }
 
   StateArena scratch;
   scratch.words = words;
+  scratch.track_bytes = track;
 
   // Projection dedup table: open addressing over state indices.
   std::vector<std::int32_t> dedup;
@@ -210,26 +266,65 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
       TOFU_CHECK(recs.size() + static_cast<size_t>(n_out) <
                  static_cast<size_t>(std::numeric_limits<std::int32_t>::max()));
       const std::int64_t rec_base = static_cast<std::int64_t>(recs.size());
-      recs.resize(recs.size() + static_cast<size_t>(n_out));
-      scratch.Resize(n_out);
       const int offset = width;
-      pool.ParallelFor(n_in, [&](int, std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
+      if (track) {
+        // Compacting serial branch with budget pruning. A child is kept only when its
+        // accumulated bytes plus the cheapest choice for every still-undecided slot can
+        // fit the budget -- pruning is therefore provably safe (no feasible completion
+        // is discarded), and since each live parent's cheapest child always passes,
+        // the state set can never empty here. Serial is a deliberate simplicity
+        // tradeoff: compaction makes output offsets data-dependent; a per-shard
+        // count + prefix-sum two-pass would restore ParallelFor bit-identically if
+        // constrained-search wall time ever matters.
+        const std::vector<double>& ob = space.slot_option_bytes[static_cast<size_t>(s)];
+        const double rest_min = remaining_min - slot_min_bytes[static_cast<size_t>(s)];
+        recs.reserve(recs.size() + static_cast<size_t>(n_out));
+        scratch.Resize(n_out);
+        std::int64_t kept = 0;
+        for (std::int64_t i = 0; i < n_in; ++i) {
           const std::uint64_t* in_key = states.key(i);
           for (int o = 0; o < opts; ++o) {
-            const std::int64_t j = i * opts + o;
-            std::uint64_t* out_key = scratch.key(j);
+            const double child_bytes = states.bytes[static_cast<size_t>(i)] + ob[static_cast<size_t>(o)];
+            if (child_bytes + rest_min > budget) {
+              ++result.stats.memory_pruned_states;
+              continue;
+            }
+            std::uint64_t* out_key = scratch.key(kept);
             std::memcpy(out_key, in_key, sizeof(std::uint64_t) * static_cast<size_t>(words));
             WriteField(out_key, offset, bits, static_cast<std::uint64_t>(o));
-            scratch.cost[static_cast<size_t>(j)] = states.cost[static_cast<size_t>(i)];
-            const std::int64_t r = rec_base + j;
-            recs[static_cast<size_t>(r)] = {states.rec[static_cast<size_t>(i)],
-                                            static_cast<std::int32_t>(s),
-                                            static_cast<std::int32_t>(o)};
-            scratch.rec[static_cast<size_t>(j)] = static_cast<std::int32_t>(r);
+            scratch.cost[static_cast<size_t>(kept)] = states.cost[static_cast<size_t>(i)];
+            scratch.bytes[static_cast<size_t>(kept)] = child_bytes;
+            recs.push_back({states.rec[static_cast<size_t>(i)], static_cast<std::int32_t>(s),
+                            static_cast<std::int32_t>(o)});
+            scratch.rec[static_cast<size_t>(kept)] =
+                static_cast<std::int32_t>(rec_base + kept);
+            ++kept;
           }
         }
-      });
+        TOFU_CHECK_GE(kept, 1);
+        scratch.Shrink(kept);
+        remaining_min = rest_min;
+      } else {
+        recs.resize(recs.size() + static_cast<size_t>(n_out));
+        scratch.Resize(n_out);
+        pool.ParallelFor(n_in, [&](int, std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const std::uint64_t* in_key = states.key(i);
+            for (int o = 0; o < opts; ++o) {
+              const std::int64_t j = i * opts + o;
+              std::uint64_t* out_key = scratch.key(j);
+              std::memcpy(out_key, in_key, sizeof(std::uint64_t) * static_cast<size_t>(words));
+              WriteField(out_key, offset, bits, static_cast<std::uint64_t>(o));
+              scratch.cost[static_cast<size_t>(j)] = states.cost[static_cast<size_t>(i)];
+              const std::int64_t r = rec_base + j;
+              recs[static_cast<size_t>(r)] = {states.rec[static_cast<size_t>(i)],
+                                              static_cast<std::int32_t>(s),
+                                              static_cast<std::int32_t>(o)};
+              scratch.rec[static_cast<size_t>(j)] = static_cast<std::int32_t>(r);
+            }
+          }
+        });
+      }
       std::swap(states, scratch);
       frontier.push_back({s, width, bits});
       width += bits;
@@ -247,6 +342,12 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
           if (states.cost[static_cast<size_t>(a)] != states.cost[static_cast<size_t>(b)]) {
             return states.cost[static_cast<size_t>(a)] < states.cost[static_cast<size_t>(b)];
           }
+          // Feasibility-aware tie-break: under a budget, an equally-cheap lighter state
+          // has at least as many surviving completions, so it is the better keep.
+          if (track &&
+              states.bytes[static_cast<size_t>(a)] != states.bytes[static_cast<size_t>(b)]) {
+            return states.bytes[static_cast<size_t>(a)] < states.bytes[static_cast<size_t>(b)];
+          }
           return std::lexicographical_compare(states.key(a), states.key(a) + words,
                                               states.key(b), states.key(b) + words);
         };
@@ -258,6 +359,9 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
           std::memcpy(scratch.key(i), states.key(src),
                       sizeof(std::uint64_t) * static_cast<size_t>(words));
           scratch.cost[static_cast<size_t>(i)] = states.cost[static_cast<size_t>(src)];
+          if (track) {
+            scratch.bytes[static_cast<size_t>(i)] = states.bytes[static_cast<size_t>(src)];
+          }
           scratch.rec[static_cast<size_t>(i)] = states.rec[static_cast<size_t>(src)];
         }
         std::swap(states, scratch);
@@ -439,6 +543,7 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
     dedup.assign(static_cast<size_t>(cap), -1);
     StateArena merged;
     merged.words = words;
+    merged.track_bytes = track;
     merged.keys.reserve(static_cast<size_t>(n) * static_cast<size_t>(words));
     merged.cost.reserve(static_cast<size_t>(n));
     merged.rec.reserve(static_cast<size_t>(n));
@@ -452,13 +557,28 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
           entry = static_cast<std::int32_t>(merged.count());
           merged.keys.insert(merged.keys.end(), key, key + words);
           merged.cost.push_back(states.cost[static_cast<size_t>(i)]);
+          if (track) {
+            merged.bytes.push_back(states.bytes[static_cast<size_t>(i)]);
+          }
           merged.rec.push_back(states.rec[static_cast<size_t>(i)]);
           break;
         }
         if (std::memcmp(merged.key(entry), key,
                         sizeof(std::uint64_t) * static_cast<size_t>(words)) == 0) {
-          if (states.cost[static_cast<size_t>(i)] < merged.cost[static_cast<size_t>(entry)]) {
+          // Without a budget: strictly cheaper wins (equal cost keeps the first state in
+          // branch order, the engine's canonical tie-break). With one, equal cost
+          // prefers the lighter state -- it dominates the heavier one, since any
+          // completion feasible for the heavier is feasible for the lighter.
+          const bool better =
+              states.cost[static_cast<size_t>(i)] < merged.cost[static_cast<size_t>(entry)] ||
+              (track &&
+               states.cost[static_cast<size_t>(i)] == merged.cost[static_cast<size_t>(entry)] &&
+               states.bytes[static_cast<size_t>(i)] < merged.bytes[static_cast<size_t>(entry)]);
+          if (better) {
             merged.cost[static_cast<size_t>(entry)] = states.cost[static_cast<size_t>(i)];
+            if (track) {
+              merged.bytes[static_cast<size_t>(entry)] = states.bytes[static_cast<size_t>(i)];
+            }
             merged.rec[static_cast<size_t>(entry)] = states.rec[static_cast<size_t>(i)];
           }
           break;
@@ -478,14 +598,25 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
   }
 
   // 4. Best terminal state and option reconstruction (untouched slots keep option 0).
+  // Every surviving state honors the budget when one is set: branch-time pruning
+  // guarantees accumulated + cheapest-remaining <= budget, and at the end nothing
+  // remains, so accumulated bytes themselves are within budget.
   TOFU_CHECK_GE(states.count(), 1);
   std::int64_t best = 0;
   for (std::int64_t i = 1; i < states.count(); ++i) {
-    if (states.cost[static_cast<size_t>(i)] < states.cost[static_cast<size_t>(best)]) {
+    const bool better =
+        states.cost[static_cast<size_t>(i)] < states.cost[static_cast<size_t>(best)] ||
+        (track &&
+         states.cost[static_cast<size_t>(i)] == states.cost[static_cast<size_t>(best)] &&
+         states.bytes[static_cast<size_t>(i)] < states.bytes[static_cast<size_t>(best)]);
+    if (better) {
       best = i;
     }
   }
   result.best_cost = states.cost[static_cast<size_t>(best)];
+  if (track) {
+    result.best_bytes = states.bytes[static_cast<size_t>(best)];
+  }
   result.slot_option.assign(static_cast<size_t>(num_slots), 0);
   for (std::int32_t r = states.rec[static_cast<size_t>(best)]; r >= 0;
        r = recs[static_cast<size_t>(r)].parent) {

@@ -36,6 +36,13 @@ namespace tofu {
 struct SearchSpace {
   std::vector<int> slot_num_options;          // per slot; every entry >= 1
   std::vector<std::vector<int>> group_slots;  // per group: sorted, unique slot indices
+  // Optional memory model: slot_option_bytes[s][o] is the resident bytes one worker
+  // group keeps when slot s takes option o. Empty disables byte tracking; when present
+  // the outer size must match slot_num_options and each inner size the slot's count.
+  // Byte totals are separable per slot, which is what makes admissible pruning cheap:
+  // a state's lower bound is its accumulated bytes plus every undecided slot's cheapest
+  // option.
+  std::vector<std::vector<double>> slot_option_bytes;
 };
 
 struct SearchEngineOptions {
@@ -46,6 +53,13 @@ struct SearchEngineOptions {
   // Threads for state expansion (branch/charge/project sharding). 1 = serial. Cost
   // callbacks are never called concurrently regardless of this setting.
   int num_threads = 1;
+  // Per-worker-group resident-byte budget. > 0 (together with a populated
+  // SearchSpace::slot_option_bytes) turns on memory-constrained search: states whose
+  // byte lower bound exceeds the budget are pruned at branch time, equal-cost merges
+  // and the final argmin prefer lighter states, and Result::feasible reports whether
+  // any assignment fits at all. <= 0 keeps the search bit-identical to the
+  // unconstrained engine (no byte tracking, original tie-breaks).
+  double memory_budget = 0.0;
 };
 
 class SearchEngine {
@@ -62,9 +76,18 @@ class SearchEngine {
 
   struct Result {
     bool completed = true;          // false only when a streamed search aborted
+    // False when a memory budget excluded every assignment (the lightest possible
+    // choice per slot already overflows); slot_option is then all zeros and no cost
+    // callback ran. Always true without a budget.
+    bool feasible = true;
     double best_cost = 0.0;
     // Chosen option index per slot; slots no group touches default to option 0.
     std::vector<int> slot_option;
+    // Byte-tracking results (0 without a budget): the chosen assignment's resident
+    // bytes, and the lower bound over ALL assignments (sum of each slot's cheapest
+    // option) -- what an infeasible search proves cannot be beaten.
+    double best_bytes = 0.0;
+    double min_possible_bytes = 0.0;
     SearchStats stats;
   };
 

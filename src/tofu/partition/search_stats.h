@@ -17,6 +17,10 @@ struct SearchStats {
   std::int64_t max_frontier_states = 0;
   // Total cells across all precomputed per-group cost tables (0 in streamed mode).
   std::int64_t cost_table_entries = 0;
+  // States discarded because their resident bytes -- plus the cheapest possible choices
+  // for every slot not yet decided -- already exceeded the step's memory budget. Always
+  // 0 when the search ran without a budget (the pruning never engages).
+  std::int64_t memory_pruned_states = 0;
   double wall_seconds = 0.0;
   // False when the frontier exceeded the state cap and the search degraded to a beam
   // (the plan is then an approximation; see SearchEngineOptions::max_states).
@@ -28,6 +32,7 @@ struct SearchStats {
     states_explored += step.states_explored;
     max_frontier_states = std::max(max_frontier_states, step.max_frontier_states);
     cost_table_entries += step.cost_table_entries;
+    memory_pruned_states += step.memory_pruned_states;
     wall_seconds += step.wall_seconds;
     exact = exact && step.exact;
   }

@@ -127,10 +127,12 @@ ThroughputResult SwapThroughput(const ModelFactory& factory, std::int64_t batch,
         return false;  // nothing evictable: one op's working set exceeds capacity
       }
       --it;
+      // Copy the entry out BEFORE erasing: erase frees the node `it` points at.
+      const std::int64_t entry_use = it->first;
       const TensorId victim_id = it->second;
       pool.erase(it);
       Buffer& victim = buffers[static_cast<size_t>(victim_id)];
-      if (!victim.resident || next_use(victim_id) != it->first) {
+      if (!victim.resident || next_use(victim_id) != entry_use) {
         continue;  // stale entry
       }
       victim.resident = false;

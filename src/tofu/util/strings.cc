@@ -22,6 +22,20 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
+std::vector<std::string> Split(const std::string& text, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = text.find(delim, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
 std::string HumanBytes(double bytes) {
   static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   int unit = 0;

@@ -28,6 +28,10 @@ std::string Join(const Container& items, const std::string& sep) {
 // printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+// Splits on a single-character delimiter; no trimming, empty tokens preserved
+// ("a,,b" -> {"a", "", "b"}, "" -> {""}). The inverse of Join for char separators.
+std::vector<std::string> Split(const std::string& text, char delim);
+
 // Formats a byte count with binary units, e.g. "1.50 GiB".
 std::string HumanBytes(double bytes);
 

@@ -33,6 +33,9 @@ TEST(PlanJson, RoundTripsEveryField) {
   ModelGraph model = SmallModel();
   PartitionPlan plan = PlanFor(model, 8);
   plan.search_stats.wall_seconds = 0.015625;  // representable, so EQ is exact
+  plan.memory_budget_bytes = 123456789;       // exercise the v2 memory fields
+  plan.memory_feasible = false;
+  plan.search_stats.memory_pruned_states = 42;
 
   Result<PartitionPlan> reloaded = PlanFromJson(PlanToJson(plan));
   ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
@@ -50,11 +53,17 @@ TEST(PlanJson, RoundTripsEveryField) {
             plan.search_stats.cost_table_entries);
   EXPECT_EQ(reloaded->search_stats.wall_seconds, plan.search_stats.wall_seconds);
   EXPECT_EQ(reloaded->search_stats.exact, plan.search_stats.exact);
+  EXPECT_EQ(reloaded->search_stats.memory_pruned_states,
+            plan.search_stats.memory_pruned_states);
+  EXPECT_EQ(reloaded->memory_budget_bytes, plan.memory_budget_bytes);
+  EXPECT_EQ(reloaded->memory_feasible, plan.memory_feasible);
   ASSERT_EQ(reloaded->steps.size(), plan.steps.size());
   for (size_t i = 0; i < plan.steps.size(); ++i) {
     EXPECT_EQ(reloaded->steps[i].ways, plan.steps[i].ways);
     EXPECT_EQ(reloaded->steps[i].comm_bytes, plan.steps[i].comm_bytes);
     EXPECT_EQ(reloaded->steps[i].comm_seconds, plan.steps[i].comm_seconds);
+    EXPECT_EQ(reloaded->steps[i].peak_shard_bytes, plan.steps[i].peak_shard_bytes);
+    EXPECT_GT(plan.steps[i].peak_shard_bytes, 0.0);
     EXPECT_EQ(reloaded->steps[i].tensor_cut, plan.steps[i].tensor_cut);
     EXPECT_EQ(reloaded->steps[i].op_strategy, plan.steps[i].op_strategy);
   }
@@ -76,6 +85,26 @@ TEST(PlanJson, ReloadedPlanReplaysIdentically) {
   EXPECT_EQ(replay.iter_seconds, original.iter_seconds);
   EXPECT_EQ(replay.samples_per_second, original.samples_per_second);
   EXPECT_EQ(replay.peak_bytes, original.peak_bytes);
+}
+
+TEST(PlanJson, LegacyV1DocumentsStillLoadAsUnconstrained) {
+  // A plan saved before the schema bump: no memory fields anywhere. It must load with
+  // the memory fields at their unconstrained defaults, not be rejected.
+  ModelGraph model = SmallModel();
+  PartitionPlan plan = PlanFor(model, 8);
+  std::string v1 = PlanToJson(plan);
+  const std::string v2_tag = "tofu.plan.v2";
+  ASSERT_NE(v1.find(v2_tag), std::string::npos);
+  v1.replace(v1.find(v2_tag), v2_tag.size(), "tofu.plan.v1");
+
+  Result<PartitionPlan> reloaded = PlanFromJson(v1);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->memory_budget_bytes, 0);
+  EXPECT_TRUE(reloaded->memory_feasible);
+  EXPECT_EQ(reloaded->search_stats.memory_pruned_states, 0);
+  // v1 readers tolerate the extra keys; v1 carried no per-step peaks, so they default.
+  EXPECT_EQ(reloaded->total_comm_bytes, plan.total_comm_bytes);
+  EXPECT_TRUE(ValidatePlanForGraph(model.graph, *reloaded).ok());
 }
 
 TEST(PlanJson, RejectsMalformedDocuments) {

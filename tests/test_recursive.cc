@@ -154,6 +154,77 @@ TEST(FlatDp, BudgetedRunReportsProjection) {
   }
 }
 
+TEST(Recursive, BudgetedPlanRecordsPerStepPeaksAndHonorsTheFinalBound) {
+  ModelGraph model = MidMlp();
+  PartitionPlan free_plan = RecursivePartition(model.graph, 8);
+  ASSERT_EQ(free_plan.steps.size(), 3u);
+  // Per-step peaks are recorded even without a budget, and shrink monotonically: every
+  // step cuts (or at worst replicates) against strictly finer groups.
+  for (size_t i = 0; i + 1 < free_plan.steps.size(); ++i) {
+    EXPECT_GE(free_plan.steps[i].peak_shard_bytes,
+              free_plan.steps[i + 1].peak_shard_bytes);
+  }
+  EXPECT_TRUE(free_plan.memory_feasible);
+  EXPECT_EQ(free_plan.memory_budget_bytes, 0);
+
+  // Constrain below the unconstrained plan's final residency: the search must return a
+  // DIFFERENT plan whose final per-worker bytes fit, at equal-or-higher comm.
+  const double free_final = free_plan.steps.back().peak_shard_bytes;
+  PartitionOptions options;
+  options.memory_budget_bytes = static_cast<std::int64_t>(free_final) - 1;
+  PartitionPlan tight = RecursivePartition(model.graph, 8, options);
+  ASSERT_EQ(tight.steps.size(), 3u);
+  EXPECT_TRUE(tight.memory_feasible);
+  EXPECT_EQ(tight.memory_budget_bytes, options.memory_budget_bytes);
+  EXPECT_LE(tight.steps.back().peak_shard_bytes,
+            static_cast<double>(options.memory_budget_bytes));
+  EXPECT_GE(tight.total_comm_bytes, free_plan.total_comm_bytes);
+  // The budget changed the outcome, not just the bookkeeping.
+  EXPECT_LT(tight.steps.back().peak_shard_bytes, free_final);
+
+  // An impossible budget comes back marked infeasible, with the lightest plan found as
+  // the witness (still a complete, well-formed plan).
+  options.memory_budget_bytes = 1;
+  PartitionPlan witness = RecursivePartition(model.graph, 8, options);
+  EXPECT_FALSE(witness.memory_feasible);
+  ASSERT_EQ(witness.steps.size(), 3u);
+  EXPECT_GT(witness.steps.back().peak_shard_bytes, 1.0);
+}
+
+TEST(FlatDp, BudgetPrunesOrProvesInfeasibility) {
+  MlpConfig config;
+  config.layer_sizes = {128, 96};
+  config.batch = 32;
+  config.with_bias = false;
+  ModelGraph model = BuildMlp(config);
+  CoarseGraph cg = Coarsen(model.graph);
+
+  FlatDpOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 30.0;
+  FlatDpResult free_run = RunFlatDp(model.graph, cg, options);
+  ASSERT_TRUE(free_run.completed);
+  ASSERT_TRUE(free_run.feasible);
+  const double free_final = free_run.plan.steps.back().peak_shard_bytes;
+
+  // A budget under the unconstrained tiling's residency still completes feasibly (the
+  // flat options are whole tilings, so the bound applies directly)...
+  options.memory_budget_bytes = static_cast<std::int64_t>(free_final) - 1;
+  FlatDpResult tight = RunFlatDp(model.graph, cg, options);
+  ASSERT_TRUE(tight.completed);
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_LE(tight.plan.steps.back().peak_shard_bytes,
+            static_cast<double>(options.memory_budget_bytes));
+  EXPECT_GE(tight.plan.total_comm_bytes, free_run.plan.total_comm_bytes);
+
+  // ...and an impossible one is proved infeasible without enumerating anything.
+  options.memory_budget_bytes = 1;
+  FlatDpResult impossible = RunFlatDp(model.graph, cg, options);
+  EXPECT_FALSE(impossible.feasible);
+  EXPECT_GT(impossible.min_possible_bytes, 1.0);
+  EXPECT_EQ(impossible.search_stats.states_explored, 0);
+}
+
 TEST(Recursive, RnnPlanPartitionsEveryWeight) {
   RnnConfig config;
   config.layers = 2;

@@ -267,6 +267,134 @@ TEST(SearchEngineUnit, OversizedGroupFallsBackToMemoizedCharge) {
   EXPECT_DOUBLE_EQ(res.best_cost, 0.0);
 }
 
+// Memory-constrained engine cases: SearchSpace::slot_option_bytes + memory_budget.
+TEST(SearchEngineUnit, BudgetPrunesToTheCheapestFeasibleAssignment) {
+  // Slot 0: option 0 costs 1 but weighs 100; option 1 costs 5 and weighs 10.
+  // Unconstrained picks option 0; a budget of 50 forces option 1.
+  SearchSpace space;
+  space.slot_num_options = {2};
+  space.group_slots = {{0}};
+  space.slot_option_bytes = {{100.0, 10.0}};
+  auto cost = [](int, const int* o) { return o[0] == 0 ? 1.0 : 5.0; };
+
+  SearchSpace unconstrained = space;
+  SearchEngine free_engine(std::move(unconstrained), {});
+  SearchEngine::Result free_res = free_engine.Run(cost);
+  EXPECT_EQ(free_res.slot_option[0], 0);
+  EXPECT_DOUBLE_EQ(free_res.best_bytes, 0.0);  // no budget: bytes not tracked
+
+  SearchEngineOptions options;
+  options.memory_budget = 50.0;
+  SearchEngine engine(std::move(space), options);
+  SearchEngine::Result res = engine.Run(cost);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.slot_option[0], 1);
+  EXPECT_DOUBLE_EQ(res.best_cost, 5.0);
+  EXPECT_DOUBLE_EQ(res.best_bytes, 10.0);
+  EXPECT_DOUBLE_EQ(res.min_possible_bytes, 10.0);
+  EXPECT_EQ(res.stats.memory_pruned_states, 1);
+}
+
+TEST(SearchEngineUnit, BudgetInfeasibilityIsProvedNotSearched) {
+  SearchSpace space;
+  space.slot_num_options = {2, 2};
+  space.group_slots = {{0}, {1}};
+  space.slot_option_bytes = {{40.0, 30.0}, {25.0, 35.0}};  // lightest total: 55
+  SearchEngineOptions options;
+  options.memory_budget = 50.0;
+  SearchEngine engine(std::move(space), options);
+  int calls = 0;
+  SearchEngine::Result res = engine.Run([&calls](int, const int*) {
+    ++calls;
+    return 1.0;
+  });
+  EXPECT_FALSE(res.feasible);
+  EXPECT_DOUBLE_EQ(res.min_possible_bytes, 55.0);
+  EXPECT_EQ(calls, 0);  // infeasibility came from the per-slot lower bound, for free
+}
+
+TEST(SearchEngineUnit, BudgetLowerBoundPrunesAcrossSlots) {
+  // Slot 0 branches first; its heavy option (60) is individually under the 70 budget
+  // but cannot fit together with slot 1's lightest option (20), so it must be pruned
+  // AT BRANCH TIME -- waiting until slot 1 enters would explore a dead state.
+  SearchSpace space;
+  space.slot_num_options = {2, 2};
+  space.group_slots = {{0}, {1}};
+  space.slot_option_bytes = {{60.0, 30.0}, {20.0, 25.0}};
+  SearchEngineOptions options;
+  options.memory_budget = 70.0;
+  SearchEngine engine(std::move(space), options);
+  SearchEngine::Result res = engine.Run([](int g, const int* o) {
+    return g == 0 ? (o[0] == 0 ? 0.0 : 9.0) : 0.0;  // the heavy option is the cheap one
+  });
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.slot_option, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(res.best_cost, 9.0);
+  EXPECT_DOUBLE_EQ(res.best_bytes, 50.0);
+  EXPECT_EQ(res.stats.memory_pruned_states, 1);
+}
+
+TEST(SearchEngineUnit, EqualCostMergesPreferTheLighterState) {
+  // Both options of slot 0 cost the same; unconstrained keeps the first (canonical),
+  // the budgeted engine keeps the lighter -- maximizing surviving completions.
+  SearchSpace space;
+  space.slot_num_options = {2, 2};
+  space.group_slots = {{0}, {1}};  // slot 0 leaves after group 0: projection merges
+  space.slot_option_bytes = {{80.0, 20.0}, {10.0, 10.0}};
+  auto cost = [](int, const int*) { return 1.0; };
+
+  SearchSpace unconstrained = space;
+  SearchEngine free_engine(std::move(unconstrained), {});
+  EXPECT_EQ(free_engine.Run(cost).slot_option[0], 0);  // canonical first-in-branch-order
+
+  SearchEngineOptions options;
+  options.memory_budget = 1000.0;  // loose: nothing prunes, only tie-breaks change
+  SearchEngine engine(std::move(space), options);
+  SearchEngine::Result res = engine.Run(cost);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.slot_option[0], 1);
+  EXPECT_DOUBLE_EQ(res.best_bytes, 30.0);
+  EXPECT_EQ(res.stats.memory_pruned_states, 0);
+}
+
+TEST(SearchEngineUnit, UntouchedSlotBytesChargeAgainstTheBudget) {
+  // Slot 1 is touched by no group, so it stays at option 0 -- but its 90 bytes are
+  // still resident and must count: only slot 0's light option fits beside it.
+  SearchSpace space;
+  space.slot_num_options = {2, 1};
+  space.group_slots = {{0}};
+  space.slot_option_bytes = {{50.0, 5.0}, {90.0}};
+  SearchEngineOptions options;
+  options.memory_budget = 100.0;
+  SearchEngine engine(std::move(space), options);
+  SearchEngine::Result res = engine.Run([](int, const int* o) {
+    return o[0] == 0 ? 0.0 : 3.0;
+  });
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.slot_option, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(res.best_bytes, 95.0);
+  EXPECT_DOUBLE_EQ(res.min_possible_bytes, 95.0);
+}
+
+TEST(SearchEngineThreads, BudgetedSearchIsThreadCountInvariant) {
+  ModelGraph model = GoldenMlp();
+  PartitionOptions serial;
+  serial.memory_budget_bytes = 3ll << 20;  // tight for this MLP: the pruning engages
+  serial.dp.num_threads = 1;
+  PartitionOptions threaded = serial;
+  threaded.dp.num_threads = 4;
+  PartitionPlan a = RecursivePartition(model.graph, 8, serial);
+  PartitionPlan b = RecursivePartition(model.graph, 8, threaded);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].tensor_cut, b.steps[i].tensor_cut) << "step " << i;
+    EXPECT_EQ(a.steps[i].op_strategy, b.steps[i].op_strategy) << "step " << i;
+    EXPECT_DOUBLE_EQ(a.steps[i].peak_shard_bytes, b.steps[i].peak_shard_bytes);
+  }
+  EXPECT_DOUBLE_EQ(a.total_comm_bytes, b.total_comm_bytes);
+  EXPECT_EQ(a.search_stats.memory_pruned_states, b.search_stats.memory_pruned_states);
+}
+
 TEST(SearchEngineUnit, StreamedModeAborts) {
   SearchSpace space;
   space.slot_num_options = {2, 2};

@@ -88,20 +88,165 @@ TEST(Session, InfeasibleBudgetIsResourceExhaustedWithDeficit) {
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kResourceExhausted);
   EXPECT_NE(response.status().message().find("deficit"), std::string::npos);
+  // The search itself proved no configuration fits, and the message says so.
+  EXPECT_NE(response.status().message().find("no searched configuration fits"),
+            std::string::npos);
 
-  // The infeasible attempt still cached its plan (the budget is applied after the
-  // search): a retry with a generous budget is a cache hit, and a repeated infeasible
-  // request fails fast without re-searching.
+  // The budget is part of the cache key (it steers the search), so a retry with a
+  // different budget is a fresh search -- which is exactly what can succeed where the
+  // tight one failed -- while a repeated identical infeasible request is a hit that
+  // fails fast without re-searching.
   EXPECT_EQ(session.cache_stats().misses, 1);
   request.memory_budget_bytes = 1ll << 40;
   Result<PartitionResponse> generous = session.Partition(request);
   ASSERT_TRUE(generous.ok()) << generous.status().ToString();
   EXPECT_LE(generous->peak_shard_bytes, request.memory_budget_bytes);
-  EXPECT_TRUE(generous->from_cache);
-  EXPECT_EQ(session.cache_stats().hits, 1);
+  EXPECT_FALSE(generous->from_cache);
+  EXPECT_EQ(session.cache_stats().misses, 2);
   request.memory_budget_bytes = 1;
   EXPECT_EQ(session.Partition(request).status().code(), StatusCode::kResourceExhausted);
-  EXPECT_EQ(session.cache_stats().misses, 1);  // no re-search
+  EXPECT_EQ(session.cache_stats().hits, 1);    // served the cached infeasible verdict
+  EXPECT_EQ(session.cache_stats().misses, 2);  // no re-search
+}
+
+TEST(Session, BindingDeviceMemoryBoundIsNamedInTheError) {
+  ModelGraph model = SmallMlp();
+  DeviceTopology topology = DeviceTopology::Uniform(4);
+  topology.memory_bytes_per_worker = 1;  // device smaller than any request budget
+  Session session(topology);
+  PartitionRequest request;
+  request.graph = &model.graph;
+  request.memory_budget_bytes = 2;  // fails, but raising it cannot help
+  Result<PartitionResponse> response = session.Partition(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(response.status().message().find("memory_bytes_per_worker"),
+            std::string::npos);
+  EXPECT_NE(response.status().message().find("cannot help"), std::string::npos);
+
+  // With the request budget as the binding bound the advice is to raise it.
+  Session roomy(DeviceTopology::Uniform(4));
+  Result<PartitionResponse> plain = roomy.Partition(request);
+  ASSERT_FALSE(plain.ok());
+  EXPECT_NE(plain.status().message().find("raise memory_budget_bytes"),
+            std::string::npos);
+  EXPECT_EQ(plain.status().message().find("cannot help"), std::string::npos);
+}
+
+// The bugfix this PR exists for: a budget the minimum-communication plan violates but
+// some plan satisfies must come back Ok with a feasible plan, not kResourceExhausted.
+TEST(Session, BudgetBelowMinCommPlanStillReturnsFeasiblePlan) {
+  ModelGraph model = SmallMlp();
+  Session session(DeviceTopology::Uniform(8));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> unconstrained = session.Partition(request);
+  ASSERT_TRUE(unconstrained.ok()) << unconstrained.status().ToString();
+  ASSERT_GT(unconstrained->all_resident_bytes, unconstrained->peak_shard_bytes);
+
+  // Below the min-comm plan's all-resident footprint: the pre-budget-aware session
+  // (which compared that sum against the budget) failed this request outright.
+  PartitionRequest squeezed = request;
+  squeezed.memory_budget_bytes = unconstrained->all_resident_bytes - 1;
+  Result<PartitionResponse> constrained = session.Partition(squeezed);
+  ASSERT_TRUE(constrained.ok()) << constrained.status().ToString();
+  EXPECT_LE(constrained->peak_shard_bytes, squeezed.memory_budget_bytes);
+  // Memory feasibility can only cost communication, never win it.
+  EXPECT_GE(constrained->plan.total_comm_bytes, unconstrained->plan.total_comm_bytes);
+
+  // Tighten the screw until nothing fits: each Ok must honor its budget, and the walk
+  // must end in kResourceExhausted -- returned only once no configuration fits.
+  std::int64_t budget = constrained->peak_shard_bytes - 1;
+  bool exhausted = false;
+  for (int i = 0; i < 64 && !exhausted; ++i) {
+    PartitionRequest probe = request;
+    probe.memory_budget_bytes = budget;
+    Result<PartitionResponse> r = session.Partition(probe);
+    if (r.ok()) {
+      EXPECT_LE(r->peak_shard_bytes, budget);
+      budget = r->peak_shard_bytes - 1;
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+      exhausted = true;
+    }
+  }
+  EXPECT_TRUE(exhausted);
+}
+
+TEST(Session, CachedAndFreshBudgetedResponsesAreByteIdentical) {
+  ModelGraph model = SmallMlp();
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Session warm(DeviceTopology::Uniform(8));
+  Result<PartitionResponse> baseline = warm.Partition(request);
+  ASSERT_TRUE(baseline.ok());
+  request.memory_budget_bytes = baseline->all_resident_bytes - 1;
+
+  Result<PartitionResponse> first = warm.Partition(request);
+  Result<PartitionResponse> cached = warm.Partition(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->from_cache);
+  EXPECT_EQ(PlanToJson(cached->plan), PlanToJson(first->plan));
+
+  // A fresh session searching under the same (graph, budget) key produces the same
+  // plan byte-for-byte, up to the wall clock of the search itself.
+  Session fresh(DeviceTopology::Uniform(8));
+  Result<PartitionResponse> refound = fresh.Partition(request);
+  ASSERT_TRUE(refound.ok());
+  auto comparable = [](PartitionPlan plan) {
+    plan.search_stats.wall_seconds = 0.0;
+    return PlanToJson(plan);
+  };
+  EXPECT_EQ(comparable(refound->plan), comparable(cached->plan));
+  EXPECT_EQ(refound->peak_shard_bytes, cached->peak_shard_bytes);
+}
+
+TEST(Session, CacheHitValidatesPlanAndRecoversFromSignatureCollision) {
+  // Forge what a 64-bit GraphSignature collision would look like: the cache holds a
+  // response whose plan belongs to a structurally different graph.
+  MlpConfig other_config;
+  other_config.layer_sizes = {128, 64};
+  other_config.batch = 16;
+  ModelGraph other = BuildMlp(other_config);
+  Session poisoned(DeviceTopology::Uniform(4));
+  PartitionRequest other_request;
+  other_request.graph = &other.graph;
+  Result<PartitionResponse> other_response = poisoned.Partition(other_request);
+  ASSERT_TRUE(other_response.ok());
+
+  ModelGraph model = SmallMlp();
+  PartitionRequest request;
+  request.graph = &model.graph;
+  poisoned.InsertPlanForTesting(request, *other_response);  // wrong graph, right key
+
+  Result<PartitionResponse> response = poisoned.Partition(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(poisoned.cache_stats().collisions, 1);
+  EXPECT_FALSE(response->from_cache);  // fell through to a fresh search
+  // The fresh plan validates against the request's graph and replaced the stale entry.
+  EXPECT_TRUE(ValidatePlanForGraph(model.graph, response->plan).ok());
+  Result<PartitionResponse> again = poisoned.Partition(request);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->from_cache);
+  EXPECT_EQ(poisoned.cache_stats().collisions, 1);  // no second collision
+}
+
+TEST(Session, LivenessPeakIsBelowAllResidentSum) {
+  ModelGraph model = SmallMlp();
+  Session session(DeviceTopology::Uniform(8));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> response = session.Partition(request);
+  ASSERT_TRUE(response.ok());
+  // The MLP's activations die as the chain advances, so the program-order peak is
+  // strictly below the everything-at-once sum (which is what the old fits verdict
+  // compared, spuriously reporting oversubscription).
+  EXPECT_LT(response->peak_shard_bytes, response->all_resident_bytes);
+  EXPECT_EQ(response->peak_shard_bytes,
+            LivenessPeakShardBytes(model.graph, response->plan));
+  EXPECT_EQ(response->all_resident_bytes,
+            AllResidentShardBytes(model.graph, response->plan));
 }
 
 TEST(Session, ZeroBandwidthIsInvalidArgumentNotInfinity) {

@@ -13,6 +13,10 @@ Fails (exit 1) when:
     cost_table_entries) drifted -- these are deterministic, so any change means the
     search semantics changed without re-recording the baseline;
   * the plan's communication bytes changed at all (same reasoning);
+  * the unconstrained plan itself drifted: plan_digest is an FNV-1a fingerprint of the
+    normalized plan JSON (cuts, strategies, costs, per-step peaks -- everything but the
+    search wall time), so the gate catches a changed plan even when its comm total
+    happens to be unchanged, keeping the no-budget search path bit-identical;
   * an exact search became beam-degraded;
   * the Session plan cache did not hit on a repeated identical request, or the cached
     plan was not byte-identical to a fresh session's plan (the serving-path contract of
@@ -79,6 +83,13 @@ def main() -> int:
                 f"FAIL  {row['model']}: comm bytes {row['recursive_comm_bytes']} != "
                 f"baseline {base['recursive_comm_bytes']} (plan drifted; re-record the "
                 "baseline if intentional)"
+            )
+            failed = True
+        if "plan_digest" in base and row.get("plan_digest") != base["plan_digest"]:
+            print(
+                f"FAIL  {row['model']}: plan_digest {row.get('plan_digest')!r} != "
+                f"baseline {base['plan_digest']!r} (the unconstrained plan is no longer "
+                "bit-identical; re-record the baseline if intentional)"
             )
             failed = True
         if base.get("exact", True) and not row.get("exact", True):
