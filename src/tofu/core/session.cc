@@ -79,9 +79,14 @@ DeviceTopology DeviceTopology::FromCluster(const ClusterSpec& cluster) {
   return topology;
 }
 
-void Session::ClearPlanCache() {
-  plan_cache_.clear();
-  cache_insertion_order_.clear();
+PlanCacheStats Session::cache_stats() const {
+  PlanCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.collisions = collisions_.load(std::memory_order_relaxed);
+  stats.evictions = cache_.evictions();
+  return stats;
 }
 
 // Includes memory_budget_bytes: since the budget became a first-class search constraint
@@ -166,29 +171,83 @@ Result<PartitionResponse> Session::Partition(const PartitionRequest& request) {
     }
   }
   const Graph& graph = *request.graph;
-
   const std::string key = CacheKey(request);
-  auto it = plan_cache_.find(key);
-  if (it != plan_cache_.end() &&
-      !ValidatePlanForGraph(graph, it->second.plan).ok()) {
+
+  // Fast path: a completed identical request left its response in the cache.
+  if (std::optional<PartitionResponse> cached = cache_.Lookup(key)) {
+    if (ValidatePlanForGraph(graph, cached->plan).ok()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      // The budget is part of the key, so a hit was searched under this exact budget
+      // and the verdict below merely repeats what the insertion-time check concluded
+      // (an infeasible request fails fast here without re-searching).
+      TOFU_RETURN_IF_ERROR(BudgetCheck(*cached, request.memory_budget_bytes,
+                                       topology_.memory_bytes_per_worker));
+      cached->from_cache = true;
+      return *std::move(cached);
+    }
     // The 64-bit GraphSignature collided: the cached plan belongs to a different graph.
-    // Serving it would be silently wrong; fall through to a fresh search (which
-    // overwrites the entry -- latest graph wins) and count the event.
-    ++cache_stats_.collisions;
-    it = plan_cache_.end();
+    // Serving it would be silently wrong; drop the stale entry and fall through to a
+    // fresh search (latest graph wins) and count the event.
+    collisions_.fetch_add(1, std::memory_order_relaxed);
+    cache_.Erase(key);
   }
-  if (it != plan_cache_.end()) {
-    ++cache_stats_.hits;
-    // The budget is part of the key, so a hit was searched under this exact budget and
-    // the verdict below merely repeats what the insertion-time check concluded (an
-    // infeasible request fails fast here without re-searching).
-    TOFU_RETURN_IF_ERROR(BudgetCheck(it->second, request.memory_budget_bytes,
-                                     topology_.memory_bytes_per_worker));
-    PartitionResponse response = it->second;  // copy; the cache keeps the original
-    response.from_cache = true;
-    return response;
+
+  // Single-flight: exactly one thread (the leader) searches a given key at a time;
+  // every other concurrent identical request blocks on the leader's future and copies
+  // its result -- N racing requests cost one search.
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    std::shared_ptr<Flight>& slot = inflight_[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<Flight>();
+      leader = true;
+    }
+    flight = slot;
   }
-  ++cache_stats_.misses;
+  if (!leader) {
+    // Count BEFORE blocking: a test hook can hold the leader until every racer shows
+    // up in the coalesced counter, making "K threads -> 1 search" deterministic.
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    Result<PartitionResponse> shared = flight->future.get();  // copies the leader's result
+    if (shared.ok()) {
+      shared->coalesced = true;
+    }
+    return shared;
+  }
+
+  // Leader double-check: between our cache miss and winning the flight, a previous
+  // leader may have completed and retired -- its result is in the cache now. Serving it
+  // keeps misses == distinct searches (and the response byte-identical either way).
+  Result<PartitionResponse> result = [&]() -> Result<PartitionResponse> {
+    if (std::optional<PartitionResponse> raced = cache_.Lookup(key)) {
+      if (ValidatePlanForGraph(graph, raced->plan).ok()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        // A hit replays the insertion-time budget verdict, same as the fast path.
+        TOFU_RETURN_IF_ERROR(BudgetCheck(*raced, request.memory_budget_bytes,
+                                         topology_.memory_bytes_per_worker));
+        raced->from_cache = true;
+        return *std::move(raced);
+      }
+    }
+    return SearchAndCache(request, key);
+  }();
+  flight->promise.set_value(result);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(key);
+  }
+  return result;
+}
+
+Result<PartitionResponse> Session::SearchAndCache(const PartitionRequest& request,
+                                                  const std::string& key) {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (search_hook_) {
+    search_hook_(key);
+  }
+  const Graph& graph = *request.graph;
 
   // Reject graphs with unregistered operators up front: everything downstream (strategy
   // discovery, shape inference, lowering) assumes registry entries exist and aborts
@@ -284,18 +343,9 @@ Result<PartitionResponse> Session::Partition(const PartitionRequest& request) {
 
   // Cache before the budget check: the search is the expensive part, and a repeated
   // identical (infeasible) request should fail fast from the cache instead of
-  // re-proving infeasibility. Oldest-first eviction keeps a long-lived session bounded.
-  // insert_or_assign rather than emplace: a collision fall-through must overwrite the
-  // stale entry (latest graph wins).
-  if (max_cached_plans_ > 0) {
-    while (plan_cache_.size() >= max_cached_plans_ && !cache_insertion_order_.empty()) {
-      plan_cache_.erase(cache_insertion_order_.front());
-      cache_insertion_order_.pop_front();
-    }
-    if (plan_cache_.insert_or_assign(key, response).second) {
-      cache_insertion_order_.push_back(key);
-    }
-  }
+  // re-proving infeasibility. Insert overwrites a stale collision entry (latest graph
+  // wins); per-shard LRU eviction keeps a long-lived session bounded.
+  cache_.Insert(key, response);
   TOFU_RETURN_IF_ERROR(BudgetCheck(response, request.memory_budget_bytes,
                                    topology_.memory_bytes_per_worker));
   return response;
@@ -303,10 +353,7 @@ Result<PartitionResponse> Session::Partition(const PartitionRequest& request) {
 
 void Session::InsertPlanForTesting(const PartitionRequest& request,
                                    PartitionResponse response) {
-  const std::string key = CacheKey(request);
-  if (plan_cache_.insert_or_assign(key, std::move(response)).second) {
-    cache_insertion_order_.push_back(key);
-  }
+  cache_.Insert(CacheKey(request), std::move(response));
 }
 
 }  // namespace tofu

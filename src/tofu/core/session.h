@@ -20,13 +20,28 @@
 //   * serializable artifacts -- responses carry PartitionPlans that round-trip through
 //     JSON (partition/plan_io.h).
 //
-// Sessions are not thread-safe; give each serving thread its own (the plan cache is
-// per-session state).
+// Sessions are THREAD-SAFE: one Session serves all threads of a process (that is the
+// point -- cross-request plan-cache sharing). Concretely:
+//   * the plan cache is a sharded LRU (util/sharded_lru.h) -- per-shard mutexes, so
+//     hits on different shards never contend, and values are copied out under the lock;
+//   * identical concurrent requests are single-flighted: the first caller (the leader)
+//     runs the search, every other caller with the same cache key blocks on a shared
+//     future and receives a copy of the leader's result -- one search, N responses,
+//     counted in PlanCacheStats::coalesced. A leader that fails (unknown op, infeasible
+//     budget) hands every waiter the same Status and then retires the flight, so the
+//     key is never poisoned -- a later identical request searches afresh;
+//   * counters are atomics; cache_stats() returns a consistent-enough snapshot.
+// Determinism is preserved: searches are pure functions of the request, so a cached,
+// coalesced, or fresh response carries a byte-identical plan (up to search wall time).
 #ifndef TOFU_CORE_SESSION_H_
 #define TOFU_CORE_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +49,7 @@
 #include "tofu/partition/baselines.h"
 #include "tofu/partition/recursive.h"
 #include "tofu/sim/cost_model.h"
+#include "tofu/util/sharded_lru.h"
 #include "tofu/util/status.h"
 
 namespace tofu {
@@ -120,29 +136,45 @@ struct PartitionResponse {
   SearchStats search_stats;
   // True when the plan came from the session's cache rather than a fresh search.
   bool from_cache = false;
+  // True when this response is a copy of a concurrent identical request's search result
+  // (single-flight): this caller paid a wait, not a search.
+  bool coalesced = false;
 };
 
+// Snapshot of the cache counters (the live counters are atomics inside the Session).
+// For any set of completed Partition calls that passed request validation,
+// hits + misses + coalesced == number of calls: every such request is served from the
+// cache, pays for a search, or rides a concurrent identical search -- exactly one.
 struct PlanCacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
+  // Requests that blocked on another thread's in-flight identical search and received
+  // a copy of its result (single-flight).
+  std::int64_t coalesced = 0;
   // Cache entries whose plan failed ValidatePlanForGraph against the request's graph: a
   // 64-bit GraphSignature collision (or an entry poisoned through the test hook). Such
   // hits fall through to a fresh search instead of serving the wrong plan.
   std::int64_t collisions = 0;
+  // LRU entries dropped because a shard exceeded its capacity.
+  std::int64_t evictions = 0;
 };
 
 class Session {
  public:
-  // max_cached_plans bounds the plan cache (oldest-first eviction) so a long-lived
-  // serving session over a stream of distinct graphs cannot grow without limit; 0
-  // disables caching entirely.
-  explicit Session(DeviceTopology topology = {}, size_t max_cached_plans = 128)
-      : topology_(std::move(topology)), max_cached_plans_(max_cached_plans) {}
+  // max_cached_plans bounds the plan cache (sharded least-recently-used eviction) so a
+  // long-lived serving session over a stream of distinct graphs cannot grow without
+  // limit; 0 disables caching entirely (single-flight still coalesces concurrent
+  // identical requests). cache_shards spreads the cache over independently locked
+  // shards; it is clamped so tiny caches stay exact (see util/sharded_lru.h).
+  explicit Session(DeviceTopology topology = {}, size_t max_cached_plans = 128,
+                   size_t cache_shards = 8)
+      : topology_(std::move(topology)), cache_(max_cached_plans, cache_shards) {}
 
   // Validates the request, serves it from the plan cache when an identical one was seen
   // before (cache hits are re-validated against the graph -- a signature collision
-  // falls through to a fresh search), and otherwise runs the requested algorithm.
-  // Never aborts on user error:
+  // falls through to a fresh search), joins an identical in-flight search when one is
+  // running (single-flight), and otherwise runs the requested algorithm. Safe to call
+  // from any number of threads concurrently. Never aborts on user error:
   //   * kInvalidArgument -- null graph, or a topology with < 1 worker;
   //   * kNotFound        -- an operator in the graph has no TDL registry entry;
   //   * kResourceExhausted -- memory_budget_bytes > 0 and no searched configuration's
@@ -151,8 +183,8 @@ class Session {
   Result<PartitionResponse> Partition(const PartitionRequest& request);
 
   const DeviceTopology& topology() const { return topology_; }
-  const PlanCacheStats& cache_stats() const { return cache_stats_; }
-  void ClearPlanCache();
+  PlanCacheStats cache_stats() const;
+  void ClearPlanCache() { cache_.Clear(); }
 
   // Test-only: plants `response` in the plan cache under `request`'s key, exactly as a
   // fresh search would have. Exists so the collision fall-through (a cached plan that
@@ -160,14 +192,37 @@ class Session {
   // 64-bit GraphSignature collision.
   void InsertPlanForTesting(const PartitionRequest& request, PartitionResponse response);
 
+  // Test-only: `hook` runs on the searching (leader) thread right before each fresh
+  // search, after the miss is counted. Concurrency tests use it to count searches and
+  // to hold the leader mid-flight until every racer has coalesced. Set it before
+  // concurrent Partition calls begin; not synchronized itself.
+  void SetSearchStartHookForTesting(std::function<void(const std::string& key)> hook) {
+    search_hook_ = std::move(hook);
+  }
+
  private:
+  // One in-flight search; waiters share the future and copy the leader's result.
+  struct Flight {
+    Flight() : future(promise.get_future().share()) {}
+    std::promise<Result<PartitionResponse>> promise;
+    std::shared_future<Result<PartitionResponse>> future;
+  };
+
   std::string CacheKey(const PartitionRequest& request) const;
+  // The full miss path: registry scan, the requested algorithm's search, memory
+  // accounting, cache insertion, budget verdict. Runs on the leader thread only.
+  Result<PartitionResponse> SearchAndCache(const PartitionRequest& request,
+                                           const std::string& key);
 
   DeviceTopology topology_;
-  size_t max_cached_plans_;
-  PlanCacheStats cache_stats_;
-  std::unordered_map<std::string, PartitionResponse> plan_cache_;
-  std::deque<std::string> cache_insertion_order_;  // eviction runs oldest-first
+  ShardedLruCache<PartitionResponse> cache_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> coalesced_{0};
+  std::atomic<std::int64_t> collisions_{0};
+  std::mutex inflight_mu_;  // guards inflight_ (the single-flight table)
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
+  std::function<void(const std::string&)> search_hook_;
 };
 
 }  // namespace tofu

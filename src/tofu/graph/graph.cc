@@ -60,6 +60,7 @@ TensorId Graph::AddOp(const std::string& type, OpAttrs attrs, std::vector<Tensor
     tensors_[static_cast<size_t>(t)].consumers.push_back(op.id);
   }
   ops_.push_back(std::move(op));
+  semantics_cache_.emplace_back(nullptr);
   return ops_.back().output;
 }
 
@@ -82,12 +83,14 @@ std::vector<int> Graph::InputRanks(const OpNode& op) const {
 }
 
 const OpSemantics& Graph::SemanticsOf(const OpNode& op) const {
-  if (semantics_cache_.size() < ops_.size()) {
-    semantics_cache_.resize(ops_.size(), nullptr);
-  }
-  const OpSemantics*& cached = semantics_cache_[static_cast<size_t>(op.id)];
+  // Lock-free memoization: the registry returns a stable pointer for identical
+  // (type, attrs, ranks) keys, so two threads racing on an unresolved slot store the
+  // same value -- no winner/loser, no lock on the search's hottest lookup.
+  std::atomic<const OpSemantics*>& slot = semantics_cache_[static_cast<size_t>(op.id)];
+  const OpSemantics* cached = slot.load(std::memory_order_acquire);
   if (cached == nullptr) {
     cached = &OpRegistry::Get().Semantics(op.type, op.attrs, InputRanks(op));
+    slot.store(cached, std::memory_order_release);
   }
   return *cached;
 }

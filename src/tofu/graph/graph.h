@@ -7,7 +7,9 @@
 #ifndef TOFU_GRAPH_GRAPH_H_
 #define TOFU_GRAPH_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -105,7 +107,9 @@ class Graph {
   // Cached TDL semantics (description + discovered strategies) for an op instance.
   // Resolved through the registry once per op (semantics depend only on the op's type,
   // attributes and input ranks, all fixed at construction) and memoized per op id --
-  // the partition search asks for these per step, on its hottest path.
+  // the partition search asks for these per step, on its hottest path. Safe to call
+  // from concurrent readers of a fully built graph (the Session serving path searches
+  // one shared graph from many threads); mutation (AddOp etc.) is not.
   const OpSemantics& SemanticsOf(const OpNode& op) const;
 
   // Aggregate statistics.
@@ -118,8 +122,11 @@ class Graph {
 
   std::vector<TensorNode> tensors_;
   std::vector<OpNode> ops_;
-  // Registry semantics per op id, resolved lazily (grows with ops_; see SemanticsOf).
-  mutable std::vector<const OpSemantics*> semantics_cache_;
+  // Registry semantics per op id, resolved lazily. One slot per op, appended by AddOp
+  // (a deque so growth never relocates -- atomics are neither movable nor copyable);
+  // each slot goes nullptr -> resolved at most once, so concurrent SemanticsOf readers
+  // race only on idempotent stores of the same registry-owned pointer.
+  mutable std::deque<std::atomic<const OpSemantics*>> semantics_cache_;
 };
 
 // Structural validation: producer/consumer symmetry, shapes re-inferable through the

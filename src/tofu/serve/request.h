@@ -1,0 +1,66 @@
+// The tofu-pland wire format, request side: one JSON object per line.
+//
+//   {"id": 7, "model": "mlp", "algorithm": "Tofu", "workers": 8,
+//    "memory_budget_bytes": 1073741824, "level_bandwidths": [1e10, 2.1e10],
+//    "config": {"batch": 64, "layer_sizes": [784, 256, 10]}}
+//
+// `model` is required and names a builder from models/ ("mlp", "rnn", "wresnet",
+// "transformer"); everything else is optional and defaults to the builder's and
+// DeviceTopology's defaults. `config` carries the builder's knobs under the same names
+// as the config structs; unknown keys are rejected so a typo cannot silently request
+// the default model. The full schema is documented in docs/serving.md.
+//
+// Requests are specs, not graphs: two requests with identical specs build structurally
+// identical graphs, hence equal GraphSignatures, hence one shared plan-cache entry --
+// which is what makes a spec-addressed serving cache work at all.
+#ifndef TOFU_SERVE_REQUEST_H_
+#define TOFU_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tofu/core/session.h"
+#include "tofu/models/mlp.h"
+#include "tofu/models/model.h"
+#include "tofu/models/rnn.h"
+#include "tofu/models/transformer.h"
+#include "tofu/models/wresnet.h"
+#include "tofu/util/status.h"
+
+namespace tofu {
+
+// Current request/response schema tag (responses carry it; requests may omit it).
+inline constexpr const char* kServeJsonSchema = "tofu.serve.v1";
+
+struct ServeRequest {
+  std::int64_t id = 0;
+  std::string model;  // "mlp" | "rnn" | "wresnet" | "transformer"
+  PartitionAlgorithm algorithm = PartitionAlgorithm::kTofu;
+  // Workers, per-level bandwidths, and device memory -- the session routing key
+  // (the service keeps one thread-safe Session per distinct topology).
+  DeviceTopology topology;
+  std::int64_t memory_budget_bytes = 0;
+  // Exactly one of these is consulted, selected by `model`.
+  MlpConfig mlp;
+  RnnConfig rnn;
+  WResNetConfig wresnet;
+  TransformerConfig transformer;
+};
+
+// Names accepted in the "model" field, for error messages and drivers.
+const std::vector<std::string>& KnownServeModels();
+
+// Parses one request line. kInvalidArgument on malformed JSON, an unknown model or
+// algorithm name, an unknown config key, or a wrong-kind field.
+Result<ServeRequest> ParseServeRequest(const std::string& line);
+
+// Builds the full training graph the request's spec describes. The build aborts on
+// structurally impossible configs (e.g. heads not dividing d_model), so callers get
+// cheap spec validation here too: kInvalidArgument for empty/unknown model names and
+// configs the builders reject by contract.
+Result<ModelGraph> BuildServeModel(const ServeRequest& request);
+
+}  // namespace tofu
+
+#endif  // TOFU_SERVE_REQUEST_H_

@@ -78,17 +78,22 @@ const OpRegistry::OpTypeInfo& OpRegistry::Info(const std::string& name) const {
 const OpSemantics& OpRegistry::Semantics(const std::string& name, const OpAttrs& attrs,
                                          const std::vector<int>& input_ranks) {
   std::string key = name + "|" + attrs.Signature() + "|" + Join(input_ranks, ",");
-  auto it = semantics_cache_.find(key);
-  if (it != semantics_cache_.end()) {
-    return *it->second;
+  {
+    std::lock_guard<std::mutex> lock(semantics_mu_);
+    auto it = semantics_cache_.find(key);
+    if (it != semantics_cache_.end()) {
+      return *it->second;
+    }
   }
+  // Discovery runs outside the lock (it is the expensive part and depends only on the
+  // inputs); a concurrent discoverer of the same key loses the emplace below and its
+  // duplicate is discarded -- the map keeps exactly one heap-owned entry per key.
   const OpTypeInfo& info = Info(name);
   auto semantics = std::make_unique<OpSemantics>();
   semantics->desc = info.desc_fn(attrs, input_ranks);
   semantics->strategies = DiscoverStrategies(semantics->desc);
-  const OpSemantics& ref = *semantics;
-  semantics_cache_.emplace(std::move(key), std::move(semantics));
-  return ref;
+  std::lock_guard<std::mutex> lock(semantics_mu_);
+  return *semantics_cache_.emplace(std::move(key), std::move(semantics)).first->second;
 }
 
 Shape OpRegistry::InferShape(const std::string& name, const std::vector<Shape>& inputs,

@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -91,7 +92,10 @@ class OpRegistry {
   bool Has(const std::string& name) const;
   const OpTypeInfo& Info(const std::string& name) const;
 
-  // Returns the cached TDL description and discovered partition strategies.
+  // Returns the cached TDL description and discovered partition strategies. Safe to
+  // call concurrently (the serving path runs searches from many threads); entries are
+  // heap-owned and never erased, so returned references stay valid forever. Register()
+  // itself must still finish before the first concurrent lookup.
   const OpSemantics& Semantics(const std::string& name, const OpAttrs& attrs,
                                const std::vector<int>& input_ranks);
 
@@ -108,6 +112,7 @@ class OpRegistry {
   OpRegistry();
 
   std::unordered_map<std::string, OpTypeInfo> types_;
+  std::mutex semantics_mu_;  // guards semantics_cache_ (lookup + memoizing insert)
   std::unordered_map<std::string, std::unique_ptr<OpSemantics>> semantics_cache_;
 };
 

@@ -96,6 +96,12 @@ void JsonWriter::EmitString(const std::string& value) {
   out_ += '"';
 }
 
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::Number(double value) {
   BeforeValue();
   // JSON has no inf/nan; writing one would succeed here and fail at every reload.
@@ -605,6 +611,48 @@ class JsonParser {
 }  // namespace
 
 Result<JsonValue> ParseJson(const std::string& text) { return JsonParser(text).Parse(); }
+
+namespace {
+
+void WriteJsonValue(const JsonValue& value, JsonWriter* writer) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      writer->Raw("null");
+      break;
+    case JsonValue::Kind::kBool:
+      writer->Bool(value.AsBool());
+      break;
+    case JsonValue::Kind::kNumber:
+      writer->Number(value.AsNumber());
+      break;
+    case JsonValue::Kind::kString:
+      writer->String(value.AsString());
+      break;
+    case JsonValue::Kind::kArray:
+      writer->BeginArray();
+      for (const JsonValue& element : value.AsArray()) {
+        WriteJsonValue(element, writer);
+      }
+      writer->EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      writer->BeginObject();
+      for (const auto& [key, member] : value.AsObject()) {
+        writer->Key(key);
+        WriteJsonValue(member, writer);
+      }
+      writer->EndObject();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string JsonToString(const JsonValue& value) {
+  JsonWriter writer;
+  WriteJsonValue(value, &writer);
+  return writer.str();
+}
 
 bool WriteTextFile(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");

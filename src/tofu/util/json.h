@@ -42,6 +42,10 @@ class JsonWriter {
   JsonWriter& Number(double value);   // %.17g round-trippable
   JsonWriter& Int(std::int64_t value);
   JsonWriter& Bool(bool value);
+  // Appends `json` verbatim as one value (comma handling included). The caller owns its
+  // well-formedness -- used to embed an already-serialized document, e.g. a plan from
+  // PlanToJson inside a serving response line, without reparsing it.
+  JsonWriter& Raw(const std::string& json);
 
   const std::string& str() const { return out_; }
 
@@ -102,6 +106,12 @@ class JsonValue {
   std::vector<JsonValue> array_;
   std::vector<std::pair<std::string, JsonValue>> object_;
 };
+
+// Compact re-serialization of a parsed value (numbers in %.17g, so a parse ->
+// serialize round trip is byte-stable for JsonWriter-produced documents). Lets a
+// consumer cut one subtree out of a larger document -- e.g. the "plan" member of a
+// tofu-pland response line -- and feed it to a text-based loader like PlanFromJson.
+std::string JsonToString(const JsonValue& value);
 
 // Parses a complete JSON document (one value plus optional surrounding whitespace).
 // Returns kInvalidArgument with a byte offset on malformed input. Supports the full

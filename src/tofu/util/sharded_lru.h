@@ -1,0 +1,165 @@
+// Sharded LRU cache: string keys, per-shard mutex, least-recently-USED eviction.
+//
+// The concurrency model the Session plan cache needs: readers and writers touching
+// different shards never contend, a Lookup promotes its entry to most-recent within its
+// shard, and an Insert past per-shard capacity evicts that shard's least-recently-used
+// entry (counted in evictions()). Values are returned BY COPY so no reference ever
+// escapes a shard lock -- callers hold plan-sized values, not iterators that another
+// thread's eviction could invalidate.
+//
+// Capacity semantics: `capacity` is the total entry budget. Shard count is clamped to
+// [1, capacity] so tiny caches stay exact (capacity 1 == one shard of one entry, the
+// strict global-LRU a test can reason about); larger capacities split into
+// ceil(capacity / num_shards) entries per shard, so the bound is per shard, not global
+// -- the standard sharded-cache trade of exactness for lock spread. Capacity 0 turns
+// every operation into a no-op (Lookup always misses).
+#ifndef TOFU_UTIL_SHARDED_LRU_H_
+#define TOFU_UTIL_SHARDED_LRU_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tofu {
+
+template <typename Value>
+class ShardedLruCache {
+ public:
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8)
+      : capacity_(capacity) {
+    const size_t shards =
+        capacity == 0 ? 0 : std::max<size_t>(1, std::min(num_shards, capacity));
+    shard_capacity_ = shards == 0 ? 0 : (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  // Copies the value out under the shard lock and promotes the entry to most-recent.
+  std::optional<Value> Lookup(const std::string& key) {
+    if (shards_.empty()) {
+      return std::nullopt;
+    }
+    Shard& shard = *shards_[ShardIndex(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // promote, iters stable
+    return it->second->second;
+  }
+
+  // Inserts or overwrites (either way the entry becomes most-recent), evicting the
+  // shard's least-recently-used entries while it is over capacity.
+  void Insert(const std::string& key, Value value) {
+    if (shards_.empty()) {
+      return;
+    }
+    Shard& shard = *shards_[ShardIndex(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    while (shard.lru.size() >= shard_capacity_ && !shard.lru.empty()) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+  }
+
+  // Removes the entry if present (used when a cached plan fails re-validation: a stale
+  // signature-collision entry must not be served again). Not an eviction.
+  bool Erase(const std::string& key) {
+    if (shards_.empty()) {
+      return false;
+    }
+    Shard& shard = *shards_[ShardIndex(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      return false;
+    }
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    return true;
+  }
+
+  void Clear() {
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->index.clear();
+    }
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->lru.size();
+    }
+    return total;
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t shard_capacity() const { return shard_capacity_; }
+  std::int64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+  // Which shard a key lands in -- exposed so tests (and shard-aware reference models)
+  // can reason about per-shard eviction deterministically.
+  size_t ShardIndex(const std::string& key) const {
+    // splitmix64 over std::hash: decorrelates the shard choice from the in-shard
+    // bucket choice so one pathological hash does not serialize every key.
+    std::uint64_t h = static_cast<std::uint64_t>(std::hash<std::string>{}(key));
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<size_t>(h % shards_.size());
+  }
+
+  // Keys of one shard ordered least-recent first -- the eviction order a test asserts.
+  std::vector<std::string> ShardKeysOldestFirst(size_t shard_index) const {
+    std::vector<std::string> keys;
+    const Shard& shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+      keys.push_back(it->first);
+    }
+    return keys;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // front = most recently used; index holds stable list iterators.
+    std::list<std::pair<std::string, Value>> lru;
+    std::unordered_map<std::string, typename std::list<std::pair<std::string, Value>>::iterator>
+        index;
+  };
+
+  size_t capacity_;
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // unique_ptr: a mutex cannot move
+  std::atomic<std::int64_t> evictions_{0};
+};
+
+}  // namespace tofu
+
+#endif  // TOFU_UTIL_SHARDED_LRU_H_

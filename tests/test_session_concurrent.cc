@@ -1,0 +1,249 @@
+// Concurrency contract of the thread-safe Session, designed to run under
+// ThreadSanitizer (the CI tsan job builds exactly this suite with -fsanitize=thread):
+//   * N threads x M mixed requests against one Session return plans byte-identical to
+//     a fresh single-threaded search, and the counters balance exactly --
+//     hits + misses + coalesced == completed requests, misses == distinct keys;
+//   * K threads racing one cold key trigger exactly one search (single-flight), with
+//     the leader held mid-flight until every rider has coalesced, so the split is
+//     deterministic: 1 miss, K-1 coalesced, 0 hits;
+//   * a failing leader hands every rider the same Status and does not poison the key:
+//     the next request searches afresh;
+//   * eviction churn (a capacity far below the working set) keeps the counter
+//     invariant and byte-identical plans.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tofu/core/session.h"
+#include "tofu/models/mlp.h"
+#include "tofu/partition/plan_io.h"
+
+namespace tofu {
+namespace {
+
+// The mixed workload: structurally distinct small MLPs, each its own cache key.
+std::vector<ModelGraph> DistinctModels() {
+  std::vector<ModelGraph> models;
+  for (std::int64_t width : {32, 48, 64, 96, 128, 160}) {
+    MlpConfig config;
+    config.layer_sizes = {width * 2, width, 10};
+    config.batch = 16;
+    models.push_back(BuildMlp(config));
+  }
+  return models;
+}
+
+// Canonical serialization for byte-comparison; wall time is the one legitimately
+// nondeterministic field of a searched plan.
+std::string PlanBytes(const PartitionResponse& response) {
+  PartitionPlan plan = response.plan;
+  plan.search_stats.wall_seconds = 0.0;
+  return PlanToJson(plan);
+}
+
+TEST(SessionConcurrent, MixedRequestsAreByteIdenticalWithBalancedCounters) {
+  std::vector<ModelGraph> models = DistinctModels();
+
+  // Ground truth: a fresh single-threaded session per model.
+  std::vector<std::string> expected;
+  for (ModelGraph& model : models) {
+    Session solo(DeviceTopology::Uniform(4));
+    PartitionRequest request;
+    request.graph = &model.graph;
+    Result<PartitionResponse> response = solo.Partition(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    expected.push_back(PlanBytes(*response));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 24;
+  Session session(DeviceTopology::Uniform(4));
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        // Deterministic mixed schedule: every thread walks the models with a
+        // different stride so identical keys collide across threads constantly.
+        ModelGraph& model = models[(t * 7 + i) % models.size()];
+        PartitionRequest request;
+        request.graph = &model.graph;
+        Result<PartitionResponse> response = session.Partition(request);
+        if (!response.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (PlanBytes(*response) != expected[(t * 7 + i) % models.size()]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const PlanCacheStats stats = session.cache_stats();
+  // Every request is a hit, a miss, or a coalesced rider -- exactly one of the three,
+  // with no lost counter updates.
+  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced,
+            static_cast<std::int64_t>(kThreads) * kRequestsPerThread);
+  // Single-flight + capacity above the working set: each distinct key pays for
+  // exactly one search, no matter how the threads interleave.
+  EXPECT_EQ(stats.misses, static_cast<std::int64_t>(models.size()));
+  EXPECT_EQ(stats.collisions, 0);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(SessionConcurrent, SingleFlightRunsExactlyOneSearchForRacingThreads) {
+  constexpr int kRacers = 6;
+  std::vector<ModelGraph> models = DistinctModels();
+  ModelGraph& model = models[0];
+  Session session(DeviceTopology::Uniform(4));
+
+  // Hold the (single) leader mid-flight until every other racer has joined the
+  // flight, making the hit/miss/coalesced split deterministic instead of a race.
+  std::atomic<int> searches{0};
+  session.SetSearchStartHookForTesting([&](const std::string&) {
+    searches.fetch_add(1);
+    while (session.cache_stats().coalesced < kRacers - 1) {
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<int> coalesced_responses{0};
+  std::atomic<int> fresh_responses{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> racers;
+  for (int t = 0; t < kRacers; ++t) {
+    racers.emplace_back([&]() {
+      PartitionRequest request;
+      request.graph = &model.graph;
+      Result<PartitionResponse> response = session.Partition(request);
+      if (!response.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      if (response->coalesced) coalesced_responses.fetch_add(1);
+      if (!response->coalesced && !response->from_cache) fresh_responses.fetch_add(1);
+    });
+  }
+  for (std::thread& racer : racers) racer.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(searches.load(), 1);  // one search total, not one per racer
+  EXPECT_EQ(fresh_responses.load(), 1);
+  EXPECT_EQ(coalesced_responses.load(), kRacers - 1);
+  const PlanCacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.coalesced, kRacers - 1);
+  EXPECT_EQ(stats.hits, 0);
+}
+
+TEST(SessionConcurrent, FailedLeaderSharesStatusAndDoesNotPoisonTheKey) {
+  constexpr int kRacers = 6;
+  std::vector<ModelGraph> models = DistinctModels();
+  ModelGraph& model = models[0];
+  const std::string original_type = model.graph.op(0).type;
+  model.graph.op(0).type = "nonexistent_op";  // registry scan will fail the search
+  Session session(DeviceTopology::Uniform(4));
+  session.SetSearchStartHookForTesting([&](const std::string&) {
+    while (session.cache_stats().coalesced < kRacers - 1) {
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<Status> statuses(kRacers);
+  std::vector<std::thread> racers;
+  for (int t = 0; t < kRacers; ++t) {
+    racers.emplace_back([&, t]() {
+      PartitionRequest request;
+      request.graph = &model.graph;
+      Result<PartitionResponse> response = session.Partition(request);
+      statuses[t] = response.status();
+    });
+  }
+  for (std::thread& racer : racers) racer.join();
+
+  // Leader and every rider see the same failure.
+  for (const Status& status : statuses) {
+    EXPECT_EQ(status.code(), StatusCode::kNotFound);
+    EXPECT_EQ(status.message(), statuses[0].message());
+  }
+  PlanCacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.coalesced, kRacers - 1);
+
+  // The error was not cached: a later identical request runs a fresh search (which
+  // fails the same way) rather than replaying a poisoned entry -- and once the graph
+  // is healed, the same key searches successfully.
+  session.SetSearchStartHookForTesting(nullptr);
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> retry = session.Partition(request);
+  ASSERT_FALSE(retry.ok());
+  EXPECT_EQ(retry.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(session.cache_stats().misses, 2);  // it searched again
+
+  model.graph.op(0).type = original_type;  // heal the graph
+  Result<PartitionResponse> healed = session.Partition(request);
+  EXPECT_TRUE(healed.ok()) << healed.status().ToString();
+}
+
+TEST(SessionConcurrent, EvictionChurnKeepsInvariantAndDeterminism) {
+  std::vector<ModelGraph> models = DistinctModels();
+  std::vector<std::string> expected;
+  for (ModelGraph& model : models) {
+    Session solo(DeviceTopology::Uniform(4));
+    PartitionRequest request;
+    request.graph = &model.graph;
+    Result<PartitionResponse> response = solo.Partition(request);
+    ASSERT_TRUE(response.ok());
+    expected.push_back(PlanBytes(*response));
+  }
+
+  // Capacity 2 under a 6-key working set: constant eviction and re-search.
+  constexpr int kThreads = 6;
+  constexpr int kRequestsPerThread = 12;
+  Session session(DeviceTopology::Uniform(4), /*max_cached_plans=*/2,
+                  /*cache_shards=*/4);
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const size_t pick = (t * 5 + i * 3) % models.size();
+        PartitionRequest request;
+        request.graph = &models[pick].graph;
+        Result<PartitionResponse> response = session.Partition(request);
+        if (!response.ok()) {
+          failures.fetch_add(1);
+        } else if (PlanBytes(*response) != expected[pick]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  const PlanCacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced,
+            static_cast<std::int64_t>(kThreads) * kRequestsPerThread);
+  EXPECT_GT(stats.evictions, 0);
+  // Evicted keys re-search, so misses exceed the distinct-key count here.
+  EXPECT_GE(stats.misses, static_cast<std::int64_t>(models.size()));
+}
+
+}  // namespace
+}  // namespace tofu

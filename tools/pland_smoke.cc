@@ -1,0 +1,151 @@
+// End-to-end smoke test for the tofu-pland binary, wired into CTest.
+//
+//   pland_smoke <path-to-tofu-pland>
+//
+// Pipes a small mixed batch (a duplicated MLP request, a tiny RNN, an unknown model,
+// and a malformed line) through the daemon, then checks the stream contract: one
+// response line per request, every line parses as schema tofu.serve.v1, each ok
+// response's embedded plan replays through ValidatePlanForGraph against a freshly
+// built graph, the duplicate is served without a second search (from_cache or
+// coalesced), and the bad requests come back as recoverable errors, not a dead
+// process. Exits non-zero with a message on the first violation.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tofu/partition/plan_io.h"
+#include "tofu/serve/request.h"
+#include "tofu/serve/server.h"
+#include "tofu/util/json.h"
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "pland_smoke: FAIL: %s\n", message.c_str());
+  std::exit(1);
+}
+
+void Check(bool ok, const std::string& message) {
+  if (!ok) Fail(message);
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: pland_smoke <path-to-tofu-pland>\n");
+    return 2;
+  }
+  const std::string binary = argv[1];
+
+  const std::string mlp_line =
+      "{\"id\":1,\"model\":\"mlp\",\"workers\":4,"
+      "\"config\":{\"batch\":16,\"layer_sizes\":[64,32,10]}}";
+  const std::string mlp_dup_line =
+      "{\"id\":2,\"model\":\"mlp\",\"workers\":4,"
+      "\"config\":{\"batch\":16,\"layer_sizes\":[64,32,10]}}";
+  const std::string rnn_line =
+      "{\"id\":3,\"model\":\"rnn\",\"workers\":2,\"algorithm\":\"EqualChop\","
+      "\"config\":{\"layers\":1,\"hidden\":32,\"batch\":4,\"timesteps\":2,"
+      "\"embed\":16}}";
+  const std::string bad_model_line = "{\"id\":4,\"model\":\"vgg\"}";
+  const std::string malformed_line = "{\"id\":5,";
+
+  const std::string requests = mlp_line + "\n" + mlp_dup_line + "\n" + rnn_line +
+                               "\n" + bad_model_line + "\n" + malformed_line + "\n";
+  Check(tofu::WriteTextFile("pland_smoke_requests.jsonl", requests),
+        "cannot write request file");
+
+  const std::string command = "\"" + binary +
+                              "\" --threads=2 --quiet"
+                              " < pland_smoke_requests.jsonl"
+                              " > pland_smoke_responses.jsonl"
+                              " 2> pland_smoke_stderr.txt";
+  const int exit_code = std::system(command.c_str());
+  Check(exit_code == 0,
+        "tofu-pland exited with " + std::to_string(exit_code) + " for: " + command);
+
+  tofu::Result<std::string> responses =
+      tofu::ReadTextFile("pland_smoke_responses.jsonl");
+  Check(responses.ok(), "cannot read response file");
+  const std::vector<std::string> lines = SplitLines(*responses);
+  Check(lines.size() == 5,
+        "expected 5 response lines, got " + std::to_string(lines.size()));
+
+  int cached_or_coalesced = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    tofu::Result<tofu::JsonValue> doc = tofu::ParseJson(lines[i]);
+    Check(doc.ok(), "response line " + std::to_string(i) + " is not valid JSON: " +
+                        doc.status().ToString());
+    tofu::Result<std::string> schema = doc->StringAt("schema");
+    Check(schema.ok() && *schema == tofu::kServeJsonSchema,
+          "response line " + std::to_string(i) + " has wrong schema");
+    tofu::Result<bool> ok_field = doc->BoolAt("ok");
+    Check(ok_field.ok(), "response line " + std::to_string(i) + " lacks 'ok'");
+    tofu::Result<std::int64_t> id = doc->IntAt("id");
+    Check(id.ok(), "response line " + std::to_string(i) + " lacks 'id'");
+
+    if (*id == 1 || *id == 2 || *id == 3) {
+      // Valid requests: response order matches input order and the embedded plan
+      // replays against a freshly built graph of the same spec.
+      Check(*ok_field, "request id " + std::to_string(*id) + " unexpectedly failed: " +
+                           lines[i]);
+      Check(static_cast<std::int64_t>(i) + 1 == *id,
+            "responses out of input order at line " + std::to_string(i));
+      const tofu::JsonValue* plan_json = doc->Find("plan");
+      Check(plan_json != nullptr, "ok response without a plan member");
+      tofu::Result<tofu::PartitionPlan> plan =
+          tofu::PlanFromJson(tofu::JsonToString(*plan_json));
+      Check(plan.ok(), "embedded plan does not parse as tofu.plan.v2: " +
+                           plan.status().ToString());
+
+      const std::string& request_line =
+          *id == 1 ? mlp_line : (*id == 2 ? mlp_dup_line : rnn_line);
+      tofu::Result<tofu::ServeRequest> request =
+          tofu::ParseServeRequest(request_line);
+      Check(request.ok(), "request line stopped parsing");
+      tofu::Result<tofu::ModelGraph> model = tofu::BuildServeModel(*request);
+      Check(model.ok(), "model build failed");
+      const tofu::Status valid =
+          tofu::ValidatePlanForGraph(model->graph, *plan);
+      Check(valid.ok(),
+            "embedded plan does not validate against its graph: " + valid.ToString());
+
+      tofu::Result<bool> from_cache = doc->BoolAt("from_cache");
+      tofu::Result<bool> coalesced = doc->BoolAt("coalesced");
+      Check(from_cache.ok() && coalesced.ok(), "ok response lacks cache flags");
+      if ((*id == 1 || *id == 2) && (*from_cache || *coalesced)) {
+        ++cached_or_coalesced;
+      }
+    } else if (*id == 4) {
+      Check(!*ok_field, "unknown model unexpectedly succeeded");
+      tofu::Result<std::string> code = doc->StringAt("code");
+      Check(code.ok() && *code == "INVALID_ARGUMENT",
+            "unknown model should be INVALID_ARGUMENT, got line: " + lines[i]);
+    } else if (*id == -1) {
+      Check(!*ok_field, "malformed line unexpectedly succeeded");
+    } else {
+      Fail("unexpected response id " + std::to_string(*id));
+    }
+  }
+  // The duplicated MLP spec must not pay for a second search: whichever of id 1/2
+  // lost the race is a cache hit or a coalesced rider.
+  Check(cached_or_coalesced >= 1,
+        "duplicate request was answered by a second search");
+
+  std::printf("pland_smoke: OK (5 responses validated)\n");
+  return 0;
+}
