@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "tofu/core/session.h"
+#include "tofu/interconnect/interconnect.h"
 #include "tofu/models/rnn.h"
 #include "tofu/models/wresnet.h"
 #include "tofu/partition/flat_dp.h"
@@ -36,21 +37,6 @@ namespace tofu {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-// FNV-1a over the normalized plan JSON (search wall time zeroed, the one
-// nondeterministic field): a machine-independent fingerprint of WHAT the search found.
-// tools/check_perf.py compares it against bench/baseline_table1.json, so any drift of
-// the unconstrained plan -- not just its comm total -- fails the perf gate.
-std::string PlanDigest(PartitionPlan plan) {
-  plan.search_stats.wall_seconds = 0.0;
-  const std::string normalized = PlanToJson(plan);
-  std::uint64_t h = 1469598103934665603ull;
-  for (unsigned char c : normalized) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return StrFormat("%016llx", static_cast<unsigned long long>(h));
-}
 
 // The comm-time/memory frontier: the same model partitioned under a descending ladder
 // of per-worker budgets. Tightening the budget can only raise communication (the search
@@ -184,6 +170,73 @@ void Run(const std::string& name, ModelGraph model, JsonWriter* json) {
   }
 }
 
+// One non-uniform-topology row: the same model searched through a Session whose
+// DeviceTopology carries a concrete interconnect, so the per-step bandwidths are the
+// contention-aware effective figures and the plan's simulated critical-path time is
+// reported. Emits the same gate fields as the uniform rows (wall time, deterministic
+// effort counters, comm bytes, plan digest, serving-path flags), so
+// tools/check_perf.py gates the search in the non-uniform regime identically.
+void RunTopology(const std::string& name, const ModelGraph& model,
+                 std::shared_ptr<const Interconnect> net, JsonWriter* json) {
+  Session session(DeviceTopology::WithInterconnect(net));
+  PartitionRequest request;
+  request.graph = &model.graph;
+
+  const auto t0 = Clock::now();
+  Result<PartitionResponse> first = session.Partition(request);
+  const double recursive_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  if (!first.ok()) {
+    std::printf("  %-24s %s\n", name.c_str(), first.status().ToString().c_str());
+    return;
+  }
+  Result<PartitionResponse> second = session.Partition(request);
+  Session fresh_session(DeviceTopology::WithInterconnect(net));
+  Result<PartitionResponse> fresh = fresh_session.Partition(request);
+  const bool cache_hit = second.ok() && !first->from_cache && second->from_cache &&
+                         session.cache_stats().hits == 1;
+  const bool identical =
+      second.ok() && fresh.ok() && PlanDigest(second->plan) == PlanDigest(fresh->plan);
+
+  const PartitionPlan& plan = first->plan;
+  std::printf("  %-24s %-10s comm %s/iter, est %s, sim %s, cache %s/%s\n", name.c_str(),
+              HumanSeconds(recursive_s).c_str(),
+              HumanBytes(plan.total_comm_bytes).c_str(),
+              HumanSeconds(first->estimated_comm_seconds).c_str(),
+              HumanSeconds(first->simulated_comm_seconds).c_str(),
+              cache_hit ? "hit" : "MISSED", identical ? "identical" : "DIVERGED");
+  if (json != nullptr) {
+    json->BeginObject();
+    json->Key("model").String(name);
+    json->Key("num_ops").Int(model.graph.num_ops());
+    json->Key("num_tensors").Int(model.graph.num_tensors());
+    json->Key("recursive_seconds").Number(recursive_s);
+    json->Key("recursive_comm_bytes").Number(plan.total_comm_bytes);
+    json->Key("states_explored").Int(plan.search_stats.states_explored);
+    json->Key("max_frontier_states").Int(plan.search_stats.max_frontier_states);
+    json->Key("cost_table_entries").Int(plan.search_stats.cost_table_entries);
+    json->Key("exact").Bool(plan.search_stats.exact);
+    json->Key("estimated_comm_seconds").Number(first->estimated_comm_seconds);
+    json->Key("simulated_comm_seconds").Number(first->simulated_comm_seconds);
+    json->Key("session_cache_hit").Bool(cache_hit);
+    json->Key("cached_plan_identical").Bool(identical);
+    json->Key("plan_digest").String(PlanDigest(plan));
+    json->EndObject();
+  }
+}
+
+// The non-uniform regime rows: the paper-testbed 21 GB/s links arranged as a ring, a
+// port-limited full mesh, and a 2x4 hierarchy whose shared uplinks run at the 10 GB/s
+// host-link speed (oversubscribed 4 leaf links -> 1 uplink, matching K80Cluster's
+// cpu_bandwidth).
+void RunTopologies(const std::string& model_name, const ModelGraph& model,
+                   JsonWriter* json) {
+  const double kLat = 15e-6;
+  RunTopology(model_name + "@ring8", model, MakeRing(8, 21e9, kLat), json);
+  RunTopology(model_name + "@fullmesh8", model, MakeFullMesh(8, 21e9, kLat), json);
+  RunTopology(model_name + "@hier2x4", model, MakeHierarchy(2, 4, 21e9, 10e9, kLat),
+              json);
+}
+
 }  // namespace
 }  // namespace tofu
 
@@ -240,6 +293,25 @@ int main(int argc, char** argv) {
                            sweep_auto ? tofu::AutoBudgets(model) : budgets);
     }
   }
+
+  std::printf("=== Non-uniform interconnects (contention-aware search) ===\n");
+  {
+    tofu::WResNetConfig config;
+    config.layers = 152;
+    config.width = 10;
+    config.batch = 8;
+    const tofu::ModelGraph model = tofu::BuildWResNet(config);
+    tofu::RunTopologies("WResNet-152-10", model, json_ptr);
+  }
+  {
+    tofu::RnnConfig config;
+    config.layers = 10;
+    config.hidden = 8192;
+    config.batch = 128;
+    const tofu::ModelGraph model = tofu::BuildRnn(config);
+    tofu::RunTopologies("RNN-10-8K", model, json_ptr);
+  }
+  std::printf("\n");
 
   json.EndArray();
   json.EndObject();

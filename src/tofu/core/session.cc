@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "tofu/interconnect/sim_bridge.h"
 #include "tofu/partition/plan_io.h"
+#include "tofu/util/logging.h"
 #include "tofu/util/strings.h"
 
 namespace tofu {
@@ -58,6 +60,9 @@ std::string DeviceTopology::Fingerprint() const {
   for (double b : level_bandwidths) {
     out += StrFormat("%.17g,", b);
   }
+  if (interconnect != nullptr) {
+    out += ";net=" + interconnect->Fingerprint();
+  }
   return out;
 }
 
@@ -65,6 +70,16 @@ DeviceTopology DeviceTopology::Uniform(int num_workers, double bandwidth) {
   DeviceTopology topology;
   topology.num_workers = num_workers;
   topology.uniform_bandwidth = bandwidth;
+  return topology;
+}
+
+DeviceTopology DeviceTopology::WithInterconnect(std::shared_ptr<const Interconnect> net,
+                                                std::int64_t memory_bytes_per_worker) {
+  DeviceTopology topology;
+  TOFU_CHECK(net != nullptr);
+  topology.num_workers = net->num_workers();
+  topology.memory_bytes_per_worker = memory_bytes_per_worker;
+  topology.interconnect = std::move(net);
   return topology;
 }
 
@@ -163,6 +178,14 @@ Result<PartitionResponse> Session::Partition(const PartitionRequest& request) {
       return Status(StatusCode::kInvalidArgument,
                     StrFormat("DeviceTopology.level_bandwidths entry %g; need > 0", b));
     }
+  }
+  if (topology_.interconnect != nullptr &&
+      topology_.interconnect->num_workers() != topology_.num_workers) {
+    return Status(StatusCode::kInvalidArgument,
+                  StrFormat("DeviceTopology.interconnect has %d workers but "
+                            "num_workers = %d; they must agree",
+                            topology_.interconnect->num_workers(),
+                            topology_.num_workers));
   }
   for (double b : request.options.step_bandwidths) {
     if (b <= 0.0) {
@@ -268,9 +291,18 @@ Result<PartitionResponse> Session::SearchAndCache(const PartitionRequest& reques
   // ordering search (partition/recursive.h).
   PartitionOptions options = request.options;
   if (options.step_bandwidths.empty()) {
-    options.step_bandwidths = topology_.level_bandwidths.empty()
-                                  ? std::vector<double>{topology_.uniform_bandwidth}
-                                  : topology_.level_bandwidths;
+    if (topology_.interconnect != nullptr) {
+      // Contention-aware effective bandwidth per recursive step, priced over the link
+      // graph for the canonical factorization's group-local all-to-all patterns. On a
+      // hierarchy (or any topology where the levels genuinely differ) these engage the
+      // factor-ordering search, which then minimizes real transfer time.
+      options.step_bandwidths = topology_.interconnect->StepBandwidths(
+          FactorizeWorkers(topology_.num_workers));
+    } else {
+      options.step_bandwidths = topology_.level_bandwidths.empty()
+                                    ? std::vector<double>{topology_.uniform_bandwidth}
+                                    : topology_.level_bandwidths;
+    }
   }
   // The request budget steers the recursion-based searches (memory as a first-class
   // constraint); a budget already set on the options (a direct RecursivePartition-style
@@ -337,6 +369,14 @@ Result<PartitionResponse> Session::SearchAndCache(const PartitionRequest& reques
       response.estimated_comm_seconds += seconds;
       groups *= static_cast<double>(plan.steps[i].ways);
     }
+  }
+  // With a concrete interconnect the analytic estimate above is a bound, not a
+  // schedule; replay the plan's per-step traffic through the event simulator's
+  // link-level queueing so the response carries the simulated critical-path time the
+  // differential harness validates the estimate against.
+  if (topology_.interconnect != nullptr) {
+    response.simulated_comm_seconds =
+        SimPlanCommSeconds(*topology_.interconnect, plan);
   }
   response.search_stats = plan.search_stats;
   response.from_cache = false;

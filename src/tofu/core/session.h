@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "tofu/interconnect/interconnect.h"
 #include "tofu/partition/baselines.h"
 #include "tofu/partition/recursive.h"
 #include "tofu/sim/cost_model.h"
@@ -84,6 +85,17 @@ struct DeviceTopology {
   // Per-worker memory (bytes) for the advisory feasibility verdict, and -- when it is
   // the binding constraint -- named in budget-failure messages; 0 = unknown.
   std::int64_t memory_bytes_per_worker = 0;
+  // Optional concrete interconnect (ring / full mesh / oversubscribed hierarchy;
+  // interconnect/interconnect.h). When set it must agree with num_workers, and it
+  // replaces level_bandwidths as the source of the search's per-step bandwidths: the
+  // session prices each recursive step's group-local all-to-all over the link graph
+  // (contention on shared links included) and feeds the resulting effective bandwidths
+  // into step_bandwidths, so the factor-ordering search optimizes real transfer time.
+  // Responses additionally carry simulated_comm_seconds, the plan's communication
+  // replayed through the event simulator's link-level queueing. Unset (the default,
+  // and every Uniform/FromCluster topology) keeps the scalar-bandwidth path --
+  // byte-identical plans to the pre-interconnect goldens.
+  std::shared_ptr<const Interconnect> interconnect;
 
   // Bandwidth step i's traffic crosses. (Whether the bandwidths differ across steps --
   // and hence whether the factor-ordering search engages -- is decided where it is
@@ -94,6 +106,10 @@ struct DeviceTopology {
 
   // num_workers workers behind one uniform interconnect.
   static DeviceTopology Uniform(int num_workers, double bandwidth = 21e9);
+  // Topology driven by a concrete interconnect model; num_workers comes from the
+  // interconnect, memory (optionally) from the caller.
+  static DeviceTopology WithInterconnect(std::shared_ptr<const Interconnect> net,
+                                         std::int64_t memory_bytes_per_worker = 0);
   // Derived from the simulator's ClusterSpec: the coarsest split's traffic crosses the
   // shared host link (cpu_bandwidth) between the two PCIe root complexes; every deeper
   // split stays on intra-group p2p links. Worker memory comes from the GPU spec.
@@ -130,9 +146,14 @@ struct PartitionResponse {
   std::int64_t all_resident_bytes = 0;
   // Advisory verdict against topology.memory_bytes_per_worker (true when unknown).
   bool fits_device_memory = true;
-  // Estimated per-step communication time (weighted step bytes / link bandwidth).
+  // Estimated per-step communication time (weighted step bytes / link bandwidth; with
+  // an interconnect the bandwidth is the contention-aware effective figure).
   std::vector<double> step_seconds;
   double estimated_comm_seconds = 0.0;
+  // Only with a topology interconnect: the plan's communication replayed through the
+  // event simulator's link-level queueing (SimPlanCommSeconds) -- the simulated
+  // critical-path time that gates the analytic estimate. 0 otherwise.
+  double simulated_comm_seconds = 0.0;
   SearchStats search_stats;
   // True when the plan came from the session's cache rather than a fresh search.
   bool from_cache = false;

@@ -281,4 +281,16 @@ Status ValidatePlanForGraph(const Graph& graph, const PartitionPlan& plan) {
   return Status::Ok();
 }
 
+std::string PlanDigest(const PartitionPlan& plan) {
+  PartitionPlan normalized = plan;
+  normalized.search_stats.wall_seconds = 0.0;
+  const std::string json = PlanToJson(normalized);
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : json) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return StrFormat("%016llx", static_cast<unsigned long long>(h));
+}
+
 }  // namespace tofu

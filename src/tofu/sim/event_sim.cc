@@ -46,9 +46,11 @@ SimResult RunSim(const SimGraph& graph, const ClusterSpec& cluster,
     }
   }
 
-  // Resource availability: compute stream + PCIe port per device, one shared host link.
+  // Resource availability: compute stream + PCIe port per device, one shared host link,
+  // and one FIFO queue per explicit link (interconnect lowering).
   std::vector<double> compute_free(static_cast<size_t>(graph.num_devices), 0.0);
   std::vector<double> port_free(static_cast<size_t>(graph.num_devices), 0.0);
+  std::vector<double> link_free(graph.link_bandwidths.size(), 0.0);
   double host_free = 0.0;
 
   // Memory accounting (buffers charged when the node starts executing).
@@ -105,9 +107,25 @@ SimResult RunSim(const SimGraph& graph, const ClusterSpec& cluster,
         host_free = start + duration;
         result.comm_busy_s += duration;
         break;
+      case SimNode::Kind::kLink: {
+        TOFU_CHECK_GE(node.link, 0);
+        TOFU_CHECK_LT(static_cast<size_t>(node.link), link_free.size());
+        double& free_at = link_free[static_cast<size_t>(node.link)];
+        start = std::max(start, free_at);
+        // Pure transmission time: wire latency is post_delay_s, which delays delivery
+        // (successors, makespan) without occupying the link.
+        duration = options.zero_comm
+                       ? 0.0
+                       : node.comm_bytes /
+                             graph.link_bandwidths[static_cast<size_t>(node.link)];
+        free_at = start + duration;
+        result.comm_busy_s += duration;
+        break;
+      }
     }
     const double end = start + duration;
-    result.makespan_s = std::max(result.makespan_s, end);
+    const double delivered = end + (options.zero_comm ? 0.0 : node.post_delay_s);
+    result.makespan_s = std::max(result.makespan_s, delivered);
     ++executed;
 
     // Transient buffers live only for the node's execution; outputs live until the last
@@ -119,7 +137,8 @@ SimResult RunSim(const SimGraph& graph, const ClusterSpec& cluster,
     }
 
     for (std::int32_t s : successors[static_cast<size_t>(id)]) {
-      ready_time[static_cast<size_t>(s)] = std::max(ready_time[static_cast<size_t>(s)], end);
+      ready_time[static_cast<size_t>(s)] =
+          std::max(ready_time[static_cast<size_t>(s)], delivered);
       if (--pending[static_cast<size_t>(s)] == 0) {
         ready.push({ready_time[static_cast<size_t>(s)], s});
       }

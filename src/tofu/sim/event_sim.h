@@ -1,8 +1,12 @@
 // Deterministic event-driven executor for lowered simulation graphs.
 //
 // Resources: one compute stream per GPU, one PCIe port per GPU (peer transfers serialize
-// on the port, modelling the paper's 21 GB/s p2p links), and a single shared CPU link
-// (10 GB/s, the Swapping baseline's bottleneck). Communication overlaps computation, as
+// on the port, modelling the paper's 21 GB/s p2p links), a single shared CPU link
+// (10 GB/s, the Swapping baseline's bottleneck), and -- for graphs lowered from an
+// interconnect model (interconnect/sim_bridge.h) -- an arbitrary set of explicit links
+// with FIFO queueing: a kLink node occupies SimGraph::link_bandwidths[link] serially, so
+// contention on a shared link (an oversubscribed uplink, a ring segment) emerges from
+// the event order instead of being assumed away. Communication overlaps computation, as
 // in MXNet's engine.
 //
 // Memory: each node may allocate a transient buffer (live while the node runs) and an
@@ -26,11 +30,17 @@ struct SimNode {
     kCompute,  // runs on the device's compute stream for duration_s
     kP2P,      // occupies the device's PCIe port: comm_bytes at p2p bandwidth
     kHost,     // occupies the shared CPU link: comm_bytes at (shared) host bandwidth
+    kLink,     // occupies explicit link `link`: comm_bytes at link_bandwidths[link]
   };
   Kind kind = Kind::kCompute;
   int device = 0;
+  int link = -1;             // kLink only: index into SimGraph::link_bandwidths
   double duration_s = 0.0;   // kCompute only (precomputed kernel time)
-  double comm_bytes = 0.0;   // kP2P / kHost
+  double comm_bytes = 0.0;   // kP2P / kHost / kLink
+  // Extra delay between this node's end and its successors becoming ready (wire
+  // latency after a hop's transmission). The resource is freed at end; successors --
+  // and the makespan, since delivery is what completes a transfer -- see end + delay.
+  double post_delay_s = 0.0;
   std::int64_t transient_bytes = 0;  // live only while the node executes
   std::int64_t output_bytes = 0;     // live until the last consumer completes
   std::vector<std::int32_t> deps;
@@ -39,6 +49,9 @@ struct SimNode {
 
 struct SimGraph {
   int num_devices = 1;
+  // Bandwidth (bytes/s) per explicit link, indexed by SimNode::link. Empty for graphs
+  // that only use the per-device port / shared host-link resources.
+  std::vector<double> link_bandwidths;
   std::vector<SimNode> nodes;
   // Persistent model state per device (weight/gradient/optimizer shards): charged against
   // capacity but never freed.

@@ -1,0 +1,79 @@
+// Golden plan regression: the Table-1 models' uniform-topology plans are pinned by
+// digest to their pre-interconnect values (bench/baseline_table1.json carries the same
+// constants for the perf gate). The interconnect work routes all topology awareness
+// through PartitionOptions::step_bandwidths, and a uniform topology fills a single
+// scalar -- which, by the DP-argmin argument in partition/dp.h, cannot change any
+// partition decision. These tests make that guarantee executable: if a refactor
+// perturbs the uniform search path even one bit, the digests diverge and CTest fails.
+#include <gtest/gtest.h>
+
+#include "tofu/core/session.h"
+#include "tofu/models/rnn.h"
+#include "tofu/models/wresnet.h"
+#include "tofu/partition/plan_io.h"
+#include "tofu/partition/recursive.h"
+
+namespace tofu {
+namespace {
+
+// The pre-interconnect digests of RecursivePartition(graph, 8), identical to the
+// plan_digest values in bench/baseline_table1.json. Update both together, and only for
+// a deliberate search change.
+constexpr const char* kWResNetDigest = "b8be8aeb8a016afa";
+constexpr const char* kRnnDigest = "0df1a6ce9ae05e12";
+
+ModelGraph Table1WResNet() {
+  WResNetConfig config;
+  config.layers = 152;
+  config.width = 10;
+  config.batch = 8;
+  return BuildWResNet(config);
+}
+
+ModelGraph Table1Rnn() {
+  RnnConfig config;
+  config.layers = 10;
+  config.hidden = 8192;
+  config.batch = 128;
+  return BuildRnn(config);
+}
+
+// The partition decisions and search trace, with the fields a topology legitimately
+// changes (per-step seconds, their sum, wall time) zeroed: what "the same plan" means
+// across bandwidth models.
+std::string StructuralJson(PartitionPlan plan) {
+  plan.search_stats.wall_seconds = 0.0;
+  plan.step_seconds.clear();
+  plan.estimated_comm_seconds = 0.0;
+  for (BasicPlan& step : plan.steps) {
+    step.comm_seconds = 0.0;
+  }
+  return PlanToJson(plan);
+}
+
+void ExpectGolden(const ModelGraph& model, const char* digest) {
+  PartitionPlan raw = RecursivePartition(model.graph, 8);
+  EXPECT_EQ(PlanDigest(raw), digest) << model.name;
+
+  // A uniform-topology Session must search the identical plan: its scalar
+  // step_bandwidths only rescale costs, never reorder them.
+  Session session(DeviceTopology::Uniform(8));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> response = session.Partition(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(StructuralJson(response->plan), StructuralJson(raw)) << model.name;
+  // And the digest itself is deterministic across repeated searches.
+  EXPECT_EQ(PlanDigest(RecursivePartition(model.graph, 8)), digest) << model.name;
+}
+
+TEST(PlanGoldens, WResNet152PlanIsBitIdenticalToPreInterconnectBaseline) {
+  ExpectGolden(Table1WResNet(), kWResNetDigest);
+}
+
+TEST(PlanGoldens, Rnn10PlanIsBitIdenticalToPreInterconnectBaseline) {
+  ExpectGolden(Table1Rnn(), kRnnDigest);
+}
+
+}  // namespace
+}  // namespace tofu

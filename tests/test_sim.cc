@@ -175,5 +175,76 @@ TEST(EventSim, SamplesPerSecondDerivedFromMakespan) {
   EXPECT_DOUBLE_EQ(r.samples_per_second, 32.0);
 }
 
+// ------------------------------------------------------- explicit link queueing
+
+SimNode Link(int link, double bytes, std::vector<std::int32_t> deps = {},
+             double post_delay_s = 0.0) {
+  SimNode n;
+  n.kind = SimNode::Kind::kLink;
+  n.link = link;
+  n.comm_bytes = bytes;
+  n.deps = std::move(deps);
+  n.post_delay_s = post_delay_s;
+  return n;
+}
+
+SimGraph LinkGraph(std::vector<double> bandwidths) {
+  SimGraph g;
+  g.num_devices = 1;
+  g.resident_bytes = {0.0};
+  g.link_bandwidths = std::move(bandwidths);
+  return g;
+}
+
+TEST(EventSim, TransfersSerializeOnASharedLink) {
+  SimGraph g = LinkGraph({1e9});
+  g.Add(Link(0, 1e9));
+  g.Add(Link(0, 1e9));
+  SimResult r = RunSim(g, K80Cluster());
+  EXPECT_DOUBLE_EQ(r.makespan_s, 2.0);
+  EXPECT_DOUBLE_EQ(r.comm_busy_s, 2.0);
+}
+
+TEST(EventSim, TransfersOnDistinctLinksRunInParallel) {
+  SimGraph g = LinkGraph({1e9, 2e9});
+  g.Add(Link(0, 1e9));  // 1.0 s
+  g.Add(Link(1, 1e9));  // 0.5 s on the faster link
+  SimResult r = RunSim(g, K80Cluster());
+  EXPECT_DOUBLE_EQ(r.makespan_s, 1.0);
+  EXPECT_DOUBLE_EQ(r.comm_busy_s, 1.5);
+}
+
+TEST(EventSim, PostDelayDefersSuccessorsButFreesTheLink) {
+  SimGraph g = LinkGraph({1e9, 1e9});
+  // Hop 1 transmits for 1 s, then 0.25 s of wire latency before hop 2 may start.
+  std::int32_t a = g.Add(Link(0, 1e9, {}, 0.25));
+  g.Add(Link(1, 1e9, {a}));
+  SimResult r = RunSim(g, K80Cluster());
+  EXPECT_DOUBLE_EQ(r.makespan_s, 2.25);
+  // The link itself was only occupied for the transmission, not the delay.
+  EXPECT_DOUBLE_EQ(r.comm_busy_s, 2.0);
+  // A second transfer on link 0 can start at t=1.0, inside a's latency window.
+  g.Add(Link(0, 1e9));
+  EXPECT_DOUBLE_EQ(RunSim(g, K80Cluster()).makespan_s, 2.25);
+}
+
+TEST(EventSim, TrailingPostDelayExtendsTheMakespan) {
+  SimGraph g = LinkGraph({1e9});
+  g.Add(Link(0, 1e9, {}, 0.5));  // delivery, not transmission end, completes a transfer
+  SimResult r = RunSim(g, K80Cluster());
+  EXPECT_DOUBLE_EQ(r.makespan_s, 1.5);
+}
+
+TEST(EventSim, ZeroCommDropsLinkTransfersAndDelays) {
+  SimGraph g = LinkGraph({1e9});
+  std::int32_t a = g.Add(Link(0, 1e9, {}, 0.5));
+  g.Add(Link(0, 1e9, {a}));
+  SimOptions zero;
+  zero.zero_comm = true;
+  SimResult r = RunSim(g, K80Cluster(), zero);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.comm_busy_s, 0.0);
+}
+
 }  // namespace
 }  // namespace tofu

@@ -2,6 +2,7 @@
 """Gate on bench_table1_search --json results against a checked-in baseline.
 
 Usage: check_perf.py <baseline.json> <current.json> [--max-slowdown X]
+                     [--serve serve.json]
 
 Fails (exit 1) when:
   * a baseline model has no matching row in the current results (dropping or renaming
@@ -21,11 +22,56 @@ Fails (exit 1) when:
   * the Session plan cache did not hit on a repeated identical request, or the cached
     plan was not byte-identical to a fresh session's plan (the serving-path contract of
     core/session.h -- fields session_cache_hit / cached_plan_identical in the bench
-    JSON; their absence also fails, so the gate cannot be disabled by dropping them).
+    JSON; their absence also fails, so the gate cannot be disabled by dropping them);
+  * a topology row's simulated critical path undercuts its analytic estimate -- the
+    congestion/dilation number is a lower bound on any schedule (interconnect/
+    interconnect.h), so sim < estimate means one of the two models broke;
+  * with --serve, the bench_serve --json results show a nondeterministic plan, any
+    request error, cache counters that do not add up to the request count, or a final
+    hit rate below --min-hit-rate (the serve-path contract: a replayed spec mix must be
+    served almost entirely from the plan cache).
 """
 import argparse
 import json
 import sys
+
+
+def check_serve(path: str, min_hit_rate: float) -> bool:
+    """Gate bench_serve --json output; returns True on failure."""
+    with open(path) as f:
+        serve = json.load(f)
+    failed = False
+    if serve.get("deterministic") is not True:
+        print(
+            f"FAIL  serve: deterministic is {serve.get('deterministic')!r} (concurrent "
+            "plans must be byte-identical to fresh single-threaded searches)"
+        )
+        failed = True
+    runs = serve.get("runs", [])
+    if not runs:
+        print("FAIL  serve: no runs in the serve results")
+        failed = True
+    for run in runs:
+        label = f"serve threads={run.get('threads')}"
+        if run.get("errors", 1) != 0:
+            print(f"FAIL  {label}: {run.get('errors')} request errors")
+            failed = True
+        served = run.get("hits", 0) + run.get("misses", 0) + run.get("coalesced", 0)
+        if served != serve.get("requests"):
+            print(
+                f"FAIL  {label}: hits+misses+coalesced = {served} != requests "
+                f"{serve.get('requests')} (every validated request must be a hit, a "
+                "miss, or a coalesced wait -- core/session.h PlanCacheStats)"
+            )
+            failed = True
+    if runs:
+        final = runs[-1]
+        rate = final.get("hit_rate", 0.0)
+        status = "ok" if rate >= min_hit_rate else f"FAIL (< {min_hit_rate})"
+        print(f"serve threads={final.get('threads')}: hit rate {rate:.3f} {status}")
+        if rate < min_hit_rate:
+            failed = True
+    return failed
 
 
 def main() -> int:
@@ -33,6 +79,8 @@ def main() -> int:
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--max-slowdown", type=float, default=3.0)
+    parser.add_argument("--serve", help="bench_serve --json output to gate")
+    parser.add_argument("--min-hit-rate", type=float, default=0.9)
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -95,6 +143,17 @@ def main() -> int:
         if base.get("exact", True) and not row.get("exact", True):
             print(f"FAIL  {row['model']}: search became beam-degraded")
             failed = True
+    for row in current["results"]:
+        est = row.get("estimated_comm_seconds")
+        sim = row.get("simulated_comm_seconds")
+        if est and sim and sim < est * (1.0 - 1e-9):
+            print(
+                f"FAIL  {row['model']}: simulated comm {sim:.6g}s < analytic estimate "
+                f"{est:.6g}s (the estimate is a lower bound on any schedule)"
+            )
+            failed = True
+    if args.serve and check_serve(args.serve, args.min_hit_rate):
+        failed = True
     return 1 if failed else 0
 
 
