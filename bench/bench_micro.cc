@@ -61,6 +61,64 @@ void BM_DpStep(benchmark::State& state) {
 }
 BENCHMARK(BM_DpStep)->Arg(1)->Arg(4);
 
+// Per-phase attribution of one big many-worker search (the dense-lattice engine
+// path): SearchStats splits the engine's wall time into cost-table fill, state
+// expansion, cost charging, and projection, so a regression in any one phase is
+// visible even when the total hides it. Also reports how many frontier states
+// dominance pruning skipped (plan-invariant; docs/search.md).
+void BM_SearchPhasesWResNet64(benchmark::State& state) {
+  WResNetConfig config;
+  config.layers = 152;
+  config.width = 10;
+  config.batch = 8;
+  ModelGraph model = BuildWResNet(config);
+  double fill = 0.0, expand = 0.0, charge = 0.0, project = 0.0;
+  double dominated = 0.0;
+  for (auto _ : state) {
+    PartitionPlan plan = RecursivePartition(model.graph, 64);
+    fill += plan.search_stats.fill_seconds;
+    expand += plan.search_stats.expand_seconds;
+    charge += plan.search_stats.charge_seconds;
+    project += plan.search_stats.project_seconds;
+    dominated = static_cast<double>(plan.search_stats.dominated_pruned_states);
+    benchmark::DoNotOptimize(plan.total_comm_bytes);
+  }
+  state.counters["fill_s"] = benchmark::Counter(fill, benchmark::Counter::kAvgIterations);
+  state.counters["expand_s"] =
+      benchmark::Counter(expand, benchmark::Counter::kAvgIterations);
+  state.counters["charge_s"] =
+      benchmark::Counter(charge, benchmark::Counter::kAvgIterations);
+  state.counters["project_s"] =
+      benchmark::Counter(project, benchmark::Counter::kAvgIterations);
+  state.counters["dominated"] = benchmark::Counter(dominated);
+}
+BENCHMARK(BM_SearchPhasesWResNet64)->Unit(benchmark::kMillisecond);
+
+// The dense-lattice charge kernel in isolation: for every run of `r` frontier cells
+// sharing a table prefix, add one gathered table value across the contiguous run --
+// the exact inner loop RunDense's charge phase executes (search_engine.cc). Arg pair =
+// (frontier cells, run length); reports effective bytes/second over the cost array.
+void BM_DenseChargeKernel(benchmark::State& state) {
+  const std::int64_t cells = state.range(0);
+  const std::int64_t run = state.range(1);
+  std::vector<double> cost(static_cast<size_t>(cells), 1.0);
+  std::vector<double> table(static_cast<size_t>(cells / run), 0.5);
+  for (auto _ : state) {
+    double* c = cost.data();
+    for (std::int64_t p = 0; p < cells / run; ++p, c += run) {
+      const double t = table[static_cast<size_t>(p)];
+      for (std::int64_t j = 0; j < run; ++j) {
+        c[j] += t;
+      }
+    }
+    benchmark::DoNotOptimize(cost.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() * cells * sizeof(double));
+}
+BENCHMARK(BM_DenseChargeKernel)->Args({1 << 16, 4})->Args({1 << 16, 64})
+    ->Args({1 << 20, 64});
+
 void BM_RecursivePartitionMlp8(benchmark::State& state) {
   ModelGraph model = BenchMlp();
   for (auto _ : state) {

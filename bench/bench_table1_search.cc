@@ -26,6 +26,7 @@
 #include "tofu/core/session.h"
 #include "tofu/interconnect/interconnect.h"
 #include "tofu/models/rnn.h"
+#include "tofu/models/transformer.h"
 #include "tofu/models/wresnet.h"
 #include "tofu/partition/flat_dp.h"
 #include "tofu/partition/plan_io.h"
@@ -170,6 +171,67 @@ void Run(const std::string& name, ModelGraph model, JsonWriter* json) {
   }
 }
 
+// One big-graph, many-worker row: the same recursive search at worker counts far past
+// the paper's 8-GPU testbed, where per-step option counts (and so frontier width and
+// table sizes) grow with the factorization of the worker count. These rows exercise the
+// dense-lattice engine path (docs/search.md): wall time is best-of-3 (the same
+// methodology as the pre-PR numbers recorded as pre_pr_recursive_seconds in
+// bench/baseline_table1.json, which tools/check_perf.py --min-speedup gates against),
+// while every correctness field -- comm bytes, effort counters, plan digest, serving
+// flags -- is gated exactly like the 8-worker rows.
+void RunManyWorkers(const std::string& name, const ModelGraph& model, int workers,
+                    JsonWriter* json) {
+  double recursive_s = 1e99;
+  PartitionPlan plan;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto t0 = Clock::now();
+    PartitionPlan attempt = RecursivePartition(model.graph, workers);
+    recursive_s =
+        std::min(recursive_s, std::chrono::duration<double>(Clock::now() - t0).count());
+    plan = std::move(attempt);
+  }
+
+  // Serving-path flags at this worker count (same contract as Run above).
+  Session session(DeviceTopology::Uniform(workers));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> first = session.Partition(request);
+  Result<PartitionResponse> second = session.Partition(request);
+  Session fresh_session(DeviceTopology::Uniform(workers));
+  Result<PartitionResponse> fresh = fresh_session.Partition(request);
+  const bool cache_hit = first.ok() && second.ok() && !first->from_cache &&
+                         second->from_cache && session.cache_stats().hits == 1;
+  const bool identical = second.ok() && fresh.ok() &&
+                         PlanDigest(second->plan) == PlanDigest(fresh->plan);
+
+  const SearchStats& stats = plan.search_stats;
+  std::printf("  %-18s w=%-4d %-10s comm %s/iter, %lld evals, %lld dominated-pruned, "
+              "cache %s/%s\n",
+              name.c_str(), workers, HumanSeconds(recursive_s).c_str(),
+              HumanBytes(plan.total_comm_bytes).c_str(),
+              static_cast<long long>(stats.states_explored),
+              static_cast<long long>(stats.dominated_pruned_states),
+              cache_hit ? "hit" : "MISSED", identical ? "identical" : "DIVERGED");
+  if (json != nullptr) {
+    json->BeginObject();
+    json->Key("model").String(name + "@w" + std::to_string(workers));
+    json->Key("num_ops").Int(model.graph.num_ops());
+    json->Key("num_tensors").Int(model.graph.num_tensors());
+    json->Key("workers").Int(workers);
+    json->Key("recursive_seconds").Number(recursive_s);
+    json->Key("recursive_comm_bytes").Number(plan.total_comm_bytes);
+    json->Key("states_explored").Int(stats.states_explored);
+    json->Key("max_frontier_states").Int(stats.max_frontier_states);
+    json->Key("cost_table_entries").Int(stats.cost_table_entries);
+    json->Key("dominated_pruned_states").Int(stats.dominated_pruned_states);
+    json->Key("exact").Bool(stats.exact);
+    json->Key("session_cache_hit").Bool(cache_hit);
+    json->Key("cached_plan_identical").Bool(identical);
+    json->Key("plan_digest").String(PlanDigest(plan));
+    json->EndObject();
+  }
+}
+
 // One non-uniform-topology row: the same model searched through a Session whose
 // DeviceTopology carries a concrete interconnect, so the per-step bandwidths are the
 // contention-aware effective figures and the plan's simulated critical-path time is
@@ -293,6 +355,25 @@ int main(int argc, char** argv) {
                            sweep_auto ? tofu::AutoBudgets(model) : budgets);
     }
   }
+
+  std::printf("=== Big-graph, many-worker search (dense-lattice engine path) ===\n");
+  {
+    tofu::WResNetConfig config;
+    config.layers = 152;
+    config.width = 10;
+    config.batch = 8;
+    const tofu::ModelGraph wresnet = tofu::BuildWResNet(config);
+    tofu::RunManyWorkers("WResNet-152-10", wresnet, 32, json_ptr);
+    tofu::RunManyWorkers("WResNet-152-10", wresnet, 64, json_ptr);
+    tofu::RunManyWorkers("WResNet-152-10", wresnet, 128, json_ptr);
+  }
+  {
+    tofu::TransformerConfig config;
+    config.layers = 48;
+    const tofu::ModelGraph transformer = tofu::BuildTransformer(config);
+    tofu::RunManyWorkers("Transformer-48", transformer, 64, json_ptr);
+  }
+  std::printf("\n");
 
   std::printf("=== Non-uniform interconnects (contention-aware search) ===\n");
   {

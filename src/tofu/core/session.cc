@@ -310,6 +310,11 @@ Result<PartitionResponse> Session::SearchAndCache(const PartitionRequest& reques
   if (options.memory_budget_bytes == 0) {
     options.memory_budget_bytes = request.memory_budget_bytes;
   }
+  // Incremental re-planning: every step DP this search runs consults the session's
+  // compilation cache, so plan-cache misses that share step shapes with an earlier
+  // request (e.g. a budget ladder over one model) skip recomputing cost tables.
+  // Byte-identical to a cold search by construction (partition/dp.h).
+  options.dp.step_table_cache = &step_tables_;
 
   PartitionResponse response;
   switch (request.algorithm) {

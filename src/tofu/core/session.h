@@ -207,6 +207,13 @@ class Session {
   PlanCacheStats cache_stats() const;
   void ClearPlanCache() { cache_.Clear(); }
 
+  // The session's cross-request step-compilation cache (incremental re-planning,
+  // partition/dp.h). Plan-cache MISSES that differ from an earlier request only in
+  // fields outside the step cache's key -- memory budget, bandwidths, thread count --
+  // reuse the earlier request's per-step cost tables instead of recomputing them.
+  // Exposed for tests and diagnostics; safe to read concurrently.
+  StepTableCache::Stats step_table_cache_stats() const { return step_tables_.stats(); }
+
   // Test-only: plants `response` in the plan cache under `request`'s key, exactly as a
   // fresh search would have. Exists so the collision fall-through (a cached plan that
   // does not validate against the request's graph) can be exercised without forging a
@@ -237,6 +244,10 @@ class Session {
 
   DeviceTopology topology_;
   ShardedLruCache<PartitionResponse> cache_;
+  // Step-compilation cache shared by every search this session runs (thread-safe; the
+  // DP only reads immutable published entries). Sized generously: one entry per
+  // (graph, shapes, ways) step, and a recursion over a deep model touches tens.
+  StepTableCache step_tables_;
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
   std::atomic<std::int64_t> coalesced_{0};

@@ -1,84 +1,109 @@
 #include "tofu/partition/dp.h"
 
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "tofu/graph/graph.h"
 #include "tofu/partition/search_engine.h"
 #include "tofu/util/logging.h"
+#include "tofu/util/sharded_lru.h"
 #include "tofu/util/strings.h"
 
 namespace tofu {
 
 std::string DpOptions::Fingerprint() const {
-  // num_threads is deliberately omitted: any thread count yields byte-identical plans
-  // (the field's contract above), so keying on it would only cause spurious cache
-  // misses for thread-tuned requests. memory_budget_bytes is included: the budget
-  // steers which states survive, so plans searched under different budgets differ.
-  return StrFormat("dp=%d,%lld,%.17g,%lld;", allow_reduction_strategies ? 1 : 0,
+  // num_threads and step_table_cache are deliberately omitted: neither can change the
+  // returned plan (the fields' contracts above), so keying on them would only cause
+  // spurious cache misses. memory_budget_bytes is included: the budget steers which
+  // states survive, so plans searched under different budgets differ. prune_dominated
+  // is included for its SearchStats (the plan itself is provably invariant).
+  return StrFormat("dp=%d,%lld,%.17g,%lld,%d;", allow_reduction_strategies ? 1 : 0,
                    static_cast<long long>(max_states), link_bandwidth,
-                   static_cast<long long>(memory_budget_bytes));
+                   static_cast<long long>(memory_budget_bytes),
+                   prune_dominated ? 1 : 0);
 }
 
-namespace {
+// Named (not anonymous) so StepCompilation below can hold these types in shared_ptr
+// members without tripping -Wsubobject-linkage; everything here is still file-internal
+// by convention.
+namespace dp_internal {
 
-// Precompiled cost evaluator of one unit at this step: strategy applicability, tensor
-// sizes, and halo volumes are all shape-only facts, so they are resolved ONCE per step
-// (per RunStepDp) instead of once per cost evaluation. What remains per evaluation is
-// branch-light arithmetic over flat arrays -- this is the function the per-group cost
-// tables are filled from, the hottest code in the search.
+// Precompiled cost evaluator of one unit at this step. Strategy applicability, tensor
+// sizes and halo volumes are shape-only facts, resolved ONCE per step; on top of that,
+// every term's cost contribution is a function of ONE slot's cut option only, so the
+// contribution is precomputed per (term, option) into one flat value pool. The hot
+// evaluation -- the function the per-group cost tables are filled from, the hottest
+// code in the search -- is then a branch-free gather-accumulate: values[t.val_begin +
+// option[t.slot]] summed in a fixed order.
 //
 // Floating-point accumulation order deliberately mirrors StepContext::OpCommBytes
 // (per-op subtotals, inputs then output) so costs are bit-identical to evaluating
-// through StepContext.
-struct InputTerm {
-  int slot;      // the tensor's slot (cuts are per slot; slots can hold many tensors)
-  bool whole;    // whole-tensor requirement (InputReq::Kind::kReplicated)
-  int req_dim;   // split requirement dimension (when !whole)
-  double size;   // current bytes
-  double halo_bytes;
+// through StepContext. Terms whose branchy original would have SKIPPED the add (e.g. a
+// replicated stored cut) contribute an explicit 0.0 instead; every contribution is
+// non-negative, so adding 0.0 is bitwise-neutral (no -0.0 can arise).
+struct TermRef {
+  int slot;       // the tensor's slot (options are per slot)
+  int val_begin;  // UnitEval::values[val_begin + option] is this term's contribution
 };
 
-// One member op's contribution under one strategy: `num_inputs` InputTerms (stored
+// One member op's contribution under one strategy: `num_inputs` input TermRefs (stored
 // contiguously in the owning flat array) followed by the output re-partition term.
 struct OpTerms {
   int num_inputs;
-  int out_slot;
-  double out_size;
-  bool is_reduction;
-  int output_dim;
+  TermRef out;
 };
 
 struct StrategyEval {
   int sidx;
-  int op_begin;     // index range into UnitEval::ops
+  int op_begin;    // index range into UnitEval::ops
   int op_end;
-  int input_begin;  // start of this strategy's run in UnitEval::inputs
+  int term_begin;  // start of this strategy's run in UnitEval::terms
 };
 
 // Flat-array evaluator (single allocation per array, contiguous traversal): ops[o]
-// consumes the next ops[o].num_inputs entries of `inputs`, in order.
+// consumes the next ops[o].num_inputs entries of `terms`, in order.
 struct UnitEval {
   // Replicated-execution baseline: per member op, the inputs it would all-gather.
-  std::vector<int> repl_op_sizes;   // inputs per member op
-  std::vector<InputTerm> repl_inputs;
+  std::vector<int> repl_op_sizes;  // inputs per member op
+  std::vector<TermRef> repl_terms;
   // Strategies applicable at this step's shapes (ascending sidx), reduction-filtered.
   std::vector<StrategyEval> strategies;
   std::vector<OpTerms> ops;
-  std::vector<InputTerm> inputs;
+  std::vector<TermRef> terms;
+  std::vector<double> values;  // per-(term, option) contribution pool
 };
 
 UnitEval BuildUnitEval(StepContext* ctx, const CoarseGraph& coarse, const Unit& unit,
-                       bool allow_reduction, const std::vector<double>& tensor_bytes) {
+                       bool allow_reduction, const std::vector<double>& tensor_bytes,
+                       const std::vector<const std::vector<int>*>& slot_options) {
   const Graph& graph = ctx->graph();
   const double f = static_cast<double>(ctx->ways());
+  const double fm1 = f - 1.0;
   UnitEval ue;
+
+  // Appends one term's per-option values (`value(cut)` evaluated for every cut option
+  // of `slot`, in option order) and returns its TermRef.
+  auto add_term = [&ue, &slot_options](int slot, auto&& value) {
+    TermRef ref{slot, static_cast<int>(ue.values.size())};
+    for (int cut : *slot_options[static_cast<size_t>(slot)]) {
+      ue.values.push_back(value(cut));
+    }
+    return ref;
+  };
 
   ue.repl_op_sizes.reserve(unit.ops.size());
   for (OpId op_id : unit.ops) {
     const OpNode& op = graph.op(op_id);
     ue.repl_op_sizes.push_back(static_cast<int>(op.inputs.size()));
     for (TensorId t : op.inputs) {
-      ue.repl_inputs.push_back({coarse.tensor_slot[static_cast<size_t>(t)], true, -1,
-                                tensor_bytes[static_cast<size_t>(t)], 0.0});
+      const double size = tensor_bytes[static_cast<size_t>(t)];
+      ue.repl_terms.push_back(add_term(
+          coarse.tensor_slot[static_cast<size_t>(t)],
+          [&](int cut) { return cut == kReplicated ? 0.0 : size * fm1; }));
     }
   }
 
@@ -101,7 +126,7 @@ UnitEval BuildUnitEval(StepContext* ctx, const CoarseGraph& coarse, const Unit& 
     StrategyEval se;
     se.sidx = sidx;
     se.op_begin = static_cast<int>(ue.ops.size());
-    se.input_begin = static_cast<int>(ue.inputs.size());
+    se.term_begin = static_cast<int>(ue.terms.size());
     for (OpId op_id : unit.ops) {
       const OpNode& op = graph.op(op_id);
       const ConcreteStrategy& s = ctx->Strategies(op_id)[static_cast<size_t>(sidx)];
@@ -109,27 +134,48 @@ UnitEval BuildUnitEval(StepContext* ctx, const CoarseGraph& coarse, const Unit& 
       terms.num_inputs = static_cast<int>(op.inputs.size());
       for (size_t i = 0; i < op.inputs.size(); ++i) {
         const ConcreteInputReq& req = s.inputs[i];
-        InputTerm it;
-        it.slot = coarse.tensor_slot[static_cast<size_t>(op.inputs[i])];
-        it.size = tensor_bytes[static_cast<size_t>(op.inputs[i])];
-        it.whole = req.kind == InputReq::Kind::kReplicated;
-        it.req_dim = it.whole ? -1 : req.dim;
-        it.halo_bytes = 0.0;
-        if (!it.whole) {
+        const double size = tensor_bytes[static_cast<size_t>(op.inputs[i])];
+        const bool whole = req.kind == InputReq::Kind::kReplicated;
+        const int req_dim = whole ? -1 : req.dim;
+        double halo_bytes = 0.0;
+        if (!whole) {
           const std::int64_t extent =
               ctx->shape(op.inputs[i])[static_cast<size_t>(req.dim)];
           if (req.halo_elems > 0 && extent > 0) {
             const double slab =
-                it.size * static_cast<double>(req.halo_elems) / static_cast<double>(extent);
-            it.halo_bytes = 2.0 * (f - 1.0) * slab;
+                size * static_cast<double>(req.halo_elems) / static_cast<double>(extent);
+            halo_bytes = 2.0 * (f - 1.0) * slab;
           }
         }
-        ue.inputs.push_back(it);
+        ue.terms.push_back(add_term(
+            coarse.tensor_slot[static_cast<size_t>(op.inputs[i])], [&](int stored) {
+              if (stored == kReplicated) {
+                return 0.0;  // every worker already holds the whole tensor
+              }
+              if (whole) {
+                return size * fm1;  // all-gather the other shards
+              }
+              if (stored == req_dim) {
+                return halo_bytes;  // aligned: only the halo moves
+              }
+              return size * fm1 / f + halo_bytes;  // cross-cut shuffle
+            }));
       }
-      terms.out_slot = coarse.tensor_slot[static_cast<size_t>(op.output)];
-      terms.out_size = tensor_bytes[static_cast<size_t>(op.output)];
-      terms.is_reduction = s.is_reduction;
-      terms.output_dim = s.output_dim;
+      const double out_size = tensor_bytes[static_cast<size_t>(op.output)];
+      const bool is_reduction = s.is_reduction;
+      const int output_dim = s.output_dim;
+      terms.out = add_term(coarse.tensor_slot[static_cast<size_t>(op.output)],
+                           [&](int stored) {
+                             if (is_reduction) {
+                               return stored == kReplicated ? 2.0 * out_size * fm1
+                                                            : out_size * fm1;
+                             }
+                             if (stored == output_dim) {
+                               return 0.0;  // output already lands in the stored cut
+                             }
+                             return stored == kReplicated ? out_size * fm1
+                                                          : out_size * fm1 / f;
+                           });
       ue.ops.push_back(terms);
     }
     se.op_end = static_cast<int>(ue.ops.size());
@@ -138,22 +184,20 @@ UnitEval BuildUnitEval(StepContext* ctx, const CoarseGraph& coarse, const Unit& 
   return ue;
 }
 
-// Minimal cost of one unit given fixed cuts: min over applicable strategies of the summed
-// member-op communication. Replicated execution (every worker runs the whole op) is a
-// genuine candidate, not just a fallback -- for operators whose tensors are all stored
-// replicated it is the zero-communication choice.
-double UnitCost(const UnitEval& ue, const std::vector<int>& slot_cuts, double f,
-                int* best_sidx) {
-  const double fm1 = f - 1.0;
+// Minimal cost of one unit given fixed per-slot OPTION indices: min over applicable
+// strategies of the summed member-op communication. Replicated execution (every worker
+// runs the whole op) is a genuine candidate, not just a fallback -- for operators whose
+// tensors are all stored replicated it is the zero-communication choice (strict < keeps
+// it on ties).
+double UnitCost(const UnitEval& ue, const std::vector<int>& slot_opt, int* best_sidx) {
+  const double* values = ue.values.data();
   double best = 0.0;
   {
-    const InputTerm* it = ue.repl_inputs.data();
+    const TermRef* t = ue.repl_terms.data();
     for (int n : ue.repl_op_sizes) {
       double op_total = 0.0;
-      for (int i = 0; i < n; ++i, ++it) {
-        if (slot_cuts[static_cast<size_t>(it->slot)] != kReplicated) {
-          op_total += it->size * fm1;
-        }
+      for (int i = 0; i < n; ++i, ++t) {
+        op_total += values[t->val_begin + slot_opt[static_cast<size_t>(t->slot)]];
       }
       best += op_total;
     }
@@ -161,30 +205,16 @@ double UnitCost(const UnitEval& ue, const std::vector<int>& slot_cuts, double f,
   int best_idx = kReplicatedExec;
   for (const StrategyEval& se : ue.strategies) {
     double total = 0.0;
-    // Each strategy's ops consume its own run of the shared flat input array.
-    const InputTerm* it = ue.inputs.data() + se.input_begin;
+    // Each strategy's ops consume its own run of the shared flat term array.
+    const TermRef* t = ue.terms.data() + se.term_begin;
     for (int o = se.op_begin; o < se.op_end; ++o) {
       const OpTerms& op = ue.ops[static_cast<size_t>(o)];
       double op_total = 0.0;
-      for (int i = 0; i < op.num_inputs; ++i, ++it) {
-        const int stored = slot_cuts[static_cast<size_t>(it->slot)];
-        if (stored == kReplicated) {
-          continue;  // every worker already holds the whole tensor
-        }
-        if (it->whole) {
-          op_total += it->size * fm1;  // all-gather the other shards
-        } else if (stored == it->req_dim) {
-          op_total += it->halo_bytes;  // aligned: only the halo moves
-        } else {
-          op_total += it->size * fm1 / f + it->halo_bytes;  // cross-cut shuffle
-        }
+      for (int i = 0; i < op.num_inputs; ++i, ++t) {
+        op_total += values[t->val_begin + slot_opt[static_cast<size_t>(t->slot)]];
       }
-      const int stored = slot_cuts[static_cast<size_t>(op.out_slot)];
-      if (op.is_reduction) {
-        op_total += stored == kReplicated ? 2.0 * op.out_size * fm1 : op.out_size * fm1;
-      } else if (stored != op.output_dim) {
-        op_total += stored == kReplicated ? op.out_size * fm1 : op.out_size * fm1 / f;
-      }
+      op_total +=
+          values[op.out.val_begin + slot_opt[static_cast<size_t>(op.out.slot)]];
       total += op_total;
     }
     if (total < best) {
@@ -198,12 +228,95 @@ double UnitCost(const UnitEval& ue, const std::vector<int>& slot_cuts, double f,
   return best;
 }
 
+}  // namespace dp_internal
+
+// One compiled step, as cached across requests: everything RunStepDp derives from
+// (graph, shapes, ways, strategy filtering) and nothing it derives from budgets,
+// bandwidths or thread counts. The structural fields re-validate a hit against the
+// caller's coarse graph -- the 64-bit key could collide, and a colliding entry must be
+// treated as a miss, never dereferenced into the wrong search space.
+struct StepCompilation {
+  int ways = 0;
+  std::size_t num_groups = 0;
+  std::vector<int> slot_num_options;
+  std::shared_ptr<const std::vector<dp_internal::UnitEval>> unit_evals;
+  std::shared_ptr<const std::vector<std::vector<double>>> slot_option_bytes;
+  std::shared_ptr<const GroupCostTables> tables;  // null entries: never filled so far
+};
+
+struct StepTableCache::Impl {
+  Impl(std::size_t max_entries, std::size_t shards) : entries(max_entries, shards) {}
+  ShardedLruCache<std::shared_ptr<const StepCompilation>> entries;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+};
+
+StepTableCache::StepTableCache(std::size_t max_entries, std::size_t shards)
+    : impl_(std::make_unique<Impl>(max_entries, shards)) {}
+
+StepTableCache::~StepTableCache() = default;
+
+StepTableCache::Stats StepTableCache::stats() const {
+  return {impl_->hits.load(std::memory_order_relaxed),
+          impl_->misses.load(std::memory_order_relaxed)};
+}
+
+std::size_t StepTableCache::size() const { return impl_->entries.size(); }
+
+// dp.cc-internal accessor (friended by StepTableCache): keeps StepCompilation out of
+// the public header entirely.
+struct StepTableCacheAccess {
+  static std::shared_ptr<const StepCompilation> Lookup(StepTableCache* cache,
+                                                       const std::string& key) {
+    std::optional<std::shared_ptr<const StepCompilation>> hit =
+        cache->impl_->entries.Lookup(key);
+    return hit.has_value() ? *hit : nullptr;
+  }
+  static void Insert(StepTableCache* cache, const std::string& key,
+                     std::shared_ptr<const StepCompilation> value) {
+    cache->impl_->entries.Insert(key, std::move(value));
+  }
+  static void Count(StepTableCache* cache, bool hit) {
+    (hit ? cache->impl_->hits : cache->impl_->misses)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+namespace {
+
+// Cache key of one step compilation: graph structure (GraphSignature), split factor,
+// strategy filtering, and an FNV-1a digest of every tensor's CURRENT shape (recursion
+// shrinks shapes step by step, and every compiled value is shape-dependent -- sizes,
+// halos, applicability, cut options, shard bytes). Budgets, bandwidths, thread counts
+// and state caps are deliberately absent: they do not influence any cached artifact,
+// and their absence is precisely what lets a budget ladder or a re-plan with refreshed
+// bandwidths hit the cache.
+std::string StepCacheKey(StepContext* ctx, const Graph& graph, bool allow_reduction) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (TensorId t = 0; t < graph.num_tensors(); ++t) {
+    const Shape& shape = ctx->shape(t);
+    mix(0x9e3779b97f4a7c15ull + shape.size());  // per-tensor separator
+    for (std::int64_t d : shape) {
+      mix(static_cast<std::uint64_t>(d));
+    }
+  }
+  return StrFormat("step;g=%016llx;w=%d;r=%d;s=%016llx;",
+                   static_cast<unsigned long long>(GraphSignature(graph)), ctx->ways(),
+                   allow_reduction ? 1 : 0, static_cast<unsigned long long>(h));
+}
+
 }  // namespace
 
 DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions& options) {
   const Graph& graph = ctx->graph();
   const int num_slots = coarse.num_slots();
-  const double f = static_cast<double>(ctx->ways());
+  const std::size_t num_groups = coarse.groups.size();
 
   // Cut options per slot (identical across members; validated by Coarsen). Cached by
   // StepContext, so this is a pointer copy per slot.
@@ -216,21 +329,40 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
     space.slot_num_options[static_cast<size_t>(s)] =
         static_cast<int>(slot_options[static_cast<size_t>(s)]->size());
   }
-  space.group_slots.reserve(coarse.groups.size());
+  space.group_slots.reserve(num_groups);
   for (const MacroGroup& group : coarse.groups) {
     space.group_slots.push_back(group.touched_slots);  // already sorted, unique
   }
 
-  // Memory model for the engine's budget pruning: each slot's resident bytes per cut
-  // option (all members of a slot share one cut, so the slot's contribution is the sum
-  // of its members' shards). Only built when a budget is set -- without one the engine
-  // must stay bit-identical to the unconstrained search.
-  if (options.memory_budget_bytes > 0) {
-    space.slot_option_bytes.resize(static_cast<size_t>(num_slots));
+  // Incremental re-planning: look this step up in the cross-request compilation cache.
+  // A hit must match the coarse structure exactly (key collisions degrade to a miss).
+  std::shared_ptr<const StepCompilation> cached;
+  std::string cache_key;
+  if (options.step_table_cache != nullptr) {
+    cache_key = StepCacheKey(ctx, graph, options.allow_reduction_strategies);
+    cached = StepTableCacheAccess::Lookup(options.step_table_cache, cache_key);
+    if (cached != nullptr &&
+        (cached->ways != ctx->ways() || cached->num_groups != num_groups ||
+         cached->slot_num_options != space.slot_num_options)) {
+      cached = nullptr;
+    }
+    StepTableCacheAccess::Count(options.step_table_cache, cached != nullptr);
+  }
+
+  // Memory model: each slot's resident bytes per cut option (all members of a slot
+  // share one cut, so the slot's contribution is the sum of its members' shards).
+  // Always built: with a budget it drives the engine's pruning and tie-breaks; without
+  // one the engine ignores it except in the dominance analysis, whose rule demands an
+  // option be no worse on BOTH cost and bytes before a sibling is dropped.
+  std::shared_ptr<const std::vector<std::vector<double>>> option_bytes;
+  if (cached != nullptr) {
+    option_bytes = cached->slot_option_bytes;
+  } else {
+    auto fresh = std::make_shared<std::vector<std::vector<double>>>(
+        static_cast<size_t>(num_slots));
     for (int s = 0; s < num_slots; ++s) {
       const std::vector<int>& cut_opts = *slot_options[static_cast<size_t>(s)];
-      std::vector<double>& bytes_per_option =
-          space.slot_option_bytes[static_cast<size_t>(s)];
+      std::vector<double>& bytes_per_option = (*fresh)[static_cast<size_t>(s)];
       bytes_per_option.reserve(cut_opts.size());
       for (int cut : cut_opts) {
         double b = 0.0;
@@ -241,23 +373,33 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
         bytes_per_option.push_back(b);
       }
     }
+    option_bytes = std::move(fresh);
+  }
+  space.slot_option_bytes = *option_bytes;
+
+  // Per-unit evaluators: applicability, sizes, halos and per-option cost contributions
+  // resolved once per step -- or reused outright from the cached compilation.
+  std::shared_ptr<const std::vector<dp_internal::UnitEval>> unit_evals;
+  if (cached != nullptr) {
+    unit_evals = cached->unit_evals;
+  } else {
+    std::vector<double> tensor_bytes(static_cast<size_t>(graph.num_tensors()));
+    for (TensorId t = 0; t < graph.num_tensors(); ++t) {
+      tensor_bytes[static_cast<size_t>(t)] = static_cast<double>(ctx->bytes(t));
+    }
+    auto fresh = std::make_shared<std::vector<dp_internal::UnitEval>>();
+    fresh->reserve(coarse.units.size());
+    for (const Unit& unit : coarse.units) {
+      fresh->push_back(dp_internal::BuildUnitEval(ctx, coarse, unit,
+                                                  options.allow_reduction_strategies,
+                                                  tensor_bytes, slot_options));
+    }
+    unit_evals = std::move(fresh);
   }
 
-  // Per-unit evaluators: applicability, sizes and halos resolved once per step.
-  std::vector<double> tensor_bytes(static_cast<size_t>(graph.num_tensors()));
-  for (TensorId t = 0; t < graph.num_tensors(); ++t) {
-    tensor_bytes[static_cast<size_t>(t)] = static_cast<double>(ctx->bytes(t));
-  }
-  std::vector<UnitEval> unit_evals;
-  unit_evals.reserve(coarse.units.size());
-  for (const Unit& unit : coarse.units) {
-    unit_evals.push_back(BuildUnitEval(ctx, coarse, unit,
-                                       options.allow_reduction_strategies, tensor_bytes));
-  }
-
-  // Scratch per-slot cut array consulted by the cost evaluator. Only the touched slots
-  // are (re)written before each evaluation, and only they are read.
-  std::vector<int> slot_cuts(static_cast<size_t>(num_slots), kReplicated);
+  // Scratch per-slot OPTION-index array consulted by the cost evaluator. Only the
+  // touched slots are (re)written before each evaluation, and only they are read.
+  std::vector<int> slot_opt(static_cast<size_t>(num_slots), 0);
 
   // Group cost at one combination of its touched slots' cut options. Invoked once per
   // combination while the engine fills the group's dense cost table. Element-wise riders
@@ -266,23 +408,94 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
   SearchEngine::GroupCostFn cost_fn = [&](int g, const int* opts) {
     const MacroGroup& group = coarse.groups[static_cast<size_t>(g)];
     for (size_t i = 0; i < group.touched_slots.size(); ++i) {
-      const int slot = group.touched_slots[i];
-      slot_cuts[static_cast<size_t>(slot)] = (*slot_options[static_cast<size_t>(slot)])[
-          static_cast<size_t>(opts[i])];
+      slot_opt[static_cast<size_t>(group.touched_slots[i])] = opts[i];
     }
     double group_cost = 0.0;
     for (int u : group.units) {
-      group_cost += UnitCost(unit_evals[static_cast<size_t>(u)], slot_cuts, f, nullptr);
+      group_cost +=
+          dp_internal::UnitCost((*unit_evals)[static_cast<size_t>(u)], slot_opt, nullptr);
     }
     return group_cost;
+  };
+
+  // Bulk table fill: one call per group table instead of one per cell. Walks the
+  // engine's canonical enumeration with an odometer, so only the options that actually
+  // change between consecutive cells are rewritten -- this plus skipping the per-cell
+  // std::function dispatch is worth ~2x on fill-bound searches, while producing the
+  // exact sequence of values cost_fn would (same evaluator, same order).
+  SearchEngine::GroupFillFn fill_fn = [&](int g, double* cells, std::int64_t num_cells) {
+    const MacroGroup& group = coarse.groups[static_cast<size_t>(g)];
+    const std::vector<int>& touched = group.touched_slots;
+    const int k = static_cast<int>(touched.size());
+    for (int s : touched) {
+      slot_opt[static_cast<size_t>(s)] = 0;
+    }
+    const std::vector<dp_internal::UnitEval>& evals = *unit_evals;
+    for (std::int64_t idx = 0;;) {
+      double group_cost = 0.0;
+      for (int u : group.units) {
+        group_cost += dp_internal::UnitCost(evals[static_cast<size_t>(u)], slot_opt, nullptr);
+      }
+      cells[idx] = group_cost;
+      if (++idx == num_cells) {
+        break;
+      }
+      for (int i = k - 1; i >= 0; --i) {
+        const int s = touched[static_cast<size_t>(i)];
+        if (++slot_opt[static_cast<size_t>(s)] <
+            static_cast<int>(slot_options[static_cast<size_t>(s)]->size())) {
+          break;
+        }
+        slot_opt[static_cast<size_t>(s)] = 0;
+      }
+    }
   };
 
   SearchEngineOptions engine_options;
   engine_options.max_states = options.max_states;
   engine_options.num_threads = options.num_threads;
+  engine_options.prune_dominated = options.prune_dominated;
   engine_options.memory_budget = static_cast<double>(options.memory_budget_bytes);
+  if (cached != nullptr) {
+    engine_options.reuse_tables = cached->tables;
+  }
   SearchEngine engine(std::move(space), engine_options);
-  SearchEngine::Result search = engine.Run(cost_fn);
+  SearchEngine::Result search = engine.Run(cost_fn, fill_fn);
+
+  // Publish (or extend) the compilation: on a miss the whole entry is new; on a hit the
+  // engine may still have filled tables the entry lacked (a budgeted search's dynamic
+  // table policy differs from the unbudgeted one), which are folded in for the next
+  // request. Tables the entry has but this run skipped are kept.
+  if (options.step_table_cache != nullptr && search.tables != nullptr) {
+    const GroupCostTables* prev_tables = cached != nullptr ? cached->tables.get() : nullptr;
+    auto merged = std::make_shared<GroupCostTables>(*search.tables);
+    bool changed = cached == nullptr;
+    for (size_t g = 0; g < merged->groups.size(); ++g) {
+      const std::shared_ptr<const std::vector<double>> prev =
+          prev_tables != nullptr && g < prev_tables->groups.size()
+              ? prev_tables->groups[g]
+              : nullptr;
+      if (merged->groups[g] == nullptr) {
+        merged->groups[g] = prev;
+      } else if (merged->groups[g] != prev) {
+        changed = true;
+      }
+    }
+    if (changed) {
+      auto entry = std::make_shared<StepCompilation>();
+      entry->ways = ctx->ways();
+      entry->num_groups = num_groups;
+      entry->slot_num_options.resize(static_cast<size_t>(num_slots));
+      for (int s = 0; s < num_slots; ++s) {
+        entry->slot_num_options[static_cast<size_t>(s)] =
+            static_cast<int>(slot_options[static_cast<size_t>(s)]->size());
+      }
+      entry->unit_evals = unit_evals;
+      entry->slot_option_bytes = option_bytes;
+      entry->tables = std::move(merged);
+      StepTableCacheAccess::Insert(options.step_table_cache, cache_key, std::move(entry));
+    }
+  }
 
   DpResult result;
   result.stats = search.stats;
@@ -322,7 +535,7 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
   plan.op_strategy.assign(static_cast<size_t>(graph.num_ops()), kReplicatedExec);
   for (size_t u = 0; u < coarse.units.size(); ++u) {
     int sidx = kReplicatedExec;
-    UnitCost(unit_evals[u], slot_cut, f, &sidx);
+    dp_internal::UnitCost((*unit_evals)[u], search.slot_option, &sidx);
     for (OpId op : coarse.units[u].ops) {
       plan.op_strategy[static_cast<size_t>(op)] = sidx;
     }

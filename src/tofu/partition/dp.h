@@ -15,7 +15,9 @@
 #ifndef TOFU_PARTITION_DP_H_
 #define TOFU_PARTITION_DP_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "tofu/partition/coarsen.h"
@@ -25,14 +27,22 @@
 
 namespace tofu {
 
+class StepTableCache;
+
 struct DpOptions {
   // Drop case-2 (output-reduction) strategies; models the ICML'18 baseline of §7.3.
   bool allow_reduction_strategies = true;
   // Safety cap on simultaneous DP states (frontier blow-up on non-chain graphs).
   std::int64_t max_states = 1 << 22;
-  // Threads for state expansion (see SearchEngineOptions::num_threads). Off by default;
-  // any value yields byte-identical plans.
-  int num_threads = 1;
+  // Threads for state expansion (see SearchEngineOptions::num_threads). 0 (the default)
+  // auto-sizes from hardware_concurrency; any value yields byte-identical plans.
+  int num_threads = 0;
+  // Dominated-option pruning in the engine's dense-lattice searches (see
+  // SearchEngineOptions::prune_dominated): provably plan-preserving, on by default;
+  // exposed so ablations can measure it. Part of the fingerprint -- not because plans
+  // differ (they cannot), but because SearchStats differ and cached stats must match
+  // what a fresh search would report.
+  bool prune_dominated = true;
   // Bandwidth (bytes/s) of the link this step's traffic crosses; > 0 makes RunStepDp
   // fill BasicPlan::comm_seconds. Within one step every transfer crosses the same link,
   // so the bandwidth scales all candidate costs equally and cannot change the argmin --
@@ -48,10 +58,49 @@ struct DpOptions {
   // "Memory-constrained search", documents this approximation). 0 keeps the search
   // unconstrained and bit-identical to the pre-budget engine.
   std::int64_t memory_budget_bytes = 0;
+  // Optional cross-request cache of per-step DP compilations (incremental
+  // re-planning). Not owned; null disables caching. Deliberately EXCLUDED from
+  // Fingerprint -- the cache is a performance vehicle, never an input: a warm lookup
+  // reuses unit evaluators and cost tables whose values are fully determined by the
+  // step's graph, shapes, ways and allow_reduction_strategies (all part of the cache
+  // key), so warm and cold searches return byte-identical plans AND stats.
+  StepTableCache* step_table_cache = nullptr;
 
-  // Deterministic serialization of every field for the Session plan-cache key; extend
-  // together with the struct (see CoarsenOptions::Fingerprint).
+  // Deterministic serialization of every semantically relevant field for the Session
+  // plan-cache key; extend together with the struct (see CoarsenOptions::Fingerprint).
+  // num_threads and step_table_cache are omitted: neither can change the returned plan.
   std::string Fingerprint() const;
+};
+
+// Cache of per-step DP compilations, keyed by (graph signature, step shapes, ways,
+// strategy filtering) -- everything the compiled artifacts depend on, and nothing they
+// do not: memory budgets, link bandwidths, thread counts and state caps are all
+// EXCLUDED, so a request that differs only in those (a budget ladder probing the same
+// model, a re-plan after a bandwidth re-measure) reuses the expensive work of the
+// original search. A hit skips rebuilding the per-unit cost evaluators and the per-slot
+// byte tables, and hands the engine every previously computed per-group cost table
+// (SearchEngineOptions::reuse_tables); tables the engine still has to fill (e.g. a
+// budgeted search memo-charged a group the unbudgeted search tabled) are folded back
+// into the entry afterwards. Thread-safe; entries are immutable once published.
+class StepTableCache {
+ public:
+  explicit StepTableCache(std::size_t max_entries = 64, std::size_t shards = 8);
+  ~StepTableCache();
+
+  StepTableCache(const StepTableCache&) = delete;
+  StepTableCache& operator=(const StepTableCache&) = delete;
+
+  struct Stats {
+    std::uint64_t hits = 0;    // lookups that reused a compatible compilation
+    std::uint64_t misses = 0;  // lookups that compiled fresh (including first touch)
+  };
+  Stats stats() const;
+  std::size_t size() const;
+
+ private:
+  friend struct StepTableCacheAccess;  // dp.cc-internal lookup/insert
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 struct DpResult {

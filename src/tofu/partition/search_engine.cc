@@ -5,7 +5,9 @@
 #include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "tofu/util/logging.h"
 #include "tofu/util/thread_pool.h"
@@ -14,6 +16,20 @@ namespace tofu {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// 0 = auto: one thread per hardware context (the pool clamps to hardware_concurrency
+// anyway; this just makes the auto default explicit when the query fails).
+int ResolveThreads(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
 
 // Bits needed to store option indices 0..n-1 (0 bits for single-option slots).
 int BitsFor(int num_options) {
@@ -112,6 +128,16 @@ struct FrontierField {
   int bits;
 };
 
+// Saturating product guard for the static (unpruned) frontier-width precomputation.
+constexpr std::int64_t kWidthSat = std::numeric_limits<std::int64_t>::max() / 2;
+
+inline std::int64_t SatMul(std::int64_t a, int b) {
+  if (a > kWidthSat / b) {
+    return kWidthSat;
+  }
+  return a * static_cast<std::int64_t>(b);
+}
+
 }  // namespace
 
 struct SearchEngine::Impl {
@@ -122,7 +148,7 @@ struct SearchEngine::Impl {
   int words = 1;  // per-key words, sized for the widest frontier the schedule reaches
 
   Impl(SearchSpace s, SearchEngineOptions o)
-      : space(std::move(s)), options(o), pool(o.num_threads) {
+      : space(std::move(s)), options(o), pool(ResolveThreads(o.num_threads)) {
     const int num_slots = static_cast<int>(space.slot_num_options.size());
     slot_bits.resize(static_cast<size_t>(num_slots));
     for (int s2 = 0; s2 < num_slots; ++s2) {
@@ -134,6 +160,13 @@ struct SearchEngine::Impl {
   }
 
   std::vector<int> first, last;  // per slot: first/last group touching it (-1 if none)
+  // Static schedule facts for the dense-lattice fast path: the UNPRUNED frontier width
+  // right after each group's entering slots branch (saturated), its maximum, and
+  // whether every group's full option product fits the table policy at that width.
+  std::vector<std::int64_t> width_after_branch;
+  std::int64_t max_static_width = 1;
+  bool all_groups_table_static = true;
+  bool options_fit_u8 = true;  // dense projections record winners as uint8 coordinates
 
   void ComputeSchedule() {
     const int num_slots = static_cast<int>(space.slot_num_options.size());
@@ -148,26 +181,52 @@ struct SearchEngine::Impl {
         last[static_cast<size_t>(s)] = g;
       }
     }
-    // Widest simultaneous frontier, in bits, over the whole schedule.
+    for (int n : space.slot_num_options) {
+      options_fit_u8 = options_fit_u8 && n <= 256;
+    }
+    // Widest simultaneous frontier over the whole schedule, both in bits (for the
+    // packed-key word count) and in states (for dense-lattice eligibility). Without a
+    // budget and without beam degradation the live state set is exactly the cross
+    // product of the live slots' options, so these static widths equal the sparse
+    // path's dynamic states.count() at every group -- which is what lets the dense
+    // path reproduce its table-vs-memo policy and counters exactly.
+    width_after_branch.assign(static_cast<size_t>(num_groups), 1);
     int width = 0;
     int max_width = 0;
+    std::int64_t states = 1;
     for (int g = 0; g < num_groups; ++g) {
+      std::int64_t cells = 1;
       for (int s : space.group_slots[static_cast<size_t>(g)]) {
+        cells = SatMul(cells, space.slot_num_options[static_cast<size_t>(s)]);
         if (first[static_cast<size_t>(s)] == g) {
           width += slot_bits[static_cast<size_t>(s)];
+          states = SatMul(states, space.slot_num_options[static_cast<size_t>(s)]);
         }
       }
       max_width = std::max(max_width, width);
+      width_after_branch[static_cast<size_t>(g)] = states;
+      max_static_width = std::max(max_static_width, states);
+      // Mirror of the sparse path's table policy (cells <= max(live states, 4096)):
+      // a group that would fall back to the per-state memo disables the dense path.
+      if (cells > std::max<std::int64_t>(states, 4096)) {
+        all_groups_table_static = false;
+      }
       for (int s : space.group_slots[static_cast<size_t>(g)]) {
         if (last[static_cast<size_t>(s)] == g) {
           width -= slot_bits[static_cast<size_t>(s)];
+          states /= space.slot_num_options[static_cast<size_t>(s)];
         }
       }
     }
     words = std::max(1, (max_width + 63) / 64);
   }
 
-  Result RunImpl(const GroupCostFn* table_fn, const StateCostFn* stream_fn);
+  Result RunImpl(const GroupCostFn* table_fn, const GroupFillFn* fill_fn,
+                 const StateCostFn* stream_fn);
+  Result RunDense(const GroupCostFn& table_fn, const GroupFillFn* fill_fn);
+  std::shared_ptr<GroupCostTables> FillOrImportAllTables(
+      const GroupCostFn& table_fn, const GroupFillFn* fill_fn,
+      std::vector<std::vector<std::int64_t>>* strides, Result* result);
 };
 
 SearchEngine::SearchEngine(SearchSpace space, SearchEngineOptions options)
@@ -176,15 +235,410 @@ SearchEngine::SearchEngine(SearchSpace space, SearchEngineOptions options)
 SearchEngine::~SearchEngine() = default;
 
 SearchEngine::Result SearchEngine::Run(const GroupCostFn& cost_fn) {
-  return impl_->RunImpl(&cost_fn, nullptr);
+  return impl_->RunImpl(&cost_fn, nullptr, nullptr);
+}
+
+SearchEngine::Result SearchEngine::Run(const GroupCostFn& cost_fn,
+                                       const GroupFillFn& fill_fn) {
+  return impl_->RunImpl(&cost_fn, &fill_fn, nullptr);
 }
 
 SearchEngine::Result SearchEngine::RunStreamed(const StateCostFn& cost_fn) {
-  return impl_->RunImpl(nullptr, &cost_fn);
+  return impl_->RunImpl(nullptr, nullptr, &cost_fn);
+}
+
+// Hoisted table fills for the dense path: every group's dense cost table is computed
+// (or imported from options.reuse_tables) before the sweep begins. The enumeration is
+// the engine's canonical mixed-radix order -- last touched slot fastest, identical to
+// the sparse path's interleaved fills -- so the values, the evaluation order, and the
+// effort counters all match the sparse path bit-for-bit. Hoisting is what enables
+// dominated-option pruning (the analysis needs every table touching a slot) and table
+// reuse across searches.
+std::shared_ptr<GroupCostTables> SearchEngine::Impl::FillOrImportAllTables(
+    const GroupCostFn& table_fn, const GroupFillFn* fill_fn,
+    std::vector<std::vector<std::int64_t>>* strides, Result* result) {
+  const auto t0 = Clock::now();
+  const int num_groups = static_cast<int>(space.group_slots.size());
+  auto tables = std::make_shared<GroupCostTables>();
+  tables->groups.resize(static_cast<size_t>(num_groups));
+  strides->resize(static_cast<size_t>(num_groups));
+  const GroupCostTables* reuse = options.reuse_tables.get();
+  std::vector<int> opts_buffer;
+  for (int g = 0; g < num_groups; ++g) {
+    const std::vector<int>& touched = space.group_slots[static_cast<size_t>(g)];
+    const int k = static_cast<int>(touched.size());
+    std::vector<std::int64_t>& stride = (*strides)[static_cast<size_t>(g)];
+    stride.assign(static_cast<size_t>(k), 1);
+    std::int64_t cells = 1;
+    for (int i = k - 1; i >= 0; --i) {
+      stride[static_cast<size_t>(i)] = cells;
+      cells *= space.slot_num_options[static_cast<size_t>(touched[static_cast<size_t>(i)])];
+    }
+    if (reuse != nullptr && static_cast<size_t>(g) < reuse->groups.size() &&
+        reuse->groups[static_cast<size_t>(g)] != nullptr &&
+        static_cast<std::int64_t>(reuse->groups[static_cast<size_t>(g)]->size()) == cells) {
+      tables->groups[static_cast<size_t>(g)] = reuse->groups[static_cast<size_t>(g)];
+      result->stats.reused_table_entries += cells;
+    } else {
+      auto fresh = std::make_shared<std::vector<double>>(static_cast<size_t>(cells));
+      if (fill_fn != nullptr) {
+        (*fill_fn)(g, fresh->data(), cells);
+      } else {
+        opts_buffer.assign(static_cast<size_t>(k), 0);
+        for (std::int64_t idx = 0; idx < cells; ++idx) {
+          (*fresh)[static_cast<size_t>(idx)] = table_fn(g, opts_buffer.data());
+          for (int i = k - 1; i >= 0; --i) {  // odometer: same order as the idx decode
+            if (++opts_buffer[static_cast<size_t>(i)] <
+                space.slot_num_options[static_cast<size_t>(touched[static_cast<size_t>(i)])]) {
+              break;
+            }
+            opts_buffer[static_cast<size_t>(i)] = 0;
+          }
+        }
+      }
+      tables->groups[static_cast<size_t>(g)] = std::move(fresh);
+    }
+    // Imported cells count exactly like computed ones: these counters are a property
+    // of the SEARCH, not of cache temperature, and serialized plans must stay
+    // byte-identical between warm and cold runs.
+    result->stats.states_explored += cells;
+    result->stats.cost_table_entries += cells;
+  }
+  result->stats.fill_seconds += SecondsSince(t0);
+  return tables;
+}
+
+// Dense-lattice sweep: the frontier is one flat cost array whose axes are the live
+// slots in branch order, newest axis fastest (stride 1). Cell (c_0,...,c_{k-1}) holds
+// exactly the cost the sparse path would accumulate for the state with those kept-
+// option coordinates -- branching broadcasts, charging adds one table value per
+// touched-coordinate combination to a contiguous run, and projecting a leaving axis is
+// a strict-less min-reduce that keeps the lowest coordinate on ties. When several
+// slots leave at one group the NEWEST axis is projected first; combined with
+// strict-less this reproduces the sparse merge's first-in-branch-order tie-break
+// (docs/search.md, "Big-graph, many-worker search", proves both equivalences).
+SearchEngine::Result SearchEngine::Impl::RunDense(const GroupCostFn& table_fn,
+                                                  const GroupFillFn* fill_fn) {
+  const auto start = Clock::now();
+  const int num_slots = static_cast<int>(space.slot_num_options.size());
+  const int num_groups = static_cast<int>(space.group_slots.size());
+  Result result;
+
+  std::vector<std::vector<std::int64_t>> group_stride;
+  std::shared_ptr<GroupCostTables> tables =
+      FillOrImportAllTables(table_fn, fill_fn, &group_stride, &result);
+
+  // Dominated-option pruning. Option o of slot s is dominated by o' < o when o' is
+  // pointwise <= in EVERY group table touching s and (with byte tables) no heavier:
+  // then for every frontier state using o, the sibling state using o' is no worse on
+  // both cost and bytes under every completion, so dropping o can never change the
+  // returned plan -- and because the dominator has the SMALLER index, every tie the
+  // canonical search would break toward o' still resolves identically. (Restricting to
+  // o' < o is what makes ties safe; see docs/search.md.) Dominance over a chain of
+  // pruned options is fine: pointwise <= is transitive, so the chain ends at a kept
+  // dominator. Cross-slot or cross-state dominance is deliberately NOT attempted --
+  // two states that differ in several slots have different completion costs, so a
+  // per-frontier comparison of accumulated cost alone would be unsound.
+  std::vector<std::vector<int>> kept(static_cast<size_t>(num_slots));
+  for (int s = 0; s < num_slots; ++s) {
+    const int n = space.slot_num_options[static_cast<size_t>(s)];
+    kept[static_cast<size_t>(s)].resize(static_cast<size_t>(n));
+    for (int o = 0; o < n; ++o) {
+      kept[static_cast<size_t>(s)][static_cast<size_t>(o)] = o;
+    }
+  }
+  if (options.prune_dominated) {
+    // Slot -> (group, position in the group's touched list) adjacency.
+    std::vector<std::vector<std::pair<int, int>>> slot_groups(
+        static_cast<size_t>(num_slots));
+    for (int g = 0; g < num_groups; ++g) {
+      const std::vector<int>& touched = space.group_slots[static_cast<size_t>(g)];
+      for (size_t i = 0; i < touched.size(); ++i) {
+        slot_groups[static_cast<size_t>(touched[i])].push_back({g, static_cast<int>(i)});
+      }
+    }
+    for (int s = 0; s < num_slots; ++s) {
+      const int n = space.slot_num_options[static_cast<size_t>(s)];
+      if (first[static_cast<size_t>(s)] < 0 || n < 2) {
+        continue;
+      }
+      const std::vector<double>* ob =
+          space.slot_option_bytes.empty()
+              ? nullptr
+              : &space.slot_option_bytes[static_cast<size_t>(s)];
+      std::vector<char> pruned(static_cast<size_t>(n), 0);
+      for (int o = 1; o < n; ++o) {
+        for (int o2 = 0; o2 < o && !pruned[static_cast<size_t>(o)]; ++o2) {
+          if (ob != nullptr && (*ob)[static_cast<size_t>(o2)] > (*ob)[static_cast<size_t>(o)]) {
+            continue;  // the cheaper-cost option is heavier: not a dominator
+          }
+          bool dominates = true;
+          for (const auto& [g, pos] : slot_groups[static_cast<size_t>(s)]) {
+            const std::vector<double>& table = *tables->groups[static_cast<size_t>(g)];
+            const std::int64_t st = group_stride[static_cast<size_t>(g)][static_cast<size_t>(pos)];
+            const std::int64_t block = st * static_cast<std::int64_t>(n);
+            const std::int64_t size = static_cast<std::int64_t>(table.size());
+            for (std::int64_t base = 0; base < size && dominates; base += block) {
+              const double* lo = table.data() + base + static_cast<std::int64_t>(o2) * st;
+              const double* hi = table.data() + base + static_cast<std::int64_t>(o) * st;
+              for (std::int64_t x = 0; x < st; ++x) {
+                if (lo[x] > hi[x]) {
+                  dominates = false;
+                  break;
+                }
+              }
+            }
+            if (!dominates) {
+              break;
+            }
+          }
+          if (dominates) {
+            pruned[static_cast<size_t>(o)] = 1;
+          }
+        }
+      }
+      std::vector<int>& keep = kept[static_cast<size_t>(s)];
+      keep.clear();
+      for (int o = 0; o < n; ++o) {
+        if (!pruned[static_cast<size_t>(o)]) {
+          keep.push_back(o);
+        }
+      }
+    }
+  }
+
+  // The sweep. Slots whose kept set collapsed to one option become FIXED: they
+  // contribute a constant table-index offset instead of an axis, which is where the
+  // pruning speedup comes from (the lattice shrinks by the pruned options' product).
+  struct Axis {
+    int slot;
+    int size;  // kept option count
+  };
+  struct ProjEvent {
+    int slot;
+    std::vector<Axis> residue;          // axes AFTER this projection, in order
+    std::vector<std::uint8_t> winners;  // argmin kept-coordinate per residue cell
+  };
+  std::vector<Axis> axes;
+  std::vector<int> axis_of_slot(static_cast<size_t>(num_slots), -1);
+  std::vector<ProjEvent> events;
+  std::vector<double> cost{0.0};
+  std::vector<double> scratch;
+  std::int64_t unpruned_width = 1;  // the schedule's frontier width (no pruning)
+
+  for (int g = 0; g < num_groups; ++g) {
+    const std::vector<int>& touched = space.group_slots[static_cast<size_t>(g)];
+
+    // 1. Branch entering slots: broadcast along a new fastest axis.
+    {
+      const auto t0 = Clock::now();
+      for (int s : touched) {
+        if (first[static_cast<size_t>(s)] != g) {
+          continue;
+        }
+        const int full = space.slot_num_options[static_cast<size_t>(s)];
+        const int m = static_cast<int>(kept[static_cast<size_t>(s)].size());
+        result.stats.dominated_pruned_states +=
+            static_cast<std::int64_t>(cost.size()) * static_cast<std::int64_t>(full - m);
+        unpruned_width *= full;
+        if (m == 1) {
+          continue;  // fixed slot; chosen option recorded at the end
+        }
+        const std::int64_t n_in = static_cast<std::int64_t>(cost.size());
+        scratch.resize(static_cast<size_t>(n_in) * static_cast<size_t>(m));
+        pool.ParallelFor(n_in, [&](int, std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const double v = cost[static_cast<size_t>(i)];
+            double* out = scratch.data() + static_cast<size_t>(i) * static_cast<size_t>(m);
+            for (int c = 0; c < m; ++c) {
+              out[c] = v;
+            }
+          }
+        });
+        std::swap(cost, scratch);
+        axis_of_slot[static_cast<size_t>(s)] = static_cast<int>(axes.size());
+        axes.push_back({s, m});
+      }
+      result.stats.expand_seconds += SecondsSince(t0);
+    }
+
+    // 2. Charge: one table value per combination of the touched axes' coordinates,
+    // added to the contiguous run the untouched faster axes span.
+    {
+      const auto t0 = Clock::now();
+      const std::vector<double>& table = *tables->groups[static_cast<size_t>(g)];
+      const std::vector<std::int64_t>& stride = group_stride[static_cast<size_t>(g)];
+      std::int64_t base_tidx = 0;
+      std::vector<std::pair<int, std::vector<std::int64_t>>> ax;  // (axis pos, contribs)
+      for (size_t i = 0; i < touched.size(); ++i) {
+        const int s = touched[i];
+        const std::vector<int>& keep = kept[static_cast<size_t>(s)];
+        if (axis_of_slot[static_cast<size_t>(s)] < 0) {
+          base_tidx += static_cast<std::int64_t>(keep[0]) * stride[i];
+        } else {
+          std::vector<std::int64_t> contrib(keep.size());
+          for (size_t j = 0; j < keep.size(); ++j) {
+            contrib[j] = static_cast<std::int64_t>(keep[j]) * stride[i];
+          }
+          ax.push_back({axis_of_slot[static_cast<size_t>(s)], std::move(contrib)});
+        }
+      }
+      if (ax.empty()) {
+        const double v = table[static_cast<size_t>(base_tidx)];
+        pool.ParallelFor(static_cast<std::int64_t>(cost.size()),
+                         [&](int, std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                             cost[static_cast<size_t>(i)] += v;
+                           }
+                         });
+      } else {
+        std::sort(ax.begin(), ax.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        const int pmax = ax.back().first;
+        std::int64_t prefix = 1;
+        for (int j = 0; j <= pmax; ++j) {
+          prefix *= axes[static_cast<size_t>(j)].size;
+        }
+        const std::int64_t run = static_cast<std::int64_t>(cost.size()) / prefix;
+        pool.ParallelFor(prefix, [&](int, std::int64_t lo, std::int64_t hi) {
+          std::vector<int> coord(static_cast<size_t>(pmax) + 1, 0);
+          std::int64_t r = lo;
+          for (int j = pmax; j >= 0; --j) {
+            coord[static_cast<size_t>(j)] =
+                static_cast<int>(r % axes[static_cast<size_t>(j)].size);
+            r /= axes[static_cast<size_t>(j)].size;
+          }
+          for (std::int64_t m = lo; m < hi; ++m) {
+            std::int64_t tidx = base_tidx;
+            for (const auto& a : ax) {
+              tidx += a.second[static_cast<size_t>(coord[static_cast<size_t>(a.first)])];
+            }
+            const double v = table[static_cast<size_t>(tidx)];
+            double* c = cost.data() + static_cast<size_t>(m) * static_cast<size_t>(run);
+            for (std::int64_t x = 0; x < run; ++x) {
+              c[x] += v;  // contiguous: the auto-vectorized inner loop
+            }
+            for (int j = pmax; j >= 0; --j) {
+              if (++coord[static_cast<size_t>(j)] < axes[static_cast<size_t>(j)].size) {
+                break;
+              }
+              coord[static_cast<size_t>(j)] = 0;
+            }
+          }
+        });
+      }
+      result.stats.charge_seconds += SecondsSince(t0);
+    }
+    result.stats.max_frontier_states =
+        std::max(result.stats.max_frontier_states, unpruned_width);
+
+    // 3. Project leaving slots: min-reduce along each leaving axis, newest first.
+    {
+      const auto t0 = Clock::now();
+      std::vector<int> leaving;
+      for (int s : touched) {
+        if (last[static_cast<size_t>(s)] != g) {
+          continue;
+        }
+        unpruned_width /= space.slot_num_options[static_cast<size_t>(s)];
+        if (axis_of_slot[static_cast<size_t>(s)] >= 0) {
+          leaving.push_back(axis_of_slot[static_cast<size_t>(s)]);
+        }
+      }
+      std::sort(leaving.begin(), leaving.end(), std::greater<int>());
+      for (int pos : leaving) {
+        const Axis axis = axes[static_cast<size_t>(pos)];
+        std::int64_t st = 1;
+        for (size_t j = static_cast<size_t>(pos) + 1; j < axes.size(); ++j) {
+          st *= axes[j].size;
+        }
+        const std::int64_t n = axis.size;
+        const std::int64_t out_size = static_cast<std::int64_t>(cost.size()) / n;
+        scratch.resize(static_cast<size_t>(out_size));
+        ProjEvent event;
+        event.slot = axis.slot;
+        event.winners.resize(static_cast<size_t>(out_size));
+        pool.ParallelFor(out_size / st, [&](int, std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t outer = lo; outer < hi; ++outer) {
+            const double* in = cost.data() + static_cast<size_t>(outer * n * st);
+            double* out = scratch.data() + static_cast<size_t>(outer * st);
+            std::uint8_t* win = event.winners.data() + static_cast<size_t>(outer * st);
+            for (std::int64_t x = 0; x < st; ++x) {
+              out[x] = in[x];
+              win[x] = 0;
+            }
+            for (std::int64_t c = 1; c < n; ++c) {
+              const double* inc = in + static_cast<size_t>(c * st);
+              for (std::int64_t x = 0; x < st; ++x) {
+                // Strict less: ties keep the lowest coordinate, the sparse merge's
+                // first-in-branch-order winner.
+                if (inc[x] < out[x]) {
+                  out[x] = inc[x];
+                  win[x] = static_cast<std::uint8_t>(c);
+                }
+              }
+            }
+          }
+        });
+        std::swap(cost, scratch);
+        axes.erase(axes.begin() + pos);
+        axis_of_slot[static_cast<size_t>(axis.slot)] = -1;
+        for (size_t j = static_cast<size_t>(pos); j < axes.size(); ++j) {
+          axis_of_slot[static_cast<size_t>(axes[j].slot)] = static_cast<int>(j);
+        }
+        event.residue = axes;
+        events.push_back(std::move(event));
+      }
+      result.stats.project_seconds += SecondsSince(t0);
+    }
+  }
+
+  // Every branched axis was projected at its slot's last group: one cell remains.
+  TOFU_CHECK(axes.empty());
+  TOFU_CHECK_EQ(cost.size(), static_cast<size_t>(1));
+  result.best_cost = cost[0];
+
+  // Reconstruction: walk the projection events newest-first. An event's residue axes
+  // are all projected in LATER events, so their chosen coordinates are already known
+  // and pin the residue cell whose recorded winner is this slot's choice.
+  std::vector<int> coord_of(static_cast<size_t>(num_slots), 0);
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    std::int64_t residue_index = 0;
+    std::int64_t stride = 1;
+    for (int j = static_cast<int>(it->residue.size()) - 1; j >= 0; --j) {
+      const Axis& axis = it->residue[static_cast<size_t>(j)];
+      residue_index += static_cast<std::int64_t>(coord_of[static_cast<size_t>(axis.slot)]) * stride;
+      stride *= axis.size;
+    }
+    coord_of[static_cast<size_t>(it->slot)] =
+        static_cast<int>(it->winners[static_cast<size_t>(residue_index)]);
+  }
+  result.slot_option.assign(static_cast<size_t>(num_slots), 0);
+  for (int s = 0; s < num_slots; ++s) {
+    if (first[static_cast<size_t>(s)] < 0) {
+      continue;  // untouched: option 0
+    }
+    result.slot_option[static_cast<size_t>(s)] =
+        kept[static_cast<size_t>(s)][static_cast<size_t>(coord_of[static_cast<size_t>(s)])];
+  }
+  result.tables = std::move(tables);
+  result.stats.wall_seconds = SecondsSince(start);
+  return result;
 }
 
 SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
+                                                 const GroupFillFn* fill_fn,
                                                  const StateCostFn* stream_fn) {
+  const bool track = options.memory_budget > 0.0 && !space.slot_option_bytes.empty();
+  // Dense-lattice fast path: exact unbudgeted table-mode searches whose unpruned
+  // frontier fits the state cap (so the sparse path would never beam) and whose every
+  // group charges through a table (so effort counters match the sparse policy).
+  if (table_fn != nullptr && stream_fn == nullptr && !track &&
+      !space.group_slots.empty() && options_fit_u8 && all_groups_table_static &&
+      max_static_width <= options.max_states) {
+    return RunDense(*table_fn, fill_fn);
+  }
+
   const auto start = Clock::now();
   const int num_slots = static_cast<int>(space.slot_num_options.size());
   const int num_groups = static_cast<int>(space.group_slots.size());
@@ -198,7 +652,6 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
   // group ever touches stay at option 0, so they contribute a constant; every touched
   // slot contributes at least its cheapest option, giving the admissible lower bound
   // used for pruning ("could any completion of this state still fit?").
-  const bool track = options.memory_budget > 0.0 && !space.slot_option_bytes.empty();
   const double budget = options.memory_budget;
   std::vector<double> slot_min_bytes;
   double base_bytes = 0.0;     // untouched slots, fixed at option 0
@@ -247,14 +700,21 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
   // Projection dedup table: open addressing over state indices.
   std::vector<std::int32_t> dedup;
 
-  std::vector<double> table;      // current group's dense cost table
-  std::vector<int> opts_buffer;   // decoded option indices handed to cost callbacks
+  // Tables consumed by this run (filled or imported), exported for step-table caching.
+  std::shared_ptr<GroupCostTables> out_tables;
+  if (table_fn != nullptr) {
+    out_tables = std::make_shared<GroupCostTables>();
+    out_tables->groups.resize(static_cast<size_t>(num_groups));
+  }
+
+  std::vector<int> opts_buffer;  // decoded option indices handed to cost callbacks
   bool aborted = false;
 
   for (int g = 0; g < num_groups && !aborted; ++g) {
     const std::vector<int>& touched = space.group_slots[static_cast<size_t>(g)];
 
     // 1. Branch every state on each entering slot's options.
+    const auto t_expand = Clock::now();
     for (int s : touched) {
       if (first[static_cast<size_t>(s)] != g) {
         continue;
@@ -372,6 +832,7 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
         result.stats.exact = false;
       }
     }
+    result.stats.expand_seconds += SecondsSince(t_expand);
 
     // 2. Charge the group's cost to every state. The cost depends only on the options
     // of the group's touched slots (all live here), read straight out of the packed key.
@@ -414,18 +875,43 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
       use_table = use_table && cells <= cells_cap;
 
       if (use_table) {
-        table.assign(static_cast<size_t>(cells), 0.0);
-        for (std::int64_t idx = 0; idx < cells; ++idx) {
-          for (int i = 0; i < k; ++i) {
-            opts_buffer[static_cast<size_t>(i)] = static_cast<int>(
-                (idx / stride[static_cast<size_t>(i)]) %
-                space.slot_num_options[static_cast<size_t>(rel[static_cast<size_t>(i)].slot)]);
+        // Import the group's table from a previous search of this space when the cell
+        // count matches; otherwise fill it here. Either way the cells count as search
+        // effort (the byte-identical warm/cold contract of SearchStats).
+        std::shared_ptr<const std::vector<double>> table;
+        const GroupCostTables* reuse = options.reuse_tables.get();
+        if (reuse != nullptr && static_cast<size_t>(g) < reuse->groups.size() &&
+            reuse->groups[static_cast<size_t>(g)] != nullptr &&
+            static_cast<std::int64_t>(reuse->groups[static_cast<size_t>(g)]->size()) ==
+                cells) {
+          table = reuse->groups[static_cast<size_t>(g)];
+          result.stats.reused_table_entries += cells;
+        } else {
+          const auto t_fill = Clock::now();
+          auto fresh = std::make_shared<std::vector<double>>(static_cast<size_t>(cells));
+          if (fill_fn != nullptr) {
+            // `rel` is group_slots[g] (sorted slot order) and the strides follow the
+            // same mixed-radix layout, so the bulk fill's contract applies unchanged.
+            (*fill_fn)(g, fresh->data(), cells);
+          } else {
+            for (std::int64_t idx = 0; idx < cells; ++idx) {
+              for (int i = 0; i < k; ++i) {
+                opts_buffer[static_cast<size_t>(i)] = static_cast<int>(
+                    (idx / stride[static_cast<size_t>(i)]) %
+                    space.slot_num_options[static_cast<size_t>(rel[static_cast<size_t>(i)].slot)]);
+              }
+              (*fresh)[static_cast<size_t>(idx)] = (*table_fn)(g, opts_buffer.data());
+            }
           }
-          table[static_cast<size_t>(idx)] = (*table_fn)(g, opts_buffer.data());
+          table = std::move(fresh);
+          result.stats.fill_seconds += SecondsSince(t_fill);
         }
+        out_tables->groups[static_cast<size_t>(g)] = table;
         result.stats.states_explored += cells;
         result.stats.cost_table_entries += cells;
 
+        const auto t_charge = Clock::now();
+        const std::vector<double>& table_ref = *table;
         const std::vector<FrontierField>& rel_ref = rel;
         const std::vector<std::int64_t>& stride_ref = stride;
         pool.ParallelFor(states.count(), [&](int, std::int64_t lo, std::int64_t hi) {
@@ -437,12 +923,14 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
               idx += static_cast<std::int64_t>(ExtractField(key, field.offset, field.bits)) *
                      stride_ref[static_cast<size_t>(f)];
             }
-            states.cost[static_cast<size_t>(i)] += table[static_cast<size_t>(idx)];
+            states.cost[static_cast<size_t>(i)] += table_ref[static_cast<size_t>(idx)];
           }
         });
+        result.stats.charge_seconds += SecondsSince(t_charge);
       } else {
         // Memoized per-state charge: one evaluation per DISTINCT reached projection,
         // serial (the cost callback shares caller scratch).
+        const auto t_charge = Clock::now();
         std::unordered_map<std::string, double> memo;
         std::string sub;
         for (std::int64_t i = 0; i < states.count(); ++i) {
@@ -461,10 +949,12 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
           }
           states.cost[static_cast<size_t>(i)] += it->second;
         }
+        result.stats.charge_seconds += SecondsSince(t_charge);
       }
     } else {
       // Streamed: the callback's own enumeration is the measured cost; keep it serial
       // and in state-index order.
+      const auto t_charge = Clock::now();
       for (std::int64_t i = 0; i < states.count(); ++i) {
         const std::uint64_t* key = states.key(i);
         for (int f = 0; f < k; ++f) {
@@ -480,6 +970,7 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
         states.cost[static_cast<size_t>(i)] += cost;
         ++result.stats.states_explored;
       }
+      result.stats.charge_seconds += SecondsSince(t_charge);
       if (aborted) {
         break;
       }
@@ -495,6 +986,7 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
     if (!any_leaving) {
       continue;
     }
+    const auto t_project = Clock::now();
     std::vector<FrontierField> kept;
     kept.reserve(frontier.size());
     int new_width = 0;
@@ -589,9 +1081,10 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
     std::swap(states, merged);
     frontier = std::move(kept);
     width = new_width;
+    result.stats.project_seconds += SecondsSince(t_project);
   }
 
-  result.stats.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  result.stats.wall_seconds = SecondsSince(start);
   if (aborted) {
     result.completed = false;
     return result;
@@ -623,6 +1116,7 @@ SearchEngine::Result SearchEngine::Impl::RunImpl(const GroupCostFn* table_fn,
     result.slot_option[static_cast<size_t>(recs[static_cast<size_t>(r)].slot)] =
         recs[static_cast<size_t>(r)].option;
   }
+  result.tables = std::move(out_tables);
   return result;
 }
 

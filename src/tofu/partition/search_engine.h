@@ -17,8 +17,20 @@
 //     is a shift/mask field extraction plus one array load.
 //
 // Charging and key construction can optionally be sharded across a small thread pool
-// (SearchEngineOptions::num_threads). Sharding is deterministic: results are assembled
-// in state-index order, so any thread count yields byte-identical plans.
+// (SearchEngineOptions::num_threads, 0 = auto-size from hardware_concurrency). Sharding
+// is deterministic: results are assembled in state-index order, so any thread count
+// yields byte-identical plans.
+//
+// Unbudgeted table-mode searches additionally take a DENSE LATTICE fast path: without
+// budget pruning the frontier is exactly the cross product of the live slots' options,
+// so the engine drops the packed keys entirely and keeps one flat cost array whose axes
+// are the live slots in branch order (newest axis fastest). Branching is a contiguous
+// broadcast, charging is a table gather plus a contiguous vector add the compiler
+// auto-vectorizes, and projection is a strict-less min-reduce along one axis -- all
+// provably bit-identical to the sparse path (same accumulation order, same tie-breaks;
+// docs/search.md, "Big-graph, many-worker search"). The same path hoists every group's
+// cost-table fill up front, which enables dominated-option pruning and table reuse
+// across searches (GroupCostTables below).
 #ifndef TOFU_PARTITION_SEARCH_ENGINE_H_
 #define TOFU_PARTITION_SEARCH_ENGINE_H_
 
@@ -45,14 +57,41 @@ struct SearchSpace {
   std::vector<std::vector<double>> slot_option_bytes;
 };
 
+// Per-group dense cost tables of one table-mode search, shareable across searches of
+// the same space (the values depend only on the group cost function, never on budgets,
+// bandwidths, or thread counts). groups[g] is null for groups that charged through the
+// per-state memo (or were never reached); non-null entries hold exactly the group's
+// mixed-radix cell values in the engine's canonical enumeration order. Immutable once
+// published -- safe to share across threads and cache entries.
+struct GroupCostTables {
+  std::vector<std::shared_ptr<const std::vector<double>>> groups;
+};
+
 struct SearchEngineOptions {
   // Safety cap on simultaneous DP states (frontier blow-up on non-chain graphs). When
   // exceeded the search degrades to a beam keeping the cheapest quarter of the cap;
   // SearchStats::exact turns false.
   std::int64_t max_states = 1 << 22;
-  // Threads for state expansion (branch/charge/project sharding). 1 = serial. Cost
-  // callbacks are never called concurrently regardless of this setting.
-  int num_threads = 1;
+  // Threads for state expansion (branch/charge/project sharding). 0 (the default)
+  // auto-sizes from std::thread::hardware_concurrency(); 1 = serial. Any value yields
+  // byte-identical results. Cost callbacks are never called concurrently regardless of
+  // this setting.
+  int num_threads = 0;
+  // Dominated-option pruning (dense-lattice searches only): after the hoisted table
+  // fills, option o of slot s is dropped when some option o' < o is pointwise no more
+  // expensive in EVERY group table touching s and (when slot_option_bytes is present)
+  // no heavier. Every frontier state using o is then beaten by its o'-sibling on both
+  // cost and bytes under every completion, so pruning provably never changes the
+  // returned plan, including ties (o' < o keeps the canonical lowest-index winner).
+  // Pruned states are counted in SearchStats::dominated_pruned_states; table fills
+  // still run in full first, so states_explored / cost_table_entries are unchanged.
+  bool prune_dominated = true;
+  // Optional tables from a previous search of the same space (incremental
+  // re-planning). A group's table is imported instead of refilled when the group is
+  // charged in table mode and the cell count matches; imported cells are counted in
+  // SearchStats::reused_table_entries (and still in states_explored, so results are
+  // byte-identical to a cold search).
+  std::shared_ptr<const GroupCostTables> reuse_tables;
   // Per-worker-group resident-byte budget. > 0 (together with a populated
   // SearchSpace::slot_option_bytes) turns on memory-constrained search: states whose
   // byte lower bound exceeds the budget are pruned at branch time, equal-cost merges
@@ -74,6 +113,16 @@ class SearchEngine {
   // false to abort the whole search (deadline exceeded).
   using StateCostFn = std::function<bool(int group, const int* options, double* cost)>;
 
+  // Optional bulk table fill: writes group `g`'s whole dense cost table (`num_cells`
+  // doubles) in the engine's canonical mixed-radix enumeration order -- combination
+  // (o_0,...,o_{k-1}) of SearchSpace::group_slots[g] at index sum(o_i * stride_i),
+  // last touched slot fastest (stride 1). MUST produce exactly the values cell-by-cell
+  // calls of the GroupCostFn would; it exists purely so a caller can hoist per-cell
+  // dispatch out of the hottest loop of the search (one function call per table
+  // instead of one per cell). The engine still uses the GroupCostFn for memo-charged
+  // groups.
+  using GroupFillFn = std::function<void(int group, double* cells, std::int64_t num_cells)>;
+
   struct Result {
     bool completed = true;          // false only when a streamed search aborted
     // False when a memory budget excluded every assignment (the lightest possible
@@ -88,6 +137,9 @@ class SearchEngine {
     // option) -- what an infeasible search proves cannot be beaten.
     double best_bytes = 0.0;
     double min_possible_bytes = 0.0;
+    // Every dense cost table this search consumed (filled or imported); null in
+    // streamed mode. What a step-table cache stores for the next search of this space.
+    std::shared_ptr<const GroupCostTables> tables;
     SearchStats stats;
   };
 
@@ -95,6 +147,8 @@ class SearchEngine {
   ~SearchEngine();
 
   Result Run(const GroupCostFn& cost_fn);
+  // As Run, with bulk table fills delegated to `fill_fn` (see GroupFillFn's contract).
+  Result Run(const GroupCostFn& cost_fn, const GroupFillFn& fill_fn);
   Result RunStreamed(const StateCostFn& cost_fn);
 
  private:

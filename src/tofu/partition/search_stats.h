@@ -10,18 +10,44 @@
 namespace tofu {
 
 struct SearchStats {
-  // Distinct group-cost evaluations: dense cost-table cells in table mode, per-state
-  // callback invocations in streamed mode.
+  // Distinct group-cost evaluations the search REQUIRED: dense cost-table cells in
+  // table mode (whether the cells were computed this run or imported from a step-table
+  // cache -- see reused_table_entries), per-state callback invocations in streamed
+  // mode. Deterministic for a given search space, independent of cache temperature,
+  // thread count, and dominance pruning, which is what lets plan serializations stay
+  // byte-identical across warm and cold searches.
   std::int64_t states_explored = 0;
-  // Peak number of simultaneous DP states (the frontier blow-up the beam cap guards).
+  // Peak number of simultaneous DP states the SCHEDULE defines (the frontier blow-up
+  // the beam cap guards). Dominance pruning does not lower this figure -- states whose
+  // option is dominated are counted here but never materialized; their count is
+  // reported separately in dominated_pruned_states.
   std::int64_t max_frontier_states = 0;
-  // Total cells across all precomputed per-group cost tables (0 in streamed mode).
+  // Total cells across all per-group cost tables the search consumed (0 in streamed
+  // mode). Computed-or-imported, like states_explored.
   std::int64_t cost_table_entries = 0;
   // States discarded because their resident bytes -- plus the cheapest possible choices
   // for every slot not yet decided -- already exceeded the step's memory budget. Always
   // 0 when the search ran without a budget (the pruning never engages).
   std::int64_t memory_pruned_states = 0;
+  // Frontier states never materialized because their option for some slot was
+  // dominated: another option of the same slot is pointwise no worse across every
+  // group cost table touching the slot (and no heavier when byte tables are present).
+  // Diagnostic only -- never serialized into plan JSON (docs/search.md, "Dominated-
+  // state pruning").
+  std::int64_t dominated_pruned_states = 0;
+  // Cost-table cells imported from a StepTableCache (partition/dp.h) instead of being
+  // recomputed. Those cells still count in states_explored / cost_table_entries (the
+  // search needed them); this counter is how much of that work a warm cache saved.
+  // Diagnostic only -- never serialized into plan JSON.
+  std::int64_t reused_table_entries = 0;
   double wall_seconds = 0.0;
+  // Per-phase wall-time attribution of wall_seconds (diagnostic; not serialized):
+  // cost-table fills, state expansion (branching entering slots), charging group costs
+  // to states, and projection (repack + min-merge / min-reduce + final argmin).
+  double fill_seconds = 0.0;
+  double expand_seconds = 0.0;
+  double charge_seconds = 0.0;
+  double project_seconds = 0.0;
   // False when the frontier exceeded the state cap and the search degraded to a beam
   // (the plan is then an approximation; see SearchEngineOptions::max_states).
   bool exact = true;
@@ -33,7 +59,13 @@ struct SearchStats {
     max_frontier_states = std::max(max_frontier_states, step.max_frontier_states);
     cost_table_entries += step.cost_table_entries;
     memory_pruned_states += step.memory_pruned_states;
+    dominated_pruned_states += step.dominated_pruned_states;
+    reused_table_entries += step.reused_table_entries;
     wall_seconds += step.wall_seconds;
+    fill_seconds += step.fill_seconds;
+    expand_seconds += step.expand_seconds;
+    charge_seconds += step.charge_seconds;
+    project_seconds += step.project_seconds;
     exact = exact && step.exact;
   }
 };

@@ -97,6 +97,7 @@ Result<PartitionResponse> PlanService::Partition(const ServeRequest& request) {
   partition.graph = &model.graph;
   partition.algorithm = request.algorithm;
   partition.memory_budget_bytes = request.memory_budget_bytes;
+  partition.options.dp.num_threads = options_.search_threads;
   return SessionFor(request.topology).Partition(partition);
 }
 

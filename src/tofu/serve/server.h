@@ -35,6 +35,11 @@ namespace tofu {
 struct PlanServiceOptions {
   size_t max_cached_plans = 256;  // per session (per distinct topology)
   size_t cache_shards = 8;
+  // Threads per partition search (DpOptions::num_threads). 0 (the default) auto-sizes
+  // from hardware_concurrency; any value yields byte-identical plans, so this is purely
+  // a latency/contention knob for deployments that pin search parallelism (e.g. one
+  // search thread when request-level parallelism already saturates the machine).
+  int search_threads = 0;
 };
 
 // Thread-safe session router: one Session per distinct DeviceTopology fingerprint.

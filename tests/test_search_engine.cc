@@ -1,9 +1,11 @@
 // Search-engine tests: golden cost equivalence against the pre-refactor string-keyed
 // DP (recorded values), byte-identical plans across thread counts, beam degradation,
-// SearchStats plumbing, and direct engine unit cases.
+// SearchStats plumbing, direct engine unit cases, and the plan-invariance contracts of
+// dominated-option pruning and cost-table reuse (pinned plan digests).
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "tofu/core/partitioner.h"
 #include "tofu/core/report.h"
@@ -11,6 +13,7 @@
 #include "tofu/models/rnn.h"
 #include "tofu/models/transformer.h"
 #include "tofu/models/wresnet.h"
+#include "tofu/partition/plan_io.h"
 #include "tofu/partition/search_engine.h"
 
 namespace tofu {
@@ -393,6 +396,106 @@ TEST(SearchEngineThreads, BudgetedSearchIsThreadCountInvariant) {
   }
   EXPECT_DOUBLE_EQ(a.total_comm_bytes, b.total_comm_bytes);
   EXPECT_EQ(a.search_stats.memory_pruned_states, b.search_stats.memory_pruned_states);
+}
+
+// ------------------------------------------------- dominated-option pruning
+// The pruning contract (SearchEngineOptions::prune_dominated, docs/search.md): plans,
+// costs, and every serialized SearchStats counter are invariant; only the diagnostic
+// dominated_pruned_states moves. Pinned digests catch a silent semantic drift in
+// either the pruned or the unpruned path at worker counts that exercise deep
+// multi-axis lattices.
+TEST(SearchEngineDominance, PruningNeverChangesThePlanGoldens) {
+  struct Row {
+    int workers;
+    const char* digest;
+  };
+  const Row kRows[] = {{8, "3ff4a22d1cbdf754"},
+                       {32, "699f97e21d15c2fa"},
+                       {64, "c1f0490322246ce3"}};
+  ModelGraph model = GoldenWResNet();
+  for (const Row& row : kRows) {
+    for (bool prune : {true, false}) {
+      for (int threads : {1, 4}) {
+        PartitionOptions options;
+        options.dp.prune_dominated = prune;
+        options.dp.num_threads = threads;
+        PartitionPlan plan = RecursivePartition(model.graph, row.workers, options);
+        EXPECT_EQ(PlanDigest(plan), row.digest)
+            << "workers=" << row.workers << " prune=" << prune
+            << " threads=" << threads;
+        if (prune) {
+          EXPECT_GT(plan.search_stats.dominated_pruned_states, 0)
+              << "workers=" << row.workers;
+        } else {
+          EXPECT_EQ(plan.search_stats.dominated_pruned_states, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(SearchEngineDominance, SyntheticDominatedOptionIsPrunedWithoutChangingResult) {
+  // Slot 0's option 2 is dominated by option 0 in BOTH tables touching the slot
+  // (6 >= 5 alone, and 2 <= 2 pointwise under every slot-1 completion); option 1 is
+  // the true winner. Pruning must skip option-2 states yet return the identical
+  // result, and the serialized effort counters must not move (they are
+  // digest-covered).
+  SearchSpace space;
+  space.slot_num_options = {3, 2};
+  space.group_slots = {{0}, {0, 1}};
+  const double g0[] = {5.0, 1.0, 6.0};
+  const double a[] = {2.0, 3.0, 2.0};
+  const double b[] = {0.0, 10.0};
+  SearchEngine::GroupCostFn cost = [&](int group, const int* o) {
+    return group == 0 ? g0[o[0]] : a[o[0]] + b[o[1]];
+  };
+  SearchEngineOptions pruned_options;  // prune_dominated defaults on
+  SearchEngineOptions unpruned_options;
+  unpruned_options.prune_dominated = false;
+  SearchEngine pruned_engine(space, pruned_options);
+  SearchEngine unpruned_engine(space, unpruned_options);
+  SearchEngine::Result pruned = pruned_engine.Run(cost);
+  SearchEngine::Result unpruned = unpruned_engine.Run(cost);
+
+  EXPECT_EQ(pruned.slot_option, (std::vector<int>{1, 0}));
+  EXPECT_EQ(pruned.slot_option, unpruned.slot_option);
+  EXPECT_DOUBLE_EQ(pruned.best_cost, 4.0);
+  EXPECT_DOUBLE_EQ(pruned.best_cost, unpruned.best_cost);
+  EXPECT_GT(pruned.stats.dominated_pruned_states, 0);
+  EXPECT_EQ(unpruned.stats.dominated_pruned_states, 0);
+  EXPECT_EQ(pruned.stats.states_explored, unpruned.stats.states_explored);
+  EXPECT_EQ(pruned.stats.max_frontier_states, unpruned.stats.max_frontier_states);
+  EXPECT_EQ(pruned.stats.cost_table_entries, unpruned.stats.cost_table_entries);
+}
+
+TEST(SearchEngineReuse, ImportedTablesAreCountedAndChangeNothing) {
+  // Re-running the same space with the first search's exported tables must skip the
+  // refills (reused_table_entries) while reporting identical effort and result --
+  // the invariant that makes the step-table cache invisible in plan serializations.
+  SearchSpace space;
+  space.slot_num_options = {3, 2};
+  space.group_slots = {{0}, {0, 1}};
+  int fills = 0;
+  SearchEngine::GroupCostFn cost = [&fills](int group, const int* o) {
+    ++fills;
+    return group == 0 ? 1.0 * o[0] : 0.5 * o[0] + 2.0 * o[1];
+  };
+  SearchEngine cold_engine(space, {});
+  SearchEngine::Result cold = cold_engine.Run(cost);
+  ASSERT_NE(cold.tables, nullptr);
+  const int cold_fills = fills;
+
+  SearchEngineOptions warm_options;
+  warm_options.reuse_tables = cold.tables;
+  SearchEngine warm_engine(space, warm_options);
+  SearchEngine::Result warm = warm_engine.Run(cost);
+  EXPECT_EQ(fills, cold_fills) << "imported tables must not be refilled";
+  EXPECT_GT(warm.stats.reused_table_entries, 0);
+  EXPECT_EQ(cold.stats.reused_table_entries, 0);
+  EXPECT_EQ(warm.slot_option, cold.slot_option);
+  EXPECT_DOUBLE_EQ(warm.best_cost, cold.best_cost);
+  EXPECT_EQ(warm.stats.states_explored, cold.stats.states_explored);
+  EXPECT_EQ(warm.stats.cost_table_entries, cold.stats.cost_table_entries);
 }
 
 TEST(SearchEngineUnit, StreamedModeAborts) {

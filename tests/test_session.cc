@@ -1,8 +1,13 @@
 // Session API tests: request/response happy path, every recoverable error path (no
-// aborts), plan-cache semantics with hit/miss counters, and the topology-weighted
-// search contract -- default topology reproduces the legacy plans bit-identically, and
-// a skewed topology never does worse than the uniform plan evaluated on it.
+// aborts), plan-cache semantics with hit/miss counters, incremental re-planning
+// through the step-table cache (budget-ladder warm searches byte-identical to cold
+// ones), and the topology-weighted search contract -- default topology reproduces the
+// legacy plans bit-identically, and a skewed topology never does worse than the
+// uniform plan evaluated on it.
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
 
 #include "tofu/core/partitioner.h"
 #include "tofu/core/session.h"
@@ -200,6 +205,98 @@ TEST(Session, CachedAndFreshBudgetedResponsesAreByteIdentical) {
   };
   EXPECT_EQ(comparable(refound->plan), comparable(cached->plan));
   EXPECT_EQ(refound->peak_shard_bytes, cached->peak_shard_bytes);
+}
+
+// Incremental re-planning (partition/dp.h StepTableCache): requests against the same
+// graph that differ only in memory budget recompile nothing -- each step's unit
+// evaluators, byte tables, and dense cost tables are keyed on (graph structure, split
+// factor, shapes) and re-served across the ladder -- and the warm searches must stay
+// byte-identical to what a cold session computes, because imported tables hold exactly
+// the values a refill would produce and every serialized counter counts
+// required-not-computed work (docs/search.md, "Incremental re-planning").
+TEST(Session, BudgetLadderReplansAreByteIdenticalToColdSearches) {
+  MlpConfig config;
+  config.layer_sizes = {1024, 1024, 1024, 512};
+  config.batch = 128;
+  ModelGraph model = BuildMlp(config);
+  Session warm(DeviceTopology::Uniform(8));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> unbudgeted = warm.Partition(request);
+  ASSERT_TRUE(unbudgeted.ok()) << unbudgeted.status().ToString();
+  EXPECT_EQ(warm.step_table_cache_stats().hits, 0u);
+  EXPECT_GT(warm.step_table_cache_stats().misses, 0u);
+
+  auto comparable = [](PartitionPlan plan) {
+    plan.search_stats.wall_seconds = 0.0;
+    return PlanToJson(plan);
+  };
+  const std::int64_t all = unbudgeted->all_resident_bytes;
+  for (std::int64_t budget : {all, all * 7 / 8, all * 3 / 4}) {
+    PartitionRequest budgeted;
+    budgeted.graph = &model.graph;
+    budgeted.memory_budget_bytes = budget;
+    Result<PartitionResponse> replan = warm.Partition(budgeted);
+    ASSERT_TRUE(replan.ok()) << replan.status().ToString();
+    EXPECT_FALSE(replan->from_cache);  // a new budget is a new plan-cache key
+
+    Session cold(DeviceTopology::Uniform(8));
+    Result<PartitionResponse> fresh = cold.Partition(budgeted);
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+    EXPECT_EQ(comparable(replan->plan), comparable(fresh->plan))
+        << "budget=" << budget;
+    EXPECT_EQ(replan->peak_shard_bytes, fresh->peak_shard_bytes);
+  }
+  // The ladder hit the step-table cache (same graph, same shapes, budget excluded
+  // from the key) and at least one warm search imported tables instead of refilling.
+  EXPECT_GT(warm.step_table_cache_stats().hits, 0u);
+
+  PartitionRequest full_budget;
+  full_budget.graph = &model.graph;
+  full_budget.memory_budget_bytes = all;
+  Session cold_full(DeviceTopology::Uniform(8));
+  Result<PartitionResponse> warm_again = cold_full.Partition(full_budget);
+  ASSERT_TRUE(warm_again.ok());
+  EXPECT_EQ(warm_again->plan.search_stats.reused_table_entries, 0);
+  Result<PartitionResponse> first_full = warm.Partition(full_budget);
+  ASSERT_TRUE(first_full.ok());
+  EXPECT_TRUE(first_full->from_cache);  // same budget as rung 1: plan cache serves it
+}
+
+TEST(Session, StepTableReuseIsCountedButNeverSerialized) {
+  // The warm rung's plan must show reuse in the in-memory stats while its JSON stays
+  // byte-identical to a cold search -- reused_table_entries is diagnostic only.
+  MlpConfig config;
+  config.layer_sizes = {1024, 1024, 1024, 512};
+  config.batch = 128;
+  ModelGraph model = BuildMlp(config);
+  Session session(DeviceTopology::Uniform(8));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> cold = session.Partition(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->plan.search_stats.reused_table_entries, 0);
+
+  PartitionRequest budgeted;
+  budgeted.graph = &model.graph;
+  budgeted.memory_budget_bytes = cold->all_resident_bytes;
+  Result<PartitionResponse> warm = session.Partition(budgeted);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(warm->plan.search_stats.reused_table_entries, 0);
+  EXPECT_EQ(warm->plan.search_stats.states_explored +
+                warm->plan.search_stats.cost_table_entries,
+            [&] {
+              Session fresh(DeviceTopology::Uniform(8));
+              Result<PartitionResponse> f = fresh.Partition(budgeted);
+              return f.ok() ? f->plan.search_stats.states_explored +
+                                  f->plan.search_stats.cost_table_entries
+                            : -1;
+            }());
+  // PlanToJson never carries the reuse counter: a warm and a cold plan serialize to
+  // the same bytes even though their in-memory diagnostics differ.
+  const std::string json = PlanToJson(warm->plan);
+  EXPECT_EQ(json.find("reused"), std::string::npos);
+  EXPECT_EQ(json.find("dominated"), std::string::npos);
 }
 
 TEST(Session, CacheHitValidatesPlanAndRecoversFromSignatureCollision) {

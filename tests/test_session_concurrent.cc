@@ -9,7 +9,10 @@
 //   * a failing leader hands every rider the same Status and does not poison the key:
 //     the next request searches afresh;
 //   * eviction churn (a capacity far below the working set) keeps the counter
-//     invariant and byte-identical plans.
+//     invariant and byte-identical plans;
+//   * a concurrent memory-budget ladder (distinct plan-cache keys, shared step-table
+//     cache) returns plans byte-identical to fresh single-threaded searches no matter
+//     which thread warms the compilation cache first.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -243,6 +246,63 @@ TEST(SessionConcurrent, EvictionChurnKeepsInvariantAndDeterminism) {
   EXPECT_GT(stats.evictions, 0);
   // Evicted keys re-search, so misses exceed the distinct-key count here.
   EXPECT_GE(stats.misses, static_cast<std::int64_t>(models.size()));
+}
+
+TEST(SessionConcurrent, ConcurrentBudgetLadderSharesStepTablesDeterministically) {
+  // Different budgets against one graph are distinct plan-cache keys, so every thread
+  // genuinely searches -- all of them hitting the session's shared step-table cache
+  // (partition/dp.h), whose concurrent lookup/insert/merge this exercises under TSan.
+  // Plans must stay byte-identical to fresh single-threaded searches regardless of
+  // which thread warmed the cache first.
+  MlpConfig config;
+  config.layer_sizes = {256, 256, 64};
+  config.batch = 32;
+  ModelGraph model = BuildMlp(config);
+  Session probe(DeviceTopology::Uniform(4));
+  PartitionRequest unbudgeted;
+  unbudgeted.graph = &model.graph;
+  Result<PartitionResponse> base = probe.Partition(unbudgeted);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  const std::int64_t all = base->all_resident_bytes;
+  const std::int64_t budgets[] = {0, all, all * 7 / 8, all * 3 / 4, all * 5 / 8};
+
+  std::vector<std::string> expected;
+  for (std::int64_t budget : budgets) {
+    Session solo(DeviceTopology::Uniform(4));
+    PartitionRequest request;
+    request.graph = &model.graph;
+    request.memory_budget_bytes = budget;
+    Result<PartitionResponse> response = solo.Partition(request);
+    ASSERT_TRUE(response.ok()) << "budget=" << budget;
+    expected.push_back(PlanBytes(*response));
+  }
+
+  Session session(DeviceTopology::Uniform(4));
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < std::size(budgets); ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 4; ++i) {
+        const size_t pick = (t + i) % std::size(budgets);
+        PartitionRequest request;
+        request.graph = &model.graph;
+        request.memory_budget_bytes = budgets[pick];
+        Result<PartitionResponse> response = session.Partition(request);
+        if (!response.ok()) {
+          failures.fetch_add(1);
+        } else if (PlanBytes(*response) != expected[pick]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  // Every rung after the first reused the shared compilation.
+  EXPECT_GT(session.step_table_cache_stats().hits, 0u);
 }
 
 }  // namespace

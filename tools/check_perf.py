@@ -2,7 +2,7 @@
 """Gate on bench_table1_search --json results against a checked-in baseline.
 
 Usage: check_perf.py <baseline.json> <current.json> [--max-slowdown X]
-                     [--serve serve.json]
+                     [--min-speedup X] [--serve serve.json]
 
 Fails (exit 1) when:
   * a baseline model has no matching row in the current results (dropping or renaming
@@ -10,9 +10,13 @@ Fails (exit 1) when:
   * the recursive search wall time regressed more than --max-slowdown (default 3x)
     over the baseline -- loose enough to absorb CI machine variance, tight enough to
     catch an accidental return to the string-keyed search;
+  * with --min-speedup, a row whose baseline entry records pre_pr_recursive_seconds
+    (the wall time measured before the dense-lattice engine path landed, same best-of-3
+    methodology) is not at least that factor faster now -- the floor under the
+    big-graph, many-worker optimization, so it cannot silently rot away;
   * the machine-independent search-effort counters (states_explored,
-    cost_table_entries) drifted -- these are deterministic, so any change means the
-    search semantics changed without re-recording the baseline;
+    cost_table_entries, dominated_pruned_states) drifted -- these are deterministic, so
+    any change means the search semantics changed without re-recording the baseline;
   * the plan's communication bytes changed at all (same reasoning);
   * the unconstrained plan itself drifted: plan_digest is an FNV-1a fingerprint of the
     normalized plan JSON (cuts, strategies, costs, per-step peaks -- everything but the
@@ -79,6 +83,13 @@ def main() -> int:
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--max-slowdown", type=float, default=3.0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="minimum speedup vs a baseline row's pre_pr_recursive_seconds "
+        "(rows without that field are exempt)",
+    )
     parser.add_argument("--serve", help="bench_serve --json output to gate")
     parser.add_argument("--min-hit-rate", type=float, default=0.9)
     args = parser.parse_args()
@@ -118,7 +129,22 @@ def main() -> int:
             f"{row['model']}: {row['recursive_seconds']*1e3:.1f} ms vs baseline "
             f"{base['recursive_seconds']*1e3:.1f} ms ({slowdown:.2f}x) {status}"
         )
-        for counter in ("states_explored", "cost_table_entries"):
+        pre_pr = base.get("pre_pr_recursive_seconds")
+        if args.min_speedup is not None and pre_pr is not None:
+            speedup = pre_pr / max(row["recursive_seconds"], 1e-12)
+            status = "ok"
+            if speedup < args.min_speedup:
+                status = f"FAIL (< required {args.min_speedup}x)"
+                failed = True
+            print(
+                f"{row['model']}: {speedup:.2f}x faster than pre-PR "
+                f"{pre_pr*1e3:.1f} ms {status}"
+            )
+        for counter in (
+            "states_explored",
+            "cost_table_entries",
+            "dominated_pruned_states",
+        ):
             if row.get(counter) != base.get(counter):
                 print(
                     f"FAIL  {row['model']}: {counter} {row.get(counter)} != baseline "
