@@ -38,6 +38,9 @@ struct Options {
   std::vector<int> thread_counts = {1, 8};
   std::uint64_t seed = 42;
   bool json = false;
+  // Default algorithm for specs that omit "algorithm" (--algo=NAME); explicit
+  // per-spec algorithms always win, matching tofu-pland's flag.
+  tofu::PartitionAlgorithm algo = tofu::PartitionAlgorithm::kTofu;
 };
 
 // The distinct request specs the replay mixes. Small enough that a full search takes
@@ -72,6 +75,9 @@ std::vector<std::string> DistinctSpecs() {
       "\"config\":{\"batch\":64,\"layer_sizes\":[784,256,10]}}");
   specs.push_back(
       "{\"model\":\"mlp\",\"workers\":8,\"algorithm\":\"Spartan\","
+      "\"config\":{\"batch\":64,\"layer_sizes\":[784,256,10]}}");
+  specs.push_back(
+      "{\"model\":\"mlp\",\"workers\":8,\"algorithm\":\"Hybrid\","
       "\"config\":{\"batch\":64,\"layer_sizes\":[784,256,10]}}");
   specs.push_back(
       "{\"model\":\"mlp\",\"workers\":8,\"memory_budget_bytes\":1073741824,"
@@ -110,7 +116,8 @@ double PercentileMs(std::vector<double> latencies, double q) {
   return latencies[std::min(index, latencies.size() - 1)] * 1e3;
 }
 
-RunResult RunReplay(const std::vector<std::string>& lines, int threads) {
+RunResult RunReplay(const std::vector<std::string>& lines, int threads,
+                    tofu::PartitionAlgorithm algo) {
   tofu::PlanService service;
   std::atomic<size_t> next{0};
   std::vector<double> latencies(lines.size(), 0.0);
@@ -122,7 +129,7 @@ RunResult RunReplay(const std::vector<std::string>& lines, int threads) {
       if (i >= lines.size()) return;
       const auto t0 = Clock::now();
       const std::string response =
-          tofu::HandleServeLine(service, lines[i], /*include_plan=*/false);
+          tofu::HandleServeLine(service, lines[i], /*include_plan=*/false, algo);
       latencies[i] = std::chrono::duration<double>(Clock::now() - t0).count();
       if (response.find("\"ok\":true") == std::string::npos) {
         errors.fetch_add(1, std::memory_order_relaxed);
@@ -159,7 +166,8 @@ RunResult RunReplay(const std::vector<std::string>& lines, int threads) {
 // Every distinct spec, partitioned on a warm concurrent service, must serialize to
 // exactly the plan a fresh single-threaded search produces. Returns the number of
 // mismatches (0 = deterministic).
-int CheckDeterminism(const std::vector<std::string>& specs) {
+int CheckDeterminism(const std::vector<std::string>& specs,
+                     tofu::PartitionAlgorithm algo) {
   tofu::PlanService warm;
   // Warm the cache from several threads so the checked plans went through the
   // concurrent insert/coalesce path, not a quiet sequential one.
@@ -170,7 +178,7 @@ int CheckDeterminism(const std::vector<std::string>& specs) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= specs.size() * 4) return;
         tofu::HandleServeLine(warm, specs[i % specs.size()],
-                              /*include_plan=*/false);
+                              /*include_plan=*/false, algo);
       }
     };
     std::vector<std::thread> workers;
@@ -180,7 +188,7 @@ int CheckDeterminism(const std::vector<std::string>& specs) {
 
   int mismatches = 0;
   for (const std::string& line : specs) {
-    tofu::Result<tofu::ServeRequest> request = tofu::ParseServeRequest(line);
+    tofu::Result<tofu::ServeRequest> request = tofu::ParseServeRequest(line, algo);
     if (!request.ok()) {
       std::fprintf(stderr, "bench_serve: spec stopped parsing: %s\n",
                    request.status().ToString().c_str());
@@ -224,6 +232,14 @@ Options ParseOptions(int argc, char** argv) {
       options.requests = std::atoi(arg.c_str() + std::strlen("--requests="));
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(arg.c_str() + std::strlen("--seed="), nullptr, 10);
+    } else if (arg.rfind("--algo=", 0) == 0) {
+      tofu::Result<tofu::PartitionAlgorithm> algo =
+          tofu::AlgorithmFromName(arg.substr(std::strlen("--algo=")));
+      if (!algo.ok()) {
+        std::fprintf(stderr, "bench_serve: %s\n", algo.status().ToString().c_str());
+        std::exit(2);
+      }
+      options.algo = *algo;
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.thread_counts.clear();
       std::string list = arg.substr(std::strlen("--threads="));
@@ -238,7 +254,7 @@ Options ParseOptions(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_serve [--requests=N] [--threads=1,8] [--seed=S] "
-                   "[--json]\n");
+                   "[--algo=NAME] [--json]\n");
       std::exit(2);
     }
   }
@@ -266,7 +282,7 @@ int main(int argc, char** argv) {
 
   std::vector<RunResult> results;
   for (int threads : options.thread_counts) {
-    results.push_back(RunReplay(lines, threads));
+    results.push_back(RunReplay(lines, threads, options.algo));
     const RunResult& r = results.back();
     std::fprintf(stderr,
                  "  threads=%-2d %8.1f qps  %.3fs  hit-rate %5.1f%%  "
@@ -285,7 +301,7 @@ int main(int argc, char** argv) {
                  base.seconds > 0 ? base.seconds / top.seconds : 0.0);
   }
 
-  const int mismatches = CheckDeterminism(DistinctSpecs());
+  const int mismatches = CheckDeterminism(DistinctSpecs(), options.algo);
   std::fprintf(stderr, "bench_serve: determinism check %s\n",
                mismatches == 0 ? "OK (concurrent plans == fresh single-threaded)"
                                : "FAILED");

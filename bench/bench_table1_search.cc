@@ -31,6 +31,8 @@
 #include "tofu/partition/flat_dp.h"
 #include "tofu/partition/plan_io.h"
 #include "tofu/partition/recursive.h"
+#include "tofu/pipeline/pipeline_sim.h"
+#include "tofu/pipeline/stage_cost.h"
 #include "tofu/util/json.h"
 #include "tofu/util/strings.h"
 
@@ -157,6 +159,7 @@ void Run(const std::string& name, ModelGraph model, JsonWriter* json) {
     json->Key("states_explored").Int(plan.search_stats.states_explored);
     json->Key("max_frontier_states").Int(plan.search_stats.max_frontier_states);
     json->Key("cost_table_entries").Int(plan.search_stats.cost_table_entries);
+    json->Key("pruned_table_cells").Int(plan.search_stats.pruned_table_cells);
     json->Key("exact").Bool(plan.search_stats.exact);
     json->Key("flat_completed").Bool(flat.completed);
     json->Key("flat_elapsed_seconds").Number(flat.elapsed_seconds);
@@ -224,6 +227,7 @@ void RunManyWorkers(const std::string& name, const ModelGraph& model, int worker
     json->Key("max_frontier_states").Int(stats.max_frontier_states);
     json->Key("cost_table_entries").Int(stats.cost_table_entries);
     json->Key("dominated_pruned_states").Int(stats.dominated_pruned_states);
+    json->Key("pruned_table_cells").Int(stats.pruned_table_cells);
     json->Key("exact").Bool(stats.exact);
     json->Key("session_cache_hit").Bool(cache_hit);
     json->Key("cached_plan_identical").Bool(identical);
@@ -276,12 +280,124 @@ void RunTopology(const std::string& name, const ModelGraph& model,
     json->Key("states_explored").Int(plan.search_stats.states_explored);
     json->Key("max_frontier_states").Int(plan.search_stats.max_frontier_states);
     json->Key("cost_table_entries").Int(plan.search_stats.cost_table_entries);
+    json->Key("pruned_table_cells").Int(plan.search_stats.pruned_table_cells);
     json->Key("exact").Bool(plan.search_stats.exact);
     json->Key("estimated_comm_seconds").Number(first->estimated_comm_seconds);
     json->Key("simulated_comm_seconds").Number(first->simulated_comm_seconds);
     json->Key("session_cache_hit").Bool(cache_hit);
     json->Key("cached_plan_identical").Bool(identical);
     json->Key("plan_digest").String(PlanDigest(plan));
+    json->EndObject();
+  }
+}
+
+// One hybrid-parallelism row: pure Tofu, the pipeline x Tofu hybrid (pipeline/
+// compose.h), and DataParallel planned for the same multi-node hierarchy -- 8-GPU
+// nodes with 21 GB/s PCIe p2p inside, joined through one oversubscribed 2.5 GB/s
+// cross-node uplink per node (Ethernet-class, the regime where splitting every
+// operator across all workers stops scaling). All three are compared on estimated
+// total iteration time: analytic full-batch compute at 1/W (the same figure
+// HybridPartition's degenerate candidate uses) plus each plan's estimated
+// communication; for a multi-stage hybrid the total is the analytic 1F1B makespan,
+// which already folds compute, boundary transfers, and the fill/drain bubble
+// together. tools/check_perf.py gates the ordering (hybrid <= pure <= the gap to
+// DataParallel closing) and the pipeline differential contract (analytic makespan
+// <= 1F1B event simulation <= 2x analytic).
+void RunHybrid(const std::string& name, const ModelGraph& model, int workers,
+               JsonWriter* json) {
+  const int nodes = workers / 8;
+  std::shared_ptr<const Interconnect> net = MakeHierarchy(nodes, 8, 21e9, 2.5e9, 15e-6);
+  Session session(DeviceTopology::WithInterconnect(net));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  request.algorithm = PartitionAlgorithm::kHybrid;
+
+  const auto t0 = Clock::now();
+  Result<PartitionResponse> hybrid = session.Partition(request);
+  const double hybrid_search_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  if (!hybrid.ok()) {
+    std::printf("  %-24s %s\n", name.c_str(), hybrid.status().ToString().c_str());
+    return;
+  }
+  // Serving-path contract at the hybrid algorithm (same as every other row).
+  Result<PartitionResponse> second = session.Partition(request);
+  Session fresh_session(DeviceTopology::WithInterconnect(net));
+  Result<PartitionResponse> fresh = fresh_session.Partition(request);
+  const bool cache_hit = second.ok() && !hybrid->from_cache && second->from_cache &&
+                         session.cache_stats().hits == 1;
+  const bool identical = second.ok() && fresh.ok() &&
+                         PlanDigest(second->plan) == PlanDigest(fresh->plan);
+
+  PartitionRequest pure_request = request;
+  pure_request.algorithm = PartitionAlgorithm::kTofu;
+  Result<PartitionResponse> pure = session.Partition(pure_request);
+  PartitionRequest dp_request = request;
+  dp_request.algorithm = PartitionAlgorithm::kDataParallel;
+  Result<PartitionResponse> dp = session.Partition(dp_request);
+  if (!pure.ok() || !dp.ok()) {
+    std::printf("  %-24s baseline algorithms failed\n", name.c_str());
+    return;
+  }
+
+  // Analytic full-batch compute with every op split W ways -- what the S = 1
+  // candidate inside HybridPartition prices, so pure_total matches its total exactly.
+  const CoarseGraph coarse = Coarsen(model.graph);
+  const StageCostModel cost(model.graph, coarse, K80Cluster());
+  std::vector<double> fwd;
+  std::vector<double> bwd;
+  cost.PerGroupPassSeconds(workers, 1, &fwd, &bwd);
+  double compute = 0.0;
+  for (size_t g = 0; g < fwd.size(); ++g) {
+    compute += fwd[g] + bwd[g];
+  }
+
+  const PipelinePlan* pipe = hybrid->plan.pipeline.get();
+  const double hybrid_total = pipe != nullptr
+                                  ? pipe->pipeline_seconds
+                                  : compute + hybrid->estimated_comm_seconds;
+  const double pure_total = compute + pure->estimated_comm_seconds;
+  const double dp_total = compute + dp->estimated_comm_seconds;
+  const double sim_1f1b = pipe != nullptr ? Simulate1F1BSeconds(*pipe) : 0.0;
+
+  std::printf("  %-18s w=%-4d hybrid %s (S=%d, M=%d, sim %s) vs pure %s vs DP %s, "
+              "cache %s/%s\n",
+              name.c_str(), workers, HumanSeconds(hybrid_total).c_str(),
+              pipe != nullptr ? pipe->num_stages : 1,
+              pipe != nullptr ? pipe->micro_batches : 1,
+              pipe != nullptr ? HumanSeconds(sim_1f1b).c_str() : "n/a",
+              HumanSeconds(pure_total).c_str(), HumanSeconds(dp_total).c_str(),
+              cache_hit ? "hit" : "MISSED", identical ? "identical" : "DIVERGED");
+  if (json != nullptr) {
+    const SearchStats& stats = hybrid->plan.search_stats;
+    json->BeginObject();
+    json->Key("model").String(name + "@hybrid-w" + std::to_string(workers));
+    json->Key("num_ops").Int(model.graph.num_ops());
+    json->Key("num_tensors").Int(model.graph.num_tensors());
+    json->Key("workers").Int(workers);
+    json->Key("nodes").Int(nodes);
+    json->Key("recursive_seconds").Number(hybrid_search_s);
+    json->Key("recursive_comm_bytes").Number(hybrid->plan.total_comm_bytes);
+    json->Key("states_explored").Int(stats.states_explored);
+    json->Key("max_frontier_states").Int(stats.max_frontier_states);
+    json->Key("cost_table_entries").Int(stats.cost_table_entries);
+    json->Key("dominated_pruned_states").Int(stats.dominated_pruned_states);
+    json->Key("pruned_table_cells").Int(stats.pruned_table_cells);
+    json->Key("exact").Bool(stats.exact);
+    json->Key("pipeline_stages").Int(pipe != nullptr ? pipe->num_stages : 1);
+    json->Key("micro_batches").Int(pipe != nullptr ? pipe->micro_batches : 1);
+    json->Key("pipeline_seconds").Number(pipe != nullptr ? pipe->pipeline_seconds : 0.0);
+    json->Key("pipeline_sim_seconds").Number(sim_1f1b);
+    json->Key("compute_seconds").Number(compute);
+    json->Key("hybrid_total_seconds").Number(hybrid_total);
+    json->Key("pure_total_seconds").Number(pure_total);
+    json->Key("dp_total_seconds").Number(dp_total);
+    json->Key("hybrid_comm_seconds").Number(hybrid->estimated_comm_seconds);
+    json->Key("pure_comm_seconds").Number(pure->estimated_comm_seconds);
+    json->Key("dp_comm_seconds").Number(dp->estimated_comm_seconds);
+    json->Key("session_cache_hit").Bool(cache_hit);
+    json->Key("cached_plan_identical").Bool(identical);
+    json->Key("plan_digest").String(PlanDigest(hybrid->plan));
     json->EndObject();
   }
 }
@@ -372,6 +488,26 @@ int main(int argc, char** argv) {
     config.layers = 48;
     const tofu::ModelGraph transformer = tofu::BuildTransformer(config);
     tofu::RunManyWorkers("Transformer-48", transformer, 64, json_ptr);
+  }
+  std::printf("\n");
+
+  std::printf("=== Hybrid pipeline x Tofu vs pure Tofu vs DataParallel "
+              "(8-GPU nodes, 2.5 GB/s cross-node uplinks) ===\n");
+  {
+    tofu::TransformerConfig t_config;
+    t_config.layers = 48;
+    const tofu::ModelGraph transformer = tofu::BuildTransformer(t_config);
+    tofu::WResNetConfig w_config;
+    w_config.layers = 152;
+    w_config.width = 10;
+    w_config.batch = 8;
+    const tofu::ModelGraph wresnet = tofu::BuildWResNet(w_config);
+    for (int workers : {16, 32, 64}) {
+      tofu::RunHybrid("Transformer-48", transformer, workers, json_ptr);
+    }
+    for (int workers : {16, 32, 64}) {
+      tofu::RunHybrid("WResNet-152-10", wresnet, workers, json_ptr);
+    }
   }
   std::printf("\n");
 

@@ -4,6 +4,7 @@
 
 #include "tofu/interconnect/sim_bridge.h"
 #include "tofu/partition/plan_io.h"
+#include "tofu/pipeline/compose.h"
 #include "tofu/util/logging.h"
 #include "tofu/util/strings.h"
 
@@ -23,6 +24,8 @@ const char* AlgorithmName(PartitionAlgorithm algorithm) {
       return "AllRow-Greedy";
     case PartitionAlgorithm::kDataParallel:
       return "DataParallel";
+    case PartitionAlgorithm::kHybrid:
+      return "Hybrid";
   }
   return "?";
 }
@@ -33,6 +36,7 @@ constexpr PartitionAlgorithm kAllAlgorithms[] = {
     PartitionAlgorithm::kTofu,         PartitionAlgorithm::kIcml18,
     PartitionAlgorithm::kEqualChop,    PartitionAlgorithm::kSpartan,
     PartitionAlgorithm::kAllRowGreedy, PartitionAlgorithm::kDataParallel,
+    PartitionAlgorithm::kHybrid,
 };
 
 }  // namespace
@@ -336,6 +340,17 @@ Result<PartitionResponse> Session::SearchAndCache(const PartitionRequest& reques
     case PartitionAlgorithm::kDataParallel:
       response.plan = DataParallelPlan(graph, topology_.num_workers);
       break;
+    case PartitionAlgorithm::kHybrid: {
+      // The hybrid search composes pipeline stages with the same budget-aware recursive
+      // DP kTofu runs inside each stage -- sharing this session's step-table cache --
+      // and prices stage boundaries through the topology's interconnect when present.
+      HybridOptions hybrid;
+      hybrid.interconnect = topology_.interconnect;
+      hybrid.fallback_bandwidth = topology_.BandwidthForStep(0);
+      hybrid.cluster = K80Cluster();
+      response.plan = HybridPartition(graph, topology_.num_workers, options, hybrid);
+      break;
+    }
     default:
       return Status(StatusCode::kInvalidArgument,
                     StrFormat("unknown algorithm enum value %d",
@@ -347,17 +362,31 @@ Result<PartitionResponse> Session::SearchAndCache(const PartitionRequest& reques
   // would report for a program-order schedule -- plus the schedule-independent
   // all-resident upper bound for reporting. The budget check and feasibility verdict
   // use the peak: summing every shard as simultaneously resident overstated memory and
-  // declared feasible plans infeasible.
-  response.peak_shard_bytes = LivenessPeakShardBytes(graph, plan);
-  response.all_resident_bytes = AllResidentShardBytes(graph, plan);
+  // declared feasible plans infeasible. A hybrid plan's figures are the max over its
+  // stages' stage-restricted peaks (pipeline/stage_cost.h): the whole-graph sweep would
+  // wrongly charge every worker the full model, when each stage's workers hold only
+  // their stage's state plus boundary activations.
+  if (plan.pipeline != nullptr) {
+    for (const PipelineStage& stage : plan.pipeline->stages) {
+      response.peak_shard_bytes = std::max(response.peak_shard_bytes, stage.peak_bytes);
+      response.all_resident_bytes =
+          std::max(response.all_resident_bytes, stage.all_resident_bytes);
+    }
+  } else {
+    response.peak_shard_bytes = LivenessPeakShardBytes(graph, plan);
+    response.all_resident_bytes = AllResidentShardBytes(graph, plan);
+  }
   response.fits_device_memory =
       topology_.memory_bytes_per_worker <= 0 ||
       response.peak_shard_bytes <= topology_.memory_bytes_per_worker;
 
   // Topology-weighted step times. Recursion-based plans already carry them (the search
   // used them to pick the factor ordering); greedy baselines get them computed here from
-  // the same weighted costs.
-  if (plan.step_seconds.size() == plan.steps.size() && !plan.steps.empty()) {
+  // the same weighted costs. Hybrid plans carry their aggregate figure (intra-stage
+  // comm plus every boundary transfer) but no top-level steps.
+  if (plan.pipeline != nullptr) {
+    response.estimated_comm_seconds = plan.estimated_comm_seconds;
+  } else if (plan.step_seconds.size() == plan.steps.size() && !plan.steps.empty()) {
     response.step_seconds = plan.step_seconds;
     response.estimated_comm_seconds = plan.estimated_comm_seconds;
   } else {
@@ -379,7 +408,7 @@ Result<PartitionResponse> Session::SearchAndCache(const PartitionRequest& reques
   // schedule; replay the plan's per-step traffic through the event simulator's
   // link-level queueing so the response carries the simulated critical-path time the
   // differential harness validates the estimate against.
-  if (topology_.interconnect != nullptr) {
+  if (topology_.interconnect != nullptr && plan.pipeline == nullptr) {
     response.simulated_comm_seconds =
         SimPlanCommSeconds(*topology_.interconnect, plan);
   }

@@ -55,7 +55,8 @@
 
 namespace tofu {
 
-// Named algorithm selector (Figure 10's comparison set plus classic data parallelism).
+// Named algorithm selector (Figure 10's comparison set plus classic data parallelism
+// and the hybrid pipeline composition).
 enum class PartitionAlgorithm {
   kTofu,          // recursive DP with output-reduction strategies
   kIcml18,        // recursive DP without output-reduction
@@ -63,6 +64,8 @@ enum class PartitionAlgorithm {
   kSpartan,       // largest-tensor-first greedy
   kAllRowGreedy,  // everything split along dimension 0
   kDataParallel,  // activations batch-split, model state replicated (all-reduce grads)
+  kHybrid,        // pipeline stages x intra-stage recursive DP (pipeline/compose.h);
+                  // degenerates to kTofu's plan when one stage wins
 };
 
 const char* AlgorithmName(PartitionAlgorithm algorithm);

@@ -285,13 +285,17 @@ struct StepTableCacheAccess {
 namespace {
 
 // Cache key of one step compilation: graph structure (GraphSignature), split factor,
-// strategy filtering, and an FNV-1a digest of every tensor's CURRENT shape (recursion
+// strategy filtering, an FNV-1a digest of every tensor's CURRENT shape (recursion
 // shrinks shapes step by step, and every compiled value is shape-dependent -- sizes,
-// halos, applicability, cut options, shard bytes). Budgets, bandwidths, thread counts
-// and state caps are deliberately absent: they do not influence any cached artifact,
-// and their absence is precisely what lets a budget ladder or a re-plan with refreshed
-// bandwidths hit the cache.
-std::string StepCacheKey(StepContext* ctx, const Graph& graph, bool allow_reduction) {
+// halos, applicability, cut options, shard bytes), and a digest of the coarse group
+// structure (the hybrid pipeline searches STAGE-FILTERED coarse graphs over the same
+// graph and shapes -- without the group digest, every stage of every candidate cut
+// would collide on one key and thrash the entry; see pipeline/compose.cc). Budgets,
+// bandwidths, thread counts and state caps are deliberately absent: they do not
+// influence any cached artifact, and their absence is precisely what lets a budget
+// ladder or a re-plan with refreshed bandwidths hit the cache.
+std::string StepCacheKey(StepContext* ctx, const Graph& graph, const CoarseGraph& coarse,
+                         bool allow_reduction) {
   std::uint64_t h = 1469598103934665603ull;
   auto mix = [&h](std::uint64_t v) {
     for (int b = 0; b < 8; ++b) {
@@ -306,9 +310,29 @@ std::string StepCacheKey(StepContext* ctx, const Graph& graph, bool allow_reduct
       mix(static_cast<std::uint64_t>(d));
     }
   }
-  return StrFormat("step;g=%016llx;w=%d;r=%d;s=%016llx;",
+  std::uint64_t gh = 1469598103934665603ull;
+  auto gmix = [&gh](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      gh ^= (v >> (8 * b)) & 0xffu;
+      gh *= 1099511628211ull;
+    }
+  };
+  gmix(coarse.groups.size());
+  for (const MacroGroup& group : coarse.groups) {
+    gmix(0x9e3779b97f4a7c15ull + group.units.size());
+    for (int u : group.units) {
+      for (OpId op : coarse.units[static_cast<size_t>(u)].ops) {
+        gmix(static_cast<std::uint64_t>(op));
+      }
+    }
+    for (OpId op : group.ew_ops) {
+      gmix(0xbf58476d1ce4e5b9ull + static_cast<std::uint64_t>(op));
+    }
+  }
+  return StrFormat("step;g=%016llx;w=%d;r=%d;s=%016llx;c=%016llx;",
                    static_cast<unsigned long long>(GraphSignature(graph)), ctx->ways(),
-                   allow_reduction ? 1 : 0, static_cast<unsigned long long>(h));
+                   allow_reduction ? 1 : 0, static_cast<unsigned long long>(h),
+                   static_cast<unsigned long long>(gh));
 }
 
 }  // namespace
@@ -339,7 +363,7 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
   std::shared_ptr<const StepCompilation> cached;
   std::string cache_key;
   if (options.step_table_cache != nullptr) {
-    cache_key = StepCacheKey(ctx, graph, options.allow_reduction_strategies);
+    cache_key = StepCacheKey(ctx, graph, coarse, options.allow_reduction_strategies);
     cached = StepTableCacheAccess::Lookup(options.step_table_cache, cache_key);
     if (cached != nullptr &&
         (cached->ways != ctx->ways() || cached->num_groups != num_groups ||

@@ -8,6 +8,7 @@
 #ifndef TOFU_PARTITION_PLAN_H_
 #define TOFU_PARTITION_PLAN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,10 @@
 #include "tofu/partition/search_stats.h"
 
 namespace tofu {
+
+// Defined in pipeline/pipeline_plan.h. A PartitionPlan optionally carries one (hybrid
+// pipeline x Tofu plans); pure plans leave it null and serialize unchanged.
+struct PipelinePlan;
 
 // Cut value for a tensor that is stored replicated at a step (small tensors and rank-0
 // scalars only; every substantial tensor is partitioned, as in the paper).
@@ -67,6 +72,11 @@ struct PartitionPlan {
   // effort). The session's authoritative verdict uses the liveness-aware peak, which
   // can still fit -- see LivenessPeakShardBytes below.
   bool memory_feasible = true;
+  // Hybrid pipeline decomposition (kHybrid only; null for every pure plan). When set,
+  // `steps` is empty and the per-stage inner plans live in the stages; plan_io writes
+  // the tofu.plan.v3 schema. Shared, immutable: plans are copied around by the session
+  // cache and the stages can be large.
+  std::shared_ptr<const PipelinePlan> pipeline;
 
   // Per-dimension split factors of a tensor after all steps (product over steps).
   std::vector<int> TensorSplits(const Graph& graph, TensorId t) const;

@@ -1,7 +1,9 @@
 #include "tofu/partition/plan_io.h"
 
 #include <cstring>
+#include <memory>
 
+#include "tofu/pipeline/pipeline_plan.h"
 #include "tofu/util/json.h"
 #include "tofu/util/strings.h"
 
@@ -59,12 +61,15 @@ Result<std::vector<double>> ReadNumberArray(const JsonValue& obj, const std::str
   return out;
 }
 
-}  // namespace
-
-std::string PlanToJson(const PartitionPlan& plan) {
-  JsonWriter w;
+// Writes one plan as a JSON object. Pure plans keep the v2 tag (byte-identical to the
+// pre-pipeline serialization, which is what pins every existing digest); a plan carrying
+// a PipelinePlan writes v3 and appends the "pipeline" section, whose per-stage inner
+// plans recurse through this same writer (stage plans are pure, so they nest exactly
+// one level deep).
+void WritePlanObject(JsonWriter* wp, const PartitionPlan& plan) {
+  JsonWriter& w = *wp;
   w.BeginObject();
-  w.Key("schema").String(kPlanJsonSchema);
+  w.Key("schema").String(plan.pipeline != nullptr ? kPlanJsonSchemaV3 : kPlanJsonSchema);
   w.Key("num_workers").Int(plan.num_workers);
   w.Key("step_factors");
   WriteIntArray(&w, plan.step_factors);
@@ -98,23 +103,63 @@ std::string PlanToJson(const PartitionPlan& plan) {
     w.EndObject();
   }
   w.EndArray();
+  if (plan.pipeline != nullptr) {
+    const PipelinePlan& pipe = *plan.pipeline;
+    w.Key("pipeline").BeginObject();
+    w.Key("num_stages").Int(pipe.num_stages);
+    w.Key("micro_batches").Int(pipe.micro_batches);
+    w.Key("bottleneck_seconds").Number(pipe.bottleneck_seconds);
+    w.Key("pipeline_seconds").Number(pipe.pipeline_seconds);
+    w.Key("comm_seconds").Number(pipe.comm_seconds);
+    w.Key("stages").BeginArray();
+    for (const PipelineStage& stage : pipe.stages) {
+      w.BeginObject();
+      w.Key("first_group").Int(stage.first_group);
+      w.Key("last_group").Int(stage.last_group);
+      w.Key("num_workers").Int(stage.num_workers);
+      w.Key("first_worker").Int(stage.first_worker);
+      w.Key("fwd_seconds").Number(stage.fwd_seconds);
+      w.Key("bwd_seconds").Number(stage.bwd_seconds);
+      w.Key("activation_bytes").Number(stage.activation_bytes);
+      w.Key("transfer_fwd_seconds").Number(stage.transfer_fwd_seconds);
+      w.Key("transfer_bwd_seconds").Number(stage.transfer_bwd_seconds);
+      w.Key("peak_bytes").Int(stage.peak_bytes);
+      w.Key("all_resident_bytes").Int(stage.all_resident_bytes);
+      w.Key("plan");
+      WritePlanObject(&w, stage.plan);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
   w.EndObject();
+}
+
+}  // namespace
+
+std::string PlanToJson(const PartitionPlan& plan) {
+  JsonWriter w;
+  WritePlanObject(&w, plan);
   return w.str();
 }
 
-Result<PartitionPlan> PlanFromJson(const std::string& json) {
-  TOFU_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json));
-  if (!doc.is_object()) {
-    return Status(StatusCode::kInvalidArgument, "plan document is not a JSON object");
-  }
+namespace {
+
+Result<PartitionPlan> ParsePlanObject(const JsonValue& doc, int depth) {
   TOFU_ASSIGN_OR_RETURN(std::string schema, doc.StringAt("schema"));
   // v1 plans (searched before memory became a constraint) still load; their memory
-  // fields default to "unconstrained".
-  const bool v2 = schema == kPlanJsonSchema;
+  // fields default to "unconstrained". v3 adds the hybrid pipeline section.
+  const bool v3 = schema == kPlanJsonSchemaV3;
+  const bool v2 = v3 || schema == kPlanJsonSchema;
   if (!v2 && schema != kPlanJsonSchemaV1) {
     return Status(StatusCode::kInvalidArgument,
-                  StrFormat("unknown plan schema '%s' (want %s or %s)", schema.c_str(),
-                            kPlanJsonSchema, kPlanJsonSchemaV1));
+                  StrFormat("unknown plan schema '%s' (want %s, %s or %s)",
+                            schema.c_str(), kPlanJsonSchemaV3, kPlanJsonSchema,
+                            kPlanJsonSchemaV1));
+  }
+  if (v3 && depth > 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "pipeline stage plans must be pure (nested pipeline section)");
   }
 
   PartitionPlan plan;
@@ -196,13 +241,149 @@ Result<PartitionPlan> PlanFromJson(const std::string& json) {
                   StrFormat("plan has %zu steps but %zu step_seconds", plan.steps.size(),
                             plan.step_seconds.size()));
   }
+
+  if (v3) {
+    TOFU_ASSIGN_OR_RETURN(const JsonValue* pipe_obj, doc.ObjectAt("pipeline"));
+    auto pipe = std::make_shared<PipelinePlan>();
+    TOFU_ASSIGN_OR_RETURN(std::int64_t num_stages, pipe_obj->IntAt("num_stages"));
+    TOFU_ASSIGN_OR_RETURN(std::int64_t micro_batches, pipe_obj->IntAt("micro_batches"));
+    if (num_stages < 1 || num_stages > (1 << 20) || micro_batches < 1 ||
+        micro_batches > (1 << 20)) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("pipeline num_stages %lld / micro_batches %lld out of range",
+                              static_cast<long long>(num_stages),
+                              static_cast<long long>(micro_batches)));
+    }
+    pipe->num_stages = static_cast<int>(num_stages);
+    pipe->micro_batches = static_cast<int>(micro_batches);
+    TOFU_ASSIGN_OR_RETURN(pipe->bottleneck_seconds,
+                          pipe_obj->NumberAt("bottleneck_seconds"));
+    TOFU_ASSIGN_OR_RETURN(pipe->pipeline_seconds, pipe_obj->NumberAt("pipeline_seconds"));
+    TOFU_ASSIGN_OR_RETURN(pipe->comm_seconds, pipe_obj->NumberAt("comm_seconds"));
+    TOFU_ASSIGN_OR_RETURN(const JsonValue* stages, pipe_obj->ArrayAt("stages"));
+    for (const JsonValue& entry : stages->AsArray()) {
+      if (!entry.is_object()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "pipeline stage is not a JSON object");
+      }
+      PipelineStage stage;
+      TOFU_ASSIGN_OR_RETURN(std::int64_t first_group, entry.IntAt("first_group"));
+      TOFU_ASSIGN_OR_RETURN(std::int64_t last_group, entry.IntAt("last_group"));
+      TOFU_ASSIGN_OR_RETURN(std::int64_t stage_workers, entry.IntAt("num_workers"));
+      TOFU_ASSIGN_OR_RETURN(std::int64_t first_worker, entry.IntAt("first_worker"));
+      if (first_group < 0 || last_group < first_group || stage_workers < 1 ||
+          first_worker < 0 || last_group > (1 << 30) || stage_workers > (1 << 30) ||
+          first_worker > (1 << 30)) {
+        return Status(StatusCode::kInvalidArgument,
+                      StrFormat("pipeline stage range [%lld, %lld] / workers %lld @ %lld "
+                                "out of range",
+                                static_cast<long long>(first_group),
+                                static_cast<long long>(last_group),
+                                static_cast<long long>(stage_workers),
+                                static_cast<long long>(first_worker)));
+      }
+      stage.first_group = static_cast<int>(first_group);
+      stage.last_group = static_cast<int>(last_group);
+      stage.num_workers = static_cast<int>(stage_workers);
+      stage.first_worker = static_cast<int>(first_worker);
+      TOFU_ASSIGN_OR_RETURN(stage.fwd_seconds, entry.NumberAt("fwd_seconds"));
+      TOFU_ASSIGN_OR_RETURN(stage.bwd_seconds, entry.NumberAt("bwd_seconds"));
+      TOFU_ASSIGN_OR_RETURN(stage.activation_bytes, entry.NumberAt("activation_bytes"));
+      TOFU_ASSIGN_OR_RETURN(stage.transfer_fwd_seconds,
+                            entry.NumberAt("transfer_fwd_seconds"));
+      TOFU_ASSIGN_OR_RETURN(stage.transfer_bwd_seconds,
+                            entry.NumberAt("transfer_bwd_seconds"));
+      TOFU_ASSIGN_OR_RETURN(stage.peak_bytes, entry.IntAt("peak_bytes"));
+      TOFU_ASSIGN_OR_RETURN(stage.all_resident_bytes, entry.IntAt("all_resident_bytes"));
+      TOFU_ASSIGN_OR_RETURN(const JsonValue* inner, entry.ObjectAt("plan"));
+      TOFU_ASSIGN_OR_RETURN(stage.plan, ParsePlanObject(*inner, depth + 1));
+      pipe->stages.push_back(std::move(stage));
+    }
+    if (static_cast<int>(pipe->stages.size()) != pipe->num_stages) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("pipeline claims %d stages but carries %zu",
+                              pipe->num_stages, pipe->stages.size()));
+    }
+    plan.pipeline = std::move(pipe);
+  }
   return plan;
+}
+
+}  // namespace
+
+Result<PartitionPlan> PlanFromJson(const std::string& json) {
+  TOFU_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json));
+  if (!doc.is_object()) {
+    return Status(StatusCode::kInvalidArgument, "plan document is not a JSON object");
+  }
+  return ParsePlanObject(doc, 0);
 }
 
 Status ValidatePlanForGraph(const Graph& graph, const PartitionPlan& plan) {
   if (plan.num_workers < 1) {
     return Status(StatusCode::kInvalidArgument,
                   StrFormat("plan num_workers %d < 1", plan.num_workers));
+  }
+  if (plan.pipeline != nullptr) {
+    // Hybrid plan: the top level carries no steps of its own; the workers are covered
+    // by the stages' contiguous, disjoint ranges and each stage's inner plan must
+    // itself validate (it spans the whole graph, with off-stage tensors replicated).
+    const PipelinePlan& pipe = *plan.pipeline;
+    if (!plan.steps.empty()) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("hybrid plan carries %zu top-level steps; stages own the "
+                              "steps",
+                              plan.steps.size()));
+    }
+    if (pipe.stages.empty() || static_cast<int>(pipe.stages.size()) != pipe.num_stages) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("pipeline claims %d stages but carries %zu",
+                              pipe.num_stages, pipe.stages.size()));
+    }
+    if (pipe.micro_batches < 1) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("pipeline micro_batches %d < 1", pipe.micro_batches));
+    }
+    int next_worker = 0;
+    int next_group = 0;
+    for (size_t s = 0; s < pipe.stages.size(); ++s) {
+      const PipelineStage& stage = pipe.stages[s];
+      if (stage.first_worker != next_worker || stage.num_workers < 1) {
+        return Status(StatusCode::kInvalidArgument,
+                      StrFormat("stage %zu workers [%d, %d) break contiguous coverage "
+                                "(expected start %d)",
+                                s, stage.first_worker,
+                                stage.first_worker + stage.num_workers, next_worker));
+      }
+      next_worker += stage.num_workers;
+      if (stage.first_group != next_group || stage.last_group < stage.first_group) {
+        return Status(StatusCode::kInvalidArgument,
+                      StrFormat("stage %zu groups [%d, %d] break contiguous coverage "
+                                "(expected start %d)",
+                                s, stage.first_group, stage.last_group, next_group));
+      }
+      next_group = stage.last_group + 1;
+      if (stage.plan.pipeline != nullptr) {
+        return Status(StatusCode::kInvalidArgument,
+                      StrFormat("stage %zu inner plan is itself a pipeline", s));
+      }
+      if (stage.plan.num_workers != stage.num_workers) {
+        return Status(StatusCode::kInvalidArgument,
+                      StrFormat("stage %zu inner plan spans %d workers, stage owns %d",
+                                s, stage.plan.num_workers, stage.num_workers));
+      }
+      Status inner = ValidatePlanForGraph(graph, stage.plan);
+      if (!inner.ok()) {
+        return Status(inner.code(), StrFormat("stage %zu: %s", s,
+                                              inner.message().c_str()));
+      }
+    }
+    if (next_worker != plan.num_workers) {
+      return Status(StatusCode::kInvalidArgument,
+                    StrFormat("stages cover %d workers, plan claims %d", next_worker,
+                              plan.num_workers));
+    }
+    return Status::Ok();
   }
   if (plan.steps.size() != plan.step_factors.size()) {
     return Status(StatusCode::kInvalidArgument,

@@ -23,12 +23,17 @@
 
 namespace tofu {
 
-// Current schema tag; bump when the plan format changes shape. v2 added the memory
-// fields (per-step peak_shard_bytes, plan-level memory_budget_bytes / memory_feasible,
-// search_stats.memory_pruned_states).
+// Schema tag of PURE plans; bump when the plan format changes shape. v2 added the
+// memory fields (per-step peak_shard_bytes, plan-level memory_budget_bytes /
+// memory_feasible, search_stats.memory_pruned_states).
 inline constexpr const char* kPlanJsonSchema = "tofu.plan.v2";
 // Still accepted by PlanFromJson; the v2-only fields default to an unconstrained plan.
 inline constexpr const char* kPlanJsonSchemaV1 = "tofu.plan.v1";
+// Hybrid pipeline plans (PartitionPlan::pipeline set): v2 plus a "pipeline" section
+// holding the stage decomposition, per-stage timing, and the per-stage inner plans
+// (each a nested pure plan object). Written ONLY for hybrid plans -- pure plans keep
+// the v2 tag byte-for-byte, so every pre-pipeline digest is unchanged.
+inline constexpr const char* kPlanJsonSchemaV3 = "tofu.plan.v3";
 
 // Serializes every PartitionPlan field (steps with per-tensor cuts and per-op
 // strategies, costs, topology estimates, search stats).

@@ -253,8 +253,20 @@ PartitionPlan RecursivePartition(const Graph& graph, int num_workers,
     plan.memory_budget_bytes = options.memory_budget_bytes;
     return plan;
   }
+  return RecursivePartitionCoarse(graph, num_workers, Coarsen(graph, options.coarsen),
+                                  options);
+}
 
-  const CoarseGraph coarse = Coarsen(graph, options.coarsen);
+PartitionPlan RecursivePartitionCoarse(const Graph& graph, int num_workers,
+                                       const CoarseGraph& coarse,
+                                       const PartitionOptions& options) {
+  if (num_workers <= 1) {
+    PartitionPlan plan;
+    plan.num_workers = num_workers;
+    plan.memory_budget_bytes = options.memory_budget_bytes;
+    return plan;
+  }
+
   const std::vector<int> canonical = FactorizeWorkers(num_workers);
   PartitionPlan best = RunSteps(graph, num_workers, coarse, options, canonical);
   const bool budgeted = options.memory_budget_bytes > 0;

@@ -62,6 +62,15 @@ double StepBandwidth(const PartitionOptions& options, size_t step);
 PartitionPlan RecursivePartition(const Graph& graph, int num_workers,
                                  const PartitionOptions& options = {});
 
+// Same search, but over a caller-supplied coarse graph instead of coarsening `graph`
+// internally. The pipeline composition layer (pipeline/compose.h) uses this to run the
+// recursive DP on a stage-filtered CoarseGraph -- same slots and units, but only the
+// macro groups inside one pipeline stage -- so off-stage operators contribute nothing
+// to the search. `options.coarsen` is ignored (the coarse graph is already built).
+PartitionPlan RecursivePartitionCoarse(const Graph& graph, int num_workers,
+                                       const CoarseGraph& coarse,
+                                       const PartitionOptions& options = {});
+
 }  // namespace tofu
 
 #endif  // TOFU_PARTITION_RECURSIVE_H_

@@ -407,9 +407,76 @@ SearchEngine::Result SearchEngine::Impl::RunDense(const GroupCostFn& table_fn,
     }
   }
 
+  // Compacted charge tables. The sweep only ever gathers cells whose every coordinate
+  // is a KEPT option, so copy exactly those cells out of the full fills into dense
+  // kept-only tables: the charge gather below then runs on pure strides (coordinate *
+  // compact stride, no per-coordinate contribution lookup) over a table smaller by the
+  // pruned options' product -- pruned options are never gathered, closing the fill
+  // headroom of ROADMAP item 4. Values are copied doubles, so costs, tie-breaks and
+  // plans stay bit-identical to charging from the full tables (and the fills above
+  // already counted states_explored / cost_table_entries, which do not change). Groups
+  // none of whose touched slots lost an option alias the full table outright.
+  std::vector<std::shared_ptr<const std::vector<double>>> charge_table(
+      static_cast<size_t>(num_groups));
+  std::vector<std::vector<std::int64_t>> charge_stride(static_cast<size_t>(num_groups));
+  {
+    const auto t0 = Clock::now();
+    for (int g = 0; g < num_groups; ++g) {
+      const std::vector<int>& touched = space.group_slots[static_cast<size_t>(g)];
+      const int k = static_cast<int>(touched.size());
+      std::vector<std::int64_t>& stride = charge_stride[static_cast<size_t>(g)];
+      stride.assign(static_cast<size_t>(k), 1);
+      std::int64_t compact_cells = 1;
+      bool any_pruned = false;
+      for (int i = k - 1; i >= 0; --i) {
+        const int s = touched[static_cast<size_t>(i)];
+        const int m = static_cast<int>(kept[static_cast<size_t>(s)].size());
+        stride[static_cast<size_t>(i)] = compact_cells;
+        compact_cells *= m;
+        any_pruned =
+            any_pruned || m != space.slot_num_options[static_cast<size_t>(s)];
+      }
+      const std::vector<double>& full = *tables->groups[static_cast<size_t>(g)];
+      if (!any_pruned) {
+        charge_table[static_cast<size_t>(g)] = tables->groups[static_cast<size_t>(g)];
+        charge_stride[static_cast<size_t>(g)] = group_stride[static_cast<size_t>(g)];
+        continue;
+      }
+      result.stats.pruned_table_cells +=
+          static_cast<std::int64_t>(full.size()) - compact_cells;
+      auto compact = std::make_shared<std::vector<double>>(
+          static_cast<size_t>(compact_cells));
+      const std::vector<std::int64_t>& full_stride =
+          group_stride[static_cast<size_t>(g)];
+      std::vector<int> coord(static_cast<size_t>(k), 0);
+      for (std::int64_t idx = 0; idx < compact_cells; ++idx) {
+        std::int64_t full_idx = 0;
+        for (int i = 0; i < k; ++i) {
+          const int s = touched[static_cast<size_t>(i)];
+          full_idx += static_cast<std::int64_t>(
+                          kept[static_cast<size_t>(s)]
+                              [static_cast<size_t>(coord[static_cast<size_t>(i)])]) *
+                      full_stride[static_cast<size_t>(i)];
+        }
+        (*compact)[static_cast<size_t>(idx)] = full[static_cast<size_t>(full_idx)];
+        for (int i = k - 1; i >= 0; --i) {  // odometer over kept coordinates
+          const int s = touched[static_cast<size_t>(i)];
+          if (++coord[static_cast<size_t>(i)] <
+              static_cast<int>(kept[static_cast<size_t>(s)].size())) {
+            break;
+          }
+          coord[static_cast<size_t>(i)] = 0;
+        }
+      }
+      charge_table[static_cast<size_t>(g)] = std::move(compact);
+    }
+    result.stats.fill_seconds += SecondsSince(t0);
+  }
+
   // The sweep. Slots whose kept set collapsed to one option become FIXED: they
-  // contribute a constant table-index offset instead of an axis, which is where the
-  // pruning speedup comes from (the lattice shrinks by the pruned options' product).
+  // contribute nothing to the compact table index (their compact dimension has size
+  // one) instead of an axis, which is where the pruning speedup comes from (the
+  // lattice shrinks by the pruned options' product).
   struct Axis {
     int slot;
     int size;  // kept option count
@@ -463,28 +530,25 @@ SearchEngine::Result SearchEngine::Impl::RunDense(const GroupCostFn& table_fn,
     }
 
     // 2. Charge: one table value per combination of the touched axes' coordinates,
-    // added to the contiguous run the untouched faster axes span.
+    // added to the contiguous run the untouched faster axes span. The gather reads the
+    // COMPACT kept-only table: a kept coordinate maps straight to a table index via the
+    // compact stride (fixed slots have compact dimension one and contribute nothing),
+    // so dominated options are never gathered.
     {
       const auto t0 = Clock::now();
-      const std::vector<double>& table = *tables->groups[static_cast<size_t>(g)];
-      const std::vector<std::int64_t>& stride = group_stride[static_cast<size_t>(g)];
-      std::int64_t base_tidx = 0;
-      std::vector<std::pair<int, std::vector<std::int64_t>>> ax;  // (axis pos, contribs)
+      const std::vector<double>& table = *charge_table[static_cast<size_t>(g)];
+      const std::vector<std::int64_t>& stride = charge_stride[static_cast<size_t>(g)];
+      std::vector<std::pair<int, std::int64_t>> ax;  // (axis pos, compact stride)
       for (size_t i = 0; i < touched.size(); ++i) {
         const int s = touched[i];
-        const std::vector<int>& keep = kept[static_cast<size_t>(s)];
-        if (axis_of_slot[static_cast<size_t>(s)] < 0) {
-          base_tidx += static_cast<std::int64_t>(keep[0]) * stride[i];
-        } else {
-          std::vector<std::int64_t> contrib(keep.size());
-          for (size_t j = 0; j < keep.size(); ++j) {
-            contrib[j] = static_cast<std::int64_t>(keep[j]) * stride[i];
-          }
-          ax.push_back({axis_of_slot[static_cast<size_t>(s)], std::move(contrib)});
+        if (axis_of_slot[static_cast<size_t>(s)] >= 0) {
+          ax.push_back({axis_of_slot[static_cast<size_t>(s)], stride[i]});
         }
       }
       if (ax.empty()) {
-        const double v = table[static_cast<size_t>(base_tidx)];
+        // Every touched slot is fixed; with kept[0] == 0 for all of them (option 0 is
+        // never dominated), the single gathered cell is the compact table's first.
+        const double v = table[0];
         pool.ParallelFor(static_cast<std::int64_t>(cost.size()),
                          [&](int, std::int64_t lo, std::int64_t hi) {
                            for (std::int64_t i = lo; i < hi; ++i) {
@@ -509,9 +573,10 @@ SearchEngine::Result SearchEngine::Impl::RunDense(const GroupCostFn& table_fn,
             r /= axes[static_cast<size_t>(j)].size;
           }
           for (std::int64_t m = lo; m < hi; ++m) {
-            std::int64_t tidx = base_tidx;
+            std::int64_t tidx = 0;
             for (const auto& a : ax) {
-              tidx += a.second[static_cast<size_t>(coord[static_cast<size_t>(a.first)])];
+              tidx += static_cast<std::int64_t>(coord[static_cast<size_t>(a.first)]) *
+                      a.second;
             }
             const double v = table[static_cast<size_t>(tidx)];
             double* c = cost.data() + static_cast<size_t>(m) * static_cast<size_t>(run);

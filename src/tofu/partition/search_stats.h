@@ -40,6 +40,12 @@ struct SearchStats {
   // search needed them); this counter is how much of that work a warm cache saved.
   // Diagnostic only -- never serialized into plan JSON.
   std::int64_t reused_table_entries = 0;
+  // Full-table cells excluded from the dense sweep's compacted charge tables because
+  // some coordinate's option was dominated: the charge gather never reads them (the
+  // fill still computes them, so states_explored / cost_table_entries are unchanged).
+  // Always 0 when dominance pruning is off or nothing was dominated. Diagnostic only --
+  // never serialized into plan JSON.
+  std::int64_t pruned_table_cells = 0;
   double wall_seconds = 0.0;
   // Per-phase wall-time attribution of wall_seconds (diagnostic; not serialized):
   // cost-table fills, state expansion (branching entering slots), charging group costs
@@ -61,6 +67,7 @@ struct SearchStats {
     memory_pruned_states += step.memory_pruned_states;
     dominated_pruned_states += step.dominated_pruned_states;
     reused_table_entries += step.reused_table_entries;
+    pruned_table_cells += step.pruned_table_cells;
     wall_seconds += step.wall_seconds;
     fill_seconds += step.fill_seconds;
     expand_seconds += step.expand_seconds;

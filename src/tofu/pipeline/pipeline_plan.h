@@ -1,0 +1,87 @@
+// Hybrid pipeline x Tofu plan types (ROADMAP item 3).
+//
+// A hybrid plan cuts the coarsened graph into S contiguous pipeline stages, assigns
+// each stage a contiguous worker subset of the topology, and partitions each stage's
+// operators across its own workers with the existing recursive DP (pipeline/compose.h).
+// The per-iteration time model is 1F1B micro-batch pipelining: the full batch is split
+// into M micro-batches; in steady state the bottleneck stage works back-to-back on one
+// forward and one backward per micro-batch, and the other stages hide behind it. The
+// analytic estimate is the per-stage critical-path bound
+//
+//   T = max_s [ sum_{j<s} (f_j + t_fwd_j) + M * (f_s + b_s) + sum_{j<s} (b_j + t_bwd_j) ]
+//
+// with f_s / b_s the per-micro-batch forward / backward stage times (compute plus the
+// stage's intra-stage partition communication) and t_*_s the stage-boundary activation
+// (and activation-gradient) transfer times: stage s cannot start before micro-batch 0
+// reaches it, must process all M micro-batches twice, and its last gradient still has
+// to travel back to stage 0. This is a true lower bound on any 1F1B schedule, and for
+// balanced stages it equals the classic (M-1)*bottleneck + fill/drain formula.
+// pipeline/pipeline_sim.h replays the same quantities through a 1F1B event schedule and
+// tests/test_pipeline.cc pins analytic <= simulated <= analytic * constant, the same
+// differential contract tests/test_interconnect_diff.cc applies to link pricing.
+#ifndef TOFU_PIPELINE_PIPELINE_PLAN_H_
+#define TOFU_PIPELINE_PIPELINE_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tofu/partition/plan.h"
+
+namespace tofu {
+
+// One pipeline stage: a contiguous macro-group range of the coarsened graph, a
+// contiguous worker range, and the inner Tofu plan partitioning the stage's operators
+// across those workers. The inner plan spans the WHOLE graph's tensor/op id space
+// (BasicPlan vectors are graph-sized): off-stage tensors are stored kReplicated and
+// off-stage operators run kReplicatedExec, which costs nothing because the stage's
+// workers never materialize or execute them -- the convention keeps ValidatePlanForGraph
+// and the shard-shape accessors working unchanged on inner plans.
+struct PipelineStage {
+  int first_group = 0;  // inclusive range into CoarseGraph::groups (program order)
+  int last_group = 0;
+  int num_workers = 1;
+  int first_worker = 0;  // stages own contiguous, disjoint worker ranges covering all
+  PartitionPlan plan;    // inner recursive plan over this stage's worker count
+
+  // Per-micro-batch forward / backward stage time: kernel time of the stage's shard of
+  // each op plus the stage's intra-stage partition communication, split evenly between
+  // the two passes.
+  double fwd_seconds = 0.0;
+  double bwd_seconds = 0.0;
+  // Stage-boundary activation bytes crossing INTO the next stage, per micro-batch
+  // (forward direction; the backward pass returns the matching gradients). 0 for the
+  // last stage.
+  double activation_bytes = 0.0;
+  // Transfer time of those bytes (and of the returning gradients) priced through the
+  // topology's interconnect when present, else the coarsest-level bandwidth.
+  double transfer_fwd_seconds = 0.0;
+  double transfer_bwd_seconds = 0.0;
+  // Stage-local per-worker liveness peak under the inner plan: stage-owned model state
+  // stays resident, stage activations live from producer to last consumer, incoming
+  // boundary activations stay resident for the stage's pass (pipeline/stage_cost.h).
+  // The session's budget verdict for a hybrid plan takes the max over stages.
+  std::int64_t peak_bytes = 0;
+  // Schedule-independent stage upper bound (every stage-owned shard resident at once).
+  std::int64_t all_resident_bytes = 0;
+};
+
+struct PipelinePlan {
+  int num_stages = 1;
+  int micro_batches = 1;
+  std::vector<PipelineStage> stages;
+
+  // max_s (f_s + b_s): the steady-state per-micro-batch cost of the bottleneck stage.
+  double bottleneck_seconds = 0.0;
+  // The analytic per-iteration makespan (header formula): a 1F1B lower bound the event
+  // schedule validates. This is the figure hybrid candidates compete on and what
+  // bench_table1_search reports as the hybrid total.
+  double pipeline_seconds = 0.0;
+  // Communication component only: intra-stage partition comm (full batch) plus every
+  // boundary transfer in both directions across all micro-batches. What the session
+  // reports as a hybrid plan's estimated_comm_seconds.
+  double comm_seconds = 0.0;
+};
+
+}  // namespace tofu
+
+#endif  // TOFU_PIPELINE_PIPELINE_PLAN_H_

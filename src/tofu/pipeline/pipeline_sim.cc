@@ -1,0 +1,118 @@
+#include "tofu/pipeline/pipeline_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+
+double AnalyticPipelineSeconds(const PipelinePlan& plan) {
+  const int S = static_cast<int>(plan.stages.size());
+  const double M = static_cast<double>(std::max(plan.micro_batches, 1));
+  double fill = 0.0;   // sum_{j<s} (f_j + t_fwd_j)
+  double drain = 0.0;  // sum_{j<s} (b_j + t_bwd_j)
+  double best = 0.0;
+  for (int s = 0; s < S; ++s) {
+    const PipelineStage& stage = plan.stages[static_cast<size_t>(s)];
+    best = std::max(best,
+                    fill + M * (stage.fwd_seconds + stage.bwd_seconds) + drain);
+    fill += stage.fwd_seconds + stage.transfer_fwd_seconds;
+    drain += stage.bwd_seconds + stage.transfer_bwd_seconds;
+  }
+  return best;
+}
+
+double Simulate1F1BSeconds(const PipelinePlan& plan) {
+  const int S = static_cast<int>(plan.stages.size());
+  const int M = std::max(plan.micro_batches, 1);
+  TOFU_CHECK_GE(S, 1);
+
+  constexpr double kUnknown = -1.0;
+  std::vector<std::vector<double>> fwd_done(
+      static_cast<size_t>(S), std::vector<double>(static_cast<size_t>(M), kUnknown));
+  std::vector<std::vector<double>> bwd_done(
+      static_cast<size_t>(S), std::vector<double>(static_cast<size_t>(M), kUnknown));
+
+  // Static per-stage 1F1B sequence: warmup forwards, then backward m / forward
+  // m + warmup pairs. Encoded as (is_backward, micro) items.
+  struct Item {
+    bool backward = false;
+    int micro = 0;
+  };
+  std::vector<std::vector<Item>> sequence(static_cast<size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    const int warmup = std::min(M, S - s);
+    std::vector<Item>& seq = sequence[static_cast<size_t>(s)];
+    for (int m = 0; m < warmup; ++m) {
+      seq.push_back({false, m});
+    }
+    for (int m = 0; m < M; ++m) {
+      seq.push_back({true, m});
+      if (m + warmup < M) {
+        seq.push_back({false, m + warmup});
+      }
+    }
+    TOFU_CHECK_EQ(seq.size(), static_cast<size_t>(2 * M));
+  }
+
+  // Execute: repeatedly scan stages and run the next item whose dependencies are known.
+  // Each full scan completes at least one item (the deepest runnable stage's), so this
+  // terminates in at most (2 M S) scans.
+  std::vector<size_t> next(static_cast<size_t>(S), 0);
+  std::vector<double> stage_free(static_cast<size_t>(S), 0.0);
+  double makespan = 0.0;
+  int remaining = 2 * M * S;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (int s = 0; s < S; ++s) {
+      while (next[static_cast<size_t>(s)] < sequence[static_cast<size_t>(s)].size()) {
+        const Item item = sequence[static_cast<size_t>(s)][next[static_cast<size_t>(s)]];
+        const PipelineStage& stage = plan.stages[static_cast<size_t>(s)];
+        double ready = 0.0;
+        double duration = 0.0;
+        if (!item.backward) {
+          if (s > 0) {
+            const double upstream =
+                fwd_done[static_cast<size_t>(s - 1)][static_cast<size_t>(item.micro)];
+            if (upstream == kUnknown) {
+              break;
+            }
+            ready = upstream +
+                    plan.stages[static_cast<size_t>(s - 1)].transfer_fwd_seconds;
+          }
+          duration = stage.fwd_seconds;
+        } else {
+          const double own_fwd =
+              fwd_done[static_cast<size_t>(s)][static_cast<size_t>(item.micro)];
+          if (own_fwd == kUnknown) {
+            break;
+          }
+          ready = own_fwd;
+          if (s < S - 1) {
+            const double downstream =
+                bwd_done[static_cast<size_t>(s + 1)][static_cast<size_t>(item.micro)];
+            if (downstream == kUnknown) {
+              break;
+            }
+            ready = std::max(ready, downstream + stage.transfer_bwd_seconds);
+          }
+          duration = stage.bwd_seconds;
+        }
+        const double start = std::max(ready, stage_free[static_cast<size_t>(s)]);
+        const double finish = start + duration;
+        stage_free[static_cast<size_t>(s)] = finish;
+        makespan = std::max(makespan, finish);
+        (item.backward ? bwd_done : fwd_done)[static_cast<size_t>(s)]
+                                             [static_cast<size_t>(item.micro)] = finish;
+        ++next[static_cast<size_t>(s)];
+        --remaining;
+        progressed = true;
+      }
+    }
+    TOFU_CHECK(progressed);  // a stall here would mean a dependency cycle
+  }
+  return makespan;
+}
+
+}  // namespace tofu

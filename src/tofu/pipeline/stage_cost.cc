@@ -1,0 +1,332 @@
+#include "tofu/pipeline/stage_cost.h"
+
+#include <algorithm>
+
+#include "tofu/util/logging.h"
+
+namespace tofu {
+namespace {
+
+// Same driver extent sim/lowering.cc uses: batched GEMMs count every non-innermost
+// dimension as rows; everything else keys off the leading (batch) dimension.
+double FullEfficiencyRows(const OpNode& op, const Shape& out_shape) {
+  if (out_shape.empty()) {
+    return 1.0;
+  }
+  if (out_shape.size() >= 3 &&
+      OpRegistry::Get().Info(op.type).op_class == OpClass::kMatmul) {
+    double rows = 1.0;
+    for (size_t d = 0; d + 1 < out_shape.size(); ++d) {
+      rows *= static_cast<double>(out_shape[d]);
+    }
+    return rows;
+  }
+  return static_cast<double>(out_shape[0]);
+}
+
+// Persistent model state: never pipelined between stages and resident on its stage's
+// workers for the whole iteration. Mirrors sim/lowering.cc's IsResident.
+bool IsModelState(const Graph& graph, const TensorNode& t) {
+  if (t.is_param || t.is_opt_state || t.is_input) {
+    return true;
+  }
+  return t.grad_of != kNoTensor && graph.tensor(t.grad_of).is_param;
+}
+
+}  // namespace
+
+std::vector<int> OpGroupIndex(const Graph& graph, const CoarseGraph& coarse) {
+  std::vector<int> group(static_cast<size_t>(graph.num_ops()), -1);
+  for (size_t g = 0; g < coarse.groups.size(); ++g) {
+    const MacroGroup& mg = coarse.groups[g];
+    for (int u : mg.units) {
+      for (OpId op : coarse.units[static_cast<size_t>(u)].ops) {
+        group[static_cast<size_t>(op)] = static_cast<int>(g);
+      }
+    }
+    for (OpId op : mg.ew_ops) {
+      group[static_cast<size_t>(op)] = static_cast<int>(g);
+    }
+  }
+  for (OpId op = 0; op < graph.num_ops(); ++op) {
+    TOFU_CHECK_GE(group[static_cast<size_t>(op)], 0);
+  }
+  return group;
+}
+
+CoarseGraph StageCoarse(const CoarseGraph& full, int first_group, int last_group) {
+  TOFU_CHECK_GE(first_group, 0);
+  TOFU_CHECK_GE(last_group, first_group);
+  TOFU_CHECK_LT(static_cast<size_t>(last_group), full.groups.size());
+
+  CoarseGraph out;
+  out.tensor_slot = full.tensor_slot;  // slot ids stay global
+  out.slots = full.slots;
+  std::vector<int> unit_map(full.units.size(), -1);
+  for (int g = first_group; g <= last_group; ++g) {
+    MacroGroup mg = full.groups[static_cast<size_t>(g)];
+    for (int& u : mg.units) {
+      int& mapped = unit_map[static_cast<size_t>(u)];
+      if (mapped < 0) {
+        mapped = static_cast<int>(out.units.size());
+        out.units.push_back(full.units[static_cast<size_t>(u)]);
+      }
+      u = mapped;
+    }
+    out.groups.push_back(std::move(mg));
+  }
+  return out;
+}
+
+std::vector<char> StageOpMask(const Graph& graph, const CoarseGraph& coarse,
+                              int first_group, int last_group) {
+  const std::vector<int> group = OpGroupIndex(graph, coarse);
+  std::vector<char> mask(static_cast<size_t>(graph.num_ops()), 0);
+  for (OpId op = 0; op < graph.num_ops(); ++op) {
+    const int g = group[static_cast<size_t>(op)];
+    mask[static_cast<size_t>(op)] = g >= first_group && g <= last_group ? 1 : 0;
+  }
+  return mask;
+}
+
+StageCostModel::StageCostModel(const Graph& graph, const CoarseGraph& coarse,
+                               ClusterSpec cluster)
+    : num_groups_(static_cast<int>(coarse.groups.size())), cluster_(cluster) {
+  const std::vector<int> group = OpGroupIndex(graph, coarse);
+  OpRegistry& registry = OpRegistry::Get();
+
+  ops_.reserve(static_cast<size_t>(graph.num_ops()));
+  for (const OpNode& op : graph.ops()) {
+    OpCost cost;
+    cost.group = group[static_cast<size_t>(op.id)];
+    cost.backward = op.is_backward || op.is_update || op.is_grad_agg;
+    cost.op_class = registry.Info(op.type).op_class;
+    cost.flops = registry.Flops(op.type, graph.InputShapes(op),
+                                graph.tensor(op.output).shape, op.attrs);
+    double bytes = static_cast<double>(graph.tensor(op.output).bytes());
+    for (TensorId in : op.inputs) {
+      bytes += static_cast<double>(graph.tensor(in).bytes());
+    }
+    cost.bytes = bytes;
+    cost.rows = FullEfficiencyRows(op, graph.tensor(op.output).shape);
+    ops_.push_back(cost);
+  }
+
+  // Boundary-crossing activation bytes, as difference arrays over cut positions.
+  fwd_cross_.assign(static_cast<size_t>(num_groups_), 0.0);
+  bwd_cross_.assign(static_cast<size_t>(num_groups_), 0.0);
+  for (const TensorNode& t : graph.tensors()) {
+    if (t.producer == kNoOp || IsModelState(graph, t)) {
+      continue;
+    }
+    const int pg = group[static_cast<size_t>(t.producer)];
+    int max_fwd = pg;
+    int min_bwd = pg;
+    for (OpId c : t.consumers) {
+      const int cg = group[static_cast<size_t>(c)];
+      max_fwd = std::max(max_fwd, cg);
+      min_bwd = std::min(min_bwd, cg);
+    }
+    const double bytes = static_cast<double>(t.bytes());
+    if (max_fwd > pg) {
+      fwd_cross_[static_cast<size_t>(pg)] += bytes;
+      fwd_cross_[static_cast<size_t>(max_fwd)] -= bytes;
+    }
+    if (min_bwd < pg) {
+      bwd_cross_[static_cast<size_t>(min_bwd)] += bytes;
+      bwd_cross_[static_cast<size_t>(pg)] -= bytes;
+    }
+  }
+  double fwd_run = 0.0;
+  double bwd_run = 0.0;
+  for (int c = 0; c < num_groups_; ++c) {
+    fwd_run += fwd_cross_[static_cast<size_t>(c)];
+    fwd_cross_[static_cast<size_t>(c)] = fwd_run;
+    bwd_run += bwd_cross_[static_cast<size_t>(c)];
+    bwd_cross_[static_cast<size_t>(c)] = bwd_run;
+  }
+
+  // Model-state ownership: params / optimizer state go to their first consumer's group
+  // (the layer that reads them); parameter gradients to their producer's group. Graph
+  // inputs are batch data, not state -- they ride the pipeline like activations.
+  std::vector<std::int64_t> state(static_cast<size_t>(num_groups_), 0);
+  for (const TensorNode& t : graph.tensors()) {
+    int owner = -1;
+    if ((t.is_param || t.is_opt_state) && !t.consumers.empty()) {
+      int min_cg = num_groups_;
+      for (OpId c : t.consumers) {
+        min_cg = std::min(min_cg, group[static_cast<size_t>(c)]);
+      }
+      owner = min_cg;
+    } else if (t.grad_of != kNoTensor && graph.tensor(t.grad_of).is_param &&
+               t.producer != kNoOp) {
+      owner = group[static_cast<size_t>(t.producer)];
+    }
+    if (owner >= 0 && owner < num_groups_) {
+      state[static_cast<size_t>(owner)] += t.bytes();
+    }
+  }
+  state_prefix_.assign(static_cast<size_t>(num_groups_) + 1, 0);
+  for (int g = 0; g < num_groups_; ++g) {
+    state_prefix_[static_cast<size_t>(g) + 1] =
+        state_prefix_[static_cast<size_t>(g)] + state[static_cast<size_t>(g)];
+  }
+}
+
+void StageCostModel::PerGroupPassSeconds(int workers, int micro_batches,
+                                         std::vector<double>* fwd,
+                                         std::vector<double>* bwd) const {
+  TOFU_CHECK_GE(workers, 1);
+  TOFU_CHECK_GE(micro_batches, 1);
+  fwd->assign(static_cast<size_t>(num_groups_), 0.0);
+  bwd->assign(static_cast<size_t>(num_groups_), 0.0);
+  const double work_fraction =
+      1.0 / (static_cast<double>(workers) * static_cast<double>(micro_batches));
+  for (const OpCost& op : ops_) {
+    const double rows =
+        std::max(op.rows / static_cast<double>(micro_batches), 1.0);
+    const double seconds = KernelSeconds(cluster_.gpu, op.op_class,
+                                         op.flops * work_fraction,
+                                         op.bytes * work_fraction, rows);
+    std::vector<double>& pass = op.backward ? *bwd : *fwd;
+    pass[static_cast<size_t>(op.group)] += seconds;
+  }
+}
+
+double StageCostModel::ForwardCrossingBytes(int cut_after) const {
+  TOFU_CHECK_GE(cut_after, 0);
+  TOFU_CHECK_LT(cut_after, num_groups_);
+  return fwd_cross_[static_cast<size_t>(cut_after)];
+}
+
+double StageCostModel::BackwardCrossingBytes(int cut_after) const {
+  TOFU_CHECK_GE(cut_after, 0);
+  TOFU_CHECK_LT(cut_after, num_groups_);
+  return bwd_cross_[static_cast<size_t>(cut_after)];
+}
+
+std::int64_t StageCostModel::StateBytes(int first, int last) const {
+  TOFU_CHECK_GE(first, 0);
+  TOFU_CHECK_GE(last, first);
+  TOFU_CHECK_LT(last, num_groups_);
+  return state_prefix_[static_cast<size_t>(last) + 1] -
+         state_prefix_[static_cast<size_t>(first)];
+}
+
+namespace {
+
+// Shared sweep for the two stage-restricted memory figures. Follows
+// LivenessPeakShardBytes (partition/plan.cc) with a stage mask: a buffer counts only if
+// some alias is produced by an in-stage op, is producer-less state consumed in-stage, or
+// is an incoming boundary activation (off-stage producer, in-stage consumer) -- the
+// latter two stay resident for the whole pass.
+std::int64_t StageSweep(const Graph& graph, const PartitionPlan& plan,
+                        const std::vector<char>& op_in_stage, bool all_resident) {
+  const int num_tensors = graph.num_tensors();
+  const int num_ops = graph.num_ops();
+  TOFU_CHECK_EQ(op_in_stage.size(), static_cast<size_t>(num_ops));
+
+  std::vector<TensorId> buffer(static_cast<size_t>(num_tensors));
+  for (TensorId t = 0; t < num_tensors; ++t) {
+    buffer[static_cast<size_t>(t)] = t;
+  }
+  for (const OpNode& op : graph.ops()) {
+    if (op.inplace_input >= 0 &&
+        op.inplace_input < static_cast<int>(op.inputs.size())) {
+      buffer[static_cast<size_t>(op.output)] =
+          buffer[static_cast<size_t>(op.inputs[static_cast<size_t>(op.inplace_input)])];
+    }
+  }
+
+  auto in_stage = [&](OpId o) { return op_in_stage[static_cast<size_t>(o)] != 0; };
+
+  // Per buffer root: shard bytes, whether a stage worker materializes it, and -- for
+  // stage-produced buffers -- alloc / free positions among in-stage ops only.
+  std::vector<std::int64_t> buf_bytes(static_cast<size_t>(num_tensors), 0);
+  std::vector<char> materialized(static_cast<size_t>(num_tensors), 0);
+  std::vector<int> alloc_at(static_cast<size_t>(num_tensors), -1);
+  std::vector<int> free_at(static_cast<size_t>(num_tensors), -1);
+  for (TensorId t = 0; t < num_tensors; ++t) {
+    const TensorNode& node = graph.tensor(t);
+    const TensorId b = buffer[static_cast<size_t>(t)];
+    bool touches_stage = node.producer != kNoOp && in_stage(node.producer);
+    int last_use = -1;
+    for (OpId c : node.consumers) {
+      if (in_stage(c)) {
+        touches_stage = true;
+        last_use = std::max(last_use, static_cast<int>(c));
+      }
+    }
+    if (!touches_stage) {
+      continue;
+    }
+    buf_bytes[static_cast<size_t>(b)] =
+        std::max(buf_bytes[static_cast<size_t>(b)], plan.ShardBytes(graph, t));
+    materialized[static_cast<size_t>(b)] = 1;
+    if (t == b) {
+      // Resident for the stage: producer-less state, and incoming boundary activations
+      // (the producer runs on another stage's workers; the shard arrives before the
+      // stage's pass and is pinned until its gradient leaves).
+      alloc_at[static_cast<size_t>(b)] =
+          node.producer != kNoOp && in_stage(node.producer) ? node.producer : -1;
+    }
+    if (last_use < 0 && node.producer != kNoOp && in_stage(node.producer)) {
+      last_use = num_ops;  // produced here, consumed elsewhere: pinned until hand-off
+    }
+    free_at[static_cast<size_t>(b)] = std::max(free_at[static_cast<size_t>(b)], last_use);
+  }
+
+  if (all_resident) {
+    std::int64_t total = 0;
+    for (TensorId b = 0; b < num_tensors; ++b) {
+      if (buffer[static_cast<size_t>(b)] == b && materialized[static_cast<size_t>(b)]) {
+        total += buf_bytes[static_cast<size_t>(b)];
+      }
+    }
+    return total;
+  }
+
+  std::vector<std::vector<TensorId>> alloc_list(static_cast<size_t>(num_ops));
+  std::vector<std::vector<TensorId>> free_list(static_cast<size_t>(num_ops));
+  std::int64_t resident = 0;
+  for (TensorId b = 0; b < num_tensors; ++b) {
+    if (buffer[static_cast<size_t>(b)] != b || !materialized[static_cast<size_t>(b)]) {
+      continue;
+    }
+    if (alloc_at[static_cast<size_t>(b)] < 0) {
+      resident += buf_bytes[static_cast<size_t>(b)];
+      continue;
+    }
+    alloc_list[static_cast<size_t>(alloc_at[static_cast<size_t>(b)])].push_back(b);
+    if (free_at[static_cast<size_t>(b)] >= 0 && free_at[static_cast<size_t>(b)] < num_ops) {
+      free_list[static_cast<size_t>(free_at[static_cast<size_t>(b)])].push_back(b);
+    }
+  }
+
+  std::int64_t current = resident;
+  std::int64_t peak = current;
+  for (OpId k = 0; k < num_ops; ++k) {
+    for (TensorId b : alloc_list[static_cast<size_t>(k)]) {
+      current += buf_bytes[static_cast<size_t>(b)];
+    }
+    peak = std::max(peak, current);
+    for (TensorId b : free_list[static_cast<size_t>(k)]) {
+      current -= buf_bytes[static_cast<size_t>(b)];
+    }
+  }
+  return peak;
+}
+
+}  // namespace
+
+std::int64_t StageLivenessPeakShardBytes(const Graph& graph, const PartitionPlan& plan,
+                                         const std::vector<char>& op_in_stage) {
+  return StageSweep(graph, plan, op_in_stage, /*all_resident=*/false);
+}
+
+std::int64_t StageAllResidentShardBytes(const Graph& graph, const PartitionPlan& plan,
+                                        const std::vector<char>& op_in_stage) {
+  return StageSweep(graph, plan, op_in_stage, /*all_resident=*/true);
+}
+
+}  // namespace tofu

@@ -154,7 +154,8 @@ const std::vector<std::string>& KnownServeModels() {
   return *models;
 }
 
-Result<ServeRequest> ParseServeRequest(const std::string& line) {
+Result<ServeRequest> ParseServeRequest(const std::string& line,
+                                       PartitionAlgorithm default_algorithm) {
   TOFU_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
   if (!doc.is_object()) {
     return Status(StatusCode::kInvalidArgument, "request line is not a JSON object");
@@ -174,6 +175,7 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
   }
 
   ServeRequest request;
+  request.algorithm = default_algorithm;
   TOFU_RETURN_IF_ERROR(ReadInt(doc, "id", &request.id));
   TOFU_ASSIGN_OR_RETURN(request.model, doc.StringAt("model"));
   if (const JsonValue* algo = doc.Find("algorithm")) {

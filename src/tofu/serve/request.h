@@ -52,8 +52,12 @@ struct ServeRequest {
 const std::vector<std::string>& KnownServeModels();
 
 // Parses one request line. kInvalidArgument on malformed JSON, an unknown model or
-// algorithm name, an unknown config key, or a wrong-kind field.
-Result<ServeRequest> ParseServeRequest(const std::string& line);
+// algorithm name, an unknown config key, or a wrong-kind field. A request that omits
+// the "algorithm" field gets `default_algorithm` (tofu-pland --algo=NAME routes
+// through this; an explicit field always wins).
+Result<ServeRequest> ParseServeRequest(
+    const std::string& line,
+    PartitionAlgorithm default_algorithm = PartitionAlgorithm::kTofu);
 
 // Builds the full training graph the request's spec describes. The build aborts on
 // structurally impossible configs (e.g. heads not dividing d_model), so callers get

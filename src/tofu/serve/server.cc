@@ -66,9 +66,10 @@ std::string ErrorResponseLine(std::int64_t id, const Status& status,
 }
 
 std::string HandleLine(PlanService& service, const std::string& line,
-                       bool include_plan, bool* ok_out) {
+                       bool include_plan, PartitionAlgorithm default_algorithm,
+                       bool* ok_out) {
   const auto start = std::chrono::steady_clock::now();
-  Result<ServeRequest> request = ParseServeRequest(line);
+  Result<ServeRequest> request = ParseServeRequest(line, default_algorithm);
   if (!request.ok()) {
     *ok_out = false;
     return ErrorResponseLine(-1, request.status(), SecondsSince(start));
@@ -194,9 +195,10 @@ std::string ServeResponseLine(const ServeRequest& request,
 }
 
 std::string HandleServeLine(PlanService& service, const std::string& line,
-                            bool include_plan) {
+                            bool include_plan,
+                            PartitionAlgorithm default_algorithm) {
   bool ok = false;
-  return HandleLine(service, line, include_plan, &ok);
+  return HandleLine(service, line, include_plan, default_algorithm, &ok);
 }
 
 StreamServer::StreamServer(StreamServerOptions options)
@@ -219,8 +221,8 @@ StreamServerMetrics StreamServer::Serve(std::istream& in, std::ostream& out) {
       for (std::int64_t i = begin; i < end; ++i) {
         const auto t0 = std::chrono::steady_clock::now();
         bool ok = false;
-        responses[i] =
-            HandleLine(service_, batch[i], options_.include_plans, &ok);
+        responses[i] = HandleLine(service_, batch[i], options_.include_plans,
+                                  options_.default_algorithm, &ok);
         oks[i] = ok ? 1 : 0;
         batch_latencies[i] = SecondsSince(t0);
       }

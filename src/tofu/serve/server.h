@@ -74,6 +74,9 @@ struct StreamServerOptions {
   // accounting and latency only. The load driver uses this to measure planning
   // throughput rather than JSON serialization throughput.
   bool include_plans = true;
+  // Applied to requests that omit the "algorithm" field (tofu-pland --algo=NAME); an
+  // explicit field in the request always wins.
+  PartitionAlgorithm default_algorithm = PartitionAlgorithm::kTofu;
   PlanServiceOptions service;
 };
 
@@ -124,8 +127,9 @@ std::string ServeResponseLine(const ServeRequest& request,
 
 // Parses `line` and serves it through `service`, timing the call. The building block
 // Serve() dispatches onto the pool; exposed for the in-process load driver.
-std::string HandleServeLine(PlanService& service, const std::string& line,
-                            bool include_plan);
+std::string HandleServeLine(
+    PlanService& service, const std::string& line, bool include_plan,
+    PartitionAlgorithm default_algorithm = PartitionAlgorithm::kTofu);
 
 // Binds a Unix domain socket at `path` (unlinking any stale socket first) and serves
 // connections sequentially, each with the full line-stream protocol; per-connection

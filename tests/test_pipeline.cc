@@ -1,0 +1,325 @@
+// Hybrid pipeline x Tofu subsystem tests (pipeline/):
+//   * the stage cost model's bookkeeping is conservative -- every op lands in exactly
+//     one macro group, crossing bytes vanish at the graph's end, state prefix sums are
+//     additive, and per-group pass times scale down with workers;
+//   * the analytic 1F1B makespan is a true lower bound of the event-driven 1F1B
+//     schedule and stays within a constant of it (the differential contract
+//     test_interconnect_diff applies to link pricing), including the unbalanced case
+//     where the bottleneck is an EARLY stage and the classic (M-1)*bottleneck +
+//     fill/drain formula is NOT a lower bound;
+//   * HybridPartition's stage DP: deterministic stage goldens, a per-worker budget the
+//     pure plan cannot meet forces a multi-stage plan whose every stage fits
+//     (budget-infeasible -> more stages), and max_stages = 1 degenerates to a plan
+//     byte-identical to RecursivePartition's;
+//   * the session integration: kHybrid round-trips through AlgorithmFromName, a hybrid
+//     response's memory figures are the max over stage-restricted peaks, and repeated
+//     requests hit the plan cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tofu/core/session.h"
+#include "tofu/models/mlp.h"
+#include "tofu/partition/plan_io.h"
+#include "tofu/partition/recursive.h"
+#include "tofu/pipeline/compose.h"
+#include "tofu/pipeline/pipeline_sim.h"
+#include "tofu/pipeline/stage_cost.h"
+
+namespace tofu {
+namespace {
+
+// Wide enough to give the recursion real choices, deep enough for 8 macro groups.
+ModelGraph DeepMlp() {
+  MlpConfig config;
+  config.layer_sizes = {64, 64, 64, 64, 64, 64, 64, 64};
+  config.batch = 32;
+  return BuildMlp(config);
+}
+
+// Narrow on purpose: at 32 workers every tensor's split capacity is exhausted long
+// before the worker count, so the pure plan must replicate state that a pipeline
+// stage's workers never hold -- the regime where the budget lever below bites.
+ModelGraph NarrowMlp() {
+  MlpConfig config;
+  config.layer_sizes = {4, 4, 4, 4, 4, 4, 4, 4};
+  config.batch = 8;
+  return BuildMlp(config);
+}
+
+std::string PlanBytes(PartitionPlan plan) {
+  plan.search_stats.wall_seconds = 0.0;
+  return PlanToJson(plan);
+}
+
+TEST(StageCost, EveryOpInExactlyOneGroupAndCrossingBytesVanishAtTheEnd) {
+  ModelGraph model = DeepMlp();
+  const CoarseGraph coarse = Coarsen(model.graph);
+  const int G = static_cast<int>(coarse.groups.size());
+  ASSERT_GT(G, 1);
+
+  const std::vector<int> op_group = OpGroupIndex(model.graph, coarse);
+  ASSERT_EQ(op_group.size(), static_cast<size_t>(model.graph.num_ops()));
+  for (int g : op_group) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, G);
+  }
+  const StageCostModel cost(model.graph, coarse, K80Cluster());
+  EXPECT_EQ(cost.num_groups(), G);
+  // Nothing crosses the boundary after the last group; something crosses the middle.
+  EXPECT_EQ(cost.ForwardCrossingBytes(G - 1), 0.0);
+  EXPECT_EQ(cost.BackwardCrossingBytes(G - 1), 0.0);
+  EXPECT_GT(cost.ForwardCrossingBytes(G / 2), 0.0);
+
+  // State prefix sums are additive and cover the whole model exactly.
+  const std::int64_t whole = cost.StateBytes(0, G - 1);
+  EXPECT_GT(whole, 0);
+  std::int64_t split = 0;
+  for (int g = 0; g < G; ++g) {
+    split += cost.StateBytes(g, g);
+  }
+  EXPECT_EQ(split, whole);
+}
+
+TEST(StageCost, PassSecondsScaleDownWithWorkersAndMicroBatches) {
+  ModelGraph model = DeepMlp();
+  const CoarseGraph coarse = Coarsen(model.graph);
+  const StageCostModel cost(model.graph, coarse, K80Cluster());
+
+  auto total = [&](int workers, int micro_batches) {
+    std::vector<double> f;
+    std::vector<double> b;
+    cost.PerGroupPassSeconds(workers, micro_batches, &f, &b);
+    double sum = 0.0;
+    for (size_t g = 0; g < f.size(); ++g) {
+      EXPECT_GE(f[g], 0.0);
+      EXPECT_GE(b[g], 0.0);
+      sum += f[g] + b[g];
+    }
+    return sum;
+  };
+  const double w1 = total(1, 1);
+  const double w8 = total(8, 1);
+  EXPECT_GT(w1, 0.0);
+  // More workers shrink one full-batch pass, but never below the overhead floor.
+  EXPECT_LT(w8, w1);
+  // A micro-batch does at most a full batch's work.
+  EXPECT_LE(total(8, 4), w8);
+}
+
+TEST(StageCoarse, FiltersUnitsButKeepsGlobalSlots) {
+  ModelGraph model = DeepMlp();
+  const CoarseGraph coarse = Coarsen(model.graph);
+  const int G = static_cast<int>(coarse.groups.size());
+  ASSERT_GE(G, 2);
+
+  const CoarseGraph head = StageCoarse(coarse, 0, G / 2 - 1);
+  const CoarseGraph tail = StageCoarse(coarse, G / 2, G - 1);
+  // Global tensor->slot map is untouched; only units are filtered.
+  EXPECT_EQ(head.tensor_slot, coarse.tensor_slot);
+  EXPECT_EQ(head.slots.size(), coarse.slots.size());
+  EXPECT_EQ(head.units.size() + tail.units.size(), coarse.units.size());
+  EXPECT_EQ(head.groups.size() + tail.groups.size(), coarse.groups.size());
+
+  const std::vector<char> mask = StageOpMask(model.graph, coarse, 0, G / 2 - 1);
+  ASSERT_EQ(mask.size(), static_cast<size_t>(model.graph.num_ops()));
+  const long in_stage = std::count(mask.begin(), mask.end(), 1);
+  EXPECT_GT(in_stage, 0);
+  EXPECT_LT(in_stage, model.graph.num_ops());
+}
+
+// Hand-built pipeline plans: the analytic bound must never exceed the event-driven
+// 1F1B makespan, and must stay within 2x of it.
+PipelinePlan SyntheticPlan(const std::vector<double>& fwd, const std::vector<double>& bwd,
+                           const std::vector<double>& transfer, int micro_batches) {
+  PipelinePlan plan;
+  plan.num_stages = static_cast<int>(fwd.size());
+  plan.micro_batches = micro_batches;
+  for (size_t s = 0; s < fwd.size(); ++s) {
+    PipelineStage stage;
+    stage.fwd_seconds = fwd[s];
+    stage.bwd_seconds = bwd[s];
+    if (s + 1 < fwd.size()) {
+      stage.transfer_fwd_seconds = transfer[s];
+      stage.transfer_bwd_seconds = transfer[s];
+    }
+    plan.stages.push_back(stage);
+    plan.bottleneck_seconds =
+        std::max(plan.bottleneck_seconds, fwd[s] + bwd[s]);
+  }
+  plan.pipeline_seconds = AnalyticPipelineSeconds(plan);
+  return plan;
+}
+
+TEST(PipelineSim, AnalyticLowerBoundsTheEventSchedule) {
+  const struct {
+    std::vector<double> fwd;
+    std::vector<double> bwd;
+    std::vector<double> transfer;
+    int micro_batches;
+  } cases[] = {
+      // Balanced stages: analytic == classic (M-1)*bottleneck + fill/drain.
+      {{1.0, 1.0, 1.0, 1.0}, {2.0, 2.0, 2.0, 2.0}, {0.1, 0.1, 0.1}, 8},
+      // Early bottleneck: the classic formula OVERSHOOTS the schedule here (stage 0
+      // never stalls), so only the per-stage critical-path bound is safe.
+      {{10.0, 1.0}, {10.0, 1.0}, {0.5}, 4},
+      // Late bottleneck.
+      {{1.0, 1.0, 10.0}, {1.0, 1.0, 10.0}, {0.2, 0.2}, 6},
+      // Single stage: no pipeline at all, T = M * (f + b).
+      {{3.0}, {4.0}, {}, 5},
+      // Transfer-dominated boundaries.
+      {{1.0, 1.0}, {1.0, 1.0}, {5.0}, 4},
+  };
+  for (const auto& c : cases) {
+    const PipelinePlan plan = SyntheticPlan(c.fwd, c.bwd, c.transfer, c.micro_batches);
+    const double analytic = AnalyticPipelineSeconds(plan);
+    const double sim = Simulate1F1BSeconds(plan);
+    EXPECT_GT(analytic, 0.0);
+    EXPECT_GE(sim, analytic * (1.0 - 1e-12))
+        << "S=" << plan.num_stages << " M=" << plan.micro_batches;
+    EXPECT_LE(sim, analytic * 2.0)
+        << "S=" << plan.num_stages << " M=" << plan.micro_batches;
+  }
+}
+
+TEST(PipelineSim, BalancedStagesMatchTheClassicFormula) {
+  const PipelinePlan plan =
+      SyntheticPlan({2.0, 2.0, 2.0}, {3.0, 3.0, 3.0}, {0.25, 0.25}, 6);
+  // fill = (f + t) * (S-1), steady = M * (f + b), drain = (b + t) * (S-1).
+  const double classic = 2 * (2.0 + 0.25) + 6 * (2.0 + 3.0) + 2 * (3.0 + 0.25);
+  EXPECT_DOUBLE_EQ(AnalyticPipelineSeconds(plan), classic);
+}
+
+TEST(HybridPartition, OneStageDegeneratesToTheExactPurePlan) {
+  ModelGraph model = DeepMlp();
+  HybridOptions hybrid;
+  hybrid.max_stages = 1;
+  const PartitionPlan forced = HybridPartition(model.graph, 8, {}, hybrid);
+  const PartitionPlan pure = RecursivePartition(model.graph, 8);
+  EXPECT_EQ(forced.pipeline, nullptr);
+  EXPECT_EQ(PlanBytes(forced), PlanBytes(pure));
+}
+
+TEST(HybridPartition, UnconstrainedSearchIsDeterministic) {
+  ModelGraph model = NarrowMlp();
+  const PartitionPlan a = HybridPartition(model.graph, 32);
+  const PartitionPlan b = HybridPartition(model.graph, 32);
+  EXPECT_EQ(PlanBytes(a), PlanBytes(b));
+  EXPECT_EQ(PlanDigest(a), PlanDigest(b));
+}
+
+TEST(HybridPartition, BudgetThePurePlanCannotMeetForcesMoreStages) {
+  ModelGraph model = NarrowMlp();
+  const int kWorkers = 32;
+
+  // Unconstrained, the pure plan wins on time (this graph's comm is negligible).
+  const PartitionPlan unconstrained = HybridPartition(model.graph, kWorkers);
+  EXPECT_EQ(unconstrained.pipeline, nullptr);
+
+  // The budget-aware PURE search bottoms out above this budget: split capacity runs
+  // out at 32 workers, so some state stays replicated on every worker.
+  PartitionOptions options;
+  options.memory_budget_bytes = 150;
+  const PartitionPlan pure = RecursivePartition(model.graph, kWorkers, options);
+  EXPECT_GT(LivenessPeakShardBytes(model.graph, pure), options.memory_budget_bytes);
+
+  // The hybrid search escapes through the stage DP: more stages mean each worker
+  // holds only its own stage's state, and every stage fits the budget.
+  const PartitionPlan hybrid = HybridPartition(model.graph, kWorkers, options);
+  ASSERT_NE(hybrid.pipeline, nullptr);
+  EXPECT_GE(hybrid.pipeline->num_stages, 2);
+  EXPECT_TRUE(hybrid.memory_feasible);
+  for (const PipelineStage& stage : hybrid.pipeline->stages) {
+    EXPECT_LE(stage.peak_bytes, options.memory_budget_bytes);
+  }
+}
+
+TEST(HybridPartition, StageGoldensCoverTheGraphContiguously) {
+  ModelGraph model = NarrowMlp();
+  PartitionOptions options;
+  options.memory_budget_bytes = 150;
+  const PartitionPlan plan = HybridPartition(model.graph, 32, options);
+  ASSERT_NE(plan.pipeline, nullptr);
+  const PipelinePlan& pipe = *plan.pipeline;
+  // Deterministic golden: the DP picks the two-stage cut at this budget.
+  EXPECT_EQ(pipe.num_stages, 2);
+  EXPECT_EQ(pipe.micro_batches, 8);
+  ASSERT_EQ(pipe.stages.size(), static_cast<size_t>(pipe.num_stages));
+
+  const CoarseGraph coarse = Coarsen(model.graph);
+  const int G = static_cast<int>(coarse.groups.size());
+  int next_group = 0;
+  int next_worker = 0;
+  for (const PipelineStage& stage : pipe.stages) {
+    EXPECT_EQ(stage.first_group, next_group);
+    EXPECT_LE(stage.first_group, stage.last_group);
+    next_group = stage.last_group + 1;
+    EXPECT_EQ(stage.first_worker, next_worker);
+    EXPECT_EQ(stage.num_workers, 32 / pipe.num_stages);
+    next_worker += stage.num_workers;
+    // Inner plans span the whole graph and validate against it.
+    EXPECT_TRUE(ValidatePlanForGraph(model.graph, stage.plan).ok());
+    EXPECT_EQ(stage.plan.num_workers, stage.num_workers);
+  }
+  EXPECT_EQ(next_group, G);
+  EXPECT_EQ(next_worker, 32);
+  // Every boundary but the last carries activations forward.
+  for (size_t s = 0; s + 1 < pipe.stages.size(); ++s) {
+    EXPECT_GT(pipe.stages[s].activation_bytes, 0.0);
+  }
+  EXPECT_EQ(pipe.stages.back().activation_bytes, 0.0);
+  // The stored analytic makespan matches a recomputation, and the 1F1B event
+  // schedule respects the differential contract on a REAL composed plan too.
+  EXPECT_DOUBLE_EQ(pipe.pipeline_seconds, AnalyticPipelineSeconds(pipe));
+  const double sim = Simulate1F1BSeconds(pipe);
+  EXPECT_GE(sim, pipe.pipeline_seconds * (1.0 - 1e-12));
+  EXPECT_LE(sim, pipe.pipeline_seconds * 2.0);
+}
+
+TEST(SessionHybrid, AlgorithmNameRoundTripsAndResponseUsesStagePeaks) {
+  Result<PartitionAlgorithm> parsed = AlgorithmFromName("Hybrid");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, PartitionAlgorithm::kHybrid);
+  EXPECT_STREQ(AlgorithmName(PartitionAlgorithm::kHybrid), "Hybrid");
+
+  ModelGraph model = NarrowMlp();
+  Session session(DeviceTopology::Uniform(32));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  request.algorithm = PartitionAlgorithm::kHybrid;
+  request.memory_budget_bytes = 150;
+  Result<PartitionResponse> response = session.Partition(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_NE(response->plan.pipeline, nullptr);
+
+  std::int64_t max_peak = 0;
+  std::int64_t max_resident = 0;
+  for (const PipelineStage& stage : response->plan.pipeline->stages) {
+    max_peak = std::max(max_peak, stage.peak_bytes);
+    max_resident = std::max(max_resident, stage.all_resident_bytes);
+  }
+  EXPECT_EQ(response->peak_shard_bytes, max_peak);
+  EXPECT_EQ(response->all_resident_bytes, max_resident);
+  EXPECT_EQ(response->estimated_comm_seconds,
+            response->plan.estimated_comm_seconds);
+
+  // Repeat is served from the plan cache, byte-identical.
+  Result<PartitionResponse> repeat = session.Partition(request);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->from_cache);
+  EXPECT_EQ(PlanBytes(repeat->plan), PlanBytes(response->plan));
+
+  // A budget no stage count can meet is a recoverable kResourceExhausted, naming the
+  // deficit, not a crash.
+  PartitionRequest hopeless = request;
+  hopeless.memory_budget_bytes = 32;
+  Result<PartitionResponse> rejected = session.Partition(hopeless);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace tofu

@@ -4,9 +4,14 @@
 // rejects plans that do not fit the graph they are applied to.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "tofu/core/session.h"
 #include "tofu/models/mlp.h"
 #include "tofu/partition/plan_io.h"
+#include "tofu/pipeline/compose.h"
+#include "tofu/pipeline/pipeline_plan.h"
 #include "tofu/sim/runtimes.h"
 
 namespace tofu {
@@ -105,6 +110,123 @@ TEST(PlanJson, LegacyV1DocumentsStillLoadAsUnconstrained) {
   // v1 readers tolerate the extra keys; v1 carried no per-step peaks, so they default.
   EXPECT_EQ(reloaded->total_comm_bytes, plan.total_comm_bytes);
   EXPECT_TRUE(ValidatePlanForGraph(model.graph, *reloaded).ok());
+}
+
+// A graph whose split capacities run out at 32 workers plus a budget the pure search
+// cannot meet: the hybrid search must answer with a real multi-stage pipeline plan
+// (tests/test_pipeline.cc pins the stage goldens; here we only need pipeline != null).
+PartitionPlan HybridPlan(const ModelGraph& model) {
+  PartitionOptions options;
+  options.memory_budget_bytes = 150;
+  PartitionPlan plan = HybridPartition(model.graph, 32, options);
+  EXPECT_NE(plan.pipeline, nullptr);
+  return plan;
+}
+
+ModelGraph NarrowModel() {
+  MlpConfig config;
+  config.layer_sizes = {4, 4, 4, 4, 4, 4, 4, 4};
+  config.batch = 8;
+  return BuildMlp(config);
+}
+
+TEST(PlanJson, HybridPlansRoundTripUnderTheV3Schema) {
+  ModelGraph model = SmallModel();
+  // Pure plans keep the v2 tag byte-for-byte -- the schema bump must not disturb any
+  // pre-pipeline digest.
+  EXPECT_NE(PlanToJson(PlanFor(model, 8)).find("tofu.plan.v2"), std::string::npos);
+
+  ModelGraph narrow = NarrowModel();
+  PartitionPlan plan = HybridPlan(narrow);
+  const std::string json = PlanToJson(plan);
+  EXPECT_NE(json.find("tofu.plan.v3"), std::string::npos);
+
+  Result<PartitionPlan> reloaded = PlanFromJson(json);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_NE(reloaded->pipeline, nullptr);
+  const PipelinePlan& pipe = *plan.pipeline;
+  const PipelinePlan& back = *reloaded->pipeline;
+  EXPECT_EQ(back.num_stages, pipe.num_stages);
+  EXPECT_EQ(back.micro_batches, pipe.micro_batches);
+  EXPECT_EQ(back.bottleneck_seconds, pipe.bottleneck_seconds);
+  EXPECT_EQ(back.pipeline_seconds, pipe.pipeline_seconds);
+  EXPECT_EQ(back.comm_seconds, pipe.comm_seconds);
+  ASSERT_EQ(back.stages.size(), pipe.stages.size());
+  for (size_t s = 0; s < pipe.stages.size(); ++s) {
+    EXPECT_EQ(back.stages[s].first_group, pipe.stages[s].first_group);
+    EXPECT_EQ(back.stages[s].last_group, pipe.stages[s].last_group);
+    EXPECT_EQ(back.stages[s].num_workers, pipe.stages[s].num_workers);
+    EXPECT_EQ(back.stages[s].first_worker, pipe.stages[s].first_worker);
+    EXPECT_EQ(back.stages[s].fwd_seconds, pipe.stages[s].fwd_seconds);
+    EXPECT_EQ(back.stages[s].bwd_seconds, pipe.stages[s].bwd_seconds);
+    EXPECT_EQ(back.stages[s].activation_bytes, pipe.stages[s].activation_bytes);
+    EXPECT_EQ(back.stages[s].peak_bytes, pipe.stages[s].peak_bytes);
+    EXPECT_EQ(back.stages[s].all_resident_bytes, pipe.stages[s].all_resident_bytes);
+    EXPECT_EQ(PlanToJson(back.stages[s].plan), PlanToJson(pipe.stages[s].plan));
+  }
+  // Byte-identical re-serialization, valid against the graph, stable digest.
+  EXPECT_EQ(PlanToJson(*reloaded), json);
+  EXPECT_TRUE(ValidatePlanForGraph(narrow.graph, *reloaded).ok());
+  EXPECT_EQ(PlanDigest(*reloaded), PlanDigest(plan));
+}
+
+TEST(PlanJson, RejectsNestedPipelineSections) {
+  // Stage inner plans must be pure: retag every nested v2 object as v3 and the parser
+  // must refuse (a v3 stage would claim a pipeline inside a pipeline).
+  ModelGraph narrow = NarrowModel();
+  std::string json = PlanToJson(HybridPlan(narrow));
+  const std::string v2_tag = "tofu.plan.v2";
+  size_t at = json.find(v2_tag);
+  ASSERT_NE(at, std::string::npos);  // the stage plans carry v2 tags
+  while (at != std::string::npos) {
+    json.replace(at, v2_tag.size(), "tofu.plan.v3");
+    at = json.find(v2_tag, at);
+  }
+  Result<PartitionPlan> reloaded = PlanFromJson(json);
+  ASSERT_FALSE(reloaded.ok());
+  EXPECT_EQ(reloaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PlanValidate, RejectsHybridPlansWithBrokenStageCoverage) {
+  ModelGraph narrow = NarrowModel();
+  const PartitionPlan plan = HybridPlan(narrow);
+  ASSERT_TRUE(ValidatePlanForGraph(narrow.graph, plan).ok());
+  ASSERT_GE(plan.pipeline->num_stages, 2);
+
+  // Worker ranges must tile [0, W) in order.
+  {
+    PipelinePlan broken = *plan.pipeline;
+    broken.stages[1].first_worker += 1;
+    PartitionPlan mutated = plan;
+    mutated.pipeline = std::make_shared<const PipelinePlan>(broken);
+    EXPECT_EQ(ValidatePlanForGraph(narrow.graph, mutated).code(),
+              StatusCode::kInvalidArgument);
+  }
+  // Group ranges must tile the macro-group sequence.
+  {
+    PipelinePlan broken = *plan.pipeline;
+    broken.stages[0].last_group += 1;
+    PartitionPlan mutated = plan;
+    mutated.pipeline = std::make_shared<const PipelinePlan>(broken);
+    EXPECT_EQ(ValidatePlanForGraph(narrow.graph, mutated).code(),
+              StatusCode::kInvalidArgument);
+  }
+  // Dropping a stage breaks the claimed stage count.
+  {
+    PipelinePlan broken = *plan.pipeline;
+    broken.stages.pop_back();
+    PartitionPlan mutated = plan;
+    mutated.pipeline = std::make_shared<const PipelinePlan>(broken);
+    EXPECT_EQ(ValidatePlanForGraph(narrow.graph, mutated).code(),
+              StatusCode::kInvalidArgument);
+  }
+  // A hybrid plan owns no top-level steps; the stages do.
+  {
+    PartitionPlan mutated = plan;
+    mutated.steps = plan.pipeline->stages[0].plan.steps;
+    EXPECT_EQ(ValidatePlanForGraph(narrow.graph, mutated).code(),
+              StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(PlanJson, RejectsMalformedDocuments) {

@@ -12,7 +12,9 @@
 //     invariant and byte-identical plans;
 //   * a concurrent memory-budget ladder (distinct plan-cache keys, shared step-table
 //     cache) returns plans byte-identical to fresh single-threaded searches no matter
-//     which thread warms the compilation cache first.
+//     which thread warms the compilation cache first;
+//   * hybrid (kHybrid) and pure (kTofu) requests racing on one graph stay on their own
+//     cache keys with byte-identical deterministic plans, sharing the step-table cache.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -303,6 +305,70 @@ TEST(SessionConcurrent, ConcurrentBudgetLadderSharesStepTablesDeterministically)
   EXPECT_EQ(mismatches.load(), 0);
   // Every rung after the first reused the shared compilation.
   EXPECT_GT(session.step_table_cache_stats().hits, 0u);
+}
+
+TEST(SessionConcurrent, HybridAndPureRequestsRaceWithoutCrossTalk) {
+  // kHybrid and kTofu against the same graph are distinct cache keys (the algorithm is
+  // part of the key), and the hybrid search runs the SAME inner recursive DP against
+  // the shared step-table cache. Threads alternating both algorithms must get plans
+  // byte-identical to fresh single-threaded sessions -- no hybrid response ever leaking
+  // from a pure key or vice versa, no matter who populates which cache first.
+  MlpConfig config;
+  config.layer_sizes = {4, 4, 4, 4, 4, 4, 4, 4};
+  config.batch = 8;
+  ModelGraph model = BuildMlp(config);
+  const PartitionAlgorithm algorithms[] = {PartitionAlgorithm::kTofu,
+                                           PartitionAlgorithm::kHybrid};
+  // Budget 150 forces the hybrid search into a real multi-stage pipeline on this graph
+  // (tests/test_pipeline.cc pins the goldens); the pure search runs unconstrained --
+  // the session would reject a pure plan at this budget (its liveness floor is 192
+  // bytes, which is the point of the hybrid escape hatch). Maximally different plans.
+  const std::int64_t budgets[] = {0, 150};
+
+  std::string expected[2];
+  for (int a = 0; a < 2; ++a) {
+    Session solo(DeviceTopology::Uniform(32));
+    PartitionRequest request;
+    request.graph = &model.graph;
+    request.algorithm = algorithms[a];
+    request.memory_budget_bytes = budgets[a];
+    Result<PartitionResponse> response = solo.Partition(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    expected[a] = PlanBytes(*response);
+  }
+  ASSERT_NE(expected[0], expected[1]);
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 8;
+  Session session(DeviceTopology::Uniform(32));
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const int pick = (t + i) % 2;
+        PartitionRequest request;
+        request.graph = &model.graph;
+        request.algorithm = algorithms[pick];
+        request.memory_budget_bytes = budgets[pick];
+        Result<PartitionResponse> response = session.Partition(request);
+        if (!response.ok()) {
+          failures.fetch_add(1);
+        } else if (PlanBytes(*response) != expected[pick]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  const PlanCacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced,
+            static_cast<std::int64_t>(kThreads) * kRequestsPerThread);
+  EXPECT_EQ(stats.misses, 2);  // one search per algorithm, single-flight absorbs races
 }
 
 }  // namespace

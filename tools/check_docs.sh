@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Docs drift check: every operator registered in src/tofu/tdl/ops_*.cc must be documented
-# in docs/tdl.md (as a backticked `name`). Run from anywhere; exits non-zero listing the
-# undocumented ops. CI runs this on every push (see .github/workflows/ci.yml).
+# in docs/tdl.md (as a backticked `name`), and every partition-algorithm name returned by
+# AlgorithmName (src/tofu/core/session.cc) must appear in both docs/serving.md and
+# docs/api.md. Run from anywhere; exits non-zero listing the drift. CI runs this on every
+# push (see .github/workflows/ci.yml).
 set -u
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 doc="$repo/docs/tdl.md"
@@ -42,3 +44,35 @@ if [[ $missing -gt 0 ]]; then
   exit 1
 fi
 echo "check_docs: all $total registered ops documented in docs/tdl.md"
+
+# Every algorithm name AlgorithmName can return must be documented in the serving
+# protocol doc and the session API doc (both carry an algorithm table).
+session_cc="$repo/src/tofu/core/session.cc"
+algos=$(
+  sed -n '/AlgorithmName(PartitionAlgorithm/,/^}/p' "$session_cc" |
+    grep -oE 'return "[A-Za-z0-9-]+"' | sed -E 's/return "(.+)"/\1/' |
+    grep -v '^?$' | sort -u
+)
+
+if [[ -z "$algos" ]]; then
+  echo "check_docs: found no algorithm names in $session_cc -- pattern drift?" >&2
+  exit 1
+fi
+
+algo_missing=0
+algo_total=0
+for algo in $algos; do
+  algo_total=$((algo_total + 1))
+  for adoc in "$repo/docs/serving.md" "$repo/docs/api.md"; do
+    if ! grep -q "$algo" "$adoc"; then
+      echo "check_docs: algorithm '$algo' is not documented in ${adoc#"$repo"/}" >&2
+      algo_missing=$((algo_missing + 1))
+    fi
+  done
+done
+
+if [[ $algo_missing -gt 0 ]]; then
+  echo "check_docs: $algo_missing algorithm doc entries missing" >&2
+  exit 1
+fi
+echo "check_docs: all $algo_total algorithm names documented in docs/serving.md and docs/api.md"

@@ -15,8 +15,9 @@ Fails (exit 1) when:
     methodology) is not at least that factor faster now -- the floor under the
     big-graph, many-worker optimization, so it cannot silently rot away;
   * the machine-independent search-effort counters (states_explored,
-    cost_table_entries, dominated_pruned_states) drifted -- these are deterministic, so
-    any change means the search semantics changed without re-recording the baseline;
+    cost_table_entries, dominated_pruned_states, pruned_table_cells) drifted -- these
+    are deterministic, so any change means the search semantics changed without
+    re-recording the baseline;
   * the plan's communication bytes changed at all (same reasoning);
   * the unconstrained plan itself drifted: plan_digest is an FNV-1a fingerprint of the
     normalized plan JSON (cuts, strategies, costs, per-step peaks -- everything but the
@@ -30,6 +31,13 @@ Fails (exit 1) when:
   * a topology row's simulated critical path undercuts its analytic estimate -- the
     congestion/dilation number is a lower bound on any schedule (interconnect/
     interconnect.h), so sim < estimate means one of the two models broke;
+  * a hybrid row (bench_table1_search's multi-node hierarchy comparison) breaks the
+    hybrid-parallelism contract: the hybrid plan's estimated total time must not
+    exceed pure Tofu's or DataParallel's on the same topology, it must STRICTLY beat
+    pure Tofu for Transformer-48 at >= 32 workers (the regime ROADMAP item 3 exists
+    for), and a multi-stage pipeline's analytic 1F1B makespan must lower-bound the
+    1F1B event simulation while staying within 2x of it (the pipeline differential
+    contract, pipeline/pipeline_sim.h);
   * with --serve, the bench_serve --json results show a nondeterministic plan, any
     request error, cache counters that do not add up to the request count, or a final
     hit rate below --min-hit-rate (the serve-path contract: a replayed spec mix must be
@@ -144,6 +152,7 @@ def main() -> int:
             "states_explored",
             "cost_table_entries",
             "dominated_pruned_states",
+            "pruned_table_cells",
         ):
             if row.get(counter) != base.get(counter):
                 print(
@@ -178,6 +187,56 @@ def main() -> int:
                 f"{est:.6g}s (the estimate is a lower bound on any schedule)"
             )
             failed = True
+    for row in current["results"]:
+        # Hybrid-parallelism ordering gates (rows emitted by RunHybrid).
+        hybrid = row.get("hybrid_total_seconds")
+        if hybrid is None:
+            continue
+        pure = row.get("pure_total_seconds", 0.0)
+        dp = row.get("dp_total_seconds", 0.0)
+        label = row["model"]
+        if hybrid > pure * (1.0 + 1e-9):
+            print(
+                f"FAIL  {label}: hybrid total {hybrid:.6g}s > pure-Tofu total "
+                f"{pure:.6g}s (the hybrid search must never lose to its own S=1 "
+                "candidate)"
+            )
+            failed = True
+        if hybrid > dp * (1.0 + 1e-9):
+            print(
+                f"FAIL  {label}: hybrid total {hybrid:.6g}s > DataParallel total "
+                f"{dp:.6g}s"
+            )
+            failed = True
+        strict = label.startswith("Transformer-48") and row.get("workers", 0) >= 32
+        if strict and not hybrid < pure:
+            print(
+                f"FAIL  {label}: hybrid total {hybrid:.6g}s does not strictly beat "
+                f"pure Tofu {pure:.6g}s (Transformer-48 at >= 32 workers on the "
+                "oversubscribed hierarchy is the regime hybrid parallelism exists for)"
+            )
+            failed = True
+        analytic = row.get("pipeline_seconds", 0.0)
+        sim_1f1b = row.get("pipeline_sim_seconds", 0.0)
+        if analytic > 0.0:
+            if sim_1f1b < analytic * (1.0 - 1e-9):
+                print(
+                    f"FAIL  {label}: 1F1B simulation {sim_1f1b:.6g}s < analytic "
+                    f"makespan {analytic:.6g}s (the analytic cost is a lower bound on "
+                    "any 1F1B schedule)"
+                )
+                failed = True
+            if sim_1f1b > analytic * 2.0:
+                print(
+                    f"FAIL  {label}: 1F1B simulation {sim_1f1b:.6g}s > 2x analytic "
+                    f"makespan {analytic:.6g}s (the analytic model lost touch with "
+                    "the schedule it prices)"
+                )
+                failed = True
+        print(
+            f"{label}: hybrid {hybrid*1e3:.1f} ms (S={row.get('pipeline_stages')}) vs "
+            f"pure {pure*1e3:.1f} ms vs DP {dp*1e3:.1f} ms"
+        )
     if args.serve and check_serve(args.serve, args.min_hit_rate):
         failed = True
     return 1 if failed else 0

@@ -3,18 +3,22 @@
 //   pland_smoke <path-to-tofu-pland>
 //
 // Pipes a small mixed batch (a duplicated MLP request, a tiny RNN, an unknown model,
-// and a malformed line) through the daemon, then checks the stream contract: one
-// response line per request, every line parses as schema tofu.serve.v1, each ok
-// response's embedded plan replays through ValidatePlanForGraph against a freshly
-// built graph, the duplicate is served without a second search (from_cache or
-// coalesced), and the bad requests come back as recoverable errors, not a dead
-// process. Exits non-zero with a message on the first violation.
+// a malformed line, and a budget-constrained Hybrid request) through the daemon, then
+// checks the stream contract: one response line per request, every line parses as
+// schema tofu.serve.v1, each ok response's embedded plan replays through
+// ValidatePlanForGraph against a freshly built graph, the duplicate is served without
+// a second search (from_cache or coalesced), the hybrid response carries a real
+// multi-stage tofu.plan.v3 pipeline, and the bad requests come back as recoverable
+// errors, not a dead process. A second daemon run under --algo=Hybrid checks the
+// default-algorithm flag routes requests that omit "algorithm". Exits non-zero with a
+// message on the first violation.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "tofu/partition/plan_io.h"
+#include "tofu/pipeline/pipeline_plan.h"
 #include "tofu/serve/request.h"
 #include "tofu/serve/server.h"
 #include "tofu/util/json.h"
@@ -63,9 +67,17 @@ int main(int argc, char** argv) {
       "\"embed\":16}}";
   const std::string bad_model_line = "{\"id\":4,\"model\":\"vgg\"}";
   const std::string malformed_line = "{\"id\":5,";
+  // A budget no pure plan can meet on this narrow graph (its liveness floor is 192
+  // bytes per worker at 32 workers) -- the hybrid search must answer with a
+  // multi-stage pipeline plan (tests/test_pipeline.cc pins the stage goldens).
+  const std::string hybrid_line =
+      "{\"id\":6,\"model\":\"mlp\",\"workers\":32,\"algorithm\":\"Hybrid\","
+      "\"memory_budget_bytes\":150,"
+      "\"config\":{\"batch\":8,\"layer_sizes\":[4,4,4,4,4,4,4,4]}}";
 
   const std::string requests = mlp_line + "\n" + mlp_dup_line + "\n" + rnn_line +
-                               "\n" + bad_model_line + "\n" + malformed_line + "\n";
+                               "\n" + bad_model_line + "\n" + malformed_line + "\n" +
+                               hybrid_line + "\n";
   Check(tofu::WriteTextFile("pland_smoke_requests.jsonl", requests),
         "cannot write request file");
 
@@ -82,8 +94,8 @@ int main(int argc, char** argv) {
       tofu::ReadTextFile("pland_smoke_responses.jsonl");
   Check(responses.ok(), "cannot read response file");
   const std::vector<std::string> lines = SplitLines(*responses);
-  Check(lines.size() == 5,
-        "expected 5 response lines, got " + std::to_string(lines.size()));
+  Check(lines.size() == 6,
+        "expected 6 response lines, got " + std::to_string(lines.size()));
 
   int cached_or_coalesced = 0;
   for (size_t i = 0; i < lines.size(); ++i) {
@@ -130,6 +142,32 @@ int main(int argc, char** argv) {
       if ((*id == 1 || *id == 2) && (*from_cache || *coalesced)) {
         ++cached_or_coalesced;
       }
+    } else if (*id == 6) {
+      // The hybrid request: a tofu.plan.v3 document whose pipeline section names at
+      // least two stages, each fitting the request's budget, valid against the graph.
+      Check(*ok_field, "hybrid request unexpectedly failed: " + lines[i]);
+      tofu::Result<std::string> algo = doc->StringAt("algorithm");
+      Check(algo.ok() && *algo == "Hybrid", "hybrid response misreports algorithm");
+      const tofu::JsonValue* plan_json = doc->Find("plan");
+      Check(plan_json != nullptr, "hybrid response without a plan member");
+      const std::string plan_text = tofu::JsonToString(*plan_json);
+      Check(plan_text.find("tofu.plan.v3") != std::string::npos,
+            "hybrid plan is not tagged tofu.plan.v3");
+      tofu::Result<tofu::PartitionPlan> plan = tofu::PlanFromJson(plan_text);
+      Check(plan.ok(),
+            "embedded hybrid plan does not parse: " + plan.status().ToString());
+      Check(plan->pipeline != nullptr && plan->pipeline->num_stages >= 2,
+            "hybrid plan does not carry a multi-stage pipeline");
+      for (const tofu::PipelineStage& stage : plan->pipeline->stages) {
+        Check(stage.peak_bytes <= 150, "a pipeline stage exceeds the request budget");
+      }
+      tofu::Result<tofu::ServeRequest> request =
+          tofu::ParseServeRequest(hybrid_line);
+      Check(request.ok(), "hybrid request line stopped parsing");
+      tofu::Result<tofu::ModelGraph> model = tofu::BuildServeModel(*request);
+      Check(model.ok(), "hybrid model build failed");
+      const tofu::Status valid = tofu::ValidatePlanForGraph(model->graph, *plan);
+      Check(valid.ok(), "hybrid plan does not validate: " + valid.ToString());
     } else if (*id == 4) {
       Check(!*ok_field, "unknown model unexpectedly succeeded");
       tofu::Result<std::string> code = doc->StringAt("code");
@@ -146,6 +184,36 @@ int main(int argc, char** argv) {
   Check(cached_or_coalesced >= 1,
         "duplicate request was answered by a second search");
 
-  std::printf("pland_smoke: OK (5 responses validated)\n");
+  // Second run: --algo=Hybrid must route a request that omits "algorithm" through the
+  // hybrid search (same budget-constrained spec, no algorithm field, same pipeline).
+  const std::string defaulted_line =
+      "{\"id\":1,\"model\":\"mlp\",\"workers\":32,\"memory_budget_bytes\":150,"
+      "\"config\":{\"batch\":8,\"layer_sizes\":[4,4,4,4,4,4,4,4]}}";
+  Check(tofu::WriteTextFile("pland_smoke_algo_requests.jsonl", defaulted_line + "\n"),
+        "cannot write --algo request file");
+  const std::string algo_command = "\"" + binary +
+                                   "\" --threads=2 --quiet --algo=Hybrid"
+                                   " < pland_smoke_algo_requests.jsonl"
+                                   " > pland_smoke_algo_responses.jsonl"
+                                   " 2>> pland_smoke_stderr.txt";
+  Check(std::system(algo_command.c_str()) == 0, "tofu-pland --algo=Hybrid failed");
+  tofu::Result<std::string> algo_responses =
+      tofu::ReadTextFile("pland_smoke_algo_responses.jsonl");
+  Check(algo_responses.ok(), "cannot read --algo response file");
+  const std::vector<std::string> algo_lines = SplitLines(*algo_responses);
+  Check(algo_lines.size() == 1, "expected 1 response line from the --algo run");
+  tofu::Result<tofu::JsonValue> algo_doc = tofu::ParseJson(algo_lines[0]);
+  Check(algo_doc.ok(), "--algo response is not valid JSON");
+  tofu::Result<bool> algo_ok = algo_doc->BoolAt("ok");
+  Check(algo_ok.ok() && *algo_ok, "--algo=Hybrid request failed: " + algo_lines[0]);
+  tofu::Result<std::string> algo_name = algo_doc->StringAt("algorithm");
+  Check(algo_name.ok() && *algo_name == "Hybrid",
+        "--algo=Hybrid did not route the defaulted request to the hybrid search");
+  const tofu::JsonValue* algo_plan = algo_doc->Find("plan");
+  Check(algo_plan != nullptr &&
+            tofu::JsonToString(*algo_plan).find("tofu.plan.v3") != std::string::npos,
+        "--algo=Hybrid response does not carry a v3 pipeline plan");
+
+  std::printf("pland_smoke: OK (7 responses validated)\n");
   return 0;
 }

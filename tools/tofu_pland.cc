@@ -28,6 +28,9 @@ Flags:
   --batch=N           max requests dispatched per round (default 64)
   --cache-capacity=N  cached plans per topology session (default 256)
   --cache-shards=N    lock shards per plan cache (default 8)
+  --algo=NAME         default algorithm for requests that omit "algorithm"
+                      (Tofu | Hybrid | DataParallel | EqualChop | Spartan |
+                      AllRow-Greedy | ICML18; default Tofu)
   --no-plans          omit the "plan" member from response lines
   --socket=PATH       serve a Unix domain socket instead of stdin/stdout
   --quiet             suppress the stderr summary
@@ -83,6 +86,13 @@ int main(int argc, char** argv) {
     } else if (ConsumeValue(arg, "--cache-shards", &value)) {
       options.service.cache_shards =
           static_cast<size_t>(ParseLong("--cache-shards", value));
+    } else if (ConsumeValue(arg, "--algo", &value)) {
+      tofu::Result<tofu::PartitionAlgorithm> algo = tofu::AlgorithmFromName(value);
+      if (!algo.ok()) {
+        std::fprintf(stderr, "tofu-pland: %s\n", algo.status().ToString().c_str());
+        return 2;
+      }
+      options.default_algorithm = *algo;
     } else if (ConsumeValue(arg, "--socket", &value)) {
       socket_path = value;
     } else {
