@@ -25,6 +25,8 @@
 
 #include "tofu/core/session.h"
 #include "tofu/interconnect/interconnect.h"
+#include "tofu/memory/repair.h"
+#include "tofu/models/moe.h"
 #include "tofu/models/rnn.h"
 #include "tofu/models/transformer.h"
 #include "tofu/models/wresnet.h"
@@ -70,6 +72,85 @@ void RunBudgetSweep(const std::string& name, const ModelGraph& model,
                     response->plan.search_stats.memory_pruned_states));
   }
   std::printf("\n");
+}
+
+// The comm-time/peak-memory/recompute frontier (Session::MemoryFrontier): budgets
+// descending from the unconstrained liveness peak to the floor no schedule can beat
+// (MinAchievablePeakBytes), plus one genuinely infeasible row. Rows below the
+// unconstrained peak fit only through the repair pass's swap/recompute schedule, so
+// each also reports the schedule's analytic overhead and its event-sim replay.
+// tools/check_perf.py gates the frontier's monotonicity (tighter budget => equal-or-
+// higher offload overhead) and pins schedule_free_digest so the repair path cannot
+// perturb unconstrained plans.
+void RunFrontier(const std::string& name, const ModelGraph& model, JsonWriter* json) {
+  Session session(DeviceTopology::FromCluster(K80Cluster()));
+  PartitionRequest request;
+  request.graph = &model.graph;
+  Result<PartitionResponse> unconstrained = session.Partition(request);
+  if (!unconstrained.ok()) {
+    std::printf("  %-24s %s\n", name.c_str(),
+                unconstrained.status().ToString().c_str());
+    return;
+  }
+  const std::int64_t peak = unconstrained->peak_shard_bytes;
+  const std::int64_t floor =
+      MinAchievablePeakBytes(model.graph, unconstrained->plan);
+  std::vector<std::int64_t> budgets;
+  for (int i = 0; i <= 4; ++i) {
+    budgets.push_back(peak + 1 - ((peak + 1 - floor) * i) / 4);
+  }
+  budgets.push_back(floor / 2);  // below the floor: the frontier's infeasible edge
+  Result<std::vector<FrontierPoint>> frontier =
+      session.MemoryFrontier(request, budgets);
+  if (!frontier.ok()) {
+    std::printf("  %-24s %s\n", name.c_str(), frontier.status().ToString().c_str());
+    return;
+  }
+
+  std::printf("  %s (%d ops; unconstrained peak %s, offload floor %s)\n", name.c_str(),
+              model.graph.num_ops(), HumanBytes(static_cast<double>(peak)).c_str(),
+              HumanBytes(static_cast<double>(floor)).c_str());
+  std::printf("    %14s %14s %12s %14s %14s\n", "budget/worker", "peak/worker",
+              "comm time", "overhead", "overhead(sim)");
+  for (const FrontierPoint& point : *frontier) {
+    if (!point.feasible) {
+      std::printf("    %14s infeasible (below the full-offload floor)\n",
+                  HumanBytes(static_cast<double>(point.budget_bytes)).c_str());
+      continue;
+    }
+    std::printf("    %14s %14s %12s %14s %14s\n",
+                HumanBytes(static_cast<double>(point.budget_bytes)).c_str(),
+                HumanBytes(static_cast<double>(point.peak_shard_bytes)).c_str(),
+                HumanSeconds(point.comm_seconds).c_str(),
+                HumanSeconds(point.memory_overhead_seconds).c_str(),
+                HumanSeconds(point.simulated_memory_seconds).c_str());
+  }
+
+  if (json != nullptr) {
+    json->BeginObject();
+    json->Key("model").String(name + "@frontier");
+    json->Key("num_ops").Int(model.graph.num_ops());
+    json->Key("num_tensors").Int(model.graph.num_tensors());
+    json->Key("workers").Int(8);
+    json->Key("unconstrained_peak_bytes").Int(peak);
+    json->Key("min_achievable_peak_bytes").Int(floor);
+    json->Key("schedule_free_digest").String(PlanDigest(unconstrained->plan));
+    json->Key("frontier").BeginArray();
+    for (const FrontierPoint& point : *frontier) {
+      json->BeginObject();
+      json->Key("budget_bytes").Int(point.budget_bytes);
+      json->Key("feasible").Bool(point.feasible);
+      json->Key("peak_shard_bytes").Int(point.peak_shard_bytes);
+      json->Key("comm_seconds").Number(point.comm_seconds);
+      json->Key("memory_overhead_seconds").Number(point.memory_overhead_seconds);
+      json->Key("simulated_memory_seconds").Number(point.simulated_memory_seconds);
+      json->Key("swap_bytes").Number(point.swap_bytes);
+      json->Key("recompute_seconds").Number(point.recompute_seconds);
+      json->EndObject();
+    }
+    json->EndArray();
+    json->EndObject();
+  }
 }
 
 // "auto" derives a ladder from the unconstrained footprint: the all-resident sum down
@@ -508,6 +589,25 @@ int main(int argc, char** argv) {
     for (int workers : {16, 32, 64}) {
       tofu::RunHybrid("WResNet-152-10", wresnet, workers, json_ptr);
     }
+  }
+  std::printf("\n");
+
+  std::printf("=== Memory planner frontier (swap/recompute repair, 8 workers) ===\n");
+  {
+    // MoE-style wide-layer model: four dense experts whose batch x 4096 hidden
+    // activations dominate the footprint -- the recompute-friendly regime.
+    tofu::MoeConfig moe;
+    tofu::RunFrontier("MoE-4x4096", tofu::BuildMoe(moe), json_ptr);
+  }
+  {
+    // Conv workload with halo exchange: spatially heavy (448x448, batch 4), so
+    // spatial splits trade halo traffic against per-worker activation memory.
+    tofu::WResNetConfig config;
+    config.layers = 50;
+    config.width = 4;
+    config.batch = 4;
+    config.image = 448;
+    tofu::RunFrontier("WResNet-50-halo", tofu::BuildWResNet(config), json_ptr);
   }
   std::printf("\n");
 

@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "tofu/memory/schedule.h"
 #include "tofu/util/strings.h"
 
 namespace tofu {
@@ -29,11 +30,17 @@ std::string PlanSummary(const Graph& /*graph*/, const PartitionPlan& plan) {
   if (plan.search_stats.states_explored > 0) {
     out << StrFormat(
         "  search: %lld cost evaluations, peak frontier %lld states, %lld table cells, "
-        "%s%s\n",
+        "%s%s%s\n",
         static_cast<long long>(plan.search_stats.states_explored),
         static_cast<long long>(plan.search_stats.max_frontier_states),
         static_cast<long long>(plan.search_stats.cost_table_entries),
         HumanSeconds(plan.search_stats.wall_seconds).c_str(),
+        plan.search_stats.memory_pruned_states > 0
+            ? StrFormat(", %lld memory-pruned states",
+                        static_cast<long long>(
+                            plan.search_stats.memory_pruned_states))
+                  .c_str()
+            : "",
         plan.search_stats.exact ? "" : " (beam-degraded, approximate)");
   }
   if (!plan.steps.empty() && plan.steps.back().peak_shard_bytes > 0.0) {
@@ -49,6 +56,19 @@ std::string PlanSummary(const Graph& /*graph*/, const PartitionPlan& plan) {
         // Not "infeasible" outright: the session's verdict uses the liveness-aware
         // peak, which can accept a plan the search's all-resident model could not.
         plan.memory_feasible ? "" : " (over budget in the search's all-resident model)");
+  }
+  if (plan.memory_schedule != nullptr && !plan.memory_schedule->decisions.empty()) {
+    const MemorySchedule& schedule = *plan.memory_schedule;
+    int swapped = 0, recomputed = 0;
+    for (const MemoryDecision& d : schedule.decisions) {
+      if (d.residency == Residency::kSwap) ++swapped;
+      if (d.residency == Residency::kRecompute) ++recomputed;
+    }
+    out << StrFormat(
+        "  schedule: %d swapped + %d recomputed buffers, peak %s -> %s, overhead %s\n",
+        swapped, recomputed, HumanBytes(static_cast<double>(schedule.baseline_peak_bytes)).c_str(),
+        HumanBytes(static_cast<double>(schedule.scheduled_peak_bytes)).c_str(),
+        HumanSeconds(schedule.AnalyticOverheadSeconds()).c_str());
   }
   return out.str();
 }

@@ -3,6 +3,10 @@
 #include <algorithm>
 
 #include "tofu/interconnect/sim_bridge.h"
+#include "tofu/memory/liveness.h"
+#include "tofu/memory/repair.h"
+#include "tofu/memory/schedule.h"
+#include "tofu/memory/sim_replay.h"
 #include "tofu/partition/plan_io.h"
 #include "tofu/pipeline/compose.h"
 #include "tofu/util/logging.h"
@@ -130,9 +134,12 @@ namespace {
 // budget, raising memory_budget_bytes cannot possibly help -- the device bound is the
 // binding constraint and the message says so. A plan the search itself already proved
 // unbeatable (memory_feasible == false) reports the deficit as final rather than as a
-// property of one plan.
-Status BudgetCheck(const PartitionResponse& response, std::int64_t budget,
-                   std::int64_t device_memory) {
+// property of one plan. For pure plans the message also quotes the floor: the minimum
+// achievable peak with every buffer offloaded (MinAchievablePeakBytes) -- the number
+// that tells the user whether ANY recompute/swap schedule could ever fit the budget,
+// or whether only more workers can.
+Status BudgetCheck(const Graph& graph, const PartitionResponse& response,
+                   std::int64_t budget, std::int64_t device_memory) {
   if (budget <= 0 || response.peak_shard_bytes <= budget) {
     return Status::Ok();
   }
@@ -149,14 +156,22 @@ Status BudgetCheck(const PartitionResponse& response, std::int64_t budget,
   } else {
     advice = "add workers or raise memory_budget_bytes";
   }
+  std::string floor_note;
+  if (response.plan.pipeline == nullptr && !response.plan.steps.empty()) {
+    floor_note = StrFormat(
+        " (minimum achievable peak with every buffer swapped or recomputed: %s)",
+        HumanBytes(static_cast<double>(
+                       MinAchievablePeakBytes(graph, response.plan)))
+            .c_str());
+  }
   return Status(
       StatusCode::kResourceExhausted,
-      StrFormat("%s %s per worker but the budget is %s (deficit %s); %s", severity,
+      StrFormat("%s %s per worker but the budget is %s (deficit %s); %s%s", severity,
                 HumanBytes(static_cast<double>(response.peak_shard_bytes)).c_str(),
                 HumanBytes(static_cast<double>(budget)).c_str(),
                 HumanBytes(static_cast<double>(response.peak_shard_bytes - budget))
                     .c_str(),
-                advice.c_str()));
+                advice.c_str(), floor_note.c_str()));
 }
 
 }  // namespace
@@ -207,7 +222,7 @@ Result<PartitionResponse> Session::Partition(const PartitionRequest& request) {
       // The budget is part of the key, so a hit was searched under this exact budget
       // and the verdict below merely repeats what the insertion-time check concluded
       // (an infeasible request fails fast here without re-searching).
-      TOFU_RETURN_IF_ERROR(BudgetCheck(*cached, request.memory_budget_bytes,
+      TOFU_RETURN_IF_ERROR(BudgetCheck(graph, *cached, request.memory_budget_bytes,
                                        topology_.memory_bytes_per_worker));
       cached->from_cache = true;
       return *std::move(cached);
@@ -252,7 +267,7 @@ Result<PartitionResponse> Session::Partition(const PartitionRequest& request) {
       if (ValidatePlanForGraph(graph, raced->plan).ok()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         // A hit replays the insertion-time budget verdict, same as the fast path.
-        TOFU_RETURN_IF_ERROR(BudgetCheck(*raced, request.memory_budget_bytes,
+        TOFU_RETURN_IF_ERROR(BudgetCheck(graph, *raced, request.memory_budget_bytes,
                                          topology_.memory_bytes_per_worker));
         raced->from_cache = true;
         return *std::move(raced);
@@ -314,6 +329,20 @@ Result<PartitionResponse> Session::SearchAndCache(const PartitionRequest& reques
   if (options.memory_budget_bytes == 0) {
     options.memory_budget_bytes = request.memory_budget_bytes;
   }
+  // The repair pass prices host swaps against the slowest link a shard's traffic can
+  // cross: the interconnect's bottleneck link when one is modeled, else the coarsest
+  // level's bandwidth (the shared host link on FromCluster topologies). A pricing the
+  // caller set explicitly wins, mirroring step_bandwidths and the budget above.
+  if (options.memory_pricing.host_bandwidth == 0.0) {
+    if (topology_.interconnect != nullptr) {
+      const std::vector<double>& bw = topology_.interconnect->links().bandwidth;
+      options.memory_pricing.host_bandwidth =
+          bw.empty() ? topology_.uniform_bandwidth
+                     : *std::min_element(bw.begin(), bw.end());
+    } else {
+      options.memory_pricing.host_bandwidth = topology_.BandwidthForStep(0);
+    }
+  }
   // Incremental re-planning: every step DP this search runs consults the session's
   // compilation cache, so plan-cache misses that share step shapes with an earlier
   // request (e.g. a budget ladder over one model) skip recomputing cost tables.
@@ -372,6 +401,13 @@ Result<PartitionResponse> Session::SearchAndCache(const PartitionRequest& reques
       response.all_resident_bytes =
           std::max(response.all_resident_bytes, stage.all_resident_bytes);
     }
+  } else if (plan.memory_schedule != nullptr) {
+    // The repair pass attached a schedule: the verdict figure is the scheduled peak
+    // (offloaded buffers charged only at the ops that touch them) -- the number the
+    // repair proved fits the budget. all_resident stays the schedule-independent
+    // upper bound.
+    response.peak_shard_bytes = plan.memory_schedule->scheduled_peak_bytes;
+    response.all_resident_bytes = AllResidentShardBytes(graph, plan);
   } else {
     response.peak_shard_bytes = LivenessPeakShardBytes(graph, plan);
     response.all_resident_bytes = AllResidentShardBytes(graph, plan);
@@ -412,6 +448,15 @@ Result<PartitionResponse> Session::SearchAndCache(const PartitionRequest& reques
     response.simulated_comm_seconds =
         SimPlanCommSeconds(*topology_.interconnect, plan);
   }
+  // A plan that fits only by offloading pays for the offloads: surface the schedule's
+  // analytic overhead and its event-driven replay so callers see where on the
+  // comm-time / peak-memory / recompute frontier this plan sits (and tests can gate
+  // analytic <= sim <= 2 * analytic).
+  if (plan.memory_schedule != nullptr && plan.pipeline == nullptr) {
+    response.memory_overhead_seconds = plan.memory_schedule->AnalyticOverheadSeconds();
+    response.simulated_memory_seconds = SimulateScheduleSeconds(
+        graph, plan, *plan.memory_schedule, options.memory_pricing);
+  }
   response.search_stats = plan.search_stats;
   response.from_cache = false;
 
@@ -420,9 +465,41 @@ Result<PartitionResponse> Session::SearchAndCache(const PartitionRequest& reques
   // re-proving infeasibility. Insert overwrites a stale collision entry (latest graph
   // wins); per-shard LRU eviction keeps a long-lived session bounded.
   cache_.Insert(key, response);
-  TOFU_RETURN_IF_ERROR(BudgetCheck(response, request.memory_budget_bytes,
+  TOFU_RETURN_IF_ERROR(BudgetCheck(graph, response, request.memory_budget_bytes,
                                    topology_.memory_bytes_per_worker));
   return response;
+}
+
+Result<std::vector<FrontierPoint>> Session::MemoryFrontier(
+    PartitionRequest request, const std::vector<std::int64_t>& budgets) {
+  std::vector<FrontierPoint> frontier;
+  frontier.reserve(budgets.size());
+  for (std::int64_t budget : budgets) {
+    request.memory_budget_bytes = budget;
+    // The request budget (not a stale options override) must steer each row, or every
+    // row would search under the first budget.
+    request.options.memory_budget_bytes = 0;
+    FrontierPoint point;
+    point.budget_bytes = budget;
+    Result<PartitionResponse> response = Partition(request);
+    if (response.ok()) {
+      point.feasible = true;
+      point.peak_shard_bytes = response->peak_shard_bytes;
+      point.comm_seconds = response->estimated_comm_seconds;
+      point.memory_overhead_seconds = response->memory_overhead_seconds;
+      point.simulated_memory_seconds = response->simulated_memory_seconds;
+      if (response->plan.memory_schedule != nullptr) {
+        point.swap_bytes = response->plan.memory_schedule->swap_bytes;
+        point.recompute_seconds = response->plan.memory_schedule->recompute_seconds;
+      }
+    } else if (response.status().code() != StatusCode::kResourceExhausted) {
+      // Infeasible budgets are frontier rows; anything else (bad graph, unknown op)
+      // would poison every row the same way, so fail the sweep.
+      return response.status();
+    }
+    frontier.push_back(point);
+  }
+  return frontier;
 }
 
 void Session::InsertPlanForTesting(const PartitionRequest& request,

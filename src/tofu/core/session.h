@@ -126,22 +126,29 @@ struct PartitionRequest {
   // Per-worker memory budget; > 0 makes memory a first-class search constraint for the
   // recursion-based algorithms (kTofu, kIcml18, kEqualChop): the search returns the
   // cheapest plan whose liveness-aware per-worker peak fits, trying alternative step
-  // factor orderings and a lightest-cuts fallback before giving up. Only when no
-  // searched configuration fits does Partition fail with kResourceExhausted (the
-  // message reports the deficit and which bound -- this budget or the topology's
-  // device memory -- is binding). Greedy baselines ignore the budget during
-  // construction but are still checked. 0 disables the constraint entirely; the
-  // response then only carries the advisory verdict against the topology's
+  // factor orderings and a lightest-cuts fallback before giving up. When even the
+  // lightest configuration overflows, the coarse recursion (kTofu, kIcml18; not the
+  // single-step kEqualChop) runs a repair pass (memory/repair.h, steered by
+  // options.memory_policy): the min-comm plan is re-found unconstrained and a
+  // MemorySchedule marks buffers host-swapped or recomputed -- priced against the
+  // topology -- until the scheduled peak fits. Only when even full offload cannot
+  // reach the budget does Partition fail with kResourceExhausted (the message reports
+  // the deficit, which bound -- this budget or the topology's device memory -- is
+  // binding, and the minimum achievable peak). Greedy baselines ignore the budget
+  // during construction but are still checked. 0 disables the constraint entirely;
+  // the response then only carries the advisory verdict against the topology's
   // memory_bytes_per_worker.
   std::int64_t memory_budget_bytes = 0;
 };
 
 struct PartitionResponse {
   PartitionPlan plan;
-  // Liveness-aware per-worker peak (LivenessPeakShardBytes, partition/plan.h): model
+  // Liveness-aware per-worker peak (LivenessPeakShardBytes, memory/liveness.h): model
   // state stays resident, activation buffers live from producer to last consumer, and
   // in-place outputs reuse their input's buffer -- the figure the event simulator's
-  // memory planner reports for a program-order schedule. What the budget check and
+  // memory planner reports for a program-order schedule. When the plan carries a
+  // MemorySchedule this is instead the scheduled peak (offloaded buffers charged only
+  // at the ops that touch them, memory/schedule.h). What the budget check and
   // feasibility verdict use.
   std::int64_t peak_shard_bytes = 0;
   // Schedule-independent upper bound: every tensor's shard resident at once (no
@@ -157,12 +164,37 @@ struct PartitionResponse {
   // event simulator's link-level queueing (SimPlanCommSeconds) -- the simulated
   // critical-path time that gates the analytic estimate. 0 otherwise.
   double simulated_comm_seconds = 0.0;
+  // Only when the plan carries a MemorySchedule (the recursive search's repair pass
+  // made an over-budget plan fit by swapping / recomputing buffers, memory/repair.h):
+  // the schedule's analytic overhead -- max(swap_seconds, recompute_seconds), the
+  // work-conserving lower bound -- and the same schedule replayed event-driven through
+  // the simulator (memory/sim_replay.h). The replay is guaranteed within
+  // [analytic, 2 * analytic]. Both 0 for schedule-free plans.
+  double memory_overhead_seconds = 0.0;
+  double simulated_memory_seconds = 0.0;
   SearchStats search_stats;
   // True when the plan came from the session's cache rather than a fresh search.
   bool from_cache = false;
   // True when this response is a copy of a concurrent identical request's search result
   // (single-flight): this caller paid a wait, not a search.
   bool coalesced = false;
+};
+
+// One row of a comm-time / peak-memory / recompute frontier (Session::MemoryFrontier):
+// what the cheapest plan under `budget_bytes` costs, and how much of that cost is the
+// memory schedule's swap / recompute overhead. Budgets below the minimum achievable
+// peak come back with feasible == false rather than failing the whole sweep.
+struct FrontierPoint {
+  std::int64_t budget_bytes = 0;
+  bool feasible = false;
+  std::int64_t peak_shard_bytes = 0;
+  double comm_seconds = 0.0;
+  // Analytic schedule overhead and its event-sim replay (0 when the plan fit without
+  // a schedule -- the frontier's all-resident regime).
+  double memory_overhead_seconds = 0.0;
+  double simulated_memory_seconds = 0.0;
+  double swap_bytes = 0.0;
+  double recompute_seconds = 0.0;
 };
 
 // Snapshot of the cache counters (the live counters are atomics inside the Session).
@@ -205,6 +237,15 @@ class Session {
   //                           liveness-aware peak fits it (the message reports the
   //                           deficit and which bound is binding).
   Result<PartitionResponse> Partition(const PartitionRequest& request);
+
+  // The comm-time / peak-memory / recompute frontier: one Partition call per budget in
+  // `budgets` (request.memory_budget_bytes is overwritten), each row recording the
+  // winning plan's peak, comm time, and schedule overhead. A kResourceExhausted budget
+  // becomes an infeasible row; any other error aborts the sweep. Every row rides the
+  // plan cache and the step-table cache, so a ladder over one model re-prices steps
+  // instead of re-deriving them.
+  Result<std::vector<FrontierPoint>> MemoryFrontier(
+      PartitionRequest request, const std::vector<std::int64_t>& budgets);
 
   const DeviceTopology& topology() const { return topology_; }
   PlanCacheStats cache_stats() const;

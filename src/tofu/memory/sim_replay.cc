@@ -1,0 +1,76 @@
+#include "tofu/memory/sim_replay.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "tofu/memory/liveness.h"
+#include "tofu/sim/event_sim.h"
+
+namespace tofu {
+
+double SimulateScheduleSeconds(const Graph& graph, const PartitionPlan& plan,
+                               const MemorySchedule& schedule,
+                               const MemoryPricing& pricing) {
+  if (schedule.decisions.empty()) {
+    return 0.0;
+  }
+  const LivenessAnalysis live = AnalyzeLiveness(graph, plan);
+
+  // The replay prices host traffic at the schedule's bandwidth, not the default
+  // cluster's: RunSim reads cluster.cpu_bandwidth for kHost nodes.
+  ClusterSpec cluster = pricing.cluster;
+  if (schedule.host_bandwidth > 0.0) {
+    cluster.cpu_bandwidth = schedule.host_bandwidth;
+  }
+
+  SimGraph sim;
+  sim.num_devices = 1;
+  sim.resident_bytes.assign(1, 0.0);
+
+  // swap_in_node[root]: the node whose completion re-materializes a swapped buffer.
+  std::vector<std::int32_t> swap_in_node(static_cast<size_t>(graph.num_tensors()), -1);
+  for (const MemoryDecision& d : schedule.decisions) {
+    if (d.residency != Residency::kSwap) {
+      continue;
+    }
+    SimNode out;
+    out.kind = SimNode::Kind::kHost;
+    out.comm_bytes = d.bytes;
+    out.tag = "swap_out:" + graph.tensor(d.tensor).name;
+    const std::int32_t out_id = sim.Add(std::move(out));
+    SimNode in;
+    in.kind = SimNode::Kind::kHost;
+    in.comm_bytes = d.bytes;
+    in.deps = {out_id};
+    in.tag = "swap_in:" + graph.tensor(d.tensor).name;
+    swap_in_node[static_cast<size_t>(d.tensor)] = sim.Add(std::move(in));
+  }
+  for (const MemoryDecision& d : schedule.decisions) {
+    if (d.residency != Residency::kRecompute) {
+      continue;
+    }
+    SimNode rerun;
+    rerun.kind = SimNode::Kind::kCompute;
+    rerun.device = 0;
+    rerun.duration_s = d.overhead_seconds;
+    rerun.tag = "recompute:" + graph.tensor(d.tensor).name;
+    // The re-run reads its producer's inputs; any of them living on the host must be
+    // swapped back in first.
+    const OpId producer = graph.tensor(d.tensor).producer;
+    if (producer != kNoOp) {
+      for (TensorId in : graph.op(producer).inputs) {
+        const TensorId root = live.buffer[static_cast<size_t>(in)];
+        if (swap_in_node[static_cast<size_t>(root)] >= 0) {
+          rerun.deps.push_back(swap_in_node[static_cast<size_t>(root)]);
+        }
+      }
+    }
+    sim.Add(std::move(rerun));
+  }
+
+  SimOptions options;
+  options.unlimited_memory = true;
+  return RunSim(sim, cluster, options).makespan_s;
+}
+
+}  // namespace tofu

@@ -1,0 +1,33 @@
+// Event-driven replay of a MemorySchedule on the sim/ executor, validating the
+// analytic overhead model.
+//
+// The replay lowers the schedule to a SimGraph over two resources: every swap becomes
+// a kHost swap-out node followed by a dependent kHost swap-in (the shared host link,
+// FIFO), and every recompute becomes a kCompute node on the worker's compute stream.
+// A recompute whose producer reads a swapped buffer waits for that buffer's swap-in --
+// the real cross-resource coupling a greedy analytic bound ignores. RunSim's makespan
+// then brackets the analytic figure by construction: the makespan is at least the
+// busier resource's total (== AnalyticOverheadSeconds, since the pricing charges
+// exactly what each node occupies) and at most the sum of both resources' work (the
+// work-conserving executor never idles both while nodes remain), i.e.
+//
+//   analytic <= sim <= swap + recompute <= 2 * analytic.
+#ifndef TOFU_MEMORY_SIM_REPLAY_H_
+#define TOFU_MEMORY_SIM_REPLAY_H_
+
+#include "tofu/graph/graph.h"
+#include "tofu/memory/repair.h"
+#include "tofu/memory/schedule.h"
+#include "tofu/partition/plan.h"
+
+namespace tofu {
+
+// Simulated wall seconds of the schedule's overhead traffic and recomputation on one
+// worker. Returns 0 for an empty schedule.
+double SimulateScheduleSeconds(const Graph& graph, const PartitionPlan& plan,
+                               const MemorySchedule& schedule,
+                               const MemoryPricing& pricing);
+
+}  // namespace tofu
+
+#endif  // TOFU_MEMORY_SIM_REPLAY_H_

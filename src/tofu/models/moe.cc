@@ -1,0 +1,44 @@
+#include "tofu/models/moe.h"
+
+#include "tofu/util/logging.h"
+#include "tofu/util/strings.h"
+
+namespace tofu {
+
+ModelGraph BuildMoe(const MoeConfig& config) {
+  TOFU_CHECK_GE(config.experts, 1);
+  ModelGraph model;
+  model.name = StrFormat("moe-%dx%lld", config.experts,
+                         static_cast<long long>(config.d_expert));
+  model.batch = config.batch;
+  Graph& g = model.graph;
+
+  TensorId x = g.AddInput("tokens", {config.batch, config.d_model});
+
+  // Dense mixture: every expert processes the full batch; outputs sum back into the
+  // residual stream. The wide hidden activations (batch x d_expert per expert) are
+  // the memory hot spot the repair pass trades against.
+  TensorId mixture = kNoTensor;
+  for (int e = 0; e < config.experts; ++e) {
+    TensorId w_in = g.AddParam(StrFormat("expert%d/w_in", e),
+                               {config.d_model, config.d_expert});
+    TensorId hidden = g.AddOp("matmul", {}, {x, w_in}, StrFormat("expert%d/h", e));
+    hidden = g.AddOp("relu", {}, {hidden});
+    TensorId w_out = g.AddParam(StrFormat("expert%d/w_out", e),
+                                {config.d_expert, config.d_model});
+    TensorId out = g.AddOp("matmul", {}, {hidden, w_out}, StrFormat("expert%d/out", e));
+    mixture = e == 0 ? out : g.AddOp("add", {}, {mixture, out});
+  }
+
+  TensorId w_cls = g.AddParam("cls/w", {config.d_model, config.classes});
+  TensorId logits = g.AddOp("matmul", {}, {mixture, w_cls}, "logits");
+  TensorId labels = g.AddInput("labels", {config.batch});
+  TensorId xent = g.AddOp("softmax_xent", {}, {logits, labels}, "xent");
+  model.loss = g.AddOp("reduce_mean_all", {}, {xent}, "loss");
+
+  AutodiffResult grads = BuildBackward(&g, model.loss);
+  BuildAdagradUpdates(&g, grads);
+  return model;
+}
+
+}  // namespace tofu

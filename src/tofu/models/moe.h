@@ -1,0 +1,28 @@
+// Mixture-of-experts-style builder: a dense mixture of wide FFN experts over one
+// shared token batch. Each expert is a two-matmul feed-forward block whose hidden
+// width dwarfs the model width, and the expert outputs are summed back into the
+// residual stream -- the wide-layer regime where per-worker memory, not
+// communication, is the binding constraint (the memory planner's frontier bench
+// sweeps this model across budgets).
+#ifndef TOFU_MODELS_MOE_H_
+#define TOFU_MODELS_MOE_H_
+
+#include "tofu/models/model.h"
+
+namespace tofu {
+
+struct MoeConfig {
+  std::int64_t batch = 64;
+  std::int64_t d_model = 1024;   // residual-stream width
+  std::int64_t d_expert = 4096;  // hidden width of each expert FFN
+  int experts = 4;               // dense mixture: every expert sees every token
+  std::int64_t classes = 256;
+};
+
+// Builds the full training graph (forward, softmax cross-entropy loss, backward,
+// Adagrad), like every other models/ builder.
+ModelGraph BuildMoe(const MoeConfig& config);
+
+}  // namespace tofu
+
+#endif  // TOFU_MODELS_MOE_H_

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "tofu/graph/graph.h"
+#include "tofu/memory/bytes.h"
 #include "tofu/partition/search_engine.h"
 #include "tofu/util/logging.h"
 #include "tofu/util/sharded_lru.h"
@@ -389,12 +390,9 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
       std::vector<double>& bytes_per_option = (*fresh)[static_cast<size_t>(s)];
       bytes_per_option.reserve(cut_opts.size());
       for (int cut : cut_opts) {
-        double b = 0.0;
-        for (TensorId t : coarse.slots[static_cast<size_t>(s)].members) {
-          b += ShardBytesForCut(ctx->shape(t), graph.tensor(t).elem_size, cut,
-                                ctx->ways());
-        }
-        bytes_per_option.push_back(b);
+        bytes_per_option.push_back(SlotShardBytesForCut(
+            graph, coarse.slots[static_cast<size_t>(s)].members, cut, ctx->ways(),
+            [ctx](TensorId t) -> const Shape& { return ctx->shape(t); }));
       }
     }
     option_bytes = std::move(fresh);
@@ -551,11 +549,9 @@ DpResult RunStepDp(StepContext* ctx, const CoarseGraph& coarse, const DpOptions&
   }
   // Per-group resident bytes after this step (always recorded, budget or not, so plans
   // carry their memory footprint for serialization and the session's reporting).
-  for (TensorId t = 0; t < graph.num_tensors(); ++t) {
-    plan.peak_shard_bytes +=
-        ShardBytesForCut(ctx->shape(t), graph.tensor(t).elem_size,
-                         plan.tensor_cut[static_cast<size_t>(t)], ctx->ways());
-  }
+  plan.peak_shard_bytes = StepResidentBytes(
+      graph, plan.tensor_cut, ctx->ways(),
+      [ctx](TensorId t) -> const Shape& { return ctx->shape(t); });
   plan.op_strategy.assign(static_cast<size_t>(graph.num_ops()), kReplicatedExec);
   for (size_t u = 0; u < coarse.units.size(); ++u) {
     int sidx = kReplicatedExec;

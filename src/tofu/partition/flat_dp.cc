@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 
+#include "tofu/memory/bytes.h"
 #include "tofu/partition/search_engine.h"
 #include "tofu/partition/strategy.h"
 #include "tofu/util/logging.h"
@@ -246,15 +247,8 @@ FlatDpResult RunFlatDp(const Graph& graph, const CoarseGraph& coarse,
       for (const Tiling& tiling : slot_tilings[static_cast<size_t>(s)]) {
         double total = 0.0;
         for (TensorId t : slot.members) {
-          Shape shape = graph.tensor(t).shape;
-          for (size_t i = 0; i < tiling.size(); ++i) {
-            if (tiling[i] != kReplicated) {
-              std::int64_t& e = shape[static_cast<size_t>(tiling[i])];
-              e = (e + factors[i] - 1) / factors[i];
-            }
-          }
-          total += static_cast<double>(NumElements(shape)) *
-                   static_cast<double>(graph.tensor(t).elem_size);
+          total += ShardBytesForTiling(graph.tensor(t).shape,
+                                       graph.tensor(t).elem_size, tiling, factors);
         }
         space.slot_option_bytes[static_cast<size_t>(s)].push_back(total);
       }
@@ -378,11 +372,11 @@ FlatDpResult RunFlatDp(const Graph& graph, const CoarseGraph& coarse,
       bp.op_strategy[static_cast<size_t>(op_id)] = op_choice;
       bp.comm_bytes += op_best;
     }
-    for (TensorId t = 0; t < graph.num_tensors(); ++t) {
-      bp.peak_shard_bytes +=
-          ShardBytesForCut(shapes[static_cast<size_t>(t)], graph.tensor(t).elem_size,
-                           bp.tensor_cut[static_cast<size_t>(t)], factors[step]);
-    }
+    bp.peak_shard_bytes = StepResidentBytes(
+        graph, bp.tensor_cut, factors[step],
+        [&shapes](TensorId t) -> const Shape& {
+          return shapes[static_cast<size_t>(t)];
+        });
     const double weighted = groups_at_step * bp.comm_bytes;
     plan.weighted_step_costs.push_back(weighted);
     plan.total_comm_bytes += weighted;

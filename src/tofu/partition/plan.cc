@@ -49,98 +49,6 @@ std::string PartitionPlan::DescribeTiling(const Graph& graph, TensorId t) const 
   return any ? out.str() : "replicated";
 }
 
-double ShardBytesForCut(const Shape& shape, int elem_size, int cut, int ways) {
-  std::int64_t elems = 1;
-  for (size_t d = 0; d < shape.size(); ++d) {
-    std::int64_t extent = shape[d];
-    if (static_cast<int>(d) == cut) {
-      extent = (extent + ways - 1) / ways;
-    }
-    elems *= extent;
-  }
-  return static_cast<double>(elems) * static_cast<double>(elem_size);
-}
-
-std::int64_t AllResidentShardBytes(const Graph& graph, const PartitionPlan& plan) {
-  std::int64_t total = 0;
-  for (const TensorNode& t : graph.tensors()) {
-    total += plan.ShardBytes(graph, t.id);
-  }
-  return total;
-}
-
-std::int64_t LivenessPeakShardBytes(const Graph& graph, const PartitionPlan& plan) {
-  const int num_tensors = graph.num_tensors();
-  const int num_ops = graph.num_ops();
-
-  // Resolve in-place alias chains to one buffer per chain. Op ids are a topological
-  // order (AddOp appends and inputs must already exist), so one forward pass suffices.
-  std::vector<TensorId> buffer(static_cast<size_t>(num_tensors));
-  for (TensorId t = 0; t < num_tensors; ++t) {
-    buffer[static_cast<size_t>(t)] = t;
-  }
-  for (const OpNode& op : graph.ops()) {
-    if (op.inplace_input >= 0 &&
-        op.inplace_input < static_cast<int>(op.inputs.size())) {
-      buffer[static_cast<size_t>(op.output)] =
-          buffer[static_cast<size_t>(op.inputs[static_cast<size_t>(op.inplace_input)])];
-    }
-  }
-
-  // Per buffer: shard bytes (aliases share storage; take the max member for safety),
-  // allocation time (-1 = resident model state, a producer-less root), and the last op
-  // that reads any alias of it (num_ops = lives to the end of the iteration).
-  std::vector<std::int64_t> buf_bytes(static_cast<size_t>(num_tensors), 0);
-  std::vector<int> alloc_at(static_cast<size_t>(num_tensors), -1);
-  std::vector<int> free_at(static_cast<size_t>(num_tensors), -1);
-  for (TensorId t = 0; t < num_tensors; ++t) {
-    const TensorNode& node = graph.tensor(t);
-    const TensorId b = buffer[static_cast<size_t>(t)];
-    buf_bytes[static_cast<size_t>(b)] =
-        std::max(buf_bytes[static_cast<size_t>(b)], plan.ShardBytes(graph, t));
-    if (t == b) {
-      alloc_at[static_cast<size_t>(b)] = node.producer == kNoOp ? -1 : node.producer;
-    }
-    const int last_use = node.consumers.empty()
-                             ? (node.producer == kNoOp ? -1 : num_ops)
-                             : *std::max_element(node.consumers.begin(),
-                                                 node.consumers.end());
-    free_at[static_cast<size_t>(b)] = std::max(free_at[static_cast<size_t>(b)], last_use);
-  }
-
-  std::vector<std::vector<TensorId>> alloc_list(static_cast<size_t>(num_ops));
-  std::vector<std::vector<TensorId>> free_list(static_cast<size_t>(num_ops));
-  std::int64_t resident = 0;
-  for (TensorId b = 0; b < num_tensors; ++b) {
-    if (buffer[static_cast<size_t>(b)] != b) {
-      continue;  // alias, accounted under its root
-    }
-    if (alloc_at[static_cast<size_t>(b)] < 0) {
-      resident += buf_bytes[static_cast<size_t>(b)];  // model state: never freed
-      continue;
-    }
-    alloc_list[static_cast<size_t>(alloc_at[static_cast<size_t>(b)])].push_back(b);
-    if (free_at[static_cast<size_t>(b)] < num_ops) {
-      free_list[static_cast<size_t>(free_at[static_cast<size_t>(b)])].push_back(b);
-    }
-  }
-
-  // Program-order sweep: a buffer is charged while its producer runs (outputs coexist
-  // with still-live inputs) and credited after its last consumer completes.
-  std::int64_t current = resident;
-  std::int64_t peak = current;
-  for (OpId k = 0; k < num_ops; ++k) {
-    for (TensorId b : alloc_list[static_cast<size_t>(k)]) {
-      current += buf_bytes[static_cast<size_t>(b)];
-    }
-    peak = std::max(peak, current);
-    for (TensorId b : free_list[static_cast<size_t>(k)]) {
-      current -= buf_bytes[static_cast<size_t>(b)];
-    }
-  }
-  return peak;
-}
-
 std::vector<int> FactorizeWorkers(int num_workers) {
   TOFU_CHECK_GE(num_workers, 1);
   std::vector<int> factors;

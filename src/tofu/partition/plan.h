@@ -21,6 +21,12 @@ namespace tofu {
 // pipeline x Tofu plans); pure plans leave it null and serialize unchanged.
 struct PipelinePlan;
 
+// Defined in memory/schedule.h. A PartitionPlan optionally carries one (per-tensor
+// residency decisions: resident / recompute / host-swap, with priced overhead) when
+// the memory repair pass had to trade time for memory; plans that fit their budget
+// outright leave it null and serialize unchanged.
+struct MemorySchedule;
+
 // Cut value for a tensor that is stored replicated at a step (small tensors and rank-0
 // scalars only; every substantial tensor is partitioned, as in the paper).
 inline constexpr int kReplicated = -1;
@@ -70,13 +76,19 @@ struct PartitionPlan {
   // False when the search could not satisfy memory_budget_bytes under its all-resident
   // model at any searched configuration; the plan is then the lightest one found (best
   // effort). The session's authoritative verdict uses the liveness-aware peak, which
-  // can still fit -- see LivenessPeakShardBytes below.
+  // can still fit -- see LivenessPeakShardBytes in memory/liveness.h.
   bool memory_feasible = true;
   // Hybrid pipeline decomposition (kHybrid only; null for every pure plan). When set,
   // `steps` is empty and the per-stage inner plans live in the stages; plan_io writes
   // the tofu.plan.v3 schema. Shared, immutable: plans are copied around by the session
   // cache and the stages can be large.
   std::shared_ptr<const PipelinePlan> pipeline;
+  // Memory residency schedule attached by the repair pass (memory/repair.h) when the
+  // budget was infeasible under full residency: which buffers to recompute or host-swap
+  // and at what priced overhead. Null for plans that fit outright; when set, plan_io
+  // writes the tofu.plan.v4 schema and the session's budget verdict uses the schedule's
+  // reduced peak. Shared, immutable, like `pipeline`.
+  std::shared_ptr<const MemorySchedule> memory_schedule;
 
   // Per-dimension split factors of a tensor after all steps (product over steps).
   std::vector<int> TensorSplits(const Graph& graph, TensorId t) const;
@@ -92,24 +104,9 @@ struct PartitionPlan {
 // first), per §5.2's handling of non-power-of-two device counts.
 std::vector<int> FactorizeWorkers(int num_workers);
 
-// Bytes one worker group stores for a tensor of (current-step) `shape` under one
-// storage cut at split factor `ways`: ceil-divided along the cut dimension, whole
-// otherwise -- the same rounding StepContext::ApplyBasicPlan uses, so per-step figures
-// compose exactly with the shapes the next step sees. `cut` may be kReplicated.
-double ShardBytesForCut(const Shape& shape, int elem_size, int cut, int ways);
-
-// Per-worker residency upper bound: every tensor's final shard resident at once, no
-// liveness or buffer-reuse credit. Schedule-independent, hence conservative.
-std::int64_t AllResidentShardBytes(const Graph& graph, const PartitionPlan& plan);
-
-// Liveness-aware per-worker peak, the figure the event simulator's memory planner
-// reports for a program-order schedule: model state (inputs, weights, optimizer
-// history -- every producer-less tensor) stays resident for the whole iteration, a
-// produced tensor's buffer is allocated when its producer runs and freed after its last
-// consumer, and in-place outputs (OpNode::inplace_input) extend their input's buffer
-// instead of allocating a new one. Always <= AllResidentShardBytes; this is what the
-// session's budget check and feasibility verdict use.
-std::int64_t LivenessPeakShardBytes(const Graph& graph, const PartitionPlan& plan);
+// Shard-byte accounting (ShardBytesForCut and friends) lives in memory/bytes.h; the
+// liveness peak and the all-resident bound (AllResidentShardBytes,
+// LivenessPeakShardBytes) live in memory/liveness.h behind the MemoryModel interface.
 
 }  // namespace tofu
 

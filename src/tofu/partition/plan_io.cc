@@ -3,6 +3,7 @@
 #include <cstring>
 #include <memory>
 
+#include "tofu/memory/schedule.h"
 #include "tofu/pipeline/pipeline_plan.h"
 #include "tofu/util/json.h"
 #include "tofu/util/strings.h"
@@ -68,8 +69,12 @@ Result<std::vector<double>> ReadNumberArray(const JsonValue& obj, const std::str
 // one level deep).
 void WritePlanObject(JsonWriter* wp, const PartitionPlan& plan) {
   JsonWriter& w = *wp;
+  const char* schema = plan.memory_schedule != nullptr
+                           ? kPlanJsonSchemaV4
+                           : (plan.pipeline != nullptr ? kPlanJsonSchemaV3
+                                                       : kPlanJsonSchema);
   w.BeginObject();
-  w.Key("schema").String(plan.pipeline != nullptr ? kPlanJsonSchemaV3 : kPlanJsonSchema);
+  w.Key("schema").String(schema);
   w.Key("num_workers").Int(plan.num_workers);
   w.Key("step_factors");
   WriteIntArray(&w, plan.step_factors);
@@ -132,6 +137,28 @@ void WritePlanObject(JsonWriter* wp, const PartitionPlan& plan) {
     w.EndArray();
     w.EndObject();
   }
+  if (plan.memory_schedule != nullptr) {
+    const MemorySchedule& sched = *plan.memory_schedule;
+    w.Key("memory_schedule").BeginObject();
+    w.Key("budget_bytes").Int(sched.budget_bytes);
+    w.Key("baseline_peak_bytes").Int(sched.baseline_peak_bytes);
+    w.Key("scheduled_peak_bytes").Int(sched.scheduled_peak_bytes);
+    w.Key("swap_bytes").Number(sched.swap_bytes);
+    w.Key("swap_seconds").Number(sched.swap_seconds);
+    w.Key("recompute_seconds").Number(sched.recompute_seconds);
+    w.Key("host_bandwidth").Number(sched.host_bandwidth);
+    w.Key("decisions").BeginArray();
+    for (const MemoryDecision& d : sched.decisions) {
+      w.BeginObject();
+      w.Key("tensor").Int(d.tensor);
+      w.Key("residency").String(ResidencyName(d.residency));
+      w.Key("bytes").Number(d.bytes);
+      w.Key("overhead_seconds").Number(d.overhead_seconds);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
   w.EndObject();
 }
 
@@ -148,18 +175,20 @@ namespace {
 Result<PartitionPlan> ParsePlanObject(const JsonValue& doc, int depth) {
   TOFU_ASSIGN_OR_RETURN(std::string schema, doc.StringAt("schema"));
   // v1 plans (searched before memory became a constraint) still load; their memory
-  // fields default to "unconstrained". v3 adds the hybrid pipeline section.
-  const bool v3 = schema == kPlanJsonSchemaV3;
+  // fields default to "unconstrained". v3 adds the hybrid pipeline section; v4 adds
+  // the memory_schedule section (and may also carry a pipeline section).
+  const bool v4 = schema == kPlanJsonSchemaV4;
+  const bool v3 = v4 || schema == kPlanJsonSchemaV3;
   const bool v2 = v3 || schema == kPlanJsonSchema;
   if (!v2 && schema != kPlanJsonSchemaV1) {
     return Status(StatusCode::kInvalidArgument,
-                  StrFormat("unknown plan schema '%s' (want %s, %s or %s)",
-                            schema.c_str(), kPlanJsonSchemaV3, kPlanJsonSchema,
-                            kPlanJsonSchemaV1));
+                  StrFormat("unknown plan schema '%s' (want %s, %s, %s or %s)",
+                            schema.c_str(), kPlanJsonSchemaV4, kPlanJsonSchemaV3,
+                            kPlanJsonSchema, kPlanJsonSchemaV1));
   }
   if (v3 && depth > 0) {
     return Status(StatusCode::kInvalidArgument,
-                  "pipeline stage plans must be pure (nested pipeline section)");
+                  "pipeline stage plans must be pure (nested pipeline/memory section)");
   }
 
   PartitionPlan plan;
@@ -242,7 +271,7 @@ Result<PartitionPlan> ParsePlanObject(const JsonValue& doc, int depth) {
                             plan.step_seconds.size()));
   }
 
-  if (v3) {
+  if ((v3 && !v4) || (v4 && doc.Find("pipeline") != nullptr)) {
     TOFU_ASSIGN_OR_RETURN(const JsonValue* pipe_obj, doc.ObjectAt("pipeline"));
     auto pipe = std::make_shared<PipelinePlan>();
     TOFU_ASSIGN_OR_RETURN(std::int64_t num_stages, pipe_obj->IntAt("num_stages"));
@@ -306,6 +335,50 @@ Result<PartitionPlan> ParsePlanObject(const JsonValue& doc, int depth) {
     }
     plan.pipeline = std::move(pipe);
   }
+  if (v4) {
+    TOFU_ASSIGN_OR_RETURN(const JsonValue* sched_obj, doc.ObjectAt("memory_schedule"));
+    auto sched = std::make_shared<MemorySchedule>();
+    TOFU_ASSIGN_OR_RETURN(sched->budget_bytes, sched_obj->IntAt("budget_bytes"));
+    TOFU_ASSIGN_OR_RETURN(sched->baseline_peak_bytes,
+                          sched_obj->IntAt("baseline_peak_bytes"));
+    TOFU_ASSIGN_OR_RETURN(sched->scheduled_peak_bytes,
+                          sched_obj->IntAt("scheduled_peak_bytes"));
+    TOFU_ASSIGN_OR_RETURN(sched->swap_bytes, sched_obj->NumberAt("swap_bytes"));
+    TOFU_ASSIGN_OR_RETURN(sched->swap_seconds, sched_obj->NumberAt("swap_seconds"));
+    TOFU_ASSIGN_OR_RETURN(sched->recompute_seconds,
+                          sched_obj->NumberAt("recompute_seconds"));
+    TOFU_ASSIGN_OR_RETURN(sched->host_bandwidth, sched_obj->NumberAt("host_bandwidth"));
+    TOFU_ASSIGN_OR_RETURN(const JsonValue* decisions, sched_obj->ArrayAt("decisions"));
+    for (const JsonValue& entry : decisions->AsArray()) {
+      if (!entry.is_object()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "memory_schedule decision is not a JSON object");
+      }
+      MemoryDecision d;
+      TOFU_ASSIGN_OR_RETURN(std::int64_t tensor, entry.IntAt("tensor"));
+      if (tensor < 0 || tensor > (1 << 30)) {
+        return Status(StatusCode::kInvalidArgument,
+                      StrFormat("memory_schedule decision tensor %lld out of range",
+                                static_cast<long long>(tensor)));
+      }
+      d.tensor = static_cast<TensorId>(tensor);
+      TOFU_ASSIGN_OR_RETURN(std::string residency, entry.StringAt("residency"));
+      if (residency == ResidencyName(Residency::kRecompute)) {
+        d.residency = Residency::kRecompute;
+      } else if (residency == ResidencyName(Residency::kSwap)) {
+        d.residency = Residency::kSwap;
+      } else if (residency == ResidencyName(Residency::kResident)) {
+        d.residency = Residency::kResident;
+      } else {
+        return Status(StatusCode::kInvalidArgument,
+                      StrFormat("unknown residency '%s'", residency.c_str()));
+      }
+      TOFU_ASSIGN_OR_RETURN(d.bytes, entry.NumberAt("bytes"));
+      TOFU_ASSIGN_OR_RETURN(d.overhead_seconds, entry.NumberAt("overhead_seconds"));
+      sched->decisions.push_back(d);
+    }
+    plan.memory_schedule = std::move(sched);
+  }
   return plan;
 }
 
@@ -323,6 +396,16 @@ Status ValidatePlanForGraph(const Graph& graph, const PartitionPlan& plan) {
   if (plan.num_workers < 1) {
     return Status(StatusCode::kInvalidArgument,
                   StrFormat("plan num_workers %d < 1", plan.num_workers));
+  }
+  if (plan.memory_schedule != nullptr) {
+    for (const MemoryDecision& d : plan.memory_schedule->decisions) {
+      if (d.tensor < 0 || d.tensor >= graph.num_tensors()) {
+        return Status(StatusCode::kInvalidArgument,
+                      StrFormat("memory_schedule decision names tensor %d but the "
+                                "graph has %d tensors",
+                                d.tensor, graph.num_tensors()));
+      }
+    }
   }
   if (plan.pipeline != nullptr) {
     // Hybrid plan: the top level carries no steps of its own; the workers are covered

@@ -34,6 +34,12 @@ inline constexpr const char* kPlanJsonSchemaV1 = "tofu.plan.v1";
 // (each a nested pure plan object). Written ONLY for hybrid plans -- pure plans keep
 // the v2 tag byte-for-byte, so every pre-pipeline digest is unchanged.
 inline constexpr const char* kPlanJsonSchemaV3 = "tofu.plan.v3";
+// Plans carrying a MemorySchedule (PartitionPlan::memory_schedule set by the repair
+// pass): the base schema plus a "memory_schedule" section with the per-buffer
+// residency decisions and their pricing. Written ONLY when a schedule is attached --
+// schedule-free plans keep their v2/v3 tags byte-for-byte, so every existing digest is
+// unchanged. v2 and v3 files still load.
+inline constexpr const char* kPlanJsonSchemaV4 = "tofu.plan.v4";
 
 // Serializes every PartitionPlan field (steps with per-tensor cuts and per-op
 // strategies, costs, topology estimates, search stats).

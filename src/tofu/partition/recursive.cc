@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "tofu/memory/bytes.h"
+#include "tofu/memory/liveness.h"
+#include "tofu/memory/repair.h"
 #include "tofu/util/logging.h"
 #include "tofu/util/strings.h"
 
@@ -15,6 +18,8 @@ std::string PartitionOptions::Fingerprint() const {
   }
   out += ';';
   out += StrFormat("mb=%lld;", static_cast<long long>(memory_budget_bytes));
+  out += StrFormat("mpol=%d;", static_cast<int>(memory_policy));
+  out += memory_pricing.Fingerprint();
   return out;
 }
 
@@ -130,10 +135,9 @@ PartitionPlan MinBytesSteps(const Graph& graph, int num_workers, const CoarseGra
       double best_bytes = std::numeric_limits<double>::infinity();
       std::int64_t best_extent = -1;
       for (int cut : ctx.CutOptions(rep)) {
-        double b = 0.0;
-        for (TensorId t : slot.members) {
-          b += ShardBytesForCut(ctx.shape(t), graph.tensor(t).elem_size, cut, f);
-        }
+        const double b = SlotShardBytesForCut(
+            graph, slot.members, cut, f,
+            [&ctx](TensorId t) -> const Shape& { return ctx.shape(t); });
         const std::int64_t extent =
             cut == kReplicated ? -1 : ctx.shape(rep)[static_cast<size_t>(cut)];
         if (b < best_bytes || (b == best_bytes && extent > best_extent)) {
@@ -168,10 +172,9 @@ PartitionPlan MinBytesSteps(const Graph& graph, int num_workers, const CoarseGra
       bp.op_strategy[static_cast<size_t>(op_id)] = op_choice;
       bp.comm_bytes += op_best;
     }
-    for (TensorId t = 0; t < graph.num_tensors(); ++t) {
-      bp.peak_shard_bytes += ShardBytesForCut(ctx.shape(t), graph.tensor(t).elem_size,
-                                              bp.tensor_cut[static_cast<size_t>(t)], f);
-    }
+    bp.peak_shard_bytes = StepResidentBytes(
+        graph, bp.tensor_cut, f,
+        [&ctx](TensorId t) -> const Shape& { return ctx.shape(t); });
     const double step_bw = StepBandwidth(options, i);
     const double link_bw = step_bw > 0.0 ? step_bw : options.dp.link_bandwidth;
     if (link_bw > 0.0) {
@@ -335,7 +338,37 @@ PartitionPlan RecursivePartitionCoarse(const Graph& graph, int num_workers,
     }
     ++tried;
   } while (std::next_permutation(ordering.begin(), ordering.end()) && tried < kMaxOrderings);
-  return lightest;
+  if (lightest.memory_feasible || options.memory_policy == MemoryPolicy::kNone) {
+    return lightest;
+  }
+
+  // Even the lightest cuts overflow the all-resident model. The session's authoritative
+  // verdict is the liveness peak, which can still fit -- only when it confirms the
+  // overflow does the repair pass engage: re-search unbudgeted for the minimum-
+  // communication plan, then attach the cheapest recompute/host-swap schedule that
+  // brings its liveness peak within budget (memory/repair.h). The result trades
+  // overhead seconds -- never communication -- for memory, so a budget ladder holds
+  // comm constant while overhead grows monotonically. If even a full offload cannot
+  // fit, the infeasible witness survives so the session can report the unbeatable
+  // deficit plus the floor no schedule can beat.
+  if (LivenessPeakShardBytes(graph, lightest) <= options.memory_budget_bytes) {
+    return lightest;
+  }
+  PartitionOptions relaxed = options;
+  relaxed.memory_budget_bytes = 0;
+  relaxed.dp.memory_budget_bytes = 0;
+  PartitionPlan base = RecursivePartitionCoarse(graph, num_workers, coarse, relaxed);
+  const RepairResult repair =
+      BuildRepairSchedule(graph, base, options.memory_budget_bytes,
+                          options.memory_policy, options.memory_pricing);
+  if (!repair.feasible) {
+    return lightest;
+  }
+  base.search_stats.Merge(lightest.search_stats);
+  base.memory_budget_bytes = options.memory_budget_bytes;
+  base.memory_feasible = true;
+  base.memory_schedule = repair.schedule;
+  return base;
 }
 
 }  // namespace tofu

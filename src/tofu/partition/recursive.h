@@ -14,6 +14,7 @@
 #ifndef TOFU_PARTITION_RECURSIVE_H_
 #define TOFU_PARTITION_RECURSIVE_H_
 
+#include "tofu/memory/repair.h"
 #include "tofu/partition/coarsen.h"
 #include "tofu/partition/dp.h"
 #include "tofu/partition/plan.h"
@@ -41,6 +42,14 @@ struct PartitionOptions {
   // if no ordering's DP fits, a lightest-cuts fallback plan is tried; only when that
   // overflows too does the plan come back marked memory_feasible = false.
   std::int64_t memory_budget_bytes = 0;
+  // What the memory repair pass (memory/repair.h) may trade for memory when even the
+  // lightest-cuts fallback overflows the budget AND the liveness peak confirms the
+  // overflow: under any policy but kNone the search then returns its unconstrained
+  // minimum-communication plan with a MemorySchedule attached (recompute / host-swap
+  // decisions priced by `memory_pricing`) instead of an infeasible witness. kNone
+  // restores the witness behavior.
+  MemoryPolicy memory_policy = MemoryPolicy::kAuto;
+  MemoryPricing memory_pricing;
 
   // Deterministic serialization of every field (composing the nested fingerprints) for
   // the Session plan-cache key; extend together with the struct.

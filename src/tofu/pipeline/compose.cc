@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "tofu/memory/liveness.h"
 #include "tofu/pipeline/pipeline_sim.h"
 #include "tofu/pipeline/stage_cost.h"
 #include "tofu/util/logging.h"

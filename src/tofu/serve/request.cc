@@ -155,7 +155,8 @@ const std::vector<std::string>& KnownServeModels() {
 }
 
 Result<ServeRequest> ParseServeRequest(const std::string& line,
-                                       PartitionAlgorithm default_algorithm) {
+                                       PartitionAlgorithm default_algorithm,
+                                       MemoryPolicy default_policy) {
   TOFU_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
   if (!doc.is_object()) {
     return Status(StatusCode::kInvalidArgument, "request line is not a JSON object");
@@ -163,7 +164,8 @@ Result<ServeRequest> ParseServeRequest(const std::string& line,
   TOFU_RETURN_IF_ERROR(RejectUnknownKeys(
       doc,
       {"schema", "id", "model", "algorithm", "workers", "memory_budget_bytes",
-       "memory_bytes_per_worker", "uniform_bandwidth", "level_bandwidths", "config"},
+       "memory_bytes_per_worker", "memory_policy", "uniform_bandwidth",
+       "level_bandwidths", "config"},
       "request"));
   if (const JsonValue* schema = doc.Find("schema")) {
     if (schema->kind() != JsonValue::Kind::kString ||
@@ -183,6 +185,15 @@ Result<ServeRequest> ParseServeRequest(const std::string& line,
       return Status(StatusCode::kInvalidArgument, "field 'algorithm' must be a string");
     }
     TOFU_ASSIGN_OR_RETURN(request.algorithm, AlgorithmFromName(algo->AsString()));
+  }
+  request.memory_policy = default_policy;
+  if (const JsonValue* policy = doc.Find("memory_policy")) {
+    if (policy->kind() != JsonValue::Kind::kString) {
+      return Status(StatusCode::kInvalidArgument,
+                    "field 'memory_policy' must be a string");
+    }
+    TOFU_ASSIGN_OR_RETURN(request.memory_policy,
+                          MemoryPolicyFromName(policy->AsString()));
   }
 
   std::int64_t workers = request.topology.num_workers;

@@ -41,6 +41,11 @@ struct ServeRequest {
   // (the service keeps one thread-safe Session per distinct topology).
   DeviceTopology topology;
   std::int64_t memory_budget_bytes = 0;
+  // What the search may do when no all-resident configuration fits the budget
+  // (memory/repair.h): "auto" (swap or recompute, whichever is cheaper per buffer),
+  // "swap", "recompute", or "none" (fail with kResourceExhausted, the pre-repair
+  // behavior). Wire field "memory_policy"; tofu-pland --memory-policy sets the default.
+  MemoryPolicy memory_policy = MemoryPolicy::kAuto;
   // Exactly one of these is consulted, selected by `model`.
   MlpConfig mlp;
   RnnConfig rnn;
@@ -51,13 +56,15 @@ struct ServeRequest {
 // Names accepted in the "model" field, for error messages and drivers.
 const std::vector<std::string>& KnownServeModels();
 
-// Parses one request line. kInvalidArgument on malformed JSON, an unknown model or
-// algorithm name, an unknown config key, or a wrong-kind field. A request that omits
-// the "algorithm" field gets `default_algorithm` (tofu-pland --algo=NAME routes
-// through this; an explicit field always wins).
+// Parses one request line. kInvalidArgument on malformed JSON, an unknown model,
+// algorithm, or memory-policy name, an unknown config key, or a wrong-kind field. A
+// request that omits the "algorithm" / "memory_policy" field gets `default_algorithm`
+// / `default_policy` (tofu-pland --algo=NAME and --memory-policy=NAME route through
+// these; an explicit field always wins).
 Result<ServeRequest> ParseServeRequest(
     const std::string& line,
-    PartitionAlgorithm default_algorithm = PartitionAlgorithm::kTofu);
+    PartitionAlgorithm default_algorithm = PartitionAlgorithm::kTofu,
+    MemoryPolicy default_policy = MemoryPolicy::kAuto);
 
 // Builds the full training graph the request's spec describes. The build aborts on
 // structurally impossible configs (e.g. heads not dividing d_model), so callers get

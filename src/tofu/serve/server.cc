@@ -67,9 +67,10 @@ std::string ErrorResponseLine(std::int64_t id, const Status& status,
 
 std::string HandleLine(PlanService& service, const std::string& line,
                        bool include_plan, PartitionAlgorithm default_algorithm,
-                       bool* ok_out) {
+                       MemoryPolicy default_memory_policy, bool* ok_out) {
   const auto start = std::chrono::steady_clock::now();
-  Result<ServeRequest> request = ParseServeRequest(line, default_algorithm);
+  Result<ServeRequest> request =
+      ParseServeRequest(line, default_algorithm, default_memory_policy);
   if (!request.ok()) {
     *ok_out = false;
     return ErrorResponseLine(-1, request.status(), SecondsSince(start));
@@ -98,6 +99,7 @@ Result<PartitionResponse> PlanService::Partition(const ServeRequest& request) {
   partition.graph = &model.graph;
   partition.algorithm = request.algorithm;
   partition.memory_budget_bytes = request.memory_budget_bytes;
+  partition.options.memory_policy = request.memory_policy;
   partition.options.dp.num_threads = options_.search_threads;
   return SessionFor(request.topology).Partition(partition);
 }
@@ -187,6 +189,12 @@ std::string ServeResponseLine(const ServeRequest& request,
   w.Key("all_resident_bytes").Int(response.all_resident_bytes);
   w.Key("fits_device_memory").Bool(response.fits_device_memory);
   w.Key("estimated_comm_seconds").Number(response.estimated_comm_seconds);
+  // Only for plans that fit via a repair schedule: the offload cost next to the comm
+  // cost, so clients see the trade without parsing the plan's memory_schedule section.
+  if (response.memory_overhead_seconds > 0.0) {
+    w.Key("memory_overhead_seconds").Number(response.memory_overhead_seconds);
+    w.Key("simulated_memory_seconds").Number(response.simulated_memory_seconds);
+  }
   if (include_plan) {
     w.Key("plan").Raw(PlanToJson(response.plan));
   }
@@ -196,9 +204,11 @@ std::string ServeResponseLine(const ServeRequest& request,
 
 std::string HandleServeLine(PlanService& service, const std::string& line,
                             bool include_plan,
-                            PartitionAlgorithm default_algorithm) {
+                            PartitionAlgorithm default_algorithm,
+                            MemoryPolicy default_memory_policy) {
   bool ok = false;
-  return HandleLine(service, line, include_plan, default_algorithm, &ok);
+  return HandleLine(service, line, include_plan, default_algorithm,
+                    default_memory_policy, &ok);
 }
 
 StreamServer::StreamServer(StreamServerOptions options)
@@ -222,7 +232,8 @@ StreamServerMetrics StreamServer::Serve(std::istream& in, std::ostream& out) {
         const auto t0 = std::chrono::steady_clock::now();
         bool ok = false;
         responses[i] = HandleLine(service_, batch[i], options_.include_plans,
-                                  options_.default_algorithm, &ok);
+                                  options_.default_algorithm,
+                                  options_.default_memory_policy, &ok);
         oks[i] = ok ? 1 : 0;
         batch_latencies[i] = SecondsSince(t0);
       }

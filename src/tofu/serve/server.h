@@ -77,6 +77,10 @@ struct StreamServerOptions {
   // Applied to requests that omit the "algorithm" field (tofu-pland --algo=NAME); an
   // explicit field in the request always wins.
   PartitionAlgorithm default_algorithm = PartitionAlgorithm::kTofu;
+  // Applied to requests that omit the "memory_policy" field (tofu-pland
+  // --memory-policy=NAME): what the search may do -- swap, recompute, both, or
+  // nothing -- when no all-resident plan fits the request budget (memory/repair.h).
+  MemoryPolicy default_memory_policy = MemoryPolicy::kAuto;
   PlanServiceOptions service;
 };
 
@@ -129,7 +133,8 @@ std::string ServeResponseLine(const ServeRequest& request,
 // Serve() dispatches onto the pool; exposed for the in-process load driver.
 std::string HandleServeLine(
     PlanService& service, const std::string& line, bool include_plan,
-    PartitionAlgorithm default_algorithm = PartitionAlgorithm::kTofu);
+    PartitionAlgorithm default_algorithm = PartitionAlgorithm::kTofu,
+    MemoryPolicy default_memory_policy = MemoryPolicy::kAuto);
 
 // Binds a Unix domain socket at `path` (unlinking any stale socket first) and serves
 // connections sequentially, each with the full line-stream protocol; per-connection

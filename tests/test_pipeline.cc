@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "tofu/core/session.h"
+#include "tofu/memory/liveness.h"
 #include "tofu/models/mlp.h"
 #include "tofu/partition/plan_io.h"
 #include "tofu/partition/recursive.h"

@@ -11,6 +11,7 @@
 
 #include "tofu/core/partitioner.h"
 #include "tofu/core/session.h"
+#include "tofu/memory/liveness.h"
 #include "tofu/models/mlp.h"
 #include "tofu/models/rnn.h"
 #include "tofu/partition/plan_io.h"

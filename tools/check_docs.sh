@@ -76,3 +76,25 @@ if [[ $algo_missing -gt 0 ]]; then
   exit 1
 fi
 echo "check_docs: all $algo_total algorithm names documented in docs/serving.md and docs/api.md"
+
+# The memory-planner doc must exist and be cross-linked from the docs that reference
+# its machinery: search (the repair pass runs inside the search), cost model (swap and
+# recompute pricing), and the session API (MemorySchedule in plan JSON + responses).
+memdoc="$repo/docs/memory.md"
+if [[ ! -f "$memdoc" ]]; then
+  echo "check_docs: missing $memdoc (memory-planner doc)" >&2
+  exit 1
+fi
+
+link_missing=0
+for ldoc in "$repo/docs/search.md" "$repo/docs/cost_model.md" "$repo/docs/api.md"; do
+  if ! grep -q 'memory\.md' "$ldoc"; then
+    echo "check_docs: ${ldoc#"$repo"/} does not link to docs/memory.md" >&2
+    link_missing=$((link_missing + 1))
+  fi
+done
+if [[ $link_missing -gt 0 ]]; then
+  echo "check_docs: $link_missing docs missing the memory.md cross-link" >&2
+  exit 1
+fi
+echo "check_docs: docs/memory.md present and cross-linked from search, cost_model, api"

@@ -38,6 +38,15 @@ Fails (exit 1) when:
     for), and a multi-stage pipeline's analytic 1F1B makespan must lower-bound the
     1F1B event simulation while staying within 2x of it (the pipeline differential
     contract, pipeline/pipeline_sim.h);
+  * a memory-frontier row (bench_table1_search's budget-ladder sweep, model names
+    ending in @frontier) breaks the memory-planner contract (memory/repair.h): its
+    schedule-free plan digest or its deterministic peak bytes drifted from the
+    baseline; a budget at or above the full-offload floor came back infeasible (the
+    repair pass must always find a schedule there) or one below the floor came back
+    feasible; a feasible point's scheduled peak exceeds its budget; tightening the
+    budget DECREASED the analytic swap+recompute overhead (the prefix-greedy repair
+    marks supersets as budgets shrink, so overhead must be monotone); or a point's
+    event-replayed overhead falls outside [analytic, 2x analytic];
   * with --serve, the bench_serve --json results show a nondeterministic plan, any
     request error, cache counters that do not add up to the request count, or a final
     hit rate below --min-hit-rate (the serve-path contract: a replayed spec mix must be
@@ -86,6 +95,80 @@ def check_serve(path: str, min_hit_rate: float) -> bool:
     return failed
 
 
+def check_frontier_row(row: dict, base: dict | None) -> bool:
+    """Gate one @frontier row from the memory-budget ladder; returns True on failure."""
+    label = row["model"]
+    failed = False
+    if base is not None:
+        for field in (
+            "schedule_free_digest",
+            "unconstrained_peak_bytes",
+            "min_achievable_peak_bytes",
+        ):
+            if field in base and row.get(field) != base[field]:
+                print(
+                    f"FAIL  {label}: {field} {row.get(field)!r} != baseline "
+                    f"{base[field]!r} (the schedule-free plan or the deterministic "
+                    "memory accounting drifted; re-record the baseline if intentional)"
+                )
+                failed = True
+    points = row.get("frontier", [])
+    if not points:
+        print(f"FAIL  {label}: frontier row has no budget points")
+        return True
+    floor = row.get("min_achievable_peak_bytes", 0)
+    prev_overhead = None
+    for point in points:  # emitted in decreasing-budget order
+        budget = point["budget_bytes"]
+        tag = f"{label} @ {budget} B"
+        if budget >= floor and not point["feasible"]:
+            print(
+                f"FAIL  {tag}: infeasible at or above the full-offload floor "
+                f"{floor} B (the repair pass must always find a schedule there)"
+            )
+            failed = True
+        if budget < floor and point["feasible"]:
+            print(
+                f"FAIL  {tag}: feasible below the full-offload floor {floor} B "
+                "(no schedule can fit a single op's working set)"
+            )
+            failed = True
+        if not point["feasible"]:
+            continue
+        if point["peak_shard_bytes"] > budget:
+            print(
+                f"FAIL  {tag}: scheduled peak {point['peak_shard_bytes']} B exceeds "
+                "the budget it was repaired to"
+            )
+            failed = True
+        overhead = point["memory_overhead_seconds"]
+        sim = point["simulated_memory_seconds"]
+        if prev_overhead is not None and overhead < prev_overhead * (1.0 - 1e-9):
+            print(
+                f"FAIL  {tag}: overhead {overhead:.6g}s < {prev_overhead:.6g}s at the "
+                "looser budget above it (prefix-greedy repair marks supersets as the "
+                "budget tightens, so overhead must be monotone)"
+            )
+            failed = True
+        prev_overhead = max(prev_overhead or 0.0, overhead)
+        if overhead > 0.0 and not (
+            overhead * (1.0 - 1e-9) <= sim <= overhead * 2.0 * (1.0 + 1e-9)
+        ):
+            print(
+                f"FAIL  {tag}: replayed overhead {sim:.6g}s outside [1x, 2x] of the "
+                f"analytic {overhead:.6g}s (memory/sim_replay.h differential contract)"
+            )
+            failed = True
+    feasible = [p for p in points if p["feasible"]]
+    print(
+        f"{label}: {len(feasible)}/{len(points)} budgets feasible, overhead "
+        f"{feasible[0]['memory_overhead_seconds']*1e3:.1f} -> "
+        f"{feasible[-1]['memory_overhead_seconds']*1e3:.1f} ms "
+        f"{'FAIL' if failed else 'ok'}"
+    )
+    return failed
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
@@ -114,6 +197,12 @@ def main() -> int:
         print(f"FAIL  {missing}: in baseline but absent from current results")
         failed = True
     for row in current["results"]:
+        if "frontier" in row:
+            # Memory-budget ladder rows have their own contract (and no search-timing
+            # or serving-path fields), so the generic gates below do not apply.
+            if check_frontier_row(row, base_by_model.get(row["model"])):
+                failed = True
+            continue
         # The serving-path flags gate every current row, baseline entry or not --
         # dropping or renaming a model must not disable them.
         for flag in ("session_cache_hit", "cached_plan_identical"):

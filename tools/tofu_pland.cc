@@ -31,6 +31,10 @@ Flags:
   --algo=NAME         default algorithm for requests that omit "algorithm"
                       (Tofu | Hybrid | DataParallel | EqualChop | Spartan |
                       AllRow-Greedy | ICML18; default Tofu)
+  --memory-policy=NAME  default repair policy for requests that omit
+                      "memory_policy": what the search may do when no all-resident
+                      plan fits the budget (auto | swap | recompute | none;
+                      default auto)
   --no-plans          omit the "plan" member from response lines
   --socket=PATH       serve a Unix domain socket instead of stdin/stdout
   --quiet             suppress the stderr summary
@@ -93,6 +97,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.default_algorithm = *algo;
+    } else if (ConsumeValue(arg, "--memory-policy", &value)) {
+      tofu::Result<tofu::MemoryPolicy> policy = tofu::MemoryPolicyFromName(value);
+      if (!policy.ok()) {
+        std::fprintf(stderr, "tofu-pland: %s\n", policy.status().ToString().c_str());
+        return 2;
+      }
+      options.default_memory_policy = *policy;
     } else if (ConsumeValue(arg, "--socket", &value)) {
       socket_path = value;
     } else {
